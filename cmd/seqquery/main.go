@@ -1,0 +1,159 @@
+// Command seqquery runs pattern queries against an index built by seqindex.
+//
+// Usage:
+//
+//	seqquery -dir ./idx detect  [-scan] [-limit 20] search view cart
+//	seqquery -dir ./idx traces  search view cart
+//	seqquery -dir ./idx stats   search view
+//	seqquery -dir ./idx explore [-mode hybrid] [-topk 5] [-maxgap 0] search view
+//
+// Global flags (-dir, -policy) come before the verb; verb flags after it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"seqlog"
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: seqquery -dir DIR [-policy STNM] {detect|traces|stats|explore} [verb flags] ACTIVITY...")
+	flag.PrintDefaults()
+	os.Exit(2)
+}
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "index directory (required)")
+		policy  = flag.String("policy", "STNM", "policy the index was built with")
+		partial = flag.Bool("partial", false, "the index was built with partial order")
+		planner = flag.Bool("planner", false, "use the selectivity-based join planner")
+	)
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+	}
+	verb, rest := flag.Arg(0), flag.Args()[1:]
+
+	eng, err := seqlog.Open(seqlog.Config{Dir: *dir, Policy: *policy, PartialOrder: *partial, Planner: *planner})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	switch verb {
+	case "detect":
+		fs := flag.NewFlagSet("detect", flag.ExitOnError)
+		scan := fs.Bool("scan", false, "use the exact per-trace scan instead of the index join")
+		within := fs.Int64("within", 0, "keep only completions spanning at most this many ms (0 = off)")
+		limit := fs.Int("limit", 20, "max rows to print")
+		fs.Parse(rest)
+		pattern := need(fs.Args(), 2)
+		var ms []seqlog.Match
+		switch {
+		case *scan:
+			ms, err = eng.DetectScan(pattern)
+		case *within > 0:
+			ms, err = eng.DetectWithin(pattern, *within)
+		default:
+			ms, err = eng.Detect(pattern)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d completions\n", len(ms))
+		for i, m := range ms {
+			if i >= *limit {
+				fmt.Printf("... and %d more\n", len(ms)-*limit)
+				break
+			}
+			fmt.Printf("trace %d at %v\n", m.Trace, m.Times)
+		}
+
+	case "traces":
+		fs := flag.NewFlagSet("traces", flag.ExitOnError)
+		limit := fs.Int("limit", 20, "max rows to print")
+		fs.Parse(rest)
+		ids, err := eng.DetectTraces(need(fs.Args(), 2))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%d traces contain the pattern\n", len(ids))
+		for i, id := range ids {
+			if i >= *limit {
+				fmt.Printf("... and %d more\n", len(ids)-*limit)
+				break
+			}
+			fmt.Println(id)
+		}
+
+	case "stats":
+		fs := flag.NewFlagSet("stats", flag.ExitOnError)
+		allPairs := fs.Bool("all-pairs", false, "bound with every ordered pattern pair (tighter, O(p²) reads)")
+		fs.Parse(rest)
+		var st seqlog.PatternStats
+		if *allPairs {
+			st, err = eng.StatsAllPairs(need(fs.Args(), 2))
+		} else {
+			st, err = eng.Stats(need(fs.Args(), 2))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		for _, ps := range st.Pairs {
+			fmt.Printf("(%s -> %s): completions=%d avg_duration=%.2fms last=%d\n",
+				ps.First, ps.Second, ps.Completions, ps.AvgDuration, ps.LastCompletion)
+		}
+		fmt.Printf("pattern completions <= %d, estimated duration %.2fms\n",
+			st.MaxCompletions, st.EstimatedDuration)
+
+	case "explore":
+		fs := flag.NewFlagSet("explore", flag.ExitOnError)
+		mode := fs.String("mode", "hybrid", "accurate, fast or hybrid")
+		topK := fs.Int("topk", 5, "hybrid: candidates to re-check accurately")
+		maxGap := fs.Float64("maxgap", 0, "drop candidates with mean gap above this (0 = off)")
+		pos := fs.Int("pos", -1, "insert the candidate at this position instead of appending (-1 = append)")
+		limit := fs.Int("limit", 20, "max rows to print")
+		fs.Parse(rest)
+		opts := seqlog.ExploreOptions{TopK: *topK, MaxAvgGap: *maxGap}
+		var props []seqlog.Proposal
+		if *pos >= 0 {
+			props, err = eng.ExploreInsert(need(fs.Args(), 1), *pos, seqlog.ExploreMode(*mode), opts)
+		} else {
+			props, err = eng.Explore(need(fs.Args(), 1), seqlog.ExploreMode(*mode), opts)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		for i, p := range props {
+			if i >= *limit {
+				break
+			}
+			kind := "approx"
+			if p.Exact {
+				kind = "exact"
+			}
+			fmt.Printf("%2d. %-20s completions=%-6d avg=%.2fms score=%.4f (%s)\n",
+				i+1, p.Activity, p.Completions, p.AvgDuration, p.Score, kind)
+		}
+
+	default:
+		fatal(fmt.Errorf("unknown verb %q", verb))
+	}
+}
+
+// need exits with usage help when the pattern has fewer than min activities.
+func need(pattern []string, min int) []string {
+	if len(pattern) < min {
+		fmt.Fprintf(os.Stderr, "seqquery: pattern needs at least %d activities\n", min)
+		os.Exit(2)
+	}
+	return pattern
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "seqquery:", err)
+	os.Exit(1)
+}

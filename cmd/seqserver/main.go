@@ -1,0 +1,46 @@
+// Command seqserver serves the query-processor HTTP API over an index — the
+// deployment shape of the paper's architecture (Figure 1): a pre-processing
+// batch path (seqindex or POST /ingest) and an online query path.
+//
+// Usage:
+//
+//	seqserver -dir ./idx -addr :8080 [-policy STNM]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"seqlog"
+	"seqlog/internal/server"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "", "index directory (empty = in-memory)")
+		addr    = flag.String("addr", ":8080", "listen address")
+		policy  = flag.String("policy", "STNM", "pair policy: SC or STNM")
+		method  = flag.String("method", "indexing", "STNM extraction flavor")
+		partial = flag.Bool("partial", false, "treat same-timestamp events as concurrent (partial order)")
+		planner = flag.Bool("planner", false, "use the selectivity-based join planner")
+	)
+	flag.Parse()
+
+	eng, err := seqlog.Open(seqlog.Config{
+		Dir: *dir, Policy: *policy, Method: *method,
+		PartialOrder: *partial, Planner: *planner,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seqserver:", err)
+		os.Exit(1)
+	}
+	defer eng.Close()
+
+	log.Printf("seqserver listening on %s (dir=%q policy=%s)", *addr, *dir, *policy)
+	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
+		log.Fatal(err)
+	}
+}

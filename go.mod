@@ -1,0 +1,3 @@
+module seqlog
+
+go 1.22

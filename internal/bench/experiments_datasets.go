@@ -1,0 +1,62 @@
+package bench
+
+import "fmt"
+
+// Table4 reports the trace and activity counts of every evaluation log —
+// the reproduction of the paper's Table 4 plus the per-log event totals of
+// §5.1 (e.g. bpi_2017 ≈ 1.2M events at scale 1.0).
+func (r *Runner) Table4() error {
+	r.section("Table 4 — datasets",
+		fmt.Sprintf("scale=%.3f (1.0 = published sizes); mean/min/max are measured per generated log", r.cfg.Scale))
+	header := []string{"Log file", "Traces", "Activities", "Events", "Mean len", "Min len", "Max len"}
+	var rows [][]string
+	for _, spec := range r.datasets() {
+		log := r.log(spec)
+		minLen, maxLen := log.MaxTraceLen(), 0
+		for _, tr := range log.Traces {
+			if tr.Len() < minLen {
+				minLen = tr.Len()
+			}
+			if tr.Len() > maxLen {
+				maxLen = tr.Len()
+			}
+		}
+		rows = append(rows, []string{
+			spec.Name,
+			fmt.Sprint(log.NumTraces()),
+			fmt.Sprint(log.Alphabet.Len()),
+			fmt.Sprint(log.NumEvents()),
+			fmt.Sprintf("%.2f", log.MeanTraceLen()),
+			fmt.Sprint(minLen),
+			fmt.Sprint(maxLen),
+		})
+	}
+	r.table(header, rows)
+	return nil
+}
+
+// Figure2 summarises the per-trace distributions of events and distinct
+// activities for every log — the information content of the paper's
+// Figure 2 box plots, reported as quantiles.
+func (r *Runner) Figure2() error {
+	r.section("Figure 2 — per-trace distributions",
+		"events per trace and distinct activities per trace (p10/p50/p90)")
+	header := []string{"Log file", "Events p10", "p50", "p90", "Activities p10", "p50", "p90"}
+	var rows [][]string
+	for _, spec := range r.datasets() {
+		log := r.log(spec)
+		var lens, acts []int
+		for _, tr := range log.Traces {
+			lens = append(lens, tr.Len())
+			acts = append(acts, len(tr.Activities()))
+		}
+		ls, as := sortedCopy(lens), sortedCopy(acts)
+		rows = append(rows, []string{
+			spec.Name,
+			fmt.Sprint(percentile(ls, 10)), fmt.Sprint(percentile(ls, 50)), fmt.Sprint(percentile(ls, 90)),
+			fmt.Sprint(percentile(as, 10)), fmt.Sprint(percentile(as, 50)), fmt.Sprint(percentile(as, 90)),
+		})
+	}
+	r.table(header, rows)
+	return nil
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"fmt"
+
+	"seqlog/internal/model"
+	"seqlog/internal/query"
+)
+
+// explorePatterns is how many random patterns each continuation measurement
+// averages over.
+const explorePatterns = 20
+
+// Figure5 compares the Accurate and Fast continuation strategies across
+// query pattern lengths on max_10000 — the paper's Figure 5.
+//
+// Expected shape: Accurate grows like the detection curve of Figure 4; Fast
+// is flat and orders of magnitude cheaper.
+func (r *Runner) Figure5() error {
+	spec, err := r.figureDataset()
+	if err != nil {
+		return err
+	}
+	r.section("Figure 5 — continuation response time vs pattern length",
+		fmt.Sprintf("dataset %s; mean milliseconds per exploration over %d patterns", spec.Name, explorePatterns))
+	log := r.log(spec)
+	tb := r.indexedTables(spec, model.STNM)
+	q := proc(tb)
+	header := []string{"pattern length", "Accurate", "Fast"}
+	var rows [][]string
+	for _, plen := range []int{1, 2, 3, 4, 5, 6} {
+		ps := samplePatterns(log, plen, explorePatterns, int64(500+plen))
+		if len(ps) == 0 {
+			continue
+		}
+		tAcc := r.timeQueries(ps, func(p model.Pattern) {
+			q.ExploreAccurate(p, query.ExploreOptions{})
+		})
+		tFast := r.timeQueries(ps, func(p model.Pattern) {
+			q.ExploreFast(p, query.ExploreOptions{})
+		})
+		rows = append(rows, []string{fmt.Sprint(plen), msecs(tAcc), msecs(tFast)})
+	}
+	r.table(header, rows)
+	return nil
+}
+
+// Figure6 measures Hybrid response time as topK grows (pattern length 4),
+// with Fast and Accurate as the two constant bounds — the paper's Figure 6.
+//
+// Expected shape: Hybrid grows roughly linearly in topK between the Fast
+// floor and the Accurate ceiling.
+func (r *Runner) Figure6() error {
+	spec, err := r.figureDataset()
+	if err != nil {
+		return err
+	}
+	r.section("Figure 6 — hybrid continuation response time vs topK",
+		fmt.Sprintf("dataset %s; pattern length 4; mean milliseconds per exploration", spec.Name))
+	log := r.log(spec)
+	tb := r.indexedTables(spec, model.STNM)
+	q := proc(tb)
+	ps := samplePatterns(log, 4, explorePatterns, 600)
+	if len(ps) == 0 {
+		ps = samplePatterns(log, 2, explorePatterns, 600)
+	}
+
+	tFast := r.timeQueries(ps, func(p model.Pattern) { q.ExploreFast(p, query.ExploreOptions{}) })
+	tAcc := r.timeQueries(ps, func(p model.Pattern) { q.ExploreAccurate(p, query.ExploreOptions{}) })
+
+	header := []string{"topK", "Hybrid", "Fast (bound)", "Accurate (bound)"}
+	var rows [][]string
+	for _, k := range []int{0, 1, 2, 4, 8, 16, 32, 64, 128} {
+		tHyb := r.timeQueries(ps, func(p model.Pattern) {
+			q.ExploreHybrid(p, query.ExploreOptions{TopK: k})
+		})
+		rows = append(rows, []string{fmt.Sprint(k), msecs(tHyb), msecs(tFast), msecs(tAcc)})
+	}
+	r.table(header, rows)
+	return nil
+}
+
+// Figure7 measures Hybrid accuracy as topK grows — the paper's Figure 7:
+// ground truth is the Accurate proposal list A; accuracy is the fraction of
+// A's top-|A| events found in Hybrid's top-|A| proposals.
+//
+// Expected shape: monotone increase to 1.0 once topK covers the candidates.
+func (r *Runner) Figure7() error {
+	spec, err := r.figureDataset()
+	if err != nil {
+		return err
+	}
+	r.section("Figure 7 — hybrid continuation accuracy vs topK",
+		fmt.Sprintf("dataset %s; pattern length 4; ground truth = Accurate; mean over %d patterns", spec.Name, explorePatterns))
+	log := r.log(spec)
+	tb := r.indexedTables(spec, model.STNM)
+	q := proc(tb)
+	ps := samplePatterns(log, 4, explorePatterns, 700)
+	if len(ps) == 0 {
+		ps = samplePatterns(log, 2, explorePatterns, 700)
+	}
+
+	header := []string{"topK", "accuracy"}
+	var rows [][]string
+	for _, k := range []int{0, 1, 2, 4, 8, 16, 32, 64, 128} {
+		var sum float64
+		var counted int
+		for _, p := range ps {
+			acc, err := q.ExploreAccurate(p, query.ExploreOptions{})
+			if err != nil {
+				return err
+			}
+			truth := proposalEvents(acc)
+			if len(truth) == 0 {
+				continue
+			}
+			hyb, err := q.ExploreHybrid(p, query.ExploreOptions{TopK: k})
+			if err != nil {
+				return err
+			}
+			top := proposalEvents(hyb)
+			if len(top) > len(truth) {
+				top = top[:len(truth)]
+			}
+			hits := 0
+			truthSet := make(map[model.ActivityID]bool, len(truth))
+			for _, e := range truth {
+				truthSet[e] = true
+			}
+			for _, e := range top {
+				if truthSet[e] {
+					hits++
+				}
+			}
+			sum += float64(hits) / float64(len(truth))
+			counted++
+		}
+		accuracy := 0.0
+		if counted > 0 {
+			accuracy = sum / float64(counted)
+		}
+		rows = append(rows, []string{fmt.Sprint(k), fmt.Sprintf("%.3f", accuracy)})
+	}
+	r.table(header, rows)
+	return nil
+}
+
+// proposalEvents extracts the event ranking of proposals with at least one
+// (claimed) completion.
+func proposalEvents(props []query.Proposal) []model.ActivityID {
+	var out []model.ActivityID
+	for _, p := range props {
+		if p.Completions > 0 {
+			out = append(out, p.Event)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"fmt"
+
+	"seqlog/internal/loggen"
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+)
+
+// Table5 measures the STNM index-build time of the three pair-extraction
+// flavors (Indexing, Parsing, State) on every catalog dataset — the paper's
+// Table 5. Expectation: the flavors are close on process-like logs; the
+// divergence appears on the random logs of Figure 3.
+func (r *Runner) Table5() error {
+	r.section("Table 5 — STNM indexing flavors (seconds)",
+		fmt.Sprintf("full index build per flavor, %d repeat(s), %d workers", r.cfg.BuildRepeats, r.cfg.Workers))
+	header := []string{"Log file", "Indexing", "Parsing", "State"}
+	var rows [][]string
+	for _, spec := range r.datasets() {
+		log := r.log(spec)
+		row := []string{spec.Name}
+		for _, m := range []pairs.Method{pairs.Indexing, pairs.Parsing, pairs.State} {
+			_, d := r.buildTables(log, model.STNM, m, r.cfg.Workers)
+			row = append(row, secs(d))
+		}
+		rows = append(rows, row)
+	}
+	r.table(header, rows)
+	return nil
+}
+
+// figure3Point runs the three flavors on one random log.
+func (r *Runner) figure3Point(cfg loggen.RandomLogConfig) []string {
+	log := loggen.RandomLog(cfg)
+	row := []string{
+		fmt.Sprintf("t=%d n=%d l=%d", cfg.Traces, cfg.MaxEvents, cfg.Activities),
+		fmt.Sprint(log.NumEvents()),
+	}
+	for _, m := range []pairs.Method{pairs.Indexing, pairs.Parsing, pairs.State} {
+		_, d := r.buildTables(log, model.STNM, m, r.cfg.Workers)
+		row = append(row, secs(d))
+	}
+	return row
+}
+
+// Figure3 sweeps the three STNM flavors over random (uncorrelated) logs
+// along the paper's three axes: max events per trace, number of traces, and
+// number of distinct activities. The paper's axes reach 4M–5M events; the
+// default sweep is a proportionally smaller replica (Scale grows the trace
+// counts back toward paper size).
+//
+// Expected shape (paper §5.2): Indexing dominates — by up to an order of
+// magnitude on the larger points — and Parsing degrades non-linearly with
+// the number of distinct activities.
+func (r *Runner) Figure3() error {
+	scale := func(x int) int {
+		v := int(float64(x) * r.cfg.Scale * 4) // default scale 0.05 → 20% of the listed sizes
+		if v < 10 {
+			v = 10
+		}
+		return v
+	}
+	header := []string{"point", "events", "Indexing", "Parsing", "State"}
+
+	r.section("Figure 3a — varying max events per trace",
+		"random logs; traces and activities fixed (paper: 1000 traces, 500 activities, n: 100→4000)")
+	var rows [][]string
+	for _, n := range []int{100, 200, 400, 800, 1600} {
+		rows = append(rows, r.figure3Point(loggen.RandomLogConfig{
+			Traces: scale(250), MaxEvents: n, Activities: 125, Seed: int64(1000 + n), FixedLength: true,
+		}))
+	}
+	r.table(header, rows)
+
+	r.section("Figure 3b — varying number of traces",
+		"random logs; events per trace and activities fixed (paper: n=1000, l=100, traces: 100→5000)")
+	rows = nil
+	for _, t := range []int{100, 250, 500, 1000, 2000} {
+		rows = append(rows, r.figure3Point(loggen.RandomLogConfig{
+			Traces: scale(t * 4), MaxEvents: 250, Activities: 100, Seed: int64(2000 + t), FixedLength: true,
+		}))
+	}
+	r.table(header, rows)
+
+	r.section("Figure 3c — varying distinct activities",
+		"random logs; traces and events per trace fixed (paper: 500 traces, n=500, l: 4→2000)")
+	rows = nil
+	for _, l := range []int{4, 20, 100, 500, 1000} {
+		rows = append(rows, r.figure3Point(loggen.RandomLogConfig{
+			Traces: scale(500), MaxEvents: 125, Activities: l, Seed: int64(3000 + l), FixedLength: true,
+		}))
+	}
+	r.table(header, rows)
+	return nil
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/subtree"
+	"seqlog/internal/textsearch"
+)
+
+// Table6 compares preprocessing time across systems — the paper's Table 6:
+// the suffix-array baseline [19], our SC index (1 thread and parallel), our
+// STNM Indexing flavor (1 thread and parallel), and the Elasticsearch
+// substitute.
+//
+// Expected shape (paper §5.3): [19] is competitive on small synthetic logs,
+// loses on the large ones, and collapses on the real (BPI-like) logs; the
+// pair index builds within minutes everywhere; Elasticsearch sits between.
+func (r *Runner) Table6() error {
+	r.section("Table 6 — preprocessing time (seconds)",
+		fmt.Sprintf("[19] = materialised subtree space (see internal/subtree); ES = segmented text index; %d workers for parallel columns", r.cfg.Workers))
+	header := []string{"Log file", "[19]", "Strict (1 thread)", "Strict", "Indexing (1 thread)", "Indexing", "Elasticsearch"}
+	var rows [][]string
+	for _, spec := range r.datasets() {
+		log := r.log(spec)
+
+		var baseline time.Duration
+		for i := 0; i < r.cfg.BuildRepeats; i++ {
+			start := time.Now()
+			subtree.BuildMaterialized(log)
+			baseline += time.Since(start)
+		}
+		baseline /= time.Duration(r.cfg.BuildRepeats)
+
+		_, strict1 := r.buildTables(log, model.SC, pairs.Indexing, 1)
+		_, strictN := r.buildTables(log, model.SC, pairs.Indexing, r.cfg.Workers)
+		_, index1 := r.buildTables(log, model.STNM, pairs.Indexing, 1)
+		_, indexN := r.buildTables(log, model.STNM, pairs.Indexing, r.cfg.Workers)
+
+		var es time.Duration
+		for i := 0; i < r.cfg.BuildRepeats; i++ {
+			ix := textsearch.NewIndex(textsearch.Options{})
+			start := time.Now()
+			if err := ix.IndexLog(log); err != nil {
+				return err
+			}
+			es += time.Since(start)
+		}
+		es /= time.Duration(r.cfg.BuildRepeats)
+
+		rows = append(rows, []string{
+			spec.Name, secs(baseline), secs(strict1), secs(strictN), secs(index1), secs(indexN), secs(es),
+		})
+	}
+	r.table(header, rows)
+	return nil
+}

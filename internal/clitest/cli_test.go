@@ -1,0 +1,182 @@
+// Package clitest builds the real command-line binaries and drives the full
+// operator workflow end to end: generate a dataset, build an index on disk,
+// query it with every verb, and serve it over HTTP — the same path a
+// deployment would take.
+package clitest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "seqlog-cli-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	binDir = dir
+	cmd := exec.Command("go", "build", "-o", binDir, "./cmd/...")
+	cmd.Dir = "../.." // module root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building binaries: %v\n%s", err, out)
+		os.RemoveAll(binDir)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+func run(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, buf.String())
+	}
+	return buf.String()
+}
+
+func runExpectFail(t *testing.T, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Run(); err == nil {
+		t.Fatalf("%s %v unexpectedly succeeded:\n%s", name, args, buf.String())
+	}
+	return buf.String()
+}
+
+func TestFullWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	work := t.TempDir()
+	xes := filepath.Join(work, "log.xes")
+	csv := filepath.Join(work, "log.csv")
+	idx := filepath.Join(work, "idx")
+
+	// loggen: catalog listing and both output formats.
+	out := run(t, "loggen", "-list")
+	if !strings.Contains(out, "bpi_2013") || !strings.Contains(out, "max_10000") {
+		t.Fatalf("loggen -list:\n%s", out)
+	}
+	out = run(t, "loggen", "-dataset", "bpi_2013", "-scale", "0.02", "-o", xes)
+	if !strings.Contains(out, "wrote "+xes) {
+		t.Fatalf("loggen xes:\n%s", out)
+	}
+	run(t, "loggen", "-random", "-traces", "20", "-events", "10", "-activities", "4", "-o", csv)
+
+	// seqindex: initial build plus an incremental batch from CSV.
+	out = run(t, "seqindex", "-dir", idx, "-period", "batch-1", xes)
+	if !strings.Contains(out, "events in") {
+		t.Fatalf("seqindex:\n%s", out)
+	}
+	// The CSV uses its own small trace ids, extending existing traces —
+	// which is exactly what Algorithm 1 must tolerate.
+	run(t, "seqindex", "-dir", idx, "-period", "batch-2", csv)
+
+	// seqquery: every verb against the on-disk index.
+	out = run(t, "seqquery", "-dir", idx, "stats", "act_000", "act_001")
+	if !strings.Contains(out, "pattern completions <=") {
+		t.Fatalf("stats:\n%s", out)
+	}
+	out = run(t, "seqquery", "-dir", idx, "stats", "-all-pairs", "act_000", "act_001", "act_002")
+	if strings.Count(out, "completions=") < 3 {
+		t.Fatalf("all-pairs stats:\n%s", out)
+	}
+	out = run(t, "seqquery", "-dir", idx, "detect", "-limit", "3", "act_000", "act_001")
+	if !strings.Contains(out, "completions") {
+		t.Fatalf("detect:\n%s", out)
+	}
+	out = run(t, "seqquery", "-dir", idx, "detect", "-scan", "act_000", "act_001")
+	if !strings.Contains(out, "completions") {
+		t.Fatalf("detect -scan:\n%s", out)
+	}
+	run(t, "seqquery", "-dir", idx, "detect", "-within", "5000", "act_000", "act_001")
+	out = run(t, "seqquery", "-dir", idx, "traces", "act_000", "act_001")
+	if !strings.Contains(out, "traces contain the pattern") {
+		t.Fatalf("traces:\n%s", out)
+	}
+	out = run(t, "seqquery", "-dir", idx, "explore", "-mode", "hybrid", "-topk", "2", "act_000")
+	if !strings.Contains(out, "score=") {
+		t.Fatalf("explore:\n%s", out)
+	}
+	run(t, "seqquery", "-dir", idx, "explore", "-pos", "0", "act_001")
+
+	// Error paths exit non-zero.
+	runExpectFail(t, "seqquery", "-dir", idx, "bogusverb", "a", "b")
+	runExpectFail(t, "seqquery", "-dir", filepath.Join(work, "idx"), "detect", "onlyone")
+	runExpectFail(t, "seqindex", "-dir", idx, filepath.Join(work, "missing.xes"))
+	runExpectFail(t, "loggen", "-dataset", "nope", "-o", filepath.Join(work, "x.xes"))
+
+	// seqserver: serve the same index and hit it over HTTP.
+	addr := "127.0.0.1:18742"
+	srv := exec.Command(filepath.Join(binDir, "seqserver"), "-dir", idx, "-addr", addr)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+	base := "http://" + addr
+	var healthy bool
+	for i := 0; i < 50; i++ {
+		resp, err := http.Get(base + "/health")
+		if err == nil {
+			resp.Body.Close()
+			healthy = resp.StatusCode == http.StatusOK
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !healthy {
+		t.Fatal("seqserver never became healthy")
+	}
+	resp, err := http.Post(base+"/detect", "application/json",
+		strings.NewReader(`{"pattern":["act_000","act_001"],"tracesOnly":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Traces []int64 `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Traces) == 0 {
+		t.Fatal("server found no traces for a pattern the CLI detected")
+	}
+	resp2, err := http.Get(base + "/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var info struct {
+		Traces     int            `json:"traces"`
+		Partitions map[string]int `json:"partitions"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Traces == 0 || len(info.Partitions) != 2 {
+		t.Fatalf("info = %+v (want 2 period partitions)", info)
+	}
+}

@@ -1,0 +1,223 @@
+// Package eventlog reads and writes event logs in the two interchange
+// formats the paper's pipeline consumes: XES (the XML standard the BPI
+// Challenge logs and PLG2 use, §5.1) and a plain CSV with one event per row
+// — the "typical relational form" of the log database of §3.1.
+package eventlog
+
+import (
+	"encoding/csv"
+	"encoding/xml"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"seqlog/internal/model"
+)
+
+// xesTimeLayout is the timestamp layout XES uses (RFC3339 with millis).
+const xesTimeLayout = "2006-01-02T15:04:05.000Z07:00"
+
+// WriteXES serialises the log to XES. Trace ids become concept:name strings
+// and timestamps are rendered as UTC instants (milliseconds since epoch).
+func WriteXES(w io.Writer, log *model.Log) error {
+	type kv struct {
+		XMLName xml.Name
+		Key     string `xml:"key,attr"`
+		Value   string `xml:"value,attr"`
+	}
+	str := func(k, v string) kv { return kv{XMLName: xml.Name{Local: "string"}, Key: k, Value: v} }
+	date := func(k string, ts model.Timestamp) kv {
+		return kv{XMLName: xml.Name{Local: "date"}, Key: k, Value: time.UnixMilli(int64(ts)).UTC().Format(xesTimeLayout)}
+	}
+	type xesEvent struct {
+		XMLName xml.Name `xml:"event"`
+		Attrs   []kv
+	}
+	type xesTrace struct {
+		XMLName xml.Name `xml:"trace"`
+		Attrs   []kv
+		Events  []xesEvent
+	}
+	type xesLog struct {
+		XMLName xml.Name `xml:"log"`
+		Version string   `xml:"xes.version,attr"`
+		Traces  []xesTrace
+	}
+
+	out := xesLog{Version: "1.0"}
+	for _, tr := range log.Traces {
+		xt := xesTrace{Attrs: []kv{str("concept:name", strconv.FormatInt(int64(tr.ID), 10))}}
+		for _, ev := range tr.Events {
+			xt.Events = append(xt.Events, xesEvent{Attrs: []kv{
+				str("concept:name", log.Alphabet.Name(ev.Activity)),
+				date("time:timestamp", ev.TS),
+			}})
+		}
+		out.Traces = append(out.Traces, xt)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("eventlog: encode xes: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// ReadXES parses an XES document with a streaming decoder, interning
+// activities into a fresh log. Only concept:name and time:timestamp are
+// interpreted; other attributes are ignored (they "play no role in our
+// generic solution", §3.1). Events without a timestamp fall back to their
+// position, as the paper allows.
+func ReadXES(r io.Reader) (*model.Log, error) {
+	dec := xml.NewDecoder(r)
+	log := model.NewLog()
+	var (
+		curTrace *model.Trace
+		inEvent  bool
+		evName   string
+		evTS     model.Timestamp
+		evHasTS  bool
+		nextID   model.TraceID = 1
+	)
+	flushEvent := func() {
+		if evName == "" {
+			return
+		}
+		ts := evTS
+		if !evHasTS {
+			ts = model.Timestamp(len(curTrace.Events) + 1)
+		}
+		curTrace.Append(log.Alphabet.ID(evName), ts)
+	}
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eventlog: parse xes: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "trace":
+				curTrace = &model.Trace{ID: nextID}
+				nextID++
+			case "event":
+				if curTrace == nil {
+					return nil, fmt.Errorf("eventlog: event outside trace")
+				}
+				inEvent, evName, evTS, evHasTS = true, "", 0, false
+			case "string", "date":
+				var key, value string
+				for _, a := range t.Attr {
+					switch a.Name.Local {
+					case "key":
+						key = a.Value
+					case "value":
+						value = a.Value
+					}
+				}
+				switch {
+				case inEvent && key == "concept:name":
+					evName = value
+				case inEvent && key == "time:timestamp":
+					if ts, err := time.Parse(time.RFC3339, value); err == nil {
+						evTS = model.Timestamp(ts.UnixMilli())
+						evHasTS = true
+					}
+				case !inEvent && curTrace != nil && key == "concept:name":
+					if id, err := strconv.ParseInt(value, 10, 64); err == nil {
+						curTrace.ID = model.TraceID(id)
+					}
+				}
+			}
+		case xml.EndElement:
+			switch t.Name.Local {
+			case "event":
+				flushEvent()
+				inEvent = false
+			case "trace":
+				curTrace.Sort()
+				log.Traces = append(log.Traces, curTrace)
+				curTrace = nil
+			}
+		}
+	}
+	return log, nil
+}
+
+// WriteCSV writes one event per row: trace,activity,timestamp_ms.
+func WriteCSV(w io.Writer, log *model.Log) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"trace", "activity", "timestamp"}); err != nil {
+		return err
+	}
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			rec := []string{
+				strconv.FormatInt(int64(tr.ID), 10),
+				log.Alphabet.Name(ev.Activity),
+				strconv.FormatInt(int64(ev.TS), 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses the trace,activity,timestamp format (header optional).
+// Rows may arrive in any order; traces are assembled and time-sorted.
+func ReadCSV(r io.Reader) (*model.Log, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 3
+	log := model.NewLog()
+	traces := make(map[model.TraceID]*model.Trace)
+	var order []model.TraceID
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("eventlog: parse csv: %w", err)
+		}
+		if first {
+			first = false
+			if rec[0] == "trace" {
+				continue // header
+			}
+		}
+		id, err := strconv.ParseInt(rec[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("eventlog: bad trace id %q: %w", rec[0], err)
+		}
+		ts, err := strconv.ParseInt(rec[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("eventlog: bad timestamp %q: %w", rec[2], err)
+		}
+		tr := traces[model.TraceID(id)]
+		if tr == nil {
+			tr = &model.Trace{ID: model.TraceID(id)}
+			traces[model.TraceID(id)] = tr
+			order = append(order, model.TraceID(id))
+		}
+		tr.Append(log.Alphabet.ID(rec[1]), model.Timestamp(ts))
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, id := range order {
+		traces[id].Sort()
+		log.Traces = append(log.Traces, traces[id])
+	}
+	return log, nil
+}

@@ -1,0 +1,327 @@
+// Package index implements the pre-processing component of §3.1 of the
+// paper: it turns batches of new log events into updates of the inverted
+// pair index and its auxiliary tables (Seq, Count, Reverse Count,
+// LastChecked), processing traces in parallel exactly as the paper's Spark
+// job does, and deduplicating re-extracted pairs across batches as in
+// Algorithm 1.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/parallel"
+	"seqlog/internal/storage"
+)
+
+// Options configure a Builder.
+type Options struct {
+	// Policy selects the pair semantics: model.SC or model.STNM. STAM is
+	// not indexable with non-overlapping pairs and is rejected.
+	Policy model.Policy
+	// Method selects the STNM extraction flavor (§4.2); ignored for SC.
+	Method pairs.Method
+	// Workers bounds the per-trace parallelism; 0 means all cores
+	// (the paper's "all available machine cores" Spark mode), 1 is the
+	// single-executor mode of Table 6.
+	Workers int
+	// Period names the index partition receiving this builder's batches
+	// ("" is the default partition). The paper suggests one partition per
+	// month to keep individual index tables bounded (§3.1.3).
+	Period string
+	// PartialOrder treats same-timestamp events of a trace as concurrent
+	// (§7 of the paper): pairs require strict timestamp order and ties are
+	// never bumped apart. Requires the STNM policy, and batches may not
+	// reach back in time: new events of a known trace must be strictly
+	// later than its stored ones.
+	PartialOrder bool
+}
+
+// Stats summarise one Update call.
+type Stats struct {
+	Traces      int // traces touched by the batch
+	Events      int // new events ingested
+	Pairs       int // distinct pairs receiving new occurrences
+	Occurrences int // new pair occurrences appended to the index
+}
+
+// Builder is the pre-processing component. A Builder is safe for concurrent
+// reads of its configuration but Update calls must not overlap (the paper's
+// updates are periodic and serial).
+type Builder struct {
+	tables *storage.Tables
+	opts   Options
+}
+
+// NewBuilder returns a builder writing through the given tables.
+func NewBuilder(tables *storage.Tables, opts Options) (*Builder, error) {
+	if opts.Policy != model.SC && opts.Policy != model.STNM {
+		return nil, fmt.Errorf("index: policy %v is not indexable", opts.Policy)
+	}
+	if opts.PartialOrder && opts.Policy != model.STNM {
+		return nil, fmt.Errorf("index: partial order requires the STNM policy")
+	}
+	return &Builder{tables: tables, opts: opts}, nil
+}
+
+// shardOf maps a pair key onto its accumulator shard with a Fibonacci mix,
+// so adjacent activity ids do not pile into one shard.
+func shardOf(k model.PairKey) int {
+	return int((uint64(k) * 0x9E3779B97F4A7C15) >> 32 % numShards)
+}
+
+// Options returns the builder configuration.
+func (b *Builder) Options() Options { return b.opts }
+
+// pairAccum accumulates, for one pair, the new index entries of a batch and
+// the per-trace completion watermarks feeding LastChecked.
+type pairAccum struct {
+	entries []storage.IndexEntry
+	last    map[model.TraceID]model.Timestamp
+}
+
+// countAccum accumulates Count/ReverseCount deltas for one leading (or
+// trailing) activity.
+type countAccum map[model.ActivityID]*storage.CountEntry
+
+// shard groups accumulators under one lock so extraction workers can merge
+// their per-trace results concurrently.
+type shard struct {
+	mu      sync.Mutex
+	pairs   map[model.PairKey]*pairAccum
+	counts  map[model.ActivityID]countAccum // keyed by first activity
+	rcounts map[model.ActivityID]countAccum // keyed by second activity
+}
+
+const numShards = 16
+
+// UpdateLog ingests every event of an in-memory log in one batch.
+func (b *Builder) UpdateLog(log *model.Log) (Stats, error) {
+	return b.Update(log.Events())
+}
+
+// Update implements Algorithm 1: the batch is grouped into traces, each
+// trace is merged with its stored prefix, pairs are re-extracted over the
+// full sequence, and only occurrences completing after the stored watermark
+// are appended to the index — so re-processing a trace across periods never
+// duplicates pairs.
+//
+// Deviation from the paper, documented in DESIGN.md: Algorithm 1 filters on
+// the per-(pair, trace) watermark of the LastChecked table; because pair
+// extraction is prefix-stable, filtering on the trace-level boundary (the
+// timestamp of the last previously indexed event of the trace) admits
+// exactly the same occurrences with one watermark instead of |pairs| of
+// them. LastChecked is still maintained — the statistics queries and the
+// pruning path need it.
+func (b *Builder) Update(events []model.Event) (Stats, error) {
+	if len(events) == 0 {
+		return Stats{}, nil
+	}
+
+	byTrace := make(map[model.TraceID][]model.TraceEvent)
+	for _, ev := range events {
+		byTrace[ev.Trace] = append(byTrace[ev.Trace], model.TraceEvent{Activity: ev.Activity, TS: ev.TS})
+	}
+	ids := make([]model.TraceID, 0, len(byTrace))
+	for id := range byTrace {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	shards := make([]shard, numShards)
+	for i := range shards {
+		shards[i].pairs = make(map[model.PairKey]*pairAccum)
+		shards[i].counts = make(map[model.ActivityID]countAccum)
+		shards[i].rcounts = make(map[model.ActivityID]countAccum)
+	}
+
+	stats := Stats{Traces: len(ids), Events: len(events)}
+
+	err := parallel.ForEach(len(ids), b.opts.Workers, func(i int) error {
+		return b.updateTrace(ids[i], byTrace[ids[i]], shards)
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+
+	// Write phase: every pair key lives in exactly one shard, so shards
+	// can flush concurrently without write conflicts.
+	var mu sync.Mutex
+	err = parallel.ForEach(numShards, b.opts.Workers, func(i int) error {
+		s := &shards[i]
+		localPairs, localOcc := 0, 0
+		for k, acc := range s.pairs {
+			if err := b.tables.AppendIndex(b.opts.Period, k, acc.entries); err != nil {
+				return err
+			}
+			if err := b.tables.MergeLastChecked(k, acc.last); err != nil {
+				return err
+			}
+			localPairs++
+			localOcc += len(acc.entries)
+		}
+		for a, acc := range s.counts {
+			if err := b.tables.MergeCounts(a, countDelta(acc)); err != nil {
+				return err
+			}
+		}
+		for a, acc := range s.rcounts {
+			if err := b.tables.MergeReverseCounts(a, countDelta(acc)); err != nil {
+				return err
+			}
+		}
+		mu.Lock()
+		stats.Pairs += localPairs
+		stats.Occurrences += localOcc
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return Stats{}, err
+	}
+	return stats, nil
+}
+
+func countDelta(acc countAccum) []storage.CountEntry {
+	out := make([]storage.CountEntry, 0, len(acc))
+	for _, e := range acc {
+		out = append(out, *e)
+	}
+	// Deterministic order for reproducible rows.
+	sort.Slice(out, func(i, j int) bool { return out[i].Other < out[j].Other })
+	return out
+}
+
+// updateTrace processes one trace of the batch: merge with the stored
+// prefix, extract pairs over the full sequence, keep the occurrences
+// completing after the boundary, and push them into the shared shards.
+func (b *Builder) updateTrace(id model.TraceID, newEvents []model.TraceEvent, shards []shard) error {
+	old, _, err := b.tables.GetSeq(id)
+	if err != nil {
+		return err
+	}
+	boundary := model.Timestamp(-1 << 62)
+	if len(old) > 0 {
+		boundary = old[len(old)-1].TS
+	}
+
+	sort.SliceStable(newEvents, func(i, j int) bool { return newEvents[i].TS < newEvents[j].TS })
+	if b.opts.PartialOrder {
+		// Ties denote concurrency and are preserved; but a batch must
+		// not split a tie group of an already stored trace, or the
+		// boundary dedup of the incremental update breaks.
+		if len(old) > 0 && len(newEvents) > 0 && newEvents[0].TS <= boundary {
+			return fmt.Errorf("index: partial-order batch reaches back to ts %d of trace %d (stored up to %d)",
+				newEvents[0].TS, id, boundary)
+		}
+	} else {
+		// Restore the ≤ total order of Definition 2.1: normalise
+		// timestamps so the full sequence is strictly increasing (ties
+		// and regressions are bumped forward; the paper's fallback of
+		// using positions as timestamps degenerates to exactly this
+		// when all timestamps are equal).
+		prev := boundary
+		for i := range newEvents {
+			if newEvents[i].TS <= prev {
+				newEvents[i].TS = prev + 1
+			}
+			prev = newEvents[i].TS
+		}
+	}
+
+	full := make([]model.TraceEvent, 0, len(old)+len(newEvents))
+	full = append(full, old...)
+	full = append(full, newEvents...)
+
+	var res pairs.Result
+	if b.opts.PartialOrder {
+		res = pairs.ExtractSTNMPartial(full)
+	} else {
+		res = pairs.Extract(full, b.opts.Policy, b.opts.Method)
+	}
+
+	// Group this trace's contributions by destination shard to amortise
+	// locking: one lock acquisition per touched shard, not per pair.
+	type contrib struct {
+		key model.PairKey
+		occ []pairs.Occurrence
+	}
+	grouped := make(map[int][]contrib)
+	for k, occ := range res {
+		// Keep only occurrences completing after the boundary; the
+		// rest were indexed by earlier batches.
+		lo := 0
+		for lo < len(occ) && occ[lo].TsB <= boundary {
+			lo++
+		}
+		if lo == len(occ) {
+			continue
+		}
+		si := shardOf(k)
+		grouped[si] = append(grouped[si], contrib{key: k, occ: occ[lo:]})
+	}
+
+	for si, contribs := range grouped {
+		s := &shards[si]
+		s.mu.Lock()
+		for _, c := range contribs {
+			acc := s.pairs[c.key]
+			if acc == nil {
+				acc = &pairAccum{last: make(map[model.TraceID]model.Timestamp)}
+				s.pairs[c.key] = acc
+			}
+			a, bb := c.key.First(), c.key.Second()
+			fw := s.counts[a]
+			if fw == nil {
+				fw = make(countAccum)
+				s.counts[a] = fw
+			}
+			rv := s.rcounts[bb]
+			if rv == nil {
+				rv = make(countAccum)
+				s.rcounts[bb] = rv
+			}
+			fe := fw[bb]
+			if fe == nil {
+				fe = &storage.CountEntry{Other: bb}
+				fw[bb] = fe
+			}
+			re := rv[a]
+			if re == nil {
+				re = &storage.CountEntry{Other: a}
+				rv[a] = re
+			}
+			for _, o := range c.occ {
+				acc.entries = append(acc.entries, storage.IndexEntry{Trace: id, TsA: o.TsA, TsB: o.TsB})
+				dur := int64(o.TsB - o.TsA)
+				fe.SumDuration += dur
+				fe.Completions++
+				re.SumDuration += dur
+				re.Completions++
+			}
+			// Occurrences arrive sorted by completion time, so the
+			// final one is this trace's watermark for the pair.
+			acc.last[id] = c.occ[len(c.occ)-1].TsB
+		}
+		s.mu.Unlock()
+	}
+
+	return b.tables.AppendSeq(id, newEvents)
+}
+
+// PruneTraces removes completed traces from the Seq table and their
+// watermarks from LastChecked (§3.1.3). The inverted index keeps their
+// occurrences — pruning only forgets the mutable per-trace state.
+func (b *Builder) PruneTraces(ids []model.TraceID) error {
+	set := make(map[model.TraceID]bool, len(ids))
+	for _, id := range ids {
+		if err := b.tables.DeleteSeq(id); err != nil {
+			return err
+		}
+		set[id] = true
+	}
+	return b.tables.PruneLastChecked(set)
+}

@@ -1,0 +1,398 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/storage"
+)
+
+func newBuilder(t *testing.T, opts Options) (*Builder, *storage.Tables) {
+	t.Helper()
+	tb := storage.NewTables(kvstore.NewMemStore())
+	b, err := NewBuilder(tb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, tb
+}
+
+func ev(trace model.TraceID, a byte, ts int64) model.Event {
+	return model.Event{Trace: trace, Activity: model.ActivityID(a), TS: model.Timestamp(ts)}
+}
+
+func key(a, b byte) model.PairKey {
+	return model.NewPairKey(model.ActivityID(a), model.ActivityID(b))
+}
+
+// collectIndex flattens the default partition into a comparable map.
+func collectIndex(t *testing.T, tb *storage.Tables) map[model.PairKey][]storage.IndexEntry {
+	t.Helper()
+	out := make(map[model.PairKey][]storage.IndexEntry)
+	err := tb.ScanIndex("", func(k model.PairKey, es []storage.IndexEntry) error {
+		cp := append([]storage.IndexEntry(nil), es...)
+		sort.Slice(cp, func(i, j int) bool {
+			if cp[i].Trace != cp[j].Trace {
+				return cp[i].Trace < cp[j].Trace
+			}
+			return cp[i].TsB < cp[j].TsB
+		})
+		out[k] = cp
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestRejectsSTAM(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	if _, err := NewBuilder(tb, Options{Policy: model.STAM}); err == nil {
+		t.Fatal("STAM accepted")
+	}
+}
+
+func TestUpdateTable3Trace(t *testing.T) {
+	// The worked example of the paper: trace <(A,1),(A,2),(B,3),(A,4),(B,5),(A,6)>.
+	batch := []model.Event{
+		ev(1, 'A', 1), ev(1, 'A', 2), ev(1, 'B', 3), ev(1, 'A', 4), ev(1, 'B', 5), ev(1, 'A', 6),
+	}
+
+	b, tb := newBuilder(t, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1})
+	st, err := b.Update(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Traces != 1 || st.Events != 6 {
+		t.Fatalf("stats = %+v", st)
+	}
+	got := collectIndex(t, tb)
+	want := map[model.PairKey][]storage.IndexEntry{
+		key('A', 'A'): {{Trace: 1, TsA: 1, TsB: 2}, {Trace: 1, TsA: 4, TsB: 6}},
+		key('B', 'A'): {{Trace: 1, TsA: 3, TsB: 4}, {Trace: 1, TsA: 5, TsB: 6}},
+		key('B', 'B'): {{Trace: 1, TsA: 3, TsB: 5}},
+		key('A', 'B'): {{Trace: 1, TsA: 1, TsB: 3}, {Trace: 1, TsA: 4, TsB: 5}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("index:\ngot  %v\nwant %v", got, want)
+	}
+	if st.Occurrences != 7 || st.Pairs != 4 {
+		t.Fatalf("stats = %+v", st)
+	}
+
+	// Counts: (A,B) completed twice with durations 2 and 1.
+	cnt, ok, err := tb.GetPairCount(model.ActivityID('A'), model.ActivityID('B'))
+	if err != nil || !ok || cnt.Completions != 2 || cnt.SumDuration != 3 {
+		t.Fatalf("count(A,B) = %+v %v %v", cnt, ok, err)
+	}
+	// Reverse counts mirror by second event.
+	rev, err := tb.GetReverseCounts(model.ActivityID('B'))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var found bool
+	for _, e := range rev {
+		if e.Other == model.ActivityID('A') && e.Completions == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("reverse counts of B: %v", rev)
+	}
+	// LastChecked watermark is the last completion of the pair.
+	lc, err := tb.GetLastChecked(key('A', 'B'))
+	if err != nil || lc[1] != 5 {
+		t.Fatalf("lastchecked(A,B) = %v %v", lc, err)
+	}
+}
+
+func TestSCPolicy(t *testing.T) {
+	b, tb := newBuilder(t, Options{Policy: model.SC, Workers: 1})
+	if _, err := b.Update([]model.Event{ev(1, 'A', 1), ev(1, 'B', 2), ev(1, 'A', 3)}); err != nil {
+		t.Fatal(err)
+	}
+	got := collectIndex(t, tb)
+	want := map[model.PairKey][]storage.IndexEntry{
+		key('A', 'B'): {{Trace: 1, TsA: 1, TsB: 2}},
+		key('B', 'A'): {{Trace: 1, TsA: 2, TsB: 3}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("index: %v", got)
+	}
+}
+
+// TestIncrementalEqualsBatch is the Algorithm 1 core property: splitting a
+// log into many batches (even splitting traces across batches) produces
+// byte-identical index content to one big batch.
+func TestIncrementalEqualsBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, policy := range []model.Policy{model.SC, model.STNM} {
+		for iter := 0; iter < 20; iter++ {
+			// Random multi-trace event set with global timestamps.
+			var events []model.Event
+			numTraces := 1 + rng.Intn(5)
+			ts := int64(0)
+			for len(events) < 60 {
+				ts++
+				events = append(events, ev(model.TraceID(1+rng.Intn(numTraces)), byte('A'+rng.Intn(4)), ts))
+			}
+
+			oneShot, tbOne := newBuilder(t, Options{Policy: policy, Method: pairs.Indexing, Workers: 1})
+			if _, err := oneShot.Update(events); err != nil {
+				t.Fatal(err)
+			}
+
+			incr, tbIncr := newBuilder(t, Options{Policy: policy, Method: pairs.State, Workers: 2})
+			for lo := 0; lo < len(events); {
+				hi := lo + 1 + rng.Intn(20)
+				if hi > len(events) {
+					hi = len(events)
+				}
+				if _, err := incr.Update(events[lo:hi]); err != nil {
+					t.Fatal(err)
+				}
+				lo = hi
+			}
+
+			got, want := collectIndex(t, tbIncr), collectIndex(t, tbOne)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("policy=%v iter=%d: incremental != batch\ngot  %v\nwant %v", policy, iter, got, want)
+			}
+
+			// Counts must agree too.
+			for a := byte('A'); a <= 'D'; a++ {
+				c1, _ := tbOne.GetCounts(model.ActivityID(a))
+				c2, _ := tbIncr.GetCounts(model.ActivityID(a))
+				if !reflect.DeepEqual(c1, c2) {
+					t.Fatalf("policy=%v iter=%d: counts(%c) %v != %v", policy, iter, a, c2, c1)
+				}
+			}
+		}
+	}
+}
+
+// TestReplayedBatchAddsNothing: re-submitting already indexed events must not
+// create duplicates (the LastChecked role of Algorithm 1).
+func TestReplayedBatchAddsNothing(t *testing.T) {
+	batch := []model.Event{ev(1, 'A', 1), ev(1, 'B', 2), ev(1, 'A', 3)}
+	b, tb := newBuilder(t, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1})
+	if _, err := b.Update(batch); err != nil {
+		t.Fatal(err)
+	}
+	before := collectIndex(t, tb)
+
+	// Replaying the same events: they sort before the stored boundary, get
+	// normalised after it, and extend the trace; the index grows by design
+	// (the events are treated as new occurrences with bumped timestamps).
+	// The *dedup* contract is about overlapping extraction windows, which
+	// the boundary filter covers: an Update with zero new events is a
+	// no-op.
+	if _, err := b.Update(nil); err != nil {
+		t.Fatal(err)
+	}
+	after := collectIndex(t, tb)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("empty update changed the index")
+	}
+}
+
+func TestTimestampNormalisation(t *testing.T) {
+	// Duplicate and regressing timestamps are bumped to keep the strict
+	// total order of Definition 2.1.
+	b, tb := newBuilder(t, Options{Policy: model.SC, Workers: 1})
+	if _, err := b.Update([]model.Event{ev(1, 'A', 5), ev(1, 'B', 5), ev(1, 'C', 4)}); err != nil {
+		t.Fatal(err)
+	}
+	seq, ok, err := tb.GetSeq(1)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if len(seq) != 3 {
+		t.Fatalf("seq = %v", seq)
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].TS <= seq[i-1].TS {
+			t.Fatalf("not strictly increasing: %v", seq)
+		}
+	}
+	// Sort is stable: C@4 comes first, then A@5, then B bumped to 6.
+	if seq[0].Activity != model.ActivityID('C') || seq[1].Activity != model.ActivityID('A') {
+		t.Fatalf("order: %v", seq)
+	}
+}
+
+func TestPeriodPartitionedUpdate(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	b1, _ := NewBuilder(tb, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1, Period: "p1"})
+	b2, _ := NewBuilder(tb, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1, Period: "p2"})
+
+	if _, err := b1.Update([]model.Event{ev(1, 'A', 1), ev(1, 'B', 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Update([]model.Event{ev(1, 'A', 3), ev(1, 'B', 4)}); err != nil {
+		t.Fatal(err)
+	}
+
+	p1, err := tb.GetIndex("p1", key('A', 'B'))
+	if err != nil || len(p1) != 1 || p1[0].TsB != 2 {
+		t.Fatalf("p1 = %v %v", p1, err)
+	}
+	p2, err := tb.GetIndex("p2", key('A', 'B'))
+	if err != nil || len(p2) != 1 {
+		t.Fatalf("p2 = %v %v", p2, err)
+	}
+	// Cross-batch dedup holds across partitions: p2 must contain only the
+	// occurrence completing after p1's boundary. (A,B)=(1,2) is in p1;
+	// the full trace A1 B2 A3 B4 also has (3,4), which lands in p2.
+	if p2[0].TsA != 3 || p2[0].TsB != 4 {
+		t.Fatalf("p2 entry = %+v", p2[0])
+	}
+	all, err := tb.GetIndexAll(key('A', 'B'))
+	if err != nil || len(all) != 2 {
+		t.Fatalf("all = %v %v", all, err)
+	}
+}
+
+func TestPruneTraces(t *testing.T) {
+	b, tb := newBuilder(t, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1})
+	if _, err := b.Update([]model.Event{ev(1, 'A', 1), ev(1, 'B', 2), ev(2, 'A', 1), ev(2, 'B', 2)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.PruneTraces([]model.TraceID{1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tb.GetSeq(1); ok {
+		t.Fatal("pruned trace still in Seq")
+	}
+	if _, ok, _ := tb.GetSeq(2); !ok {
+		t.Fatal("wrong trace pruned")
+	}
+	lc, _ := tb.GetLastChecked(key('A', 'B'))
+	if _, ok := lc[1]; ok {
+		t.Fatal("pruned trace still in LastChecked")
+	}
+	if _, ok := lc[2]; !ok {
+		t.Fatal("wrong LastChecked entry pruned")
+	}
+	// The inverted index keeps historical occurrences.
+	es, _ := tb.GetIndex("", key('A', 'B'))
+	if len(es) != 2 {
+		t.Fatalf("index lost pruned trace history: %v", es)
+	}
+}
+
+func TestParallelMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var events []model.Event
+	for i := 0; i < 2000; i++ {
+		events = append(events, ev(model.TraceID(1+rng.Intn(50)), byte('A'+rng.Intn(10)), int64(i+1)))
+	}
+	seq, tbSeq := newBuilder(t, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1})
+	par, tbPar := newBuilder(t, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 8})
+	if _, err := seq.Update(events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := par.Update(events); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collectIndex(t, tbSeq), collectIndex(t, tbPar)) {
+		t.Fatal("parallel index differs from sequential")
+	}
+}
+
+func TestAllMethodsProduceSameIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	var events []model.Event
+	for i := 0; i < 1000; i++ {
+		events = append(events, ev(model.TraceID(1+rng.Intn(20)), byte('A'+rng.Intn(6)), int64(i+1)))
+	}
+	var snapshots []map[model.PairKey][]storage.IndexEntry
+	for _, m := range []pairs.Method{pairs.Parsing, pairs.Indexing, pairs.State} {
+		b, tb := newBuilder(t, Options{Policy: model.STNM, Method: m, Workers: 2})
+		if _, err := b.Update(events); err != nil {
+			t.Fatal(err)
+		}
+		snapshots = append(snapshots, collectIndex(t, tb))
+	}
+	if !reflect.DeepEqual(snapshots[0], snapshots[1]) || !reflect.DeepEqual(snapshots[1], snapshots[2]) {
+		t.Fatal("methods disagree at the index level")
+	}
+}
+
+func TestPartialOrderRequiresSTNM(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	if _, err := NewBuilder(tb, Options{Policy: model.SC, PartialOrder: true}); err == nil {
+		t.Fatal("partial order with SC accepted")
+	}
+}
+
+func TestPartialOrderPreservesTies(t *testing.T) {
+	b, tb := newBuilder(t, Options{Policy: model.STNM, PartialOrder: true, Workers: 1})
+	// {A,B} concurrent at ts 1, C at ts 2.
+	batch := []model.Event{ev(1, 'A', 1), ev(1, 'B', 1), ev(1, 'C', 2)}
+	if _, err := b.Update(batch); err != nil {
+		t.Fatal(err)
+	}
+	got := collectIndex(t, tb)
+	if _, ok := got[key('A', 'B')]; ok {
+		t.Fatalf("concurrent events paired: %v", got)
+	}
+	if es := got[key('A', 'C')]; len(es) != 1 || es[0].TsA != 1 || es[0].TsB != 2 {
+		t.Fatalf("(A,C) = %v", es)
+	}
+	// The stored sequence keeps the tie.
+	seq, _, _ := tb.GetSeq(1)
+	if seq[0].TS != seq[1].TS {
+		t.Fatalf("tie destroyed: %v", seq)
+	}
+}
+
+func TestPartialOrderIncremental(t *testing.T) {
+	b, tb := newBuilder(t, Options{Policy: model.STNM, PartialOrder: true, Workers: 1})
+	if _, err := b.Update([]model.Event{ev(1, 'A', 1), ev(1, 'B', 1)}); err != nil {
+		t.Fatal(err)
+	}
+	// A later batch extends the trace; strictly increasing is fine.
+	if _, err := b.Update([]model.Event{ev(1, 'C', 2), ev(1, 'D', 2)}); err != nil {
+		t.Fatal(err)
+	}
+	got := collectIndex(t, tb)
+	// (A,C), (A,D), (B,C), (B,D) each once; no pairs within tie groups.
+	for _, k := range []model.PairKey{key('A', 'C'), key('A', 'D'), key('B', 'C'), key('B', 'D')} {
+		if len(got[k]) != 1 {
+			t.Fatalf("pair %v = %v", k, got[k])
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("index = %v", got)
+	}
+	// A batch reaching back into the stored tie group is rejected.
+	if _, err := b.Update([]model.Event{ev(1, 'E', 2)}); err == nil {
+		t.Fatal("backfill into stored tie group accepted")
+	}
+}
+
+func TestPartialOrderEqualsTotalWithoutTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	var events []model.Event
+	for i := 0; i < 500; i++ {
+		events = append(events, ev(model.TraceID(1+rng.Intn(10)), byte('A'+rng.Intn(5)), int64(i+1)))
+	}
+	total, tbTotal := newBuilder(t, Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1})
+	partial, tbPartial := newBuilder(t, Options{Policy: model.STNM, PartialOrder: true, Workers: 1})
+	if _, err := total.Update(events); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partial.Update(events); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(collectIndex(t, tbTotal), collectIndex(t, tbPartial)) {
+		t.Fatal("partial-order index differs on tie-free data")
+	}
+}

@@ -1,0 +1,87 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchKeys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("key-%06d", i)
+	}
+	return out
+}
+
+func BenchmarkMemStorePut(b *testing.B) {
+	s := NewMemStore()
+	defer s.Close()
+	keys := benchKeys(1 << 12)
+	val := []byte("0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Put("t", keys[i&(len(keys)-1)], val)
+	}
+}
+
+func BenchmarkMemStoreAppend(b *testing.B) {
+	s := NewMemStore()
+	defer s.Close()
+	keys := benchKeys(1 << 10)
+	val := []byte("0123456789")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append("t", keys[i&(len(keys)-1)], val)
+	}
+}
+
+func BenchmarkMemStoreGet(b *testing.B) {
+	s := NewMemStore()
+	defer s.Close()
+	keys := benchKeys(1 << 12)
+	for _, k := range keys {
+		s.Put("t", k, []byte("v"))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Get("t", keys[i&(len(keys)-1)])
+	}
+}
+
+func BenchmarkDiskStoreAppend(b *testing.B) {
+	s, err := OpenDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys := benchKeys(1 << 10)
+	val := []byte("0123456789")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append("t", keys[i&(len(keys)-1)], val)
+	}
+}
+
+func BenchmarkDiskStoreCompact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s, err := OpenDisk(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, k := range benchKeys(2048) {
+			s.Put("t", k, []byte("some value payload"))
+		}
+		b.StartTimer()
+		if err := s.Compact(); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}

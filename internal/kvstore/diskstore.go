@@ -1,0 +1,416 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Record operations in the write-ahead log.
+const (
+	opPut byte = iota + 1
+	opAppend
+	opDelete
+	opDropTable
+)
+
+// DiskStore is the durable engine: all data lives in an in-memory MemStore
+// for reads, while every mutation is first written to a write-ahead log.
+// Compact() folds the state into a snapshot file and truncates the log; Open
+// recovers by loading the snapshot and replaying the remaining log, dropping
+// a torn tail record if the process died mid-write.
+//
+// File layout inside the directory:
+//
+//	SNAPSHOT  full state at the last compaction (may be absent)
+//	WAL       records appended since the snapshot
+type DiskStore struct {
+	mu   sync.Mutex // serialises WAL writes and compaction
+	mem  *MemStore
+	dir  string
+	wal  *os.File
+	bw   *bufio.Writer
+	size int64 // bytes appended to WAL since last compaction
+
+	// CompactAt is the WAL size in bytes beyond which Sync triggers an
+	// automatic compaction. Zero disables auto-compaction.
+	CompactAt int64
+
+	closed bool
+}
+
+const (
+	walName      = "WAL"
+	snapshotName = "SNAPSHOT"
+	magic        = "seqlogkv1"
+)
+
+// OpenDisk opens (or creates) a durable store rooted at dir.
+func OpenDisk(dir string) (*DiskStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("kvstore: create dir: %w", err)
+	}
+	s := &DiskStore{mem: NewMemStore(), dir: dir, CompactAt: 64 << 20}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(s.path(walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: open wal: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.wal = f
+	s.size = st.Size()
+	s.bw = bufio.NewWriterSize(f, 1<<20)
+	return s, nil
+}
+
+func (s *DiskStore) path(name string) string { return filepath.Join(s.dir, name) }
+
+// record layout: crc32(payload) uint32 | len(payload) uint32 | payload
+// payload: op byte | table varint-string | key varint-string | value varint-bytes
+func encodeRecord(buf []byte, op byte, table, key string, value []byte) []byte {
+	payload := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(table)+len(key)+len(value)+binary.MaxVarintLen64)
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, uint64(len(table)))
+	payload = append(payload, table...)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = binary.AppendUvarint(payload, uint64(len(value)))
+	payload = append(payload, value...)
+
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], crc32.ChecksumIEEE(payload))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(payload)))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// errTornRecord marks a truncated or corrupt WAL tail; replay stops there.
+var errTornRecord = errors.New("kvstore: torn wal record")
+
+func decodeRecord(r *bufio.Reader) (op byte, table, key string, value []byte, err error) {
+	var hdr [8]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			err = errTornRecord
+		}
+		return
+	}
+	sum := binary.LittleEndian.Uint32(hdr[0:4])
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	if n > 1<<30 {
+		err = errTornRecord
+		return
+	}
+	payload := make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		err = errTornRecord
+		return
+	}
+	if crc32.ChecksumIEEE(payload) != sum {
+		err = errTornRecord
+		return
+	}
+	if len(payload) < 1 {
+		err = errTornRecord
+		return
+	}
+	op = payload[0]
+	rest := payload[1:]
+	readStr := func() (string, bool) {
+		l, k := binary.Uvarint(rest)
+		if k <= 0 || uint64(len(rest)-k) < l {
+			return "", false
+		}
+		str := string(rest[k : k+int(l)])
+		rest = rest[k+int(l):]
+		return str, true
+	}
+	var ok bool
+	if table, ok = readStr(); !ok {
+		err = errTornRecord
+		return
+	}
+	if key, ok = readStr(); !ok {
+		err = errTornRecord
+		return
+	}
+	l, k := binary.Uvarint(rest)
+	if k <= 0 || uint64(len(rest)-k) < l {
+		err = errTornRecord
+		return
+	}
+	value = rest[k : k+int(l)]
+	return
+}
+
+func (s *DiskStore) apply(op byte, table, key string, value []byte) error {
+	switch op {
+	case opPut:
+		return s.mem.Put(table, key, value)
+	case opAppend:
+		return s.mem.Append(table, key, value)
+	case opDelete:
+		return s.mem.Delete(table, key)
+	case opDropTable:
+		return s.mem.DropTable(table)
+	default:
+		return fmt.Errorf("kvstore: unknown wal op %d", op)
+	}
+}
+
+func (s *DiskStore) replayWAL() error {
+	f, err := os.Open(s.path(walName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	var good int64
+	for {
+		op, table, key, value, err := decodeRecord(r)
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if errors.Is(err, errTornRecord) {
+			// Crash mid-write: truncate the torn tail and continue.
+			if terr := os.Truncate(s.path(walName), good); terr != nil {
+				return fmt.Errorf("kvstore: truncate torn wal: %w", terr)
+			}
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("kvstore: replay wal: %w", err)
+		}
+		if err := s.apply(op, table, key, value); err != nil {
+			return err
+		}
+		good += 8 + int64(recordPayloadLen(table, key, value))
+	}
+	return nil
+}
+
+func recordPayloadLen(table, key string, value []byte) int {
+	return 1 + uvarintLen(uint64(len(table))) + len(table) +
+		uvarintLen(uint64(len(key))) + len(key) +
+		uvarintLen(uint64(len(value))) + len(value)
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// logAndApply writes the record to the WAL and applies it to the in-memory
+// state under one lock, so a concurrent Compact can never snapshot state
+// whose WAL record it is about to truncate.
+func (s *DiskStore) logAndApply(op byte, table, key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	rec := encodeRecord(nil, op, table, key, value)
+	if _, err := s.bw.Write(rec); err != nil {
+		return fmt.Errorf("kvstore: wal write: %w", err)
+	}
+	s.size += int64(len(rec))
+	return s.apply(op, table, key, value)
+}
+
+// Get implements Store.
+func (s *DiskStore) Get(table, key string) ([]byte, bool, error) {
+	return s.mem.Get(table, key)
+}
+
+// Put implements Store.
+func (s *DiskStore) Put(table, key string, value []byte) error {
+	return s.logAndApply(opPut, table, key, value)
+}
+
+// Append implements Store.
+func (s *DiskStore) Append(table, key string, value []byte) error {
+	return s.logAndApply(opAppend, table, key, value)
+}
+
+// Delete implements Store.
+func (s *DiskStore) Delete(table, key string) error {
+	return s.logAndApply(opDelete, table, key, nil)
+}
+
+// Scan implements Store.
+func (s *DiskStore) Scan(table string, fn func(key string, value []byte) error) error {
+	return s.mem.Scan(table, fn)
+}
+
+// DropTable implements Store.
+func (s *DiskStore) DropTable(table string) error {
+	return s.logAndApply(opDropTable, table, "", nil)
+}
+
+// Tables implements Store.
+func (s *DiskStore) Tables() ([]string, error) { return s.mem.Tables() }
+
+// Len implements Store.
+func (s *DiskStore) Len(table string) (int, error) { return s.mem.Len(table) }
+
+// Sync flushes buffered WAL records to the operating system and fsyncs the
+// file, then compacts if the log has outgrown CompactAt. Batch ingestion
+// calls Sync once per period, matching the paper's periodic update model.
+func (s *DiskStore) Sync() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if err := s.bw.Flush(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	if err := s.wal.Sync(); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	need := s.CompactAt > 0 && s.size > s.CompactAt
+	s.mu.Unlock()
+	if need {
+		return s.Compact()
+	}
+	return nil
+}
+
+// Compact writes the full state to a fresh snapshot and truncates the WAL.
+func (s *DiskStore) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if err := s.bw.Flush(); err != nil {
+		return err
+	}
+	tmp := s.path(snapshotName + ".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("kvstore: create snapshot: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if _, err := w.WriteString(magic); err != nil {
+		f.Close()
+		return err
+	}
+	tables, err := s.mem.Tables()
+	if err != nil {
+		f.Close()
+		return err
+	}
+	var buf []byte
+	for _, t := range tables {
+		err := s.mem.Scan(t, func(k string, v []byte) error {
+			buf = encodeRecord(buf[:0], opPut, t, k, v)
+			_, werr := w.Write(buf)
+			return werr
+		})
+		if err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, s.path(snapshotName)); err != nil {
+		return fmt.Errorf("kvstore: install snapshot: %w", err)
+	}
+	// State is durable in the snapshot; restart the WAL from zero.
+	if err := s.wal.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	s.bw.Reset(s.wal)
+	s.size = 0
+	return nil
+}
+
+func (s *DiskStore) loadSnapshot() error {
+	f, err := os.Open(s.path(snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: open snapshot: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<20)
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, hdr); err != nil || string(hdr) != magic {
+		return fmt.Errorf("kvstore: bad snapshot header")
+	}
+	for {
+		op, table, key, value, err := decodeRecord(r)
+		if errors.Is(err, io.EOF) {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("kvstore: read snapshot: %w", err)
+		}
+		if err := s.apply(op, table, key, value); err != nil {
+			return err
+		}
+	}
+}
+
+// Close flushes the WAL and closes the store.
+func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	var first error
+	if err := s.bw.Flush(); err != nil {
+		first = err
+	}
+	if err := s.wal.Sync(); err != nil && first == nil {
+		first = err
+	}
+	if err := s.wal.Close(); err != nil && first == nil {
+		first = err
+	}
+	s.mem.Close()
+	return first
+}
+
+var _ Store = (*DiskStore)(nil)

@@ -1,0 +1,58 @@
+// Package kvstore is the key-value database substrate of the reproduction.
+// The paper stores its five index tables in Cassandra but notes that "any
+// key-value store can be used in replacement" (§3); this package provides
+// that replacement as an embedded store with two engines:
+//
+//   - MemStore: a sharded in-memory engine used for experiments and tests.
+//   - DiskStore: a durable engine with a write-ahead log, snapshots and
+//     crash recovery, so indices survive restarts like a database would.
+//
+// The access pattern of the index is append-heavy (inverted-index rows grow
+// by batch), so the Store interface exposes Append as a first-class
+// operation in addition to Get/Put/Delete/Scan.
+package kvstore
+
+import "errors"
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("kvstore: store is closed")
+
+// Store is a table-oriented key-value store. Tables are cheap namespaces
+// (created implicitly on first write), mirroring the Cassandra tables of
+// §3.1.2 (Seq, Index, Count, Reverse Count, LastChecked).
+//
+// Implementations must be safe for concurrent use. Values returned by Get
+// and Scan must not be mutated by the caller unless documented otherwise.
+type Store interface {
+	// Get returns the value stored under (table, key). ok is false when
+	// the key is absent.
+	Get(table, key string) (value []byte, ok bool, err error)
+
+	// Put stores value under (table, key), replacing any previous value.
+	Put(table, key string, value []byte) error
+
+	// Append appends value to the existing value under (table, key),
+	// creating the entry if absent. This matches the inverted-index
+	// update pattern: posting lists only ever grow within a period.
+	Append(table, key string, value []byte) error
+
+	// Delete removes (table, key); deleting an absent key is a no-op.
+	Delete(table, key string) error
+
+	// Scan calls fn for every (key, value) in table, in unspecified
+	// order, stopping early if fn returns an error (which is returned).
+	Scan(table string, fn func(key string, value []byte) error) error
+
+	// DropTable removes an entire table. The paper prunes completed
+	// traces and retires per-period index tables this way (§3.1.3).
+	DropTable(table string) error
+
+	// Tables returns the names of all non-empty tables.
+	Tables() ([]string, error)
+
+	// Len returns the number of keys in table.
+	Len(table string) (int, error)
+
+	// Close releases resources; for durable engines it flushes state.
+	Close() error
+}

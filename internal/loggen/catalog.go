@@ -1,0 +1,82 @@
+package loggen
+
+import (
+	"fmt"
+
+	"seqlog/internal/model"
+)
+
+// DatasetKind distinguishes the catalog families of Table 4.
+type DatasetKind uint8
+
+const (
+	// Synthetic marks the PLG2-style process logs (max_*, med_*, min_*).
+	Synthetic DatasetKind = iota
+	// BPI marks the generators calibrated to the BPI Challenge statistics
+	// published in §5.1 (the real logs are not redistributable).
+	BPI
+)
+
+// DatasetSpec describes one evaluation log of Table 4 together with the
+// trace-profile statistics (§5.1 / Figure 2) its generator is calibrated to.
+type DatasetSpec struct {
+	Name       string
+	Kind       DatasetKind
+	Traces     int
+	Activities int
+	MeanLen    float64
+	MinLen     int
+	MaxLen     int
+	Seed       int64
+}
+
+// Catalog returns the ten datasets of Table 4 in the paper's row order.
+// Synthetic mean lengths follow the naming scheme the paper explains:
+// "logs with the terms med and max in their name have more events per trace
+// ... than those with the term min", sized so the biggest log reaches the
+// ≈400k events of §5.1.
+func Catalog() []DatasetSpec {
+	return []DatasetSpec{
+		{Name: "max_100", Kind: Synthetic, Traces: 100, Activities: 150, MeanLen: 40, MinLen: 5, MaxLen: 180, Seed: 100},
+		{Name: "max_500", Kind: Synthetic, Traces: 500, Activities: 159, MeanLen: 40, MinLen: 5, MaxLen: 180, Seed: 500},
+		{Name: "med_5000", Kind: Synthetic, Traces: 5000, Activities: 95, MeanLen: 30, MinLen: 5, MaxLen: 150, Seed: 5095},
+		{Name: "max_5000", Kind: Synthetic, Traces: 5000, Activities: 160, MeanLen: 40, MinLen: 5, MaxLen: 180, Seed: 5160},
+		{Name: "max_1000", Kind: Synthetic, Traces: 1000, Activities: 160, MeanLen: 40, MinLen: 5, MaxLen: 180, Seed: 1000},
+		{Name: "max_10000", Kind: Synthetic, Traces: 10000, Activities: 160, MeanLen: 40, MinLen: 5, MaxLen: 180, Seed: 10160},
+		{Name: "min_10000", Kind: Synthetic, Traces: 10000, Activities: 15, MeanLen: 10, MinLen: 2, MaxLen: 40, Seed: 10015},
+		{Name: "bpi_2013", Kind: BPI, Traces: 7554, Activities: 4, MeanLen: 8.6, MinLen: 1, MaxLen: 123, Seed: 2013},
+		{Name: "bpi_2020", Kind: BPI, Traces: 6886, Activities: 19, MeanLen: 5.3, MinLen: 1, MaxLen: 20, Seed: 2020},
+		{Name: "bpi_2017", Kind: BPI, Traces: 31509, Activities: 26, MeanLen: 38.15, MinLen: 10, MaxLen: 180, Seed: 2017},
+	}
+}
+
+// Lookup finds a catalog entry by name.
+func Lookup(name string) (DatasetSpec, error) {
+	for _, s := range Catalog() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("loggen: unknown dataset %q", name)
+}
+
+// Generate materialises the dataset. scale in (0, 1] shrinks the trace count
+// proportionally (for constrained machines); 1 reproduces the published
+// trace counts.
+func (s DatasetSpec) Generate(scale float64) *model.Log {
+	traces := s.Traces
+	if scale > 0 && scale < 1 {
+		traces = int(float64(traces) * scale)
+		if traces < 1 {
+			traces = 1
+		}
+	}
+	return MarkovLog(MarkovLogConfig{
+		Traces:     traces,
+		Activities: s.Activities,
+		MeanLen:    s.MeanLen,
+		MinLen:     s.MinLen,
+		MaxLen:     s.MaxLen,
+		Seed:       s.Seed,
+	})
+}

@@ -1,0 +1,221 @@
+package loggen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestRandomLogShape(t *testing.T) {
+	cfg := RandomLogConfig{Traces: 50, MaxEvents: 40, Activities: 7, Seed: 1}
+	log := RandomLog(cfg)
+	if log.NumTraces() != 50 {
+		t.Fatalf("traces = %d", log.NumTraces())
+	}
+	if log.Alphabet.Len() != 7 {
+		t.Fatalf("alphabet = %d", log.Alphabet.Len())
+	}
+	for _, tr := range log.Traces {
+		if tr.Len() < 1 || tr.Len() > 40 {
+			t.Fatalf("trace length %d out of bounds", tr.Len())
+		}
+		for i, ev := range tr.Events {
+			if ev.Activity < 0 || int(ev.Activity) >= 7 {
+				t.Fatalf("activity %d out of range", ev.Activity)
+			}
+			if i > 0 && ev.TS <= tr.Events[i-1].TS {
+				t.Fatalf("timestamps not strictly increasing: %v", tr.Events)
+			}
+		}
+	}
+}
+
+func TestRandomLogFixedLength(t *testing.T) {
+	log := RandomLog(RandomLogConfig{Traces: 10, MaxEvents: 13, Activities: 3, Seed: 2, FixedLength: true})
+	for _, tr := range log.Traces {
+		if tr.Len() != 13 {
+			t.Fatalf("fixed length violated: %d", tr.Len())
+		}
+	}
+}
+
+func TestRandomLogDeterministic(t *testing.T) {
+	cfg := RandomLogConfig{Traces: 5, MaxEvents: 20, Activities: 4, Seed: 42}
+	a, b := RandomLog(cfg), RandomLog(cfg)
+	if a.NumEvents() != b.NumEvents() {
+		t.Fatal("same seed produced different logs")
+	}
+	for i := range a.Traces {
+		for j := range a.Traces[i].Events {
+			if a.Traces[i].Events[j] != b.Traces[i].Events[j] {
+				t.Fatal("same seed produced different events")
+			}
+		}
+	}
+}
+
+func TestProcessLog(t *testing.T) {
+	log := ProcessLog(ProcessLogConfig{Traces: 30, Activities: 20, Seed: 3})
+	if log.NumTraces() != 30 {
+		t.Fatalf("traces = %d", log.NumTraces())
+	}
+	if log.Alphabet.Len() != 20 {
+		t.Fatalf("alphabet = %d", log.Alphabet.Len())
+	}
+	// Traces must be non-empty and time-ordered.
+	for _, tr := range log.Traces {
+		if tr.Len() == 0 {
+			t.Fatal("empty trace from process simulation")
+		}
+		for i := 1; i < tr.Len(); i++ {
+			if tr.Events[i].TS <= tr.Events[i-1].TS {
+				t.Fatal("timestamps not strictly increasing")
+			}
+		}
+	}
+	// XOR branches mean traces usually use a subset of activities: the
+	// per-trace distinct count should not always equal the alphabet.
+	allFull := true
+	for _, tr := range log.Traces {
+		if len(tr.Activities()) < log.Alphabet.Len() {
+			allFull = false
+			break
+		}
+	}
+	if allFull {
+		t.Fatal("every trace used every activity; process structure missing")
+	}
+}
+
+func TestProcessTreeOperators(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	emitAll := func(n Node) []string {
+		var out []string
+		n.simulate(rng, func(s string) { out = append(out, s) })
+		return out
+	}
+	if got := emitAll(Seq{Activity("a"), Activity("b")}); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Seq = %v", got)
+	}
+	if got := emitAll(Xor{Activity("a"), Activity("b")}); len(got) != 1 {
+		t.Fatalf("Xor = %v", got)
+	}
+	if got := emitAll(Xor{}); got != nil {
+		t.Fatalf("empty Xor = %v", got)
+	}
+	got := emitAll(And{Seq{Activity("a"), Activity("b")}, Activity("c")})
+	if len(got) != 3 {
+		t.Fatalf("And = %v", got)
+	}
+	// And preserves intra-branch order: a before b.
+	ai, bi := -1, -1
+	for i, s := range got {
+		if s == "a" {
+			ai = i
+		}
+		if s == "b" {
+			bi = i
+		}
+	}
+	if ai > bi {
+		t.Fatalf("And broke branch order: %v", got)
+	}
+	// Loop emits the body at least once, at most 1+Max times.
+	for i := 0; i < 20; i++ {
+		n := len(emitAll(Loop{Body: Activity("x"), Continue: 0.5, Max: 3}))
+		if n < 1 || n > 4 {
+			t.Fatalf("Loop emitted %d", n)
+		}
+	}
+}
+
+func TestMarkovLogCalibration(t *testing.T) {
+	cfg := MarkovLogConfig{Traces: 2000, Activities: 12, MeanLen: 20, MinLen: 2, MaxLen: 80, Seed: 5}
+	log := MarkovLog(cfg)
+	if log.NumTraces() != 2000 || log.Alphabet.Len() != 12 {
+		t.Fatalf("shape: %d traces, %d acts", log.NumTraces(), log.Alphabet.Len())
+	}
+	mean := log.MeanTraceLen()
+	if math.Abs(mean-cfg.MeanLen) > 0.25*cfg.MeanLen {
+		t.Fatalf("mean length %.2f too far from target %.2f", mean, cfg.MeanLen)
+	}
+	for _, tr := range log.Traces {
+		if tr.Len() < cfg.MinLen || tr.Len() > cfg.MaxLen {
+			t.Fatalf("length %d outside [%d,%d]", tr.Len(), cfg.MinLen, cfg.MaxLen)
+		}
+	}
+}
+
+func TestCatalogMatchesTable4(t *testing.T) {
+	specs := Catalog()
+	if len(specs) != 10 {
+		t.Fatalf("catalog size = %d", len(specs))
+	}
+	// Table 4 rows: name -> (traces, activities).
+	want := map[string][2]int{
+		"max_100":   {100, 150},
+		"max_500":   {500, 159},
+		"med_5000":  {5000, 95},
+		"max_5000":  {5000, 160},
+		"max_1000":  {1000, 160},
+		"max_10000": {10000, 160},
+		"min_10000": {10000, 15},
+		"bpi_2013":  {7554, 4},
+		"bpi_2020":  {6886, 19},
+		"bpi_2017":  {31509, 26},
+	}
+	for _, s := range specs {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %s", s.Name)
+		}
+		if s.Traces != w[0] || s.Activities != w[1] {
+			t.Fatalf("%s: (%d, %d) != Table 4 (%d, %d)", s.Name, s.Traces, s.Activities, w[0], w[1])
+		}
+	}
+}
+
+func TestCatalogGenerateScaled(t *testing.T) {
+	spec, err := Lookup("bpi_2013")
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := spec.Generate(0.01)
+	if log.NumTraces() != 75 {
+		t.Fatalf("scaled traces = %d", log.NumTraces())
+	}
+	if log.Alphabet.Len() != 4 {
+		t.Fatalf("alphabet = %d", log.Alphabet.Len())
+	}
+	mean := log.MeanTraceLen()
+	if mean < 4 || mean > 16 {
+		t.Fatalf("bpi_2013 mean length %.2f implausible vs published 8.6", mean)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestGenerateScaleOneKeepsCount(t *testing.T) {
+	spec := DatasetSpec{Name: "t", Traces: 30, Activities: 5, MeanLen: 6, MinLen: 1, MaxLen: 20, Seed: 7}
+	if got := spec.Generate(1).NumTraces(); got != 30 {
+		t.Fatalf("traces = %d", got)
+	}
+	if got := spec.Generate(0).NumTraces(); got != 30 {
+		t.Fatalf("scale 0 should mean full size, got %d", got)
+	}
+	if got := spec.Generate(0.00001).NumTraces(); got != 1 {
+		t.Fatalf("tiny scale should clamp to 1 trace, got %d", got)
+	}
+}
+
+func TestActivityIDsWithinAlphabet(t *testing.T) {
+	log := MarkovLog(MarkovLogConfig{Traces: 100, Activities: 9, MeanLen: 10, MinLen: 1, MaxLen: 30, Seed: 8})
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			if ev.Activity < 0 || int(ev.Activity) >= 9 {
+				t.Fatalf("activity %d out of alphabet", ev.Activity)
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package loggen generates the evaluation datasets of §5.1 of the paper.
+// Three generators are provided:
+//
+//   - Process trees (the PLG2 substitute): random models built from
+//     sequence / exclusive-choice / parallel / loop operators, simulated
+//     into traces — the methodology PLG2 itself uses.
+//   - Markov process logs: sparse successor structure with explicit control
+//     of the trace-length distribution, used to calibrate the synthetic and
+//     BPI-like catalog entries to the published Table 4 statistics.
+//   - Random logs: no correlation between events (§5.2 "random datasets"),
+//     the stress workload of Figure 3.
+//
+// All generators are deterministic given a seed.
+package loggen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"seqlog/internal/model"
+)
+
+// activityNames produces l distinct activity names (act_000 ...).
+func activityNames(l int) []string {
+	out := make([]string, l)
+	for i := range out {
+		out[i] = fmt.Sprintf("act_%03d", i)
+	}
+	return out
+}
+
+// Node is a process-tree node: simulation appends activity names to the
+// trace being generated.
+type Node interface {
+	simulate(rng *rand.Rand, emit func(string))
+}
+
+// Activity is a leaf: a single task.
+type Activity string
+
+func (a Activity) simulate(_ *rand.Rand, emit func(string)) { emit(string(a)) }
+
+// Seq executes its children in order.
+type Seq []Node
+
+func (s Seq) simulate(rng *rand.Rand, emit func(string)) {
+	for _, c := range s {
+		c.simulate(rng, emit)
+	}
+}
+
+// Xor executes exactly one child, chosen uniformly.
+type Xor []Node
+
+func (x Xor) simulate(rng *rand.Rand, emit func(string)) {
+	if len(x) == 0 {
+		return
+	}
+	x[rng.Intn(len(x))].simulate(rng, emit)
+}
+
+// And executes all children, interleaving their emissions randomly (the
+// parallel operator of process trees).
+type And []Node
+
+func (a And) simulate(rng *rand.Rand, emit func(string)) {
+	var streams [][]string
+	for _, c := range a {
+		var buf []string
+		c.simulate(rng, func(s string) { buf = append(buf, s) })
+		if len(buf) > 0 {
+			streams = append(streams, buf)
+		}
+	}
+	for len(streams) > 0 {
+		i := rng.Intn(len(streams))
+		emit(streams[i][0])
+		streams[i] = streams[i][1:]
+		if len(streams[i]) == 0 {
+			streams[i] = streams[len(streams)-1]
+			streams = streams[:len(streams)-1]
+		}
+	}
+}
+
+// Loop executes Body once and then repeats it while a biased coin keeps
+// succeeding, up to Max extra iterations.
+type Loop struct {
+	Body     Node
+	Continue float64 // probability of one more iteration
+	Max      int
+}
+
+func (l Loop) simulate(rng *rand.Rand, emit func(string)) {
+	l.Body.simulate(rng, emit)
+	for i := 0; i < l.Max && rng.Float64() < l.Continue; i++ {
+		l.Body.simulate(rng, emit)
+	}
+}
+
+// Process is a generated process model.
+type Process struct {
+	Root       Node
+	Activities []string
+}
+
+// RandomProcess builds a random process tree over the given number of
+// distinct activities, in the spirit of PLG2: activities are recursively
+// partitioned under randomly chosen operators.
+func RandomProcess(seed int64, activities int) *Process {
+	rng := rand.New(rand.NewSource(seed))
+	names := activityNames(activities)
+	var build func(names []string) Node
+	build = func(names []string) Node {
+		if len(names) == 1 {
+			return Activity(names[0])
+		}
+		// Partition into 2..4 groups.
+		groups := 2 + rng.Intn(3)
+		if groups > len(names) {
+			groups = len(names)
+		}
+		parts := make([][]string, groups)
+		for i, n := range names {
+			g := i % groups
+			parts[g] = append(parts[g], n)
+		}
+		children := make([]Node, groups)
+		for i, p := range parts {
+			children[i] = build(p)
+		}
+		switch r := rng.Float64(); {
+		case r < 0.50:
+			return Seq(children)
+		case r < 0.75:
+			return Xor(children)
+		case r < 0.90:
+			return And(children)
+		default:
+			return Loop{Body: Seq(children), Continue: 0.4, Max: 3}
+		}
+	}
+	return &Process{Root: build(names), Activities: names}
+}
+
+// Simulate generates one trace from the model. Timestamps start at start
+// and advance by a random gap of 1..maxGap milliseconds per event.
+func (p *Process) Simulate(rng *rand.Rand, id model.TraceID, start model.Timestamp, maxGap int64) *model.Trace {
+	tr := &model.Trace{ID: id}
+	ts := start
+	alphabet := make(map[string]model.ActivityID, len(p.Activities))
+	for i, n := range p.Activities {
+		alphabet[n] = model.ActivityID(i)
+	}
+	p.Root.simulate(rng, func(name string) {
+		ts += model.Timestamp(1 + rng.Int63n(maxGap))
+		tr.Append(alphabet[name], ts)
+	})
+	return tr
+}
+
+// ProcessLogConfig configures a process-tree log.
+type ProcessLogConfig struct {
+	Traces     int
+	Activities int
+	Seed       int64
+	MaxGapMS   int64 // per-event timestamp gap bound (default 1000)
+}
+
+// ProcessLog simulates a log from one random process tree.
+func ProcessLog(cfg ProcessLogConfig) *model.Log {
+	if cfg.MaxGapMS <= 0 {
+		cfg.MaxGapMS = 1000
+	}
+	proc := RandomProcess(cfg.Seed, cfg.Activities)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	log := model.NewLog()
+	for _, name := range proc.Activities {
+		log.Alphabet.ID(name) // stable ids: generator order
+	}
+	start := model.Timestamp(0)
+	for i := 0; i < cfg.Traces; i++ {
+		tr := proc.Simulate(rng, model.TraceID(i+1), start, cfg.MaxGapMS)
+		start += model.Timestamp(rng.Int63n(60_000))
+		log.Traces = append(log.Traces, tr)
+	}
+	return log
+}
+
+// RandomLogConfig configures an uncorrelated random log (Figure 3).
+type RandomLogConfig struct {
+	Traces      int
+	MaxEvents   int // per trace; lengths are uniform in [1, MaxEvents]
+	Activities  int
+	Seed        int64
+	FixedLength bool // use exactly MaxEvents per trace
+}
+
+// RandomLog generates a log with uniformly random activities — the worst
+// case for pair indexing because every pair is roughly equally likely.
+func RandomLog(cfg RandomLogConfig) *model.Log {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	log := model.NewLog()
+	for _, name := range activityNames(cfg.Activities) {
+		log.Alphabet.ID(name)
+	}
+	for i := 0; i < cfg.Traces; i++ {
+		n := cfg.MaxEvents
+		if !cfg.FixedLength && cfg.MaxEvents > 1 {
+			n = 1 + rng.Intn(cfg.MaxEvents)
+		}
+		tr := &model.Trace{ID: model.TraceID(i + 1), Events: make([]model.TraceEvent, 0, n)}
+		ts := model.Timestamp(0)
+		for j := 0; j < n; j++ {
+			ts += model.Timestamp(1 + rng.Int63n(1000))
+			tr.Append(model.ActivityID(rng.Intn(cfg.Activities)), ts)
+		}
+		log.Traces = append(log.Traces, tr)
+	}
+	return log
+}
+
+// MarkovLogConfig configures a process-like log generated from a sparse
+// random successor structure with explicit length control. This generator
+// calibrates datasets to published statistics (traces, activities, mean and
+// min/max events per trace).
+type MarkovLogConfig struct {
+	Traces     int
+	Activities int
+	MeanLen    float64
+	MinLen     int
+	MaxLen     int
+	Seed       int64
+	// Successors bounds how many likely successors each activity has
+	// (default 3) — the sparse transition structure that makes the log
+	// "process-like" rather than random.
+	Successors int
+}
+
+// MarkovLog generates the log.
+func MarkovLog(cfg MarkovLogConfig) *model.Log {
+	if cfg.Successors <= 0 {
+		cfg.Successors = 3
+	}
+	if cfg.MinLen <= 0 {
+		cfg.MinLen = 1
+	}
+	if cfg.MaxLen < cfg.MinLen {
+		cfg.MaxLen = cfg.MinLen
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	log := model.NewLog()
+	for _, name := range activityNames(cfg.Activities) {
+		log.Alphabet.ID(name)
+	}
+	// Sparse successor sets: each activity transitions to a few others.
+	succ := make([][]model.ActivityID, cfg.Activities)
+	for a := range succ {
+		k := 1 + rng.Intn(cfg.Successors)
+		set := make([]model.ActivityID, k)
+		for i := range set {
+			set[i] = model.ActivityID(rng.Intn(cfg.Activities))
+		}
+		succ[a] = set
+	}
+	// Log-normal length model clamped to [MinLen, MaxLen].
+	sigma := 0.6
+	mu := math.Log(cfg.MeanLen) - sigma*sigma/2
+	for i := 0; i < cfg.Traces; i++ {
+		n := int(math.Round(math.Exp(rng.NormFloat64()*sigma + mu)))
+		if n < cfg.MinLen {
+			n = cfg.MinLen
+		}
+		if n > cfg.MaxLen {
+			n = cfg.MaxLen
+		}
+		tr := &model.Trace{ID: model.TraceID(i + 1), Events: make([]model.TraceEvent, 0, n)}
+		cur := model.ActivityID(rng.Intn(cfg.Activities))
+		ts := model.Timestamp(0)
+		for j := 0; j < n; j++ {
+			ts += model.Timestamp(1 + rng.Int63n(1000))
+			tr.Append(cur, ts)
+			// Mostly follow the process structure, sometimes deviate
+			// (noise, as real logs have).
+			if rng.Float64() < 0.9 {
+				cur = succ[cur][rng.Intn(len(succ[cur]))]
+			} else {
+				cur = model.ActivityID(rng.Intn(cfg.Activities))
+			}
+		}
+		log.Traces = append(log.Traces, tr)
+	}
+	return log
+}

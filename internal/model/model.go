@@ -1,0 +1,343 @@
+// Package model defines the event-log data model of the paper
+// "Sequence detection in event log files" (EDBT 2021), Definition 2.1:
+// a log L = (E, C, γ, δ, ts, ≤) where E is a set of events, C a set of
+// cases (traces), γ assigns events to traces, δ assigns events to
+// activities (event types), ts is the recording timestamp, and ≤ is a
+// strict total order over the events of a trace.
+//
+// Activities are interned into dense int32 identifiers through an
+// Alphabet so that hot paths (pair extraction, index joins) operate on
+// integers; strings appear only at the API boundary.
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ActivityID is the dense, interned identifier of an activity (event type).
+// IDs are assigned in first-seen order starting at 0.
+type ActivityID int32
+
+// TraceID identifies a case/session/trace. The paper uses the terms
+// interchangeably; so do we.
+type TraceID int64
+
+// Timestamp is a point in time in milliseconds. The paper notes that, in the
+// absence of real timestamps, the position of an event inside its trace can
+// play the role of the timestamp; ingestion falls back to positions in that
+// case.
+type Timestamp int64
+
+// Event is one row of the log database: an instance of an activity inside a
+// trace at a given time.
+type Event struct {
+	Trace    TraceID
+	Activity ActivityID
+	TS       Timestamp
+}
+
+// Trace is the time-ordered sequence of events of one case. Only the
+// activity and timestamp are kept per entry; the trace identifier is the
+// grouping key.
+type Trace struct {
+	ID     TraceID
+	Events []TraceEvent
+}
+
+// TraceEvent is one event inside a trace (activity + timestamp).
+type TraceEvent struct {
+	Activity ActivityID
+	TS       Timestamp
+}
+
+// Len returns the number of events in the trace.
+func (t *Trace) Len() int { return len(t.Events) }
+
+// Append adds an event at the end of the trace. It does not re-sort; callers
+// must append in timestamp order (Sort restores the invariant otherwise).
+func (t *Trace) Append(a ActivityID, ts Timestamp) {
+	t.Events = append(t.Events, TraceEvent{Activity: a, TS: ts})
+}
+
+// Sort orders the events of the trace by timestamp (stable, so ties keep
+// arrival order), restoring the ≤ total order of Definition 2.1.
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Events, func(i, j int) bool { return t.Events[i].TS < t.Events[j].TS })
+}
+
+// Activities returns the distinct activities appearing in the trace.
+func (t *Trace) Activities() []ActivityID {
+	seen := make(map[ActivityID]struct{}, 16)
+	var out []ActivityID
+	for _, ev := range t.Events {
+		if _, ok := seen[ev.Activity]; !ok {
+			seen[ev.Activity] = struct{}{}
+			out = append(out, ev.Activity)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the trace.
+func (t *Trace) Clone() *Trace {
+	cp := &Trace{ID: t.ID, Events: make([]TraceEvent, len(t.Events))}
+	copy(cp.Events, t.Events)
+	return cp
+}
+
+// String renders the trace as "id:<A@1 B@3 ...>" using raw activity ids; it
+// is meant for debugging, not presentation.
+func (t *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d:<", t.ID)
+	for i, ev := range t.Events {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d@%d", ev.Activity, ev.TS)
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Log is an in-memory event log: a set of traces plus the alphabet that
+// interns their activity names.
+type Log struct {
+	Alphabet *Alphabet
+	Traces   []*Trace
+}
+
+// NewLog returns an empty log with a fresh alphabet.
+func NewLog() *Log {
+	return &Log{Alphabet: NewAlphabet()}
+}
+
+// NumEvents returns the total number of events across all traces.
+func (l *Log) NumEvents() int {
+	n := 0
+	for _, t := range l.Traces {
+		n += len(t.Events)
+	}
+	return n
+}
+
+// NumTraces returns the number of traces.
+func (l *Log) NumTraces() int { return len(l.Traces) }
+
+// MaxTraceLen returns the maximum number of events in any trace (the paper's
+// n), or 0 for an empty log.
+func (l *Log) MaxTraceLen() int {
+	n := 0
+	for _, t := range l.Traces {
+		if len(t.Events) > n {
+			n = len(t.Events)
+		}
+	}
+	return n
+}
+
+// MeanTraceLen returns the mean number of events per trace.
+func (l *Log) MeanTraceLen() float64 {
+	if len(l.Traces) == 0 {
+		return 0
+	}
+	return float64(l.NumEvents()) / float64(len(l.Traces))
+}
+
+// Trace returns the trace with the given id, or nil.
+func (l *Log) Trace(id TraceID) *Trace {
+	for _, t := range l.Traces {
+		if t.ID == id {
+			return t
+		}
+	}
+	return nil
+}
+
+// Events flattens the log into a single event slice (trace, activity, ts),
+// ordered by trace then timestamp. This is the shape of the relational log
+// database of §3.1 of the paper.
+func (l *Log) Events() []Event {
+	out := make([]Event, 0, l.NumEvents())
+	for _, t := range l.Traces {
+		for _, ev := range t.Events {
+			out = append(out, Event{Trace: t.ID, Activity: ev.Activity, TS: ev.TS})
+		}
+	}
+	return out
+}
+
+// Alphabet interns activity names to dense ActivityIDs. It is safe for
+// concurrent use.
+type Alphabet struct {
+	mu    sync.RWMutex
+	ids   map[string]ActivityID
+	names []string
+}
+
+// NewAlphabet returns an empty alphabet.
+func NewAlphabet() *Alphabet {
+	return &Alphabet{ids: make(map[string]ActivityID)}
+}
+
+// ID interns name, assigning a fresh id on first sight.
+func (a *Alphabet) ID(name string) ActivityID {
+	a.mu.RLock()
+	id, ok := a.ids[name]
+	a.mu.RUnlock()
+	if ok {
+		return id
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if id, ok = a.ids[name]; ok {
+		return id
+	}
+	id = ActivityID(len(a.names))
+	a.ids[name] = id
+	a.names = append(a.names, name)
+	return id
+}
+
+// Lookup returns the id of name without interning; ok is false if the name
+// has never been seen.
+func (a *Alphabet) Lookup(name string) (ActivityID, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	id, ok := a.ids[name]
+	return id, ok
+}
+
+// Name returns the name of id, or "?" for an unknown id.
+func (a *Alphabet) Name(id ActivityID) string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if id < 0 || int(id) >= len(a.names) {
+		return "?"
+	}
+	return a.names[id]
+}
+
+// Len returns the number of interned activities (the paper's l = |A|).
+func (a *Alphabet) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.names)
+}
+
+// Names returns a copy of all interned names indexed by id.
+func (a *Alphabet) Names() []string {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	out := make([]string, len(a.names))
+	copy(out, a.names)
+	return out
+}
+
+// Pattern is a query pattern: a sequence of activities <ev1, ev2, ..., evp>.
+type Pattern []ActivityID
+
+// ParsePattern interns the given activity names against alphabet and returns
+// the pattern. Unknown names are interned (they will simply match nothing).
+func ParsePattern(alphabet *Alphabet, names []string) Pattern {
+	p := make(Pattern, len(names))
+	for i, n := range names {
+		p[i] = alphabet.ID(n)
+	}
+	return p
+}
+
+// LookupPattern resolves names without interning. It reports ok=false (and a
+// nil pattern) if any name is unknown, which callers can treat as "pattern
+// cannot occur".
+func LookupPattern(alphabet *Alphabet, names []string) (Pattern, bool) {
+	p := make(Pattern, len(names))
+	for i, n := range names {
+		id, ok := alphabet.Lookup(n)
+		if !ok {
+			return nil, false
+		}
+		p[i] = id
+	}
+	return p, true
+}
+
+// Strings renders the pattern through the alphabet.
+func (p Pattern) Strings(alphabet *Alphabet) []string {
+	out := make([]string, len(p))
+	for i, id := range p {
+		out[i] = alphabet.Name(id)
+	}
+	return out
+}
+
+// PairKey packs an ordered activity pair (a, b) into a single uint64 map key.
+type PairKey uint64
+
+// NewPairKey builds the key for the ordered pair (a, b).
+func NewPairKey(a, b ActivityID) PairKey {
+	return PairKey(uint64(uint32(a))<<32 | uint64(uint32(b)))
+}
+
+// First returns the first activity of the pair.
+func (k PairKey) First() ActivityID { return ActivityID(uint32(k >> 32)) }
+
+// Second returns the second activity of the pair.
+func (k PairKey) Second() ActivityID { return ActivityID(uint32(k)) }
+
+// String renders the raw ids; use Format for names.
+func (k PairKey) String() string {
+	return fmt.Sprintf("(%d,%d)", k.First(), k.Second())
+}
+
+// Format renders the pair through an alphabet.
+func (k PairKey) Format(alphabet *Alphabet) string {
+	return fmt.Sprintf("(%s,%s)", alphabet.Name(k.First()), alphabet.Name(k.Second()))
+}
+
+// Detection policies supported by the system (§2.1 of the paper).
+type Policy uint8
+
+const (
+	// SC is strict contiguity: all matching events appear strictly one
+	// after the other with no other events in between.
+	SC Policy = iota
+	// STNM is skip-till-next-match: irrelevant events are skipped until
+	// the next matching event; matched pairs never overlap.
+	STNM
+	// STAM is skip-till-any-match: like STNM but overlapping matches are
+	// allowed. The paper lists it as future work (§7); the SASE substrate
+	// implements it as an extension.
+	STAM
+)
+
+// String returns the conventional name of the policy.
+func (p Policy) String() string {
+	switch p {
+	case SC:
+		return "SC"
+	case STNM:
+		return "STNM"
+	case STAM:
+		return "STAM"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// ParsePolicy parses "SC", "STNM" or "STAM" (case-insensitive).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "SC", "STRICT", "STRICT-CONTIGUITY":
+		return SC, nil
+	case "STNM", "SKIP-TILL-NEXT-MATCH":
+		return STNM, nil
+	case "STAM", "SKIP-TILL-ANY-MATCH":
+		return STAM, nil
+	default:
+		return SC, fmt.Errorf("model: unknown policy %q", s)
+	}
+}

@@ -1,0 +1,150 @@
+package pairs
+
+import (
+	"sort"
+
+	"seqlog/internal/model"
+)
+
+// This file implements the partial-order extension of §7 of the paper: "in
+// many cases, assuming a total ordering is restrictive ... e.g., in
+// predictive maintenance it is common to group events in large sets
+// ignoring their relative order". Events of one trace that carry the same
+// timestamp are treated as concurrent: a pair (a, b) occurs only when a is
+// *strictly* before b, and concurrent events never pair with each other.
+//
+// Only STNM is meaningful here — strict contiguity presupposes a total
+// order — and the greedy non-overlap rule generalises naturally: match the
+// earliest a strictly after the previous occurrence's b, then the earliest
+// b strictly after that a.
+
+// ExtractSTNMPartial extracts skip-till-next-match pairs under partial
+// order. Events must be sorted by timestamp; ties denote concurrency.
+func ExtractSTNMPartial(events []model.TraceEvent) Result {
+	positions := make(map[model.ActivityID][]int32)
+	for i, ev := range events {
+		positions[ev.Activity] = append(positions[ev.Activity], int32(i))
+	}
+	types := make([]model.ActivityID, 0, len(positions))
+	for a := range positions {
+		types = append(types, a)
+	}
+	sort.Slice(types, func(i, j int) bool { return types[i] < types[j] })
+
+	res := make(Result)
+	for _, a := range types {
+		la := positions[a]
+		for _, b := range types {
+			occ := mergePartial(events, la, positions[b])
+			if len(occ) > 0 {
+				res[model.NewPairKey(a, b)] = occ
+			}
+		}
+	}
+	return res
+}
+
+// mergePartial is the timestamp-strict variant of the position merge: the
+// next a must have ts strictly greater than the previous match's b, and the
+// next b strictly greater than that a — so concurrent events (equal ts)
+// never form or chain a pair.
+func mergePartial(events []model.TraceEvent, la, lb []int32) []Occurrence {
+	var out []Occurrence
+	last := model.Timestamp(-1 << 62)
+	i, j := 0, 0
+	for {
+		for i < len(la) && events[la[i]].TS <= last {
+			i++
+		}
+		if i == len(la) {
+			break
+		}
+		aTS := events[la[i]].TS
+		for j < len(lb) && events[lb[j]].TS <= aTS {
+			j++
+		}
+		if j == len(lb) {
+			break
+		}
+		bTS := events[lb[j]].TS
+		out = append(out, Occurrence{TsA: aTS, TsB: bTS})
+		last = bTS
+	}
+	return out
+}
+
+// ExtractReferencePartial is the oblivious reference for the tests: per
+// pair, greedy matching directly on the event slice with strict timestamp
+// comparisons.
+func ExtractReferencePartial(events []model.TraceEvent) Result {
+	present := make(map[model.ActivityID]bool)
+	var types []model.ActivityID
+	for _, ev := range events {
+		if !present[ev.Activity] {
+			present[ev.Activity] = true
+			types = append(types, ev.Activity)
+		}
+	}
+	res := make(Result)
+	for _, a := range types {
+		for _, b := range types {
+			var occ []Occurrence
+			last := model.Timestamp(-1 << 62)
+			for {
+				ai := -1
+				for i, ev := range events {
+					if ev.Activity == a && ev.TS > last {
+						ai = i
+						break
+					}
+				}
+				if ai < 0 {
+					break
+				}
+				bi := -1
+				for i, ev := range events {
+					if ev.Activity == b && ev.TS > events[ai].TS {
+						bi = i
+						break
+					}
+				}
+				if bi < 0 {
+					break
+				}
+				occ = append(occ, Occurrence{TsA: events[ai].TS, TsB: events[bi].TS})
+				last = events[bi].TS
+			}
+			if len(occ) > 0 {
+				res[model.NewPairKey(a, b)] = occ
+			}
+		}
+	}
+	return res
+}
+
+// MatchTracePartial matches a whole pattern greedily under partial order:
+// each pattern step must advance strictly in time. It is the scan reference
+// for partially ordered detection.
+func MatchTracePartial(events []model.TraceEvent, p model.Pattern) [][]model.Timestamp {
+	if len(p) == 0 {
+		return nil
+	}
+	var out [][]model.Timestamp
+	ts := make([]model.Timestamp, 0, len(p))
+	j := 0
+	prev := model.Timestamp(-1 << 62)
+	for _, ev := range events {
+		if ev.Activity == p[j] && ev.TS > prev {
+			ts = append(ts, ev.TS)
+			prev = ev.TS
+			j++
+			if j == len(p) {
+				out = append(out, append([]model.Timestamp(nil), ts...))
+				ts, j = ts[:0], 0
+				// Non-overlap: the next match starts strictly after
+				// this one's completion; prev already holds it.
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package pairs
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqlog/internal/model"
+)
+
+// tiedTrace builds a trace where each inner slice is a set of concurrent
+// events (same timestamp).
+func tiedTrace(groups ...[]byte) []model.TraceEvent {
+	var evs []model.TraceEvent
+	for g, set := range groups {
+		for _, c := range set {
+			evs = append(evs, model.TraceEvent{Activity: model.ActivityID(c), TS: model.Timestamp(g + 1)})
+		}
+	}
+	return evs
+}
+
+func TestPartialConcurrentEventsNeverPair(t *testing.T) {
+	// {A, B} concurrent, then C: pairs (A,C) and (B,C) exist, (A,B) and
+	// (B,A) do not.
+	evs := tiedTrace([]byte{'A', 'B'}, []byte{'C'})
+	res := ExtractSTNMPartial(evs)
+	if _, ok := res[key('A', 'B')]; ok {
+		t.Fatalf("concurrent events paired: %v", res)
+	}
+	if _, ok := res[key('B', 'A')]; ok {
+		t.Fatalf("concurrent events paired: %v", res)
+	}
+	if got := res[key('A', 'C')]; len(got) != 1 || got[0] != (Occurrence{TsA: 1, TsB: 2}) {
+		t.Fatalf("(A,C) = %v", got)
+	}
+	if got := res[key('B', 'C')]; len(got) != 1 {
+		t.Fatalf("(B,C) = %v", got)
+	}
+}
+
+func TestPartialSelfPairNeedsDistinctTimes(t *testing.T) {
+	// Two concurrent As never self-pair; an A later does.
+	evs := tiedTrace([]byte{'A', 'A'}, []byte{'A'})
+	res := ExtractSTNMPartial(evs)
+	got := res[key('A', 'A')]
+	if len(got) != 1 || got[0] != (Occurrence{TsA: 1, TsB: 2}) {
+		t.Fatalf("(A,A) = %v", got)
+	}
+}
+
+func TestPartialReducesToTotalOrderWithoutTies(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for iter := 0; iter < 100; iter++ {
+		evs := randomTrace(rng, 1+rng.Intn(5), rng.Intn(50))
+		want := ExtractReference(evs)
+		got := ExtractSTNMPartial(evs)
+		if !Equal(got, want) {
+			t.Fatalf("iter %d: partial != total on tie-free trace\ngot  %v\nwant %v", iter, got, want)
+		}
+	}
+}
+
+// TestPartialAgreesWithReference: property test with random tie groups.
+func TestPartialAgreesWithReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for iter := 0; iter < 200; iter++ {
+		var evs []model.TraceEvent
+		ts := model.Timestamp(0)
+		n := rng.Intn(50)
+		for i := 0; i < n; i++ {
+			if i == 0 || rng.Float64() < 0.7 {
+				ts++ // new time point; otherwise stay concurrent
+			}
+			evs = append(evs, model.TraceEvent{
+				Activity: model.ActivityID(rng.Intn(4)),
+				TS:       ts,
+			})
+		}
+		want := ExtractReferencePartial(evs)
+		got := ExtractSTNMPartial(evs)
+		if !Equal(got, want) {
+			t.Fatalf("iter %d: mismatch\ntrace %v\ngot  %v\nwant %v", iter, evs, got, want)
+		}
+	}
+}
+
+func TestMatchTracePartial(t *testing.T) {
+	// {A,B} | {B} | {C}: pattern ABC must use the second B.
+	evs := tiedTrace([]byte{'A', 'B'}, []byte{'B'}, []byte{'C'})
+	got := MatchTracePartial(evs, model.Pattern{
+		model.ActivityID('A'), model.ActivityID('B'), model.ActivityID('C'),
+	})
+	if len(got) != 1 || got[0][0] != 1 || got[0][1] != 2 || got[0][2] != 3 {
+		t.Fatalf("partial match = %v", got)
+	}
+	// Pattern AB over only-concurrent {A,B}: no match.
+	got = MatchTracePartial(tiedTrace([]byte{'A', 'B'}), model.Pattern{
+		model.ActivityID('A'), model.ActivityID('B'),
+	})
+	if len(got) != 0 {
+		t.Fatalf("concurrent events matched sequentially: %v", got)
+	}
+	if MatchTracePartial(evs, nil) != nil {
+		t.Fatal("empty pattern matched")
+	}
+}
+
+func TestMatchTracePartialNonOverlap(t *testing.T) {
+	// A B A B without ties: two matches of AB.
+	evs := trace("ABAB")
+	got := MatchTracePartial(evs, model.Pattern{model.ActivityID('A'), model.ActivityID('B')})
+	if len(got) != 2 {
+		t.Fatalf("matches = %v", got)
+	}
+}

@@ -1,0 +1,146 @@
+// Package parallel is the Spark substitute of the reproduction: the paper
+// parallelises pre-processing per trace ("we can treat each trace in
+// parallel", §5.3); this package provides the bounded worker pools that
+// deliver the same unit of parallelism, including the single-executor mode
+// used for the 1-thread columns of Table 6.
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Workers normalises a requested worker count: values < 1 become
+// runtime.GOMAXPROCS(0) (the "all machine cores" mode of the paper).
+func Workers(n int) int {
+	if n < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) using the given number of workers
+// (0 ⇒ all cores). It returns the first error encountered; remaining items
+// are still consumed so goroutines never leak.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Fast path: no goroutines for the single-executor mode, so the
+		// 1-thread measurements are free of scheduling noise.
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg    sync.WaitGroup
+		next  int
+		mu    sync.Mutex
+		first error
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n || first != nil {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if first == nil {
+			first = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return first
+}
+
+// Map applies fn to every element of in using the given number of workers and
+// returns the results in input order. On error the partial results are
+// discarded.
+func Map[T, R any](in []T, workers int, fn func(T) (R, error)) ([]R, error) {
+	out := make([]R, len(in))
+	err := ForEach(len(in), workers, func(i int) error {
+		r, err := fn(in[i])
+		if err != nil {
+			return err
+		}
+		out[i] = r
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ErrStopped is returned by Pool.Submit after Close.
+var ErrStopped = errors.New("parallel: pool closed")
+
+// Pool is a long-lived worker pool for streaming workloads (the periodic
+// index updates of §3.1.3 reuse one pool across batches).
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+	once  sync.Once
+}
+
+// NewPool starts a pool with the given number of workers (0 ⇒ all cores).
+func NewPool(workers int) *Pool {
+	workers = Workers(workers)
+	p := &Pool{tasks: make(chan func(), 4*workers)}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer p.wg.Done()
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Submit schedules task on the pool. It blocks if the queue is full and
+// panics if the pool is closed (programming error, like sending on a closed
+// channel).
+func (p *Pool) Submit(task func()) {
+	p.tasks <- task
+}
+
+// Close stops accepting tasks and waits for in-flight tasks to finish. It is
+// idempotent.
+func (p *Pool) Close() {
+	p.once.Do(func() { close(p.tasks) })
+	p.wg.Wait()
+}

@@ -1,0 +1,134 @@
+package parallel
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(0) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d", Workers(0))
+	}
+	if Workers(-3) != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d", Workers(-3))
+	}
+	if Workers(5) != 5 {
+		t.Fatalf("Workers(5) = %d", Workers(5))
+	}
+}
+
+func TestForEachCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 0} {
+		const n = 1000
+		var hits [n]int32
+		err := ForEach(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	called := false
+	if err := ForEach(0, 4, func(int) error { called = true; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int32
+	err := ForEach(100, 4, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Early termination: far fewer than all items should have run, but the
+	// exact count is scheduling-dependent; just assert no panic/leak.
+	if ran == 0 {
+		t.Fatal("nothing ran")
+	}
+}
+
+func TestForEachSequentialError(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 3 {
+		t.Fatalf("err=%v ran=%d", err, ran)
+	}
+}
+
+func TestMapOrderPreserved(t *testing.T) {
+	in := make([]int, 500)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := Map(in, 8, func(x int) (int, error) { return x * x, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map([]int{1, 2, 3}, 2, func(x int) (int, error) {
+		if x == 2 {
+			return 0, boom
+		}
+		return x, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestPool(t *testing.T) {
+	p := NewPool(4)
+	var sum int64
+	var wg sync.WaitGroup
+	for i := 1; i <= 100; i++ {
+		i := i
+		wg.Add(1)
+		p.Submit(func() {
+			defer wg.Done()
+			atomic.AddInt64(&sum, int64(i))
+		})
+	}
+	wg.Wait()
+	p.Close()
+	p.Close() // idempotent
+	if sum != 5050 {
+		t.Fatalf("sum = %d", sum)
+	}
+}

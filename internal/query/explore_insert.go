@@ -1,0 +1,256 @@
+package query
+
+import (
+	"fmt"
+
+	"seqlog/internal/model"
+)
+
+// This file implements the §7 extension of the paper: "the pattern
+// continuation techniques can account for other operation modes, where an
+// event is not appended only at the end, but also at arbitrary places in
+// the query pattern. Our proposal can be easily extended to cover these
+// cases" — here is that extension.
+//
+// For an insertion position i (0 ≤ i ≤ p), candidates are events that are
+// known successors of the pattern event before the gap AND known
+// predecessors of the pattern event after the gap, read from the Count and
+// Reverse Count tables; the accurate flavor verifies each candidate with a
+// full detection of the extended pattern.
+
+// ErrBadPosition reports an insertion position outside [0, len(pattern)].
+var ErrBadPosition = fmt.Errorf("query: insertion position out of range")
+
+// ExploreInsertAccurate proposes events to insert into the pattern at the
+// given position (0 = before the first event, len(p) = append at the end,
+// which degenerates to ExploreAccurate). Every candidate is verified with a
+// full detection, so completions are exact.
+func (q *Processor) ExploreInsertAccurate(p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
+	candidates, err := q.insertCandidates(p, pos)
+	if err != nil {
+		return nil, err
+	}
+	var out []Proposal
+	for _, cand := range candidates {
+		ext := insertAt(p, pos, cand)
+		matches, err := q.Detect(ext)
+		if err != nil {
+			return nil, err
+		}
+		var sum int64
+		for _, m := range matches {
+			sum += gapAround(m, pos)
+		}
+		var avg float64
+		if len(matches) > 0 {
+			avg = float64(sum) / float64(len(matches))
+		}
+		if opts.MaxAvgGap > 0 && avg > opts.MaxAvgGap {
+			continue
+		}
+		out = append(out, Proposal{
+			Event:       cand,
+			Completions: int64(len(matches)),
+			AvgDuration: avg,
+			Score:       score(int64(len(matches)), avg),
+			Exact:       true,
+		})
+	}
+	sortProposals(out)
+	return out, nil
+}
+
+// ExploreInsertFast ranks insertion candidates from precomputed statistics
+// only: a candidate's completions are bounded by the minimum of the
+// neighbouring pair counts and the pattern's own pair-count bound.
+func (q *Processor) ExploreInsertFast(p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
+	candidates, err := q.insertCandidates(p, pos)
+	if err != nil {
+		return nil, err
+	}
+	patternBound, err := q.patternBound(p)
+	if err != nil {
+		return nil, err
+	}
+	var out []Proposal
+	for _, cand := range candidates {
+		bound := patternBound
+		var dur float64
+		if pos > 0 {
+			entry, ok, err := q.tables.GetPairCount(p[pos-1], cand)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if entry.Completions < bound {
+				bound = entry.Completions
+			}
+			dur += entry.AvgDuration()
+		}
+		if pos < len(p) {
+			entry, ok, err := q.tables.GetPairCount(cand, p[pos])
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+			if entry.Completions < bound {
+				bound = entry.Completions
+			}
+			dur += entry.AvgDuration()
+		}
+		if opts.MaxAvgGap > 0 && dur > opts.MaxAvgGap {
+			continue
+		}
+		out = append(out, Proposal{
+			Event:       cand,
+			Completions: bound,
+			AvgDuration: dur,
+			Score:       score(bound, dur),
+		})
+	}
+	sortProposals(out)
+	return out, nil
+}
+
+// ExploreInsertHybrid mirrors Algorithm 5 for insertions: rank with the
+// fast flavor, re-check the topK candidates accurately, return the
+// re-ranked union.
+func (q *Processor) ExploreInsertHybrid(p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
+	fast, err := q.ExploreInsertFast(p, pos, opts)
+	if err != nil {
+		return nil, err
+	}
+	k := opts.TopK
+	if k <= 0 {
+		return fast, nil
+	}
+	if k > len(fast) {
+		k = len(fast)
+	}
+	out := make([]Proposal, 0, len(fast))
+	out = append(out, fast[k:]...)
+	for _, fp := range fast[:k] {
+		ext := insertAt(p, pos, fp.Event)
+		matches, err := q.Detect(ext)
+		if err != nil {
+			return nil, err
+		}
+		var sum int64
+		for _, m := range matches {
+			sum += gapAround(m, pos)
+		}
+		var avg float64
+		if len(matches) > 0 {
+			avg = float64(sum) / float64(len(matches))
+		}
+		out = append(out, Proposal{
+			Event:       fp.Event,
+			Completions: int64(len(matches)),
+			AvgDuration: avg,
+			Score:       score(int64(len(matches)), avg),
+			Exact:       true,
+		})
+	}
+	sortProposals(out)
+	return out, nil
+}
+
+// insertCandidates intersects the successor set of the event before the gap
+// with the predecessor set of the event after the gap.
+func (q *Processor) insertCandidates(p model.Pattern, pos int) ([]model.ActivityID, error) {
+	if len(p) == 0 {
+		return nil, ErrShortPattern
+	}
+	if pos < 0 || pos > len(p) {
+		return nil, ErrBadPosition
+	}
+	var succ, pred map[model.ActivityID]bool
+	if pos > 0 {
+		entries, err := q.tables.GetCounts(p[pos-1])
+		if err != nil {
+			return nil, err
+		}
+		succ = make(map[model.ActivityID]bool, len(entries))
+		for _, e := range entries {
+			succ[e.Other] = true
+		}
+	}
+	if pos < len(p) {
+		entries, err := q.tables.GetReverseCounts(p[pos])
+		if err != nil {
+			return nil, err
+		}
+		pred = make(map[model.ActivityID]bool, len(entries))
+		for _, e := range entries {
+			pred[e.Other] = true
+		}
+	}
+	var out []model.ActivityID
+	switch {
+	case succ != nil && pred != nil:
+		for a := range succ {
+			if pred[a] {
+				out = append(out, a)
+			}
+		}
+	case succ != nil:
+		for a := range succ {
+			out = append(out, a)
+		}
+	default:
+		for a := range pred {
+			out = append(out, a)
+		}
+	}
+	// Deterministic candidate order (score ties break by event id later).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out, nil
+}
+
+// patternBound is the Algorithm 4 upper bound: the minimum pair count along
+// the pattern.
+func (q *Processor) patternBound(p model.Pattern) (int64, error) {
+	bound := int64(1) << 62
+	for i := 0; i+1 < len(p); i++ {
+		entry, ok, err := q.tables.GetPairCount(p[i], p[i+1])
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			return 0, nil
+		}
+		if entry.Completions < bound {
+			bound = entry.Completions
+		}
+	}
+	return bound, nil
+}
+
+func insertAt(p model.Pattern, pos int, a model.ActivityID) model.Pattern {
+	ext := make(model.Pattern, 0, len(p)+1)
+	ext = append(ext, p[:pos]...)
+	ext = append(ext, a)
+	return append(ext, p[pos:]...)
+}
+
+// gapAround returns the time the inserted event (at index pos of the match)
+// adds around its neighbours: the span between its preceding and following
+// matched events, or the single-sided gap at the pattern edges.
+func gapAround(m Match, pos int) int64 {
+	switch {
+	case pos == 0:
+		return int64(m.Timestamps[1] - m.Timestamps[0])
+	case pos == len(m.Timestamps)-1:
+		return int64(m.Timestamps[pos] - m.Timestamps[pos-1])
+	default:
+		return int64(m.Timestamps[pos+1] - m.Timestamps[pos-1])
+	}
+}

@@ -1,0 +1,123 @@
+package query
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqlog/internal/model"
+)
+
+// TestPlannedEqualsDetect: the planner is purely an optimisation — on random
+// logs and patterns it must return byte-identical matches.
+func TestPlannedEqualsDetect(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for iter := 0; iter < 30; iter++ {
+		var traces []string
+		for i := 0; i < 8; i++ {
+			n := 4 + rng.Intn(40)
+			s := make([]byte, n)
+			for j := range s {
+				s[j] = byte('A' + rng.Intn(4))
+			}
+			traces = append(traces, string(s))
+		}
+		for _, policy := range []model.Policy{model.SC, model.STNM} {
+			q, _ := buildLog(t, policy, traces...)
+			for plen := 2; plen <= 6; plen++ {
+				p := make(model.Pattern, plen)
+				for j := range p {
+					p[j] = act(byte('A' + rng.Intn(4)))
+				}
+				want, err := q.Detect(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := q.DetectPlanned(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("iter %d policy %v pattern %v:\nplanned %v\nplain   %v", iter, policy, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPlannedShortCircuits(t *testing.T) {
+	q, _ := buildLog(t, model.STNM, "ABC", "ABD")
+	// A pair that never occurs empties the result before any join work.
+	ms, err := q.DetectPlanned(pattern("AZ"))
+	if err != nil || ms != nil {
+		t.Fatalf("absent pair: %v %v", ms, err)
+	}
+	// Disjoint trace sets across pairs: (C,D) never co-occurs with (A,B)
+	// in one trace... (B,C) in trace 1, (B,D) in trace 2.
+	ms, err = q.DetectPlanned(pattern("ACD"))
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("disjoint traces: %v %v", ms, err)
+	}
+	if _, err := q.DetectPlanned(pattern("A")); err == nil {
+		t.Fatal("short pattern accepted")
+	}
+}
+
+func TestPlannedSelectiveLatePair(t *testing.T) {
+	// (A,B) is everywhere; (B,Z) only in one trace — the planner must
+	// still find exactly that trace.
+	traces := []string{"ABZ"}
+	for i := 0; i < 30; i++ {
+		traces = append(traces, "ABC")
+	}
+	q, _ := buildLog(t, model.STNM, traces...)
+	ms, err := q.DetectPlanned(pattern("ABZ"))
+	if err != nil || len(ms) != 1 || ms[0].Trace != 1 {
+		t.Fatalf("selective pair: %v %v", ms, err)
+	}
+}
+
+func BenchmarkPlannerVsPlain(b *testing.B) {
+	rng := rand.New(rand.NewSource(78))
+	var traces []string
+	for i := 0; i < 500; i++ {
+		n := 10 + rng.Intn(30)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = byte('A' + rng.Intn(5))
+		}
+		traces = append(traces, string(s))
+	}
+	// Append a rare tail pair in a single trace.
+	traces = append(traces, "ABCDEZ")
+	tb := storageWith(b, eventsOf(traces))
+	q := NewProcessor(tb)
+	p := pattern("ABCDEZ")
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.Detect(p)
+		}
+	})
+	b.Run("planned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			q.DetectPlanned(p)
+		}
+	})
+}
+
+func eventsOf(traces []string) []model.Event {
+	var events []model.Event
+	for ti, s := range traces {
+		for i, c := range []byte(s) {
+			events = append(events, model.Event{
+				Trace:    model.TraceID(ti + 1),
+				Activity: act(c),
+				TS:       model.Timestamp(i + 1),
+			})
+		}
+	}
+	return events
+}

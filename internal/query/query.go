@@ -1,0 +1,506 @@
+// Package query implements the query processor component of §3.2 of the
+// paper: statistics queries over the Count/LastChecked tables, pattern
+// detection by joining inverted-index rows (Algorithm 2), and the three
+// pattern-continuation strategies — Accurate (Algorithm 3), Fast
+// (Algorithm 4) and Hybrid (Algorithm 5) — ranked by Equation 1.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/storage"
+)
+
+// ErrShortPattern is returned for detection patterns with fewer than two
+// events; the pair index cannot anchor a single event to a trace.
+var ErrShortPattern = errors.New("query: pattern must contain at least two events")
+
+// Processor answers pattern queries against the tables built by the index
+// package. It is stateless and safe for concurrent use.
+type Processor struct {
+	tables *storage.Tables
+}
+
+// NewProcessor wraps the given tables.
+func NewProcessor(tables *storage.Tables) *Processor { return &Processor{tables: tables} }
+
+// Match is one detected completion of a pattern inside a trace: one
+// timestamp per pattern event.
+type Match struct {
+	Trace      model.TraceID
+	Timestamps []model.Timestamp
+}
+
+// Start returns the timestamp of the first matched event.
+func (m Match) Start() model.Timestamp { return m.Timestamps[0] }
+
+// End returns the timestamp of the last matched event.
+func (m Match) End() model.Timestamp { return m.Timestamps[len(m.Timestamps)-1] }
+
+// Duration returns End - Start.
+func (m Match) Duration() int64 { return int64(m.End() - m.Start()) }
+
+// Detect implements Algorithm 2 (GetCompletions): it reads the inverted
+// index row of (ev1, ev2) and then, for every following pair of the
+// pattern, keeps the chains whose shared event carries the same timestamp.
+// The matches of every sub-pattern prefix are a natural by-product, which
+// is what makes pattern continuation incremental (§5.4.1).
+//
+// Under the SC policy the result is exactly the set of contiguous
+// occurrences. Under STNM, chains of non-overlapping pairs are a subset of
+// the traces a direct skip-till-next-match scan would report (see DESIGN.md
+// and the recall experiment); use DetectScan for the scan-exact answer.
+func (q *Processor) Detect(p model.Pattern) ([]Match, error) {
+	if len(p) < 2 {
+		return nil, ErrShortPattern
+	}
+	first, err := q.tables.GetIndexAll(model.NewPairKey(p[0], p[1]))
+	if err != nil {
+		return nil, err
+	}
+	partials := make(map[model.TraceID][][]model.Timestamp)
+	for _, e := range first {
+		partials[e.Trace] = append(partials[e.Trace], []model.Timestamp{e.TsA, e.TsB})
+	}
+	for i := 1; i+1 < len(p); i++ {
+		if len(partials) == 0 {
+			return nil, nil
+		}
+		entries, err := q.tables.GetIndexAll(model.NewPairKey(p[i], p[i+1]))
+		if err != nil {
+			return nil, err
+		}
+		// Group the step's entries by (trace, first timestamp).
+		byTrace := make(map[model.TraceID]map[model.Timestamp][]model.Timestamp)
+		for _, e := range entries {
+			m := byTrace[e.Trace]
+			if m == nil {
+				m = make(map[model.Timestamp][]model.Timestamp)
+				byTrace[e.Trace] = m
+			}
+			m[e.TsA] = append(m[e.TsA], e.TsB)
+		}
+		next := make(map[model.TraceID][][]model.Timestamp, len(partials))
+		for trace, chains := range partials {
+			starts := byTrace[trace]
+			if starts == nil {
+				continue
+			}
+			var extended [][]model.Timestamp
+			for _, chain := range chains {
+				last := chain[len(chain)-1]
+				for _, tsB := range starts[last] {
+					ext := make([]model.Timestamp, len(chain)+1)
+					copy(ext, chain)
+					ext[len(chain)] = tsB
+					extended = append(extended, ext)
+				}
+			}
+			if len(extended) > 0 {
+				next[trace] = extended
+			}
+		}
+		partials = next
+	}
+
+	var out []Match
+	for trace, chains := range partials {
+		for _, chain := range chains {
+			out = append(out, Match{Trace: trace, Timestamps: chain})
+		}
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// DetectTraces returns the distinct traces containing the pattern — the
+// headline answer of the Pattern Detection query ("return all traces that
+// contain the given pattern", §3.2.1).
+func (q *Processor) DetectTraces(p model.Pattern) ([]model.TraceID, error) {
+	matches, err := q.Detect(p)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[model.TraceID]bool)
+	var out []model.TraceID
+	for _, m := range matches {
+		if !seen[m.Trace] {
+			seen[m.Trace] = true
+			out = append(out, m.Trace)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+// DetectScan answers the same query without the index by scanning the Seq
+// table and matching each trace directly (greedy skip-till-next-match or
+// sliding-window strict contiguity). It is the exact reference the recall
+// experiment compares against, and the fallback for single-event patterns.
+func (q *Processor) DetectScan(p model.Pattern, policy model.Policy) ([]Match, error) {
+	if len(p) == 0 {
+		return nil, ErrShortPattern
+	}
+	var out []Match
+	err := q.tables.ScanSeq(func(id model.TraceID, events []model.TraceEvent) error {
+		for _, ts := range MatchTrace(events, p, policy) {
+			out = append(out, Match{Trace: id, Timestamps: ts})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// DetectScanPartial is DetectScan under partial order (§7): same-timestamp
+// events are concurrent and each pattern step must advance strictly in
+// time.
+func (q *Processor) DetectScanPartial(p model.Pattern) ([]Match, error) {
+	if len(p) == 0 {
+		return nil, ErrShortPattern
+	}
+	var out []Match
+	err := q.tables.ScanSeq(func(id model.TraceID, events []model.TraceEvent) error {
+		for _, ts := range pairs.MatchTracePartial(events, p) {
+			out = append(out, Match{Trace: id, Timestamps: ts})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// MatchTrace matches a pattern against one event sequence. For SC it
+// reports every contiguous occurrence (overlaps included, matching what the
+// pair join reconstructs); for STNM it reports the greedy non-overlapping
+// occurrences of the paper's §2.1 example.
+func MatchTrace(events []model.TraceEvent, p model.Pattern, policy model.Policy) [][]model.Timestamp {
+	if len(p) == 0 || len(events) < len(p) {
+		return nil
+	}
+	var out [][]model.Timestamp
+	switch policy {
+	case model.SC:
+		for i := 0; i+len(p) <= len(events); i++ {
+			ok := true
+			for j := range p {
+				if events[i+j].Activity != p[j] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ts := make([]model.Timestamp, len(p))
+				for j := range p {
+					ts[j] = events[i+j].TS
+				}
+				out = append(out, ts)
+			}
+		}
+	default: // STNM
+		ts := make([]model.Timestamp, 0, len(p))
+		j := 0
+		for _, ev := range events {
+			if ev.Activity == p[j] {
+				ts = append(ts, ev.TS)
+				j++
+				if j == len(p) {
+					out = append(out, append([]model.Timestamp(nil), ts...))
+					ts, j = ts[:0], 0
+				}
+			}
+		}
+	}
+	return out
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Trace != ms[j].Trace {
+			return ms[i].Trace < ms[j].Trace
+		}
+		return ms[i].End() < ms[j].End()
+	})
+}
+
+// PairStats are the per-pair figures of the Statistics query (§3.2.1).
+type PairStats struct {
+	First          model.ActivityID
+	Second         model.ActivityID
+	Completions    int64
+	AvgDuration    float64
+	LastCompletion model.Timestamp // max completion timestamp over all traces
+}
+
+// PatternStats aggregates pairwise statistics over a pattern: the minimum
+// pair count upper-bounds the completions of the whole pattern, and the sum
+// of average durations estimates the pattern duration.
+type PatternStats struct {
+	Pairs             []PairStats
+	MaxCompletions    int64
+	EstimatedDuration float64
+}
+
+// Stats implements the Statistics query for every pair of consecutive
+// pattern events, using only the Count and LastChecked tables.
+func (q *Processor) Stats(p model.Pattern) (PatternStats, error) {
+	if len(p) < 2 {
+		return PatternStats{}, ErrShortPattern
+	}
+	out := PatternStats{MaxCompletions: math.MaxInt64}
+	for i := 0; i+1 < len(p); i++ {
+		ps, err := q.pairStats(p[i], p[i+1])
+		if err != nil {
+			return PatternStats{}, err
+		}
+		out.Pairs = append(out.Pairs, ps)
+		if ps.Completions < out.MaxCompletions {
+			out.MaxCompletions = ps.Completions
+		}
+		out.EstimatedDuration += ps.AvgDuration
+	}
+	return out, nil
+}
+
+func (q *Processor) pairStats(a, b model.ActivityID) (PairStats, error) {
+	ps := PairStats{First: a, Second: b}
+	entry, ok, err := q.tables.GetPairCount(a, b)
+	if err != nil {
+		return ps, err
+	}
+	if ok {
+		ps.Completions = entry.Completions
+		ps.AvgDuration = entry.AvgDuration()
+	}
+	last, err := q.tables.GetLastChecked(model.NewPairKey(a, b))
+	if err != nil {
+		return ps, err
+	}
+	for _, ts := range last {
+		if ts > ps.LastCompletion {
+			ps.LastCompletion = ts
+		}
+	}
+	return ps, nil
+}
+
+// Proposal is one candidate continuation of a pattern, ranked by Equation 1
+// of the paper: Score = total_completions / average_duration.
+type Proposal struct {
+	Event       model.ActivityID
+	Completions int64   // exact (Accurate) or upper bound (Fast)
+	AvgDuration float64 // duration of the appended pair
+	Score       float64
+	Exact       bool // true when Completions came from full detection
+}
+
+// score applies Equation 1, guarding against zero durations (possible when
+// a pair always completes within one timestamp unit after normalisation).
+func score(completions int64, avgDuration float64) float64 {
+	if completions == 0 {
+		return 0
+	}
+	if avgDuration <= 0 {
+		avgDuration = 1
+	}
+	return float64(completions) / avgDuration
+}
+
+// ExploreOptions tune the continuation queries.
+type ExploreOptions struct {
+	// MaxAvgGap, when positive, drops candidates whose average gap
+	// between the pattern's last event and the appended event exceeds it
+	// (the optional time constraint of Algorithm 3, line 7).
+	MaxAvgGap float64
+	// TopK bounds how many Fast propositions the Hybrid strategy
+	// re-checks accurately (Algorithm 5). 0 degenerates to Fast and
+	// values ≥ |candidates| to Accurate, as the paper notes.
+	TopK int
+}
+
+// ExploreAccurate implements Algorithm 3: every successor candidate of the
+// pattern's last event (from the Count table) is appended to the pattern and
+// verified with a full detection, so completions are exact.
+func (q *Processor) ExploreAccurate(p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
+	if len(p) == 0 {
+		return nil, ErrShortPattern
+	}
+	candidates, err := q.tables.GetCounts(p[len(p)-1])
+	if err != nil {
+		return nil, err
+	}
+	var out []Proposal
+	for _, cand := range candidates {
+		ext := make(model.Pattern, len(p)+1)
+		copy(ext, p)
+		ext[len(p)] = cand.Other
+		matches, err := q.Detect(ext)
+		if err != nil {
+			return nil, err
+		}
+		var sum int64
+		for _, m := range matches {
+			// Gap between the pattern's last event and the appended one.
+			sum += int64(m.Timestamps[len(m.Timestamps)-1] - m.Timestamps[len(m.Timestamps)-2])
+		}
+		var avg float64
+		if len(matches) > 0 {
+			avg = float64(sum) / float64(len(matches))
+		}
+		if opts.MaxAvgGap > 0 && avg > opts.MaxAvgGap {
+			continue
+		}
+		out = append(out, Proposal{
+			Event:       cand.Other,
+			Completions: int64(len(matches)),
+			AvgDuration: avg,
+			Score:       score(int64(len(matches)), avg),
+			Exact:       true,
+		})
+	}
+	sortProposals(out)
+	return out, nil
+}
+
+// ExploreFast implements Algorithm 4: the upper bound of the pattern's
+// completions is the minimum pair count along the pattern; each candidate's
+// completions are capped by it. Only precomputed statistics are read, so the
+// response time is independent of the log size.
+func (q *Processor) ExploreFast(p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
+	if len(p) == 0 {
+		return nil, ErrShortPattern
+	}
+	maxCompletions := int64(math.MaxInt64)
+	for i := 0; i+1 < len(p); i++ {
+		entry, ok, err := q.tables.GetPairCount(p[i], p[i+1])
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			maxCompletions = 0
+			break
+		}
+		if entry.Completions < maxCompletions {
+			maxCompletions = entry.Completions
+		}
+	}
+	candidates, err := q.tables.GetCounts(p[len(p)-1])
+	if err != nil {
+		return nil, err
+	}
+	var out []Proposal
+	for _, cand := range candidates {
+		completions := cand.Completions
+		if maxCompletions < completions {
+			completions = maxCompletions
+		}
+		avg := cand.AvgDuration()
+		if opts.MaxAvgGap > 0 && avg > opts.MaxAvgGap {
+			continue
+		}
+		out = append(out, Proposal{
+			Event:       cand.Other,
+			Completions: completions,
+			AvgDuration: avg,
+			Score:       score(completions, avg),
+		})
+	}
+	sortProposals(out)
+	return out, nil
+}
+
+// ExploreHybrid implements Algorithm 5: rank with Fast, re-check the topK
+// intermediate results with Accurate, and return the re-ranked union of the
+// exact topK and the remaining approximate propositions (so the caller
+// always sees the full candidate ranking, with exactness marked per entry —
+// the behaviour behind the paper's Figure 7 accuracy curve).
+func (q *Processor) ExploreHybrid(p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
+	fast, err := q.ExploreFast(p, opts)
+	if err != nil {
+		return nil, err
+	}
+	k := opts.TopK
+	if k <= 0 {
+		return fast, nil
+	}
+	if k > len(fast) {
+		k = len(fast)
+	}
+	out := make([]Proposal, 0, len(fast))
+	out = append(out, fast[k:]...)
+	for _, fp := range fast[:k] {
+		ext := make(model.Pattern, len(p)+1)
+		copy(ext, p)
+		ext[len(p)] = fp.Event
+		matches, err := q.Detect(ext)
+		if err != nil {
+			return nil, err
+		}
+		var sum int64
+		for _, m := range matches {
+			sum += int64(m.Timestamps[len(m.Timestamps)-1] - m.Timestamps[len(m.Timestamps)-2])
+		}
+		var avg float64
+		if len(matches) > 0 {
+			avg = float64(sum) / float64(len(matches))
+		}
+		out = append(out, Proposal{
+			Event:       fp.Event,
+			Completions: int64(len(matches)),
+			AvgDuration: avg,
+			Score:       score(int64(len(matches)), avg),
+			Exact:       true,
+		})
+	}
+	sortProposals(out)
+	return out, nil
+}
+
+// proposalRank tiers proposals for ranking: verified candidates with real
+// completions first (their scores are actuals), then unverified ones (their
+// scores are optimistic bounds — and they already ranked below the verified
+// tier under those bounds, so letting them leapfrog would compare a bound
+// against an actual), and verified-absent candidates last.
+func proposalRank(p Proposal) int {
+	switch {
+	case p.Exact && p.Completions > 0:
+		return 0
+	case !p.Exact:
+		return 1
+	default:
+		return 2
+	}
+}
+
+func sortProposals(ps []Proposal) {
+	sort.Slice(ps, func(i, j int) bool {
+		ri, rj := proposalRank(ps[i]), proposalRank(ps[j])
+		if ri != rj {
+			return ri < rj
+		}
+		if ps[i].Score != ps[j].Score {
+			return ps[i].Score > ps[j].Score
+		}
+		return ps[i].Event < ps[j].Event
+	})
+}
+
+// String renders a proposal for diagnostics.
+func (p Proposal) String() string {
+	kind := "≈"
+	if p.Exact {
+		kind = "="
+	}
+	return fmt.Sprintf("event=%d completions%s%d avg=%.2f score=%.4f", p.Event, kind, p.Completions, p.AvgDuration, p.Score)
+}

@@ -1,0 +1,121 @@
+package query
+
+import (
+	"math"
+
+	"seqlog/internal/model"
+)
+
+// DetectWithin is Detect with a time-window constraint (the WITHIN clause of
+// CEP languages): only completions whose total span (last minus first
+// timestamp) is at most within are returned. Chains that already exceed the
+// window are pruned at every join step, so tight windows make the query
+// cheaper, not just smaller.
+func (q *Processor) DetectWithin(p model.Pattern, within int64) ([]Match, error) {
+	if within <= 0 {
+		return q.Detect(p)
+	}
+	if len(p) < 2 {
+		return nil, ErrShortPattern
+	}
+	first, err := q.tables.GetIndexAll(model.NewPairKey(p[0], p[1]))
+	if err != nil {
+		return nil, err
+	}
+	partials := make(map[model.TraceID][][]model.Timestamp)
+	for _, e := range first {
+		if int64(e.TsB-e.TsA) > within {
+			continue
+		}
+		partials[e.Trace] = append(partials[e.Trace], []model.Timestamp{e.TsA, e.TsB})
+	}
+	for i := 1; i+1 < len(p); i++ {
+		if len(partials) == 0 {
+			return nil, nil
+		}
+		entries, err := q.tables.GetIndexAll(model.NewPairKey(p[i], p[i+1]))
+		if err != nil {
+			return nil, err
+		}
+		byTrace := make(map[model.TraceID]map[model.Timestamp][]model.Timestamp)
+		for _, e := range entries {
+			m := byTrace[e.Trace]
+			if m == nil {
+				m = make(map[model.Timestamp][]model.Timestamp)
+				byTrace[e.Trace] = m
+			}
+			m[e.TsA] = append(m[e.TsA], e.TsB)
+		}
+		next := make(map[model.TraceID][][]model.Timestamp, len(partials))
+		for trace, chains := range partials {
+			starts := byTrace[trace]
+			if starts == nil {
+				continue
+			}
+			var extended [][]model.Timestamp
+			for _, chain := range chains {
+				last := chain[len(chain)-1]
+				for _, tsB := range starts[last] {
+					if int64(tsB-chain[0]) > within {
+						continue // window exceeded: prune
+					}
+					ext := make([]model.Timestamp, len(chain)+1)
+					copy(ext, chain)
+					ext[len(chain)] = tsB
+					extended = append(extended, ext)
+				}
+			}
+			if len(extended) > 0 {
+				next[trace] = extended
+			}
+		}
+		partials = next
+	}
+	var out []Match
+	for trace, chains := range partials {
+		for _, chain := range chains {
+			out = append(out, Match{Trace: trace, Timestamps: chain})
+		}
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// StatsAllPairs is the refinement §3.2.1 sketches: "the number of
+// completions could be more accurately bounded if all pairs in the pattern
+// are considered instead of the consecutive ones only". It reads the Count
+// row of every ordered pair (i < j) of the pattern, so the returned
+// MaxCompletions is never larger than the consecutive-only bound — at the
+// cost of O(p²) instead of O(p) row reads, the accuracy/latency trade-off
+// the paper points out.
+//
+// Soundness caveat (verified by a counter-example in the tests): the
+// all-pairs bound caps the number of *non-overlapping* pattern completions
+// (what DetectScan counts, and what greedy pair matching maximises — the
+// interval-scheduling argument), but NOT the number of Algorithm-2 join
+// chains: in trace <A1 B2 A3 C4 B5 C6> the pattern ABC has two chains yet
+// the greedy (A,C) count is one. The consecutive-only bound of Stats is
+// sound for both, because every chain consumes a distinct occurrence of
+// each consecutive pair.
+func (q *Processor) StatsAllPairs(p model.Pattern) (PatternStats, error) {
+	if len(p) < 2 {
+		return PatternStats{}, ErrShortPattern
+	}
+	out := PatternStats{MaxCompletions: math.MaxInt64}
+	for i := 0; i < len(p); i++ {
+		for j := i + 1; j < len(p); j++ {
+			ps, err := q.pairStats(p[i], p[j])
+			if err != nil {
+				return PatternStats{}, err
+			}
+			out.Pairs = append(out.Pairs, ps)
+			if ps.Completions < out.MaxCompletions {
+				out.MaxCompletions = ps.Completions
+			}
+			if j == i+1 {
+				out.EstimatedDuration += ps.AvgDuration
+			}
+		}
+	}
+	return out, nil
+}

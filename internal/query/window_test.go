@@ -1,0 +1,214 @@
+package query
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqlog/internal/model"
+)
+
+func TestDetectWithinFiltersBySpan(t *testing.T) {
+	tb := storageWith(t, []model.Event{
+		{Trace: 1, Activity: act('A'), TS: 1}, {Trace: 1, Activity: act('B'), TS: 5}, {Trace: 1, Activity: act('C'), TS: 8},
+		{Trace: 2, Activity: act('A'), TS: 1}, {Trace: 2, Activity: act('B'), TS: 100}, {Trace: 2, Activity: act('C'), TS: 200},
+	})
+	q := NewProcessor(tb)
+	ms, err := q.DetectWithin(pattern("ABC"), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Match{{Trace: 1, Timestamps: []model.Timestamp{1, 5, 8}}}
+	if !reflect.DeepEqual(ms, want) {
+		t.Fatalf("windowed = %v", ms)
+	}
+	// Zero window means unconstrained.
+	ms, err = q.DetectWithin(pattern("ABC"), 0)
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("unconstrained = %v %v", ms, err)
+	}
+	if _, err := q.DetectWithin(pattern("A"), 5); !errors.Is(err, ErrShortPattern) {
+		t.Fatal("short pattern accepted")
+	}
+}
+
+func TestDetectWithinPrunesFirstPair(t *testing.T) {
+	tb := storageWith(t, []model.Event{
+		{Trace: 1, Activity: act('A'), TS: 1}, {Trace: 1, Activity: act('B'), TS: 500},
+	})
+	q := NewProcessor(tb)
+	ms, err := q.DetectWithin(pattern("AB"), 10)
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("first-pair pruning failed: %v %v", ms, err)
+	}
+}
+
+// TestDetectWithinEqualsPostFilter: pruning must be purely an optimisation —
+// the result always equals Detect followed by a span filter.
+func TestDetectWithinEqualsPostFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	for iter := 0; iter < 20; iter++ {
+		var events []model.Event
+		for tr := 1; tr <= 5; tr++ {
+			ts := int64(0)
+			for i := 0; i < 20; i++ {
+				ts += 1 + rng.Int63n(20)
+				events = append(events, model.Event{
+					Trace:    model.TraceID(tr),
+					Activity: act(byte('A' + rng.Intn(3))),
+					TS:       model.Timestamp(ts),
+				})
+			}
+		}
+		tb := storageWith(t, events)
+		q := NewProcessor(tb)
+		for plen := 2; plen <= 4; plen++ {
+			p := make(model.Pattern, plen)
+			for i := range p {
+				p[i] = act(byte('A' + rng.Intn(3)))
+			}
+			within := int64(10 + rng.Int63n(100))
+			got, err := q.DetectWithin(p, within)
+			if err != nil {
+				t.Fatal(err)
+			}
+			all, err := q.Detect(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want []Match
+			for _, m := range all {
+				if m.Duration() <= within {
+					want = append(want, m)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("iter %d %v within %d: %d != %d", iter, p, within, len(got), len(want))
+			}
+			for i := range want {
+				if !reflect.DeepEqual(got[i], want[i]) {
+					t.Fatalf("iter %d: match %d differs", iter, i)
+				}
+			}
+		}
+	}
+}
+
+func TestStatsAllPairsTightensBound(t *testing.T) {
+	// (A,C) never completes within the STNM pairs even though (A,B) and
+	// (B,C) both do: A B in one trace, B C in another.
+	q, _ := buildLog(t, model.STNM, "AB", "BC")
+	consec, err := q.Stats(pattern("ABC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := q.StatsAllPairs(pattern("ABC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if consec.MaxCompletions != 1 {
+		t.Fatalf("consecutive bound = %d", consec.MaxCompletions)
+	}
+	if full.MaxCompletions != 0 {
+		t.Fatalf("all-pairs bound = %d, want 0 (pair (A,C) never occurs)", full.MaxCompletions)
+	}
+	// p=3 yields 3 ordered pairs.
+	if len(full.Pairs) != 3 {
+		t.Fatalf("pairs = %v", full.Pairs)
+	}
+	// Both estimate durations from consecutive pairs only.
+	if full.EstimatedDuration != consec.EstimatedDuration {
+		t.Fatalf("durations diverged: %v vs %v", full.EstimatedDuration, consec.EstimatedDuration)
+	}
+	if _, err := q.StatsAllPairs(pattern("A")); !errors.Is(err, ErrShortPattern) {
+		t.Fatal("short pattern accepted")
+	}
+}
+
+// TestStatsAllPairsChainCounterexample pins down the soundness caveat in
+// the StatsAllPairs doc comment: the trace <A1 B2 A3 C4 B5 C6> yields two
+// Algorithm-2 chains for ABC, while the all-pairs bound is one — it caps
+// non-overlapping completions (the scan count), not chains.
+func TestStatsAllPairsChainCounterexample(t *testing.T) {
+	q, _ := buildLog(t, model.STNM, "ABACBC")
+	chains, err := q.Detect(pattern("ABC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chains) != 2 {
+		t.Fatalf("chains = %v, counter-example broke", chains)
+	}
+	full, err := q.StatsAllPairs(pattern("ABC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.MaxCompletions != 1 {
+		t.Fatalf("all-pairs bound = %d, counter-example broke", full.MaxCompletions)
+	}
+	scan, err := q.DetectScan(pattern("ABC"), model.STNM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(scan)) > full.MaxCompletions {
+		t.Fatalf("scan count %d exceeds all-pairs bound %d", len(scan), full.MaxCompletions)
+	}
+	// The consecutive-only bound remains sound for chains.
+	consec, err := q.Stats(pattern("ABC"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(chains)) > consec.MaxCompletions {
+		t.Fatalf("chain count %d exceeds consecutive bound %d", len(chains), consec.MaxCompletions)
+	}
+}
+
+// TestStatsAllPairsNeverLooser: property over random logs — the all-pairs
+// bound is ≤ the consecutive bound and ≥ the non-overlapping (scan)
+// completion count, while the consecutive bound also caps the chain count.
+func TestStatsAllPairsNeverLooser(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	for iter := 0; iter < 20; iter++ {
+		var traces []string
+		for i := 0; i < 6; i++ {
+			n := 4 + rng.Intn(20)
+			s := make([]byte, n)
+			for j := range s {
+				s[j] = byte('A' + rng.Intn(4))
+			}
+			traces = append(traces, string(s))
+		}
+		q, _ := buildLog(t, model.STNM, traces...)
+		for plen := 2; plen <= 4; plen++ {
+			p := make(model.Pattern, plen)
+			for j := range p {
+				p[j] = act(byte('A' + rng.Intn(4)))
+			}
+			consec, err := q.Stats(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := q.StatsAllPairs(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if full.MaxCompletions > consec.MaxCompletions {
+				t.Fatalf("all-pairs bound looser: %d > %d", full.MaxCompletions, consec.MaxCompletions)
+			}
+			scan, err := q.DetectScan(p, model.STNM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(scan)) > full.MaxCompletions {
+				t.Fatalf("scan bound violated: %d completions > %d", len(scan), full.MaxCompletions)
+			}
+			chains, err := q.Detect(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int64(len(chains)) > consec.MaxCompletions {
+				t.Fatalf("chain bound violated: %d chains > %d", len(chains), consec.MaxCompletions)
+			}
+		}
+	}
+}

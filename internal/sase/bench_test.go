@@ -1,0 +1,52 @@
+package sase
+
+import (
+	"testing"
+
+	"seqlog/internal/loggen"
+	"seqlog/internal/model"
+)
+
+func benchEngine() *Engine {
+	return NewEngine(loggen.MarkovLog(loggen.MarkovLogConfig{
+		Traces: 2000, Activities: 10, MeanLen: 15, MinLen: 2, MaxLen: 60, Seed: 66,
+	}))
+}
+
+func BenchmarkEvaluate(b *testing.B) {
+	e := benchEngine()
+	for _, pol := range []model.Policy{model.SC, model.STNM} {
+		b.Run(pol.String(), func(b *testing.B) {
+			q := Query{Pattern: model.Pattern{0, 1, 2}, Strategy: pol}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Evaluate(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("STAM-capped", func(b *testing.B) {
+		q := Query{Pattern: model.Pattern{0, 1}, Strategy: model.STAM, MaxMatchesPerTrace: 64}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Evaluate(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkEvaluateKleene(b *testing.B) {
+	e := benchEngine()
+	q := KleeneQuery{
+		Elements: []Element{{Activity: 0, Kleene: true}, {Activity: 1}},
+		Strategy: model.STNM,
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.EvaluateKleene(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,299 @@
+package sase
+
+import (
+	"fmt"
+
+	"seqlog/internal/model"
+)
+
+// This file extends the engine with Kleene-plus patterns — the SASE+
+// capability the paper's related work discusses ([9], [21]): a pattern
+// element may match one or more events of its activity, with the gaps
+// governed by the usual event-selection strategies.
+
+// Element is one element of a Kleene pattern: a single activity, optionally
+// under Kleene plus (one or more occurrences).
+type Element struct {
+	Activity model.ActivityID
+	Kleene   bool
+}
+
+// KleeneQuery is SEQ(e1[, e2+, ...]) under a selection strategy.
+type KleeneQuery struct {
+	Elements []Element
+	Strategy model.Policy
+	// Within bounds last-first timestamps of a match; 0 = unlimited.
+	Within int64
+	// MaxMatchesPerTrace caps enumeration (default DefaultMaxMatches).
+	MaxMatchesPerTrace int
+}
+
+// KleeneMatch is one occurrence: Spans[i] holds the timestamps consumed by
+// element i (length ≥ 1; > 1 only for Kleene elements).
+type KleeneMatch struct {
+	Trace model.TraceID
+	Spans [][]model.Timestamp
+}
+
+// Start returns the first consumed timestamp.
+func (m KleeneMatch) Start() model.Timestamp { return m.Spans[0][0] }
+
+// End returns the last consumed timestamp.
+func (m KleeneMatch) End() model.Timestamp {
+	last := m.Spans[len(m.Spans)-1]
+	return last[len(last)-1]
+}
+
+// KleeneResult carries matches and the truncation flag.
+type KleeneResult struct {
+	Matches   []KleeneMatch
+	Truncated bool
+}
+
+// EvaluateKleene runs a Kleene query over every trace.
+//
+// Semantics per strategy (the deterministic flavors are greedy):
+//
+//   - SC: a Kleene element consumes the maximal run of consecutive equal
+//     events; the next element must match immediately after the run.
+//   - STNM: irrelevant events are skipped; a Kleene element keeps absorbing
+//     its activity and hands over to the next element as soon as that
+//     element's activity appears (so when two adjacent elements share an
+//     activity, the Kleene element takes exactly one event). A trailing
+//     Kleene element absorbs until the end of the trace; matches do not
+//     overlap.
+//   - STAM: full nondeterminism — every extend/proceed/skip choice is
+//     branched, bounded by the per-trace cap.
+func (e *Engine) EvaluateKleene(q KleeneQuery) (KleeneResult, error) {
+	if len(q.Elements) == 0 {
+		return KleeneResult{}, fmt.Errorf("sase: empty kleene pattern")
+	}
+	maxM := q.MaxMatchesPerTrace
+	if maxM <= 0 {
+		maxM = DefaultMaxMatches
+	}
+	var res KleeneResult
+	for _, tr := range e.log.Traces {
+		var (
+			ms        [][][]model.Timestamp
+			truncated bool
+		)
+		switch q.Strategy {
+		case model.SC:
+			ms, truncated = kleeneSC(tr.Events, q, maxM)
+		case model.STNM:
+			ms, truncated = kleeneSTNM(tr.Events, q, maxM)
+		default:
+			ms, truncated = kleeneSTAM(tr.Events, q, maxM)
+		}
+		for _, spans := range ms {
+			res.Matches = append(res.Matches, KleeneMatch{Trace: tr.ID, Spans: spans})
+		}
+		res.Truncated = res.Truncated || truncated
+	}
+	return res, nil
+}
+
+func kleeneWindowOK(q KleeneQuery, spans [][]model.Timestamp) bool {
+	if q.Within <= 0 {
+		return true
+	}
+	last := spans[len(spans)-1]
+	return int64(last[len(last)-1]-spans[0][0]) <= q.Within
+}
+
+// kleeneSC matches at every start position, with maximal runs for Kleene
+// elements and strict adjacency between elements.
+func kleeneSC(events []model.TraceEvent, q KleeneQuery, maxM int) ([][][]model.Timestamp, bool) {
+	var out [][][]model.Timestamp
+	for start := 0; start < len(events); start++ {
+		spans := make([][]model.Timestamp, 0, len(q.Elements))
+		i := start
+		ok := true
+		for _, el := range q.Elements {
+			if i >= len(events) || events[i].Activity != el.Activity {
+				ok = false
+				break
+			}
+			span := []model.Timestamp{events[i].TS}
+			i++
+			if el.Kleene {
+				for i < len(events) && events[i].Activity == el.Activity {
+					span = append(span, events[i].TS)
+					i++
+				}
+			}
+			spans = append(spans, span)
+		}
+		if !ok || !kleeneWindowOK(q, spans) {
+			continue
+		}
+		out = append(out, spans)
+		if len(out) >= maxM {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+// kleeneSTNM is the greedy single-run evaluation.
+func kleeneSTNM(events []model.TraceEvent, q KleeneQuery, maxM int) ([][][]model.Timestamp, bool) {
+	els := q.Elements
+	var (
+		out     [][][]model.Timestamp
+		spans   [][]model.Timestamp // completed element spans
+		current []model.Timestamp   // open Kleene span of els[idx]
+		idx     int                 // element being matched
+	)
+	emit := func(all [][]model.Timestamp) bool {
+		if kleeneWindowOK(q, all) {
+			out = append(out, all)
+		}
+		spans, current, idx = nil, nil, 0
+		return len(out) >= maxM
+	}
+	for _, ev := range events {
+		if current != nil {
+			// Inside the Kleene element els[idx].
+			if idx+1 < len(els) && ev.Activity == els[idx+1].Activity {
+				// Hand over to the next element (proceed wins
+				// over extend for same-activity successors).
+				spans = append(spans, current)
+				current = nil
+				idx++
+				// Fall through: ev starts els[idx].
+			} else if ev.Activity == els[idx].Activity {
+				current = append(current, ev.TS)
+				continue
+			} else {
+				continue // skip irrelevant event
+			}
+		}
+		el := els[idx]
+		if ev.Activity != el.Activity {
+			continue
+		}
+		if el.Kleene {
+			current = []model.Timestamp{ev.TS}
+			continue
+		}
+		spans = append(spans, []model.Timestamp{ev.TS})
+		idx++
+		if idx == len(els) {
+			if emit(spans) {
+				return out, true
+			}
+		}
+	}
+	// A trailing Kleene element completes at the end of the trace.
+	if current != nil && idx == len(els)-1 {
+		if emit(append(spans, current)) {
+			return out, true
+		}
+	}
+	return out, false
+}
+
+// kleeneRun is one partial STAM match: elements < idx are completed in
+// spans; current, when non-nil, is the open Kleene span of els[idx].
+type kleeneRun struct {
+	spans   [][]model.Timestamp
+	idx     int
+	current []model.Timestamp
+}
+
+func copySpans(spans [][]model.Timestamp, extra ...[]model.Timestamp) [][]model.Timestamp {
+	cp := make([][]model.Timestamp, 0, len(spans)+len(extra))
+	cp = append(cp, spans...)
+	cp = append(cp, extra...)
+	return cp
+}
+
+func copySpan(span []model.Timestamp, extra ...model.Timestamp) []model.Timestamp {
+	cp := make([]model.Timestamp, 0, len(span)+len(extra))
+	cp = append(cp, span...)
+	return append(cp, extra...)
+}
+
+// kleeneSTAM enumerates every extend/proceed combination with explicit
+// branching (skipping is implicit: the original run survives untouched).
+func kleeneSTAM(events []model.TraceEvent, q KleeneQuery, maxM int) ([][][]model.Timestamp, bool) {
+	els := q.Elements
+	var (
+		out       [][][]model.Timestamp
+		runs      []kleeneRun
+		truncated bool
+	)
+	emit := func(all [][]model.Timestamp) bool {
+		if kleeneWindowOK(q, all) {
+			out = append(out, all)
+		}
+		return len(out) >= maxM
+	}
+	// startElement branches a run whose next element idx begins with ev.
+	// It may emit (pattern completed) and/or push new runs.
+	startElement := func(spans [][]model.Timestamp, idx int, ts model.Timestamp) bool {
+		el := els[idx]
+		span := []model.Timestamp{ts}
+		if el.Kleene {
+			if idx == len(els)-1 {
+				// One repetition already forms a match; the run
+				// stays alive to absorb more.
+				if emit(copySpans(spans, span)) {
+					return true
+				}
+			}
+			runs = append(runs, kleeneRun{spans: spans, idx: idx, current: span})
+			return false
+		}
+		if idx == len(els)-1 {
+			return emit(copySpans(spans, span))
+		}
+		runs = append(runs, kleeneRun{spans: copySpans(spans, span), idx: idx + 1})
+		return false
+	}
+
+	for _, ev := range events {
+		n := len(runs)
+		for i := 0; i < n; i++ {
+			r := runs[i]
+			if r.current != nil {
+				el := els[r.idx]
+				// Extend the open Kleene span.
+				if ev.Activity == el.Activity {
+					ext := copySpan(r.current, ev.TS)
+					if r.idx == len(els)-1 {
+						if emit(copySpans(r.spans, ext)) {
+							return out, true
+						}
+					}
+					runs = append(runs, kleeneRun{spans: r.spans, idx: r.idx, current: ext})
+				}
+				// Close the span and start the next element.
+				if r.idx+1 < len(els) && ev.Activity == els[r.idx+1].Activity {
+					if startElement(copySpans(r.spans, r.current), r.idx+1, ev.TS) {
+						return out, true
+					}
+				}
+				continue
+			}
+			// Waiting for element idx to begin.
+			if ev.Activity == els[r.idx].Activity {
+				if startElement(r.spans, r.idx, ev.TS) {
+					return out, true
+				}
+			}
+		}
+		// A fresh run may open at this event.
+		if ev.Activity == els[0].Activity {
+			if startElement(nil, 0, ev.TS) {
+				return out, true
+			}
+		}
+		if len(runs) > 4*maxM {
+			runs = runs[:4*maxM]
+			truncated = true
+		}
+	}
+	return out, truncated
+}

@@ -1,0 +1,325 @@
+package sase
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqlog/internal/model"
+)
+
+func el(a byte, kleene bool) Element {
+	return Element{Activity: model.ActivityID(a), Kleene: kleene}
+}
+
+func spans(groups ...[]model.Timestamp) [][]model.Timestamp { return groups }
+
+func ts(vals ...model.Timestamp) []model.Timestamp { return vals }
+
+func TestKleeneEmptyRejected(t *testing.T) {
+	e := NewEngine(makeLog("AB"))
+	if _, err := e.EvaluateKleene(KleeneQuery{}); err == nil {
+		t.Fatal("empty kleene pattern accepted")
+	}
+}
+
+func TestKleeneSCMaximalRun(t *testing.T) {
+	// A+ B over AABAB: maximal run (1,2) then B@3; and A@4,B@5.
+	e := NewEngine(makeLog("AABAB"))
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('A', true), el('B', false)},
+		Strategy: model.SC,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KleeneMatch{
+		{Trace: 1, Spans: spans(ts(1, 2), ts(3))},
+		{Trace: 1, Spans: spans(ts(2), ts(3))}, // start position 2: run is just A@2
+		{Trace: 1, Spans: spans(ts(4), ts(5))},
+	}
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("SC kleene = %v", res.Matches)
+	}
+}
+
+func TestKleeneSTNMGreedy(t *testing.T) {
+	// A+ B over A A x A B y A B: absorbs A@1,2,4 (skipping x), hands over
+	// to B@5; restarts and matches A@7 B@8.
+	l := makeLog("AAXABYAB")
+	e := NewEngine(l)
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('A', true), el('B', false)},
+		Strategy: model.STNM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KleeneMatch{
+		{Trace: 1, Spans: spans(ts(1, 2, 4), ts(5))},
+		{Trace: 1, Spans: spans(ts(7), ts(8))},
+	}
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("STNM kleene = %v", res.Matches)
+	}
+}
+
+func TestKleeneSTNMTrailingKleene(t *testing.T) {
+	// B A+ over BAXAA: A-span absorbs to the end of the trace.
+	e := NewEngine(makeLog("BAXAA"))
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('B', false), el('A', true)},
+		Strategy: model.STNM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KleeneMatch{{Trace: 1, Spans: spans(ts(1), ts(2, 4, 5))}}
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("trailing kleene = %v", res.Matches)
+	}
+	if res.Matches[0].Start() != 1 || res.Matches[0].End() != 5 {
+		t.Fatalf("start/end = %d/%d", res.Matches[0].Start(), res.Matches[0].End())
+	}
+}
+
+func TestKleeneSTNMSameActivityNeighbour(t *testing.T) {
+	// A+ A: the Kleene element takes exactly one event, the successor the
+	// next one (documented greedy resolution).
+	e := NewEngine(makeLog("AAA"))
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('A', true), el('A', false)},
+		Strategy: model.STNM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 1 {
+		t.Fatalf("matches = %v", res.Matches)
+	}
+	if !reflect.DeepEqual(res.Matches[0].Spans, spans(ts(1), ts(2))) {
+		t.Fatalf("spans = %v", res.Matches[0].Spans)
+	}
+}
+
+func TestKleeneSTAMEnumerates(t *testing.T) {
+	// A+ B over AAB: STAM yields {1}, {2}, {1,2} as the A span.
+	e := NewEngine(makeLog("AAB"))
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('A', true), el('B', false)},
+		Strategy: model.STAM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("STAM matches = %v", res.Matches)
+	}
+	seen := map[string]bool{}
+	for _, m := range res.Matches {
+		key := ""
+		for _, t := range m.Spans[0] {
+			key += string(rune('0' + t))
+		}
+		seen[key] = true
+	}
+	for _, want := range []string{"1", "2", "12"} {
+		if !seen[want] {
+			t.Fatalf("missing A-span %q: %v", want, res.Matches)
+		}
+	}
+}
+
+func TestKleeneSTAMTrailing(t *testing.T) {
+	// B A+ over BAA: spans {2}, {3}, {2,3}.
+	e := NewEngine(makeLog("BAA"))
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('B', false), el('A', true)},
+		Strategy: model.STAM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("STAM trailing = %v", res.Matches)
+	}
+}
+
+func TestKleeneWithin(t *testing.T) {
+	l := model.NewLog()
+	tr := &model.Trace{ID: 1}
+	tr.Append(model.ActivityID('A'), 1)
+	tr.Append(model.ActivityID('A'), 2)
+	tr.Append(model.ActivityID('B'), 500)
+	l.Traces = append(l.Traces, tr)
+	e := NewEngine(l)
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('A', true), el('B', false)},
+		Strategy: model.STNM,
+		Within:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 0 {
+		t.Fatalf("window ignored: %v", res.Matches)
+	}
+}
+
+func TestKleeneCap(t *testing.T) {
+	s := ""
+	for i := 0; i < 12; i++ {
+		s += "A"
+	}
+	s += "B"
+	e := NewEngine(makeLog(s))
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements:           []Element{el('A', true), el('B', false)},
+		Strategy:           model.STAM,
+		MaxMatchesPerTrace: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 5 {
+		t.Fatalf("cap ignored: %d matches", len(res.Matches))
+	}
+}
+
+func TestKleeneNoKleeneDegeneratesToSequence(t *testing.T) {
+	// Without Kleene elements the results must agree with Evaluate.
+	e := NewEngine(makeLog("AXBYAB"))
+	kr, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('A', false), el('B', false)},
+		Strategy: model.STNM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.Evaluate(Query{Pattern: pattern("AB"), Strategy: model.STNM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kr.Matches) != len(plain.Matches) {
+		t.Fatalf("kleene %v vs plain %v", kr.Matches, plain.Matches)
+	}
+	for i, m := range kr.Matches {
+		flat := []model.Timestamp{m.Spans[0][0], m.Spans[1][0]}
+		if !reflect.DeepEqual(flat, plain.Matches[i].Timestamps) {
+			t.Fatalf("match %d: %v vs %v", i, flat, plain.Matches[i].Timestamps)
+		}
+	}
+}
+
+func TestKleeneMiddle(t *testing.T) {
+	// A B+ C over ABXBBC (STNM): B span = 2,4,5.
+	e := NewEngine(makeLog("ABXBBC"))
+	res, err := e.EvaluateKleene(KleeneQuery{
+		Elements: []Element{el('A', false), el('B', true), el('C', false)},
+		Strategy: model.STNM,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KleeneMatch{{Trace: 1, Spans: spans(ts(1), ts(2, 4, 5), ts(6))}}
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("middle kleene = %v", res.Matches)
+	}
+}
+
+// bruteKleeneSTAM enumerates all STAM Kleene matches by recursion over
+// (event index, element index, open span) — exponential, only for tiny
+// traces, but obviously correct.
+func bruteKleeneSTAM(events []model.TraceEvent, els []Element) [][][]model.Timestamp {
+	var out [][][]model.Timestamp
+	// rec explores every assignment; justConsumed guards emission so that
+	// a completed state is recorded exactly once (at the consume that
+	// produced it), not again after every skip.
+	var rec func(i int, spans [][]model.Timestamp, idx int, current []model.Timestamp, justConsumed bool)
+	rec = func(i int, spans [][]model.Timestamp, idx int, current []model.Timestamp, justConsumed bool) {
+		if justConsumed && idx == len(els)-1 && current != nil {
+			cp := make([][]model.Timestamp, 0, len(spans)+1)
+			for _, s := range spans {
+				cp = append(cp, append([]model.Timestamp(nil), s...))
+			}
+			cp = append(cp, append([]model.Timestamp(nil), current...))
+			out = append(out, cp)
+		}
+		if i == len(events) {
+			return
+		}
+		ev := events[i]
+		// Option 1: skip the event.
+		rec(i+1, spans, idx, current, false)
+		// Option 2: extend the open Kleene span.
+		if current != nil && els[idx].Kleene && ev.Activity == els[idx].Activity {
+			rec(i+1, spans, idx, append(append([]model.Timestamp(nil), current...), ev.TS), true)
+		}
+		// Option 3: start the next element (closing any open span).
+		if current != nil && idx+1 < len(els) && ev.Activity == els[idx+1].Activity {
+			base := append(append([][]model.Timestamp(nil), spans...), current)
+			rec(i+1, base, idx+1, []model.Timestamp{ev.TS}, true)
+		}
+	}
+	for i, ev := range events {
+		if ev.Activity == els[0].Activity {
+			rec(i+1, nil, 0, []model.Timestamp{ev.TS}, true)
+		}
+	}
+	return out
+}
+
+func TestKleeneSTAMMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	patterns := [][]Element{
+		{el('A', true), el('B', false)},
+		{el('A', false), el('B', true)},
+		{el('A', true), el('B', true)},
+		{el('A', false), el('B', true), el('C', false)},
+		{el('A', true)},
+	}
+	for iter := 0; iter < 200; iter++ {
+		n := 1 + rng.Intn(8)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = byte('A' + rng.Intn(3))
+		}
+		e := NewEngine(makeLog(string(s)))
+		for _, els := range patterns {
+			res, err := e.EvaluateKleene(KleeneQuery{Elements: els, Strategy: model.STAM})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKleeneSTAM(e.log.Traces[0].Events, els)
+			if len(res.Matches) != len(want) {
+				t.Fatalf("iter %d trace %q pattern %v: got %d matches, brute force %d\ngot:  %v\nwant: %v",
+					iter, s, els, len(res.Matches), len(want), res.Matches, want)
+			}
+			// Same multiset of span sets.
+			gotKeys := map[string]int{}
+			for _, m := range res.Matches {
+				gotKeys[fmtSpans(m.Spans)]++
+			}
+			for _, w := range want {
+				gotKeys[fmtSpans(w)]--
+			}
+			for k, v := range gotKeys {
+				if v != 0 {
+					t.Fatalf("iter %d trace %q pattern %v: multiset mismatch at %s", iter, s, els, k)
+				}
+			}
+		}
+	}
+}
+
+func fmtSpans(spans [][]model.Timestamp) string {
+	s := ""
+	for _, sp := range spans {
+		s += "["
+		for _, ts := range sp {
+			s += string(rune('0'+ts)) + ","
+		}
+		s += "]"
+	}
+	return s
+}

@@ -1,0 +1,273 @@
+// Package sase is the CEP baseline of the paper's query-time comparison
+// (Table 8): a SASE-style engine that compiles a sequence pattern into an
+// NFA and evaluates it over the stored traces at query time, with no
+// preprocessing whatsoever — which is precisely why it degrades on large
+// logs in the reproduction, as in the paper.
+//
+// Three event-selection strategies are supported: strict contiguity,
+// skip-till-next-match, and skip-till-any-match — the last one being the
+// future-work policy of §7 that the pair index cannot serve.
+package sase
+
+import (
+	"fmt"
+
+	"seqlog/internal/model"
+)
+
+// Query is a CEP sequence query: SEQ(e1, e2, ..., ep) under an event
+// selection strategy, optionally constrained to a time window (the WITHIN
+// clause of the SASE language).
+type Query struct {
+	Pattern  model.Pattern
+	Strategy model.Policy
+	// Within bounds End-Start of a match; 0 means unlimited.
+	Within int64
+	// MaxMatchesPerTrace caps match enumeration per trace (relevant for
+	// skip-till-any-match, whose match count is combinatorial). 0 means
+	// the DefaultMaxMatches cap.
+	MaxMatchesPerTrace int
+}
+
+// DefaultMaxMatches bounds per-trace match enumeration when the query does
+// not specify a cap.
+const DefaultMaxMatches = 1 << 16
+
+// Match is one detected occurrence.
+type Match struct {
+	Trace      model.TraceID
+	Timestamps []model.Timestamp
+}
+
+// Result carries the matches of an evaluation and whether any trace hit the
+// enumeration cap.
+type Result struct {
+	Matches   []Match
+	Truncated bool
+}
+
+// Engine evaluates queries against an in-memory log, scanning every trace
+// per query.
+type Engine struct {
+	log *model.Log
+}
+
+// NewEngine wraps a log. The engine performs no preprocessing.
+func NewEngine(log *model.Log) *Engine { return &Engine{log: log} }
+
+// Evaluate runs the query over every trace.
+func (e *Engine) Evaluate(q Query) (Result, error) {
+	if len(q.Pattern) == 0 {
+		return Result{}, fmt.Errorf("sase: empty pattern")
+	}
+	a := compile(q)
+	var res Result
+	for _, tr := range e.log.Traces {
+		ms, truncated := a.run(tr.Events)
+		for _, ts := range ms {
+			res.Matches = append(res.Matches, Match{Trace: tr.ID, Timestamps: ts})
+		}
+		res.Truncated = res.Truncated || truncated
+	}
+	return res, nil
+}
+
+// EvaluateTraces returns only the distinct matching trace ids.
+func (e *Engine) EvaluateTraces(q Query) ([]model.TraceID, error) {
+	if len(q.Pattern) == 0 {
+		return nil, fmt.Errorf("sase: empty pattern")
+	}
+	a := compile(q)
+	var out []model.TraceID
+	for _, tr := range e.log.Traces {
+		if a.matchesAny(tr.Events) {
+			out = append(out, tr.ID)
+		}
+	}
+	return out, nil
+}
+
+// nfa is the compiled automaton: state i awaits pattern[i]; state p accepts.
+type nfa struct {
+	pattern  model.Pattern
+	strategy model.Policy
+	within   int64
+	maxM     int
+}
+
+func compile(q Query) *nfa {
+	maxM := q.MaxMatchesPerTrace
+	if maxM <= 0 {
+		maxM = DefaultMaxMatches
+	}
+	return &nfa{pattern: q.Pattern, strategy: q.Strategy, within: q.Within, maxM: maxM}
+}
+
+// run enumerates matches over one trace under the compiled strategy.
+func (a *nfa) run(events []model.TraceEvent) ([][]model.Timestamp, bool) {
+	switch a.strategy {
+	case model.SC:
+		return a.runSC(events)
+	case model.STNM:
+		return a.runSTNM(events)
+	default:
+		return a.runSTAM(events)
+	}
+}
+
+func (a *nfa) inWindow(start, end model.Timestamp) bool {
+	return a.within <= 0 || int64(end-start) <= a.within
+}
+
+// runSC: a run must consume every subsequent event; any non-matching event
+// kills it. Equivalent to substring matching, expressed as NFA runs.
+func (a *nfa) runSC(events []model.TraceEvent) ([][]model.Timestamp, bool) {
+	var out [][]model.Timestamp
+	p := a.pattern
+	for i := 0; i+len(p) <= len(events); i++ {
+		ok := true
+		for j := range p {
+			if events[i+j].Activity != p[j] {
+				ok = false
+				break
+			}
+		}
+		if ok && a.inWindow(events[i].TS, events[i+len(p)-1].TS) {
+			ts := make([]model.Timestamp, len(p))
+			for j := range p {
+				ts[j] = events[i+j].TS
+			}
+			out = append(out, ts)
+			if len(out) >= a.maxM {
+				return out, true
+			}
+		}
+	}
+	return out, false
+}
+
+// runSTNM: one deterministic run; irrelevant events are skipped, a completed
+// run restarts the automaton (the paper's §2.1 example semantics).
+func (a *nfa) runSTNM(events []model.TraceEvent) ([][]model.Timestamp, bool) {
+	var out [][]model.Timestamp
+	p := a.pattern
+	ts := make([]model.Timestamp, 0, len(p))
+	state := 0
+	for _, ev := range events {
+		if ev.Activity != p[state] {
+			continue
+		}
+		// The window constraint prunes the run at its start: if the
+		// partial already exceeds the window, restart from scratch at
+		// this event if it can open a run.
+		if state > 0 && !a.inWindow(ts[0], ev.TS) {
+			ts, state = ts[:0], 0
+			if ev.Activity != p[0] {
+				continue
+			}
+		}
+		ts = append(ts, ev.TS)
+		state++
+		if state == len(p) {
+			out = append(out, append([]model.Timestamp(nil), ts...))
+			ts, state = ts[:0], 0
+			if len(out) >= a.maxM {
+				return out, true
+			}
+		}
+	}
+	return out, false
+}
+
+// runSTAM: full nondeterminism — every partial run may either consume a
+// matching event or skip it, so all combinations are enumerated (bounded by
+// the cap).
+func (a *nfa) runSTAM(events []model.TraceEvent) ([][]model.Timestamp, bool) {
+	p := a.pattern
+	var out [][]model.Timestamp
+	// partial runs by state; runs store their collected timestamps.
+	var runs [][]model.Timestamp
+	truncated := false
+	for _, ev := range events {
+		// Branch existing runs that can consume this event.
+		n := len(runs)
+		for i := 0; i < n; i++ {
+			r := runs[i]
+			state := len(r)
+			if p[state] != ev.Activity || !a.inWindow(r[0], ev.TS) {
+				continue
+			}
+			ext := make([]model.Timestamp, state+1)
+			copy(ext, r)
+			ext[state] = ev.TS
+			if len(ext) == len(p) {
+				out = append(out, ext)
+				if len(out) >= a.maxM {
+					return out, true
+				}
+				continue
+			}
+			runs = append(runs, ext)
+		}
+		// Open a fresh run on the first pattern symbol.
+		if ev.Activity == p[0] {
+			if len(p) == 1 {
+				out = append(out, []model.Timestamp{ev.TS})
+				if len(out) >= a.maxM {
+					return out, true
+				}
+			} else {
+				runs = append(runs, []model.Timestamp{ev.TS})
+			}
+		}
+		// Window-expired runs can never complete; drop them to bound
+		// the frontier.
+		if a.within > 0 {
+			alive := runs[:0]
+			for _, r := range runs {
+				if a.inWindow(r[0], ev.TS) {
+					alive = append(alive, r)
+				}
+			}
+			runs = alive
+		}
+		if len(runs) > 4*a.maxM {
+			runs = runs[:4*a.maxM]
+			truncated = true
+		}
+	}
+	return out, truncated
+}
+
+// matchesAny reports whether at least one match exists in the trace; under
+// every strategy, existence is equivalent to subsequence (or substring for
+// SC) containment, checked greedily without enumeration.
+func (a *nfa) matchesAny(events []model.TraceEvent) bool {
+	p := a.pattern
+	if a.strategy == model.SC {
+		ms, _ := a.runSC(events)
+		return len(ms) > 0
+	}
+	if a.within <= 0 {
+		// Greedy subsequence check.
+		state := 0
+		for _, ev := range events {
+			if ev.Activity == p[state] {
+				state++
+				if state == len(p) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	ms, _ := a.runSTNM(events)
+	if len(ms) > 0 {
+		return true
+	}
+	if a.strategy == model.STAM {
+		ms, _ := a.runSTAM(events)
+		return len(ms) > 0
+	}
+	return false
+}

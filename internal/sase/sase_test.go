@@ -1,0 +1,243 @@
+package sase
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqlog/internal/model"
+	"seqlog/internal/query"
+)
+
+func makeLog(traces ...string) *model.Log {
+	l := model.NewLog()
+	for ti, s := range traces {
+		tr := &model.Trace{ID: model.TraceID(ti + 1)}
+		for i, c := range []byte(s) {
+			tr.Append(model.ActivityID(c), model.Timestamp(i+1))
+		}
+		l.Traces = append(l.Traces, tr)
+	}
+	return l
+}
+
+func pattern(s string) model.Pattern {
+	p := make(model.Pattern, len(s))
+	for i, c := range []byte(s) {
+		p[i] = model.ActivityID(c)
+	}
+	return p
+}
+
+func TestEmptyPatternRejected(t *testing.T) {
+	e := NewEngine(makeLog("AB"))
+	if _, err := e.Evaluate(Query{}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	if _, err := e.EvaluateTraces(Query{}); err == nil {
+		t.Fatal("empty pattern accepted by EvaluateTraces")
+	}
+}
+
+func TestSCMatchesSubstrings(t *testing.T) {
+	e := NewEngine(makeLog("AABAB"))
+	res, err := e.Evaluate(Query{Pattern: pattern("AB"), Strategy: model.SC})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Match{
+		{Trace: 1, Timestamps: []model.Timestamp{2, 3}},
+		{Trace: 1, Timestamps: []model.Timestamp{4, 5}},
+	}
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("SC matches = %v", res.Matches)
+	}
+}
+
+func TestSTNMPaperExample(t *testing.T) {
+	// §2.1: AAB over <AAABAACB> yields (1,2,4) and (5,6,8).
+	e := NewEngine(makeLog("AAABAACB"))
+	res, err := e.Evaluate(Query{Pattern: pattern("AAB"), Strategy: model.STNM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Match{
+		{Trace: 1, Timestamps: []model.Timestamp{1, 2, 4}},
+		{Trace: 1, Timestamps: []model.Timestamp{5, 6, 8}},
+	}
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("STNM matches = %v", res.Matches)
+	}
+}
+
+func TestSTAMEnumeratesAllCombinations(t *testing.T) {
+	// §2.1 notes STAM additionally detects e.g. (1,3,8) — all subsequence
+	// alignments. For AAB over AAB + extra A: trace AAAB has A-pairs
+	// (1,2),(1,3),(2,3) each completed by B@4 → 3 matches.
+	e := NewEngine(makeLog("AAAB"))
+	res, err := e.Evaluate(Query{Pattern: pattern("AAB"), Strategy: model.STAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 3 {
+		t.Fatalf("STAM matches = %v", res.Matches)
+	}
+	if res.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+}
+
+func TestSTAMIncludesPaperExtraMatch(t *testing.T) {
+	e := NewEngine(makeLog("AAABAACB"))
+	res, err := e.Evaluate(Query{Pattern: pattern("AAB"), Strategy: model.STAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range res.Matches {
+		if reflect.DeepEqual(m.Timestamps, []model.Timestamp{1, 3, 8}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("STAM missed the (1,3,8) alignment: %v", res.Matches)
+	}
+	// STAM is a superset of STNM.
+	stnm, _ := e.Evaluate(Query{Pattern: pattern("AAB"), Strategy: model.STNM})
+	for _, m := range stnm.Matches {
+		ok := false
+		for _, am := range res.Matches {
+			if reflect.DeepEqual(m.Timestamps, am.Timestamps) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("STNM match %v missing from STAM", m)
+		}
+	}
+}
+
+func TestWithinWindow(t *testing.T) {
+	l := model.NewLog()
+	tr := &model.Trace{ID: 1}
+	tr.Append(model.ActivityID('A'), 1)
+	tr.Append(model.ActivityID('B'), 100)
+	tr.Append(model.ActivityID('A'), 200)
+	tr.Append(model.ActivityID('B'), 205)
+	l.Traces = append(l.Traces, tr)
+	e := NewEngine(l)
+
+	res, err := e.Evaluate(Query{Pattern: pattern("AB"), Strategy: model.STNM, Within: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only (200,205) fits the window; the greedy run restarts at A@200.
+	want := []Match{{Trace: 1, Timestamps: []model.Timestamp{200, 205}}}
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("windowed matches = %v", res.Matches)
+	}
+
+	res, _ = e.Evaluate(Query{Pattern: pattern("AB"), Strategy: model.STAM, Within: 10})
+	if !reflect.DeepEqual(res.Matches, want) {
+		t.Fatalf("windowed STAM = %v", res.Matches)
+	}
+
+	res, _ = e.Evaluate(Query{Pattern: pattern("AB"), Strategy: model.SC, Within: 50})
+	if len(res.Matches) != 1 {
+		t.Fatalf("windowed SC = %v", res.Matches)
+	}
+}
+
+func TestTruncationCap(t *testing.T) {
+	// 20 As then 20 Bs: STAM has 190 A-pair alignments per B... far more
+	// than the cap of 10.
+	s := ""
+	for i := 0; i < 20; i++ {
+		s += "A"
+	}
+	for i := 0; i < 20; i++ {
+		s += "B"
+	}
+	e := NewEngine(makeLog(s))
+	res, err := e.Evaluate(Query{Pattern: pattern("AB"), Strategy: model.STAM, MaxMatchesPerTrace: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Matches) != 10 || !res.Truncated {
+		t.Fatalf("cap: %d matches truncated=%v", len(res.Matches), res.Truncated)
+	}
+}
+
+func TestEvaluateTraces(t *testing.T) {
+	e := NewEngine(makeLog("AXB", "BA", "AB"))
+	got, err := e.EvaluateTraces(Query{Pattern: pattern("AB"), Strategy: model.STNM})
+	if err != nil || !reflect.DeepEqual(got, []model.TraceID{1, 3}) {
+		t.Fatalf("traces = %v %v", got, err)
+	}
+	got, err = e.EvaluateTraces(Query{Pattern: pattern("AB"), Strategy: model.SC})
+	if err != nil || !reflect.DeepEqual(got, []model.TraceID{3}) {
+		t.Fatalf("SC traces = %v %v", got, err)
+	}
+}
+
+// TestAgreesWithQueryReference: SASE and the query package's reference
+// matcher implement the same SC/STNM semantics.
+func TestAgreesWithQueryReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 50; iter++ {
+		n := 5 + rng.Intn(50)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = byte('A' + rng.Intn(3))
+		}
+		l := makeLog(string(s))
+		e := NewEngine(l)
+		for plen := 1; plen <= 4; plen++ {
+			p := make(model.Pattern, plen)
+			for j := range p {
+				p[j] = model.ActivityID(byte('A' + rng.Intn(3)))
+			}
+			for _, pol := range []model.Policy{model.SC, model.STNM} {
+				res, err := e.Evaluate(Query{Pattern: p, Strategy: pol})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := query.MatchTrace(l.Traces[0].Events, p, pol)
+				if len(res.Matches) != len(want) {
+					t.Fatalf("iter %d %v %v: %d != %d", iter, pol, p, len(res.Matches), len(want))
+				}
+				for i := range want {
+					if !reflect.DeepEqual(res.Matches[i].Timestamps, want[i]) {
+						t.Fatalf("iter %d %v: match %d differs", iter, pol, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSTAMSupersetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 30; iter++ {
+		n := 5 + rng.Intn(25)
+		s := make([]byte, n)
+		for j := range s {
+			s[j] = byte('A' + rng.Intn(3))
+		}
+		e := NewEngine(makeLog(string(s)))
+		p := pattern("AB")
+		stnm, _ := e.Evaluate(Query{Pattern: p, Strategy: model.STNM})
+		stam, _ := e.Evaluate(Query{Pattern: p, Strategy: model.STAM})
+		if len(stam.Matches) < len(stnm.Matches) {
+			t.Fatalf("iter %d: STAM %d < STNM %d", iter, len(stam.Matches), len(stnm.Matches))
+		}
+	}
+}
+
+func TestSingleEventPattern(t *testing.T) {
+	e := NewEngine(makeLog("ABA"))
+	res, err := e.Evaluate(Query{Pattern: pattern("A"), Strategy: model.STAM})
+	if err != nil || len(res.Matches) != 2 {
+		t.Fatalf("single-event STAM: %v %v", res.Matches, err)
+	}
+}

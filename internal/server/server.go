@@ -1,0 +1,283 @@
+// Package server exposes the query processor as an HTTP JSON API — the
+// substitute for the paper's Java Spring query executor. One handler wraps
+// one seqlog.Engine; ingestion and queries share the engine exactly as the
+// paper's architecture shares the indexing database.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"seqlog"
+)
+
+// Handler is the HTTP API. Create it with New and mount it as an
+// http.Handler.
+type Handler struct {
+	engine *seqlog.Engine
+	mux    *http.ServeMux
+}
+
+// New wraps an engine.
+func New(engine *seqlog.Engine) *Handler {
+	h := &Handler{engine: engine, mux: http.NewServeMux()}
+	h.mux.HandleFunc("GET /health", h.health)
+	h.mux.HandleFunc("GET /activities", h.activities)
+	h.mux.HandleFunc("GET /periods", h.periods)
+	h.mux.HandleFunc("GET /info", h.info)
+	h.mux.HandleFunc("GET /trace/{id}", h.trace)
+	h.mux.HandleFunc("POST /ingest", h.ingest)
+	h.mux.HandleFunc("POST /detect", h.detect)
+	h.mux.HandleFunc("POST /stats", h.stats)
+	h.mux.HandleFunc("POST /explore", h.explore)
+	h.mux.HandleFunc("POST /prune", h.prune)
+	h.mux.HandleFunc("POST /periods/rotate", h.rotate)
+	return h
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorBody{Error: err.Error()})
+}
+
+func decode(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
+	n, err := h.engine.NumTraces()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "traces": n})
+}
+
+func (h *Handler) activities(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"activities": h.engine.Activities()})
+}
+
+func (h *Handler) periods(w http.ResponseWriter, _ *http.Request) {
+	ps, err := h.engine.Periods()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"periods": ps})
+}
+
+func (h *Handler) info(w http.ResponseWriter, _ *http.Request) {
+	info, err := h.engine.Info()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (h *Handler) trace(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseInt(r.PathValue("id"), 10, 64)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("bad trace id: %w", err))
+		return
+	}
+	events, ok, err := h.engine.TraceEvents(id)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("trace %d not found", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace": id, "events": events})
+}
+
+// IngestRequest is the body of POST /ingest.
+type IngestRequest struct {
+	Events []seqlog.Event `json:"events"`
+}
+
+func (h *Handler) ingest(w http.ResponseWriter, r *http.Request) {
+	var req IngestRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Events) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("no events"))
+		return
+	}
+	st, err := h.engine.Ingest(req.Events)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// DetectRequest is the body of POST /detect.
+type DetectRequest struct {
+	Pattern []string `json:"pattern"`
+	// Scan switches to the exact per-trace scan instead of the index join.
+	Scan bool `json:"scan,omitempty"`
+	// TracesOnly omits match timestamps from the response.
+	TracesOnly bool `json:"tracesOnly,omitempty"`
+	// Within, when positive, keeps only completions spanning at most this
+	// many milliseconds.
+	Within int64 `json:"within,omitempty"`
+}
+
+// DetectResponse is the answer of POST /detect.
+type DetectResponse struct {
+	Matches []seqlog.Match `json:"matches,omitempty"`
+	Traces  []int64        `json:"traces,omitempty"`
+}
+
+func (h *Handler) detect(w http.ResponseWriter, r *http.Request) {
+	var req DetectRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var resp DetectResponse
+	var err error
+	switch {
+	case req.TracesOnly:
+		resp.Traces, err = h.engine.DetectTraces(req.Pattern)
+	case req.Scan:
+		resp.Matches, err = h.engine.DetectScan(req.Pattern)
+	case req.Within > 0:
+		resp.Matches, err = h.engine.DetectWithin(req.Pattern, req.Within)
+	default:
+		resp.Matches, err = h.engine.Detect(req.Pattern)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsRequest is the body of POST /stats.
+type StatsRequest struct {
+	Pattern []string `json:"pattern"`
+	// AllPairs switches to the tighter all-ordered-pairs bound.
+	AllPairs bool `json:"allPairs,omitempty"`
+}
+
+func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
+	var req StatsRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	var st seqlog.PatternStats
+	var err error
+	if req.AllPairs {
+		st, err = h.engine.StatsAllPairs(req.Pattern)
+	} else {
+		st, err = h.engine.Stats(req.Pattern)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// ExploreRequest is the body of POST /explore. When Position is set the
+// candidate event is inserted there instead of appended (the §7 extension).
+type ExploreRequest struct {
+	Pattern   []string `json:"pattern"`
+	Mode      string   `json:"mode"` // accurate | fast | hybrid
+	TopK      int      `json:"topK,omitempty"`
+	MaxAvgGap float64  `json:"maxAvgGap,omitempty"`
+	Position  *int     `json:"position,omitempty"`
+}
+
+func (h *Handler) explore(w http.ResponseWriter, r *http.Request) {
+	var req ExploreRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Mode == "" {
+		req.Mode = string(seqlog.Hybrid)
+	}
+	opts := seqlog.ExploreOptions{TopK: req.TopK, MaxAvgGap: req.MaxAvgGap}
+	var props []seqlog.Proposal
+	var err error
+	if req.Position != nil {
+		props, err = h.engine.ExploreInsert(req.Pattern, *req.Position, seqlog.ExploreMode(req.Mode), opts)
+	} else {
+		props, err = h.engine.Explore(req.Pattern, seqlog.ExploreMode(req.Mode), opts)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"proposals": props})
+}
+
+// PruneRequest is the body of POST /prune.
+type PruneRequest struct {
+	Traces []int64 `json:"traces"`
+}
+
+func (h *Handler) prune(w http.ResponseWriter, r *http.Request) {
+	var req PruneRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := h.engine.PruneTraces(req.Traces); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pruned": len(req.Traces)})
+}
+
+// RotateRequest is the body of POST /periods/rotate.
+type RotateRequest struct {
+	Period string `json:"period"`
+}
+
+func (h *Handler) rotate(w http.ResponseWriter, r *http.Request) {
+	var req RotateRequest
+	if err := decode(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Period == "" {
+		writeErr(w, http.StatusBadRequest, errors.New("period required"))
+		return
+	}
+	if err := h.engine.RotatePeriod(req.Period); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"period": req.Period})
+}

@@ -1,0 +1,491 @@
+package storage
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+)
+
+// IndexEntry is one row fragment of the inverted Index table: the pair
+// occurred in Trace between timestamps TsA and TsB (§3.1: "(A,B): {(trace12,
+// 2, 5), ...}").
+type IndexEntry struct {
+	Trace model.TraceID
+	TsA   model.Timestamp
+	TsB   model.Timestamp
+}
+
+// CountEntry is one element of a Count (or Reverse Count) row: for the row's
+// key event a, the pair (a, Other) completed Completions times with a total
+// duration SumDuration (§3.1.2).
+type CountEntry struct {
+	Other       model.ActivityID
+	SumDuration int64
+	Completions int64
+}
+
+// AvgDuration returns the mean pair duration, or 0 when no completions.
+func (c CountEntry) AvgDuration() float64 {
+	if c.Completions == 0 {
+		return 0
+	}
+	return float64(c.SumDuration) / float64(c.Completions)
+}
+
+// Tables is the typed view of the indexing database. All methods are safe
+// for concurrent use as long as distinct keys are touched; the index builder
+// shards writes by key to exploit that (mirroring the paper's per-trace
+// parallel appends into Cassandra).
+type Tables struct {
+	store kvstore.Store
+}
+
+// NewTables wraps a store.
+func NewTables(store kvstore.Store) *Tables { return &Tables{store: store} }
+
+// Store exposes the underlying kvstore (the server and tools report raw
+// table statistics through it).
+func (t *Tables) Store() kvstore.Store { return t.store }
+
+// ---- Seq table: trace_id -> [(activity, ts), ...] -------------------------
+
+func encodeSeq(buf []byte, events []model.TraceEvent) []byte {
+	for _, ev := range events {
+		buf = binary.AppendUvarint(buf, uint64(uint32(ev.Activity)))
+		buf = binary.AppendVarint(buf, int64(ev.TS))
+	}
+	return buf
+}
+
+// AppendSeq appends events to the stored sequence of the trace, creating it
+// if absent. Events must already be in timestamp order.
+func (t *Tables) AppendSeq(id model.TraceID, events []model.TraceEvent) error {
+	if len(events) == 0 {
+		return nil
+	}
+	return t.store.Append(tableSeq, traceKeyString(id), encodeSeq(nil, events))
+}
+
+// GetSeq returns the stored sequence of the trace.
+func (t *Tables) GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error) {
+	raw, ok, err := t.store.Get(tableSeq, traceKeyString(id))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	events, err := decodeSeq(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return events, true, nil
+}
+
+func decodeSeq(raw []byte) ([]model.TraceEvent, error) {
+	r := &reader{buf: raw}
+	var events []model.TraceEvent
+	for !r.done() {
+		a, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ts, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, model.TraceEvent{Activity: model.ActivityID(uint32(a)), TS: model.Timestamp(ts)})
+	}
+	return events, nil
+}
+
+// DeleteSeq prunes a completed trace from the Seq table (§3.1.3).
+func (t *Tables) DeleteSeq(id model.TraceID) error {
+	return t.store.Delete(tableSeq, traceKeyString(id))
+}
+
+// ScanSeq iterates over all stored traces.
+func (t *Tables) ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error {
+	return t.store.Scan(tableSeq, func(k string, v []byte) error {
+		id, err := parseTraceKey(k)
+		if err != nil {
+			return err
+		}
+		events, err := decodeSeq(v)
+		if err != nil {
+			return err
+		}
+		return fn(id, events)
+	})
+}
+
+// NumTraces returns the number of traces in the Seq table.
+func (t *Tables) NumTraces() (int, error) { return t.store.Len(tableSeq) }
+
+// ---- Index table: (ev_a, ev_b) -> [(trace, tsA, tsB), ...] ----------------
+
+func indexTable(period string) string {
+	if period == "" {
+		return tableIndex
+	}
+	return tableIndex + ":" + period
+}
+
+func encodeIndexEntries(buf []byte, entries []IndexEntry) []byte {
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(e.Trace))
+		buf = binary.AppendVarint(buf, int64(e.TsA))
+		buf = binary.AppendUvarint(buf, uint64(e.TsB-e.TsA))
+	}
+	return buf
+}
+
+// AppendIndex appends entries to the inverted-index row of pair within the
+// given period partition ("" is the default partition).
+func (t *Tables) AppendIndex(period string, pair model.PairKey, entries []IndexEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	if period != "" {
+		if err := t.registerPeriod(period); err != nil {
+			return err
+		}
+	}
+	return t.store.Append(indexTable(period), pairKeyString(pair), encodeIndexEntries(nil, entries))
+}
+
+// GetIndex returns the entries of pair in one period partition.
+func (t *Tables) GetIndex(period string, pair model.PairKey) ([]IndexEntry, error) {
+	raw, ok, err := t.store.Get(indexTable(period), pairKeyString(pair))
+	if err != nil || !ok {
+		return nil, err
+	}
+	return decodeIndexEntries(raw)
+}
+
+func decodeIndexEntries(raw []byte) ([]IndexEntry, error) {
+	r := &reader{buf: raw}
+	entries := make([]IndexEntry, 0, len(raw)/6)
+	for !r.done() {
+		tr, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		tsA, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		d, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, IndexEntry{
+			Trace: model.TraceID(tr),
+			TsA:   model.Timestamp(tsA),
+			TsB:   model.Timestamp(tsA + int64(d)),
+		})
+	}
+	return entries, nil
+}
+
+// GetIndexAll returns the entries of pair across the default partition and
+// every registered period, in period registration order — the cross-period
+// read the query processor performs when the index is partitioned (§3.1.3).
+func (t *Tables) GetIndexAll(pair model.PairKey) ([]IndexEntry, error) {
+	out, err := t.GetIndex("", pair)
+	if err != nil {
+		return nil, err
+	}
+	periods, err := t.Periods()
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range periods {
+		more, err := t.GetIndex(p, pair)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, more...)
+	}
+	return out, nil
+}
+
+// DropPeriod retires an entire period partition of the index.
+func (t *Tables) DropPeriod(period string) error {
+	if period == "" {
+		return t.store.DropTable(tableIndex)
+	}
+	if err := t.store.Delete(tablePeriods, period); err != nil {
+		return err
+	}
+	return t.store.DropTable(indexTable(period))
+}
+
+func (t *Tables) registerPeriod(period string) error {
+	// Idempotent put; Periods() sorts on read.
+	return t.store.Put(tablePeriods, period, nil)
+}
+
+// Periods lists the registered period partitions in sorted order.
+func (t *Tables) Periods() ([]string, error) {
+	var out []string
+	err := t.store.Scan(tablePeriods, func(k string, _ []byte) error {
+		out = append(out, k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// NumIndexedPairs returns the number of distinct pairs in one partition.
+func (t *Tables) NumIndexedPairs(period string) (int, error) {
+	return t.store.Len(indexTable(period))
+}
+
+// ScanIndex iterates over all pairs of one partition.
+func (t *Tables) ScanIndex(period string, fn func(model.PairKey, []IndexEntry) error) error {
+	return t.store.Scan(indexTable(period), func(k string, v []byte) error {
+		pair, err := parsePairKey(k)
+		if err != nil {
+			return err
+		}
+		entries, err := decodeIndexEntries(v)
+		if err != nil {
+			return err
+		}
+		return fn(pair, entries)
+	})
+}
+
+// ---- Count / Reverse Count tables ------------------------------------------
+
+func encodeCounts(buf []byte, entries []CountEntry) []byte {
+	for _, e := range entries {
+		buf = binary.AppendUvarint(buf, uint64(uint32(e.Other)))
+		buf = binary.AppendVarint(buf, e.SumDuration)
+		buf = binary.AppendVarint(buf, e.Completions)
+	}
+	return buf
+}
+
+func decodeCounts(raw []byte) ([]CountEntry, error) {
+	r := &reader{buf: raw}
+	var entries []CountEntry
+	for !r.done() {
+		o, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		sum, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, CountEntry{Other: model.ActivityID(uint32(o)), SumDuration: sum, Completions: n})
+	}
+	return entries, nil
+}
+
+func mergeCounts(existing, delta []CountEntry) []CountEntry {
+	idx := make(map[model.ActivityID]int, len(existing))
+	for i, e := range existing {
+		idx[e.Other] = i
+	}
+	for _, d := range delta {
+		if i, ok := idx[d.Other]; ok {
+			existing[i].SumDuration += d.SumDuration
+			existing[i].Completions += d.Completions
+		} else {
+			idx[d.Other] = len(existing)
+			existing = append(existing, d)
+		}
+	}
+	return existing
+}
+
+func (t *Tables) mergeCountTable(table string, key model.ActivityID, delta []CountEntry) error {
+	if len(delta) == 0 {
+		return nil
+	}
+	k := activityKeyString(key)
+	raw, _, err := t.store.Get(table, k)
+	if err != nil {
+		return err
+	}
+	existing, err := decodeCounts(raw)
+	if err != nil {
+		return err
+	}
+	merged := mergeCounts(existing, delta)
+	// Canonical order keeps rows byte-identical regardless of batch split.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Other < merged[j].Other })
+	return t.store.Put(table, k, encodeCounts(nil, merged))
+}
+
+// MergeCounts folds a batch delta into the Count row of first (pairs where
+// first is the leading event).
+func (t *Tables) MergeCounts(first model.ActivityID, delta []CountEntry) error {
+	return t.mergeCountTable(tableCount, first, delta)
+}
+
+// MergeReverseCounts folds a batch delta into the Reverse Count row of
+// second (pairs where second is the trailing event).
+func (t *Tables) MergeReverseCounts(second model.ActivityID, delta []CountEntry) error {
+	return t.mergeCountTable(tableRCount, second, delta)
+}
+
+// GetCounts returns the Count row of first: one entry per successor event.
+func (t *Tables) GetCounts(first model.ActivityID) ([]CountEntry, error) {
+	raw, _, err := t.store.Get(tableCount, activityKeyString(first))
+	if err != nil {
+		return nil, err
+	}
+	return decodeCounts(raw)
+}
+
+// GetReverseCounts returns the Reverse Count row of second: one entry per
+// predecessor event.
+func (t *Tables) GetReverseCounts(second model.ActivityID) ([]CountEntry, error) {
+	raw, _, err := t.store.Get(tableRCount, activityKeyString(second))
+	if err != nil {
+		return nil, err
+	}
+	return decodeCounts(raw)
+}
+
+// GetPairCount returns the Count entry of the exact pair (a, b).
+func (t *Tables) GetPairCount(a, b model.ActivityID) (CountEntry, bool, error) {
+	entries, err := t.GetCounts(a)
+	if err != nil {
+		return CountEntry{}, false, err
+	}
+	for _, e := range entries {
+		if e.Other == b {
+			return e, true, nil
+		}
+	}
+	return CountEntry{}, false, nil
+}
+
+// ---- LastChecked table ------------------------------------------------------
+
+func encodeLastChecked(buf []byte, m map[model.TraceID]model.Timestamp) []byte {
+	// Deterministic order keeps snapshots and tests stable.
+	ids := make([]model.TraceID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		buf = binary.AppendUvarint(buf, uint64(id))
+		buf = binary.AppendVarint(buf, int64(m[id]))
+	}
+	return buf
+}
+
+func decodeLastChecked(raw []byte) (map[model.TraceID]model.Timestamp, error) {
+	r := &reader{buf: raw}
+	m := make(map[model.TraceID]model.Timestamp)
+	for !r.done() {
+		id, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		ts, err := r.varint()
+		if err != nil {
+			return nil, err
+		}
+		m[model.TraceID(id)] = model.Timestamp(ts)
+	}
+	return m, nil
+}
+
+// GetLastChecked returns, for one pair, the last completion timestamp per
+// trace — the dedup watermarks of Algorithm 1.
+func (t *Tables) GetLastChecked(pair model.PairKey) (map[model.TraceID]model.Timestamp, error) {
+	raw, _, err := t.store.Get(tableLast, pairKeyString(pair))
+	if err != nil {
+		return nil, err
+	}
+	return decodeLastChecked(raw)
+}
+
+// MergeLastChecked folds new watermarks into the row of pair, keeping the
+// maximum timestamp per trace.
+func (t *Tables) MergeLastChecked(pair model.PairKey, delta map[model.TraceID]model.Timestamp) error {
+	if len(delta) == 0 {
+		return nil
+	}
+	existing, err := t.GetLastChecked(pair)
+	if err != nil {
+		return err
+	}
+	for id, ts := range delta {
+		if old, ok := existing[id]; !ok || ts > old {
+			existing[id] = ts
+		}
+	}
+	return t.store.Put(tableLast, pairKeyString(pair), encodeLastChecked(nil, existing))
+}
+
+// PruneLastChecked removes the given traces from every LastChecked row (the
+// §3.1.3 cleanup when sessions complete). It rewrites only rows that change.
+func (t *Tables) PruneLastChecked(traces map[model.TraceID]bool) error {
+	if len(traces) == 0 {
+		return nil
+	}
+	type upd struct {
+		key string
+		val []byte
+	}
+	var updates []upd
+	err := t.store.Scan(tableLast, func(k string, v []byte) error {
+		m, err := decodeLastChecked(v)
+		if err != nil {
+			return err
+		}
+		changed := false
+		for id := range traces {
+			if _, ok := m[id]; ok {
+				delete(m, id)
+				changed = true
+			}
+		}
+		if changed {
+			updates = append(updates, upd{key: k, val: encodeLastChecked(nil, m)})
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, u := range updates {
+		if len(u.val) == 0 {
+			if err := t.store.Delete(tableLast, u.key); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := t.store.Put(tableLast, u.key, u.val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ---- Meta table ---------------------------------------------------------
+
+// PutMeta stores a small piece of engine metadata (alphabet, policy, ...).
+func (t *Tables) PutMeta(key string, value []byte) error {
+	return t.store.Put(tableMeta, key, value)
+}
+
+// GetMeta retrieves engine metadata.
+func (t *Tables) GetMeta(key string) ([]byte, bool, error) {
+	return t.store.Get(tableMeta, key)
+}

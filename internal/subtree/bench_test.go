@@ -1,0 +1,60 @@
+package subtree
+
+import (
+	"testing"
+
+	"seqlog/internal/loggen"
+	"seqlog/internal/model"
+)
+
+func benchLog() *model.Log {
+	return loggen.MarkovLog(loggen.MarkovLogConfig{
+		Traces: 2000, Activities: 10, MeanLen: 15, MinLen: 2, MaxLen: 60, Seed: 88,
+	})
+}
+
+func BenchmarkBuildLogIndex(b *testing.B) {
+	log := benchLog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildLogIndex(log)
+	}
+}
+
+func BenchmarkBuildMaterialized(b *testing.B) {
+	log := benchLog()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildMaterialized(log)
+	}
+}
+
+// BenchmarkMaterializedSmallAlphabet shows the pathology the paper's [19]
+// baseline hits on bpi_2013-like logs: few activities mean long shared
+// suffix prefixes and expensive comparisons.
+func BenchmarkMaterializedSmallAlphabet(b *testing.B) {
+	log := loggen.MarkovLog(loggen.MarkovLogConfig{
+		Traces: 2000, Activities: 3, MeanLen: 15, MinLen: 2, MaxLen: 60, Seed: 89,
+	})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BuildMaterialized(log)
+	}
+}
+
+func BenchmarkSuffixDetect(b *testing.B) {
+	log := benchLog()
+	fast := BuildLogIndex(log)
+	slow := BuildMaterialized(log)
+	p := model.Pattern{0, 1}
+	b.Run("PrefixDoubling", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			fast.Detect(p)
+		}
+	})
+	b.Run("Materialized", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			slow.Detect(p)
+		}
+	})
+}

@@ -1,0 +1,145 @@
+package subtree
+
+import (
+	"sort"
+
+	"seqlog/internal/model"
+)
+
+// Occurrence is one strict-contiguity occurrence of a pattern in a trace.
+type Occurrence struct {
+	Trace      model.TraceID
+	Timestamps []model.Timestamp
+}
+
+// Proposition is one pattern continuation candidate with its occurrence
+// count, as derived from the tokens following each pattern occurrence.
+type Proposition struct {
+	Event model.ActivityID
+	Count int
+}
+
+// LogIndex is [19] applied to an event log: every trace is a chain-tree, so
+// the forest's preorder string reduces to the concatenation of the traces
+// (separators stand in for the 0 return markers) and the suffix array over
+// it finds strict-contiguity occurrences of any pattern by binary search.
+type LogIndex struct {
+	tokens  []int32 // activity+1 per event, 0 as trace separator
+	sa      []int32
+	traceAt []int32             // token position -> index into traces
+	eventAt []int32             // token position -> event offset inside the trace
+	traces  []model.TraceID     // trace ids by index
+	ts      [][]model.Timestamp // per trace: event timestamps
+}
+
+// BuildLogIndex preprocesses a log. This is the expensive phase the paper's
+// Table 6 measures: serialisation plus suffix sorting over every event.
+func BuildLogIndex(log *model.Log) *LogIndex {
+	total := log.NumEvents() + log.NumTraces()
+	ix := &LogIndex{
+		tokens:  make([]int32, 0, total),
+		traceAt: make([]int32, 0, total),
+		eventAt: make([]int32, 0, total),
+	}
+	for ti, tr := range log.Traces {
+		tsRow := make([]model.Timestamp, len(tr.Events))
+		for ei, ev := range tr.Events {
+			ix.tokens = append(ix.tokens, preorderToken(ev.Activity))
+			ix.traceAt = append(ix.traceAt, int32(ti))
+			ix.eventAt = append(ix.eventAt, int32(ei))
+			tsRow[ei] = ev.TS
+		}
+		// Separator: plays the role of the 0 marker and keeps matches
+		// from spanning trace boundaries (activity tokens are ≥ 1).
+		ix.tokens = append(ix.tokens, 0)
+		ix.traceAt = append(ix.traceAt, int32(ti))
+		ix.eventAt = append(ix.eventAt, -1)
+		ix.traces = append(ix.traces, tr.ID)
+		ix.ts = append(ix.ts, tsRow)
+	}
+	ix.sa = buildSuffixArray(ix.tokens)
+	return ix
+}
+
+// NumSuffixes returns the size of the suffix space (the paper's "number of
+// subtrees" that preprocessing must store).
+func (ix *LogIndex) NumSuffixes() int { return len(ix.sa) }
+
+func patternTokens(p model.Pattern) []int32 {
+	q := make([]int32, len(p))
+	for i, a := range p {
+		q[i] = preorderToken(a)
+	}
+	return q
+}
+
+// Detect returns every strict-contiguity occurrence of the pattern in
+// O(p·log N + k) — the response time the paper reports as independent of
+// the pattern length (Table 7).
+func (ix *LogIndex) Detect(p model.Pattern) []Occurrence {
+	if len(p) == 0 {
+		return nil
+	}
+	lo, hi := searchRange(ix.tokens, ix.sa, patternTokens(p))
+	out := make([]Occurrence, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		pos := ix.sa[i]
+		ti := ix.traceAt[pos]
+		ei := ix.eventAt[pos]
+		ts := make([]model.Timestamp, len(p))
+		copy(ts, ix.ts[ti][ei:int(ei)+len(p)])
+		out = append(out, Occurrence{Trace: ix.traces[ti], Timestamps: ts})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Trace != out[b].Trace {
+			return out[a].Trace < out[b].Trace
+		}
+		return out[a].Timestamps[0] < out[b].Timestamps[0]
+	})
+	return out
+}
+
+// DetectTraces returns the distinct traces containing the pattern.
+func (ix *LogIndex) DetectTraces(p model.Pattern) []model.TraceID {
+	occ := ix.Detect(p)
+	seen := make(map[model.TraceID]bool)
+	var out []model.TraceID
+	for _, o := range occ {
+		if !seen[o.Trace] {
+			seen[o.Trace] = true
+			out = append(out, o.Trace)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Continue proposes the events following the pattern, counted over every
+// occurrence — the pattern-continuation use of [19] in [27]. Occurrences at
+// the very end of a trace (followed by the separator) propose nothing.
+func (ix *LogIndex) Continue(p model.Pattern) []Proposition {
+	if len(p) == 0 {
+		return nil
+	}
+	q := patternTokens(p)
+	lo, hi := searchRange(ix.tokens, ix.sa, q)
+	counts := make(map[model.ActivityID]int)
+	for i := lo; i < hi; i++ {
+		next := int(ix.sa[i]) + len(q)
+		if next >= len(ix.tokens) || ix.tokens[next] == 0 {
+			continue
+		}
+		counts[model.ActivityID(ix.tokens[next]-1)]++
+	}
+	out := make([]Proposition, 0, len(counts))
+	for a, c := range counts {
+		out = append(out, Proposition{Event: a, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Event < out[j].Event
+	})
+	return out
+}

@@ -1,0 +1,118 @@
+package subtree
+
+import (
+	"sort"
+
+	"seqlog/internal/model"
+)
+
+// TraceTree is the prefix tree (trie) of a set of traces: each root-to-node
+// path is a common trace prefix and each node counts the traces passing
+// through it. This is the tree T of [19] when the method is applied to
+// business-process logs, as in [27].
+type TraceTree struct {
+	root     *treeNode
+	numNodes int
+}
+
+type treeNode struct {
+	act      model.ActivityID
+	children []*treeNode // ordered by activity for deterministic preorder
+	traces   int
+}
+
+// NewTraceTree returns an empty tree.
+func NewTraceTree() *TraceTree {
+	return &TraceTree{root: &treeNode{act: -1}}
+}
+
+// NumNodes returns the number of nodes excluding the synthetic root.
+func (t *TraceTree) NumNodes() int { return t.numNodes }
+
+// Insert adds one trace (its activity sequence) to the tree.
+func (t *TraceTree) Insert(acts []model.ActivityID) {
+	cur := t.root
+	cur.traces++
+	for _, a := range acts {
+		cur = cur.child(a, t)
+		cur.traces++
+	}
+}
+
+func (n *treeNode) child(a model.ActivityID, t *TraceTree) *treeNode {
+	i := sort.Search(len(n.children), func(i int) bool { return n.children[i].act >= a })
+	if i < len(n.children) && n.children[i].act == a {
+		return n.children[i]
+	}
+	c := &treeNode{act: a}
+	n.children = append(n.children, nil)
+	copy(n.children[i+1:], n.children[i:])
+	n.children[i] = c
+	t.numNodes++
+	return c
+}
+
+// preorderToken maps an activity to its W token; 0 marks "return to parent"
+// as in §2.2 of the paper, so activities shift by one.
+func preorderToken(a model.ActivityID) int32 { return int32(a) + 1 }
+
+// Preorder serialises the tree to the string W of [19]: each node emits its
+// token, then its children recursively, then a 0. The synthetic root is not
+// emitted. len(W) = 2·NumNodes.
+func (t *TraceTree) Preorder() ([]int32, []*treeNode) {
+	tokens := make([]int32, 0, 2*t.numNodes)
+	nodes := make([]*treeNode, 0, 2*t.numNodes)
+	var walk func(n *treeNode)
+	walk = func(n *treeNode) {
+		for _, c := range n.children {
+			tokens = append(tokens, preorderToken(c.act))
+			nodes = append(nodes, c)
+			walk(c)
+			tokens = append(tokens, 0)
+			nodes = append(nodes, nil)
+		}
+	}
+	walk(t.root)
+	return tokens, nodes
+}
+
+// SubtreeIndex implements the exact rooted subtree matching of [19]: after
+// preprocessing (preorder serialisation + suffix array), Occurrences finds
+// every node whose entire subtree equals the query subtree in O(m + log n).
+type SubtreeIndex struct {
+	tokens []int32
+	nodes  []*treeNode
+	sa     []int32
+}
+
+// BuildSubtreeIndex preprocesses the tree.
+func BuildSubtreeIndex(t *TraceTree) *SubtreeIndex {
+	tokens, nodes := t.Preorder()
+	return &SubtreeIndex{tokens: tokens, nodes: nodes, sa: buildSuffixArray(tokens)}
+}
+
+// Serialize produces the search string of a query subtree, the full preorder
+// including closing 0s — an exact subtree occurrence must reproduce it
+// verbatim.
+func Serialize(t *TraceTree) []int32 {
+	tokens, _ := t.Preorder()
+	return tokens
+}
+
+// Occurrences returns how many nodes of the indexed tree root an exact copy
+// of the query subtree, via binary search on the suffix array (suffixes
+// starting with 0 never match because query strings start with an activity
+// token, mirroring the paper's "discard those starting with 0").
+func (ix *SubtreeIndex) Occurrences(query []int32) int {
+	if len(query) == 0 {
+		return 0
+	}
+	lo, hi := searchRange(ix.tokens, ix.sa, query)
+	count := 0
+	for i := lo; i < hi; i++ {
+		if ix.nodes[ix.sa[i]] != nil {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,64 @@
+package textsearch
+
+import (
+	"testing"
+
+	"seqlog/internal/loggen"
+	"seqlog/internal/model"
+)
+
+func benchIndex(b *testing.B, skipJSON bool) (*Index, *model.Log) {
+	b.Helper()
+	log := loggen.MarkovLog(loggen.MarkovLogConfig{
+		Traces: 2000, Activities: 20, MeanLen: 15, MinLen: 2, MaxLen: 60, Seed: 77,
+	})
+	ix := NewIndex(Options{SkipJSON: skipJSON})
+	if err := ix.IndexLog(log); err != nil {
+		b.Fatal(err)
+	}
+	return ix, log
+}
+
+func BenchmarkIndexLog(b *testing.B) {
+	log := loggen.MarkovLog(loggen.MarkovLogConfig{
+		Traces: 2000, Activities: 20, MeanLen: 15, MinLen: 2, MaxLen: 60, Seed: 77,
+	})
+	b.Run("withJSON", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := NewIndex(Options{})
+			if err := ix.IndexLog(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("skipJSON", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := NewIndex(Options{SkipJSON: true})
+			if err := ix.IndexLog(log); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkSpanNear(b *testing.B) {
+	ix, _ := benchIndex(b, true)
+	p := model.Pattern{0, 1, 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SpanNear(p)
+	}
+}
+
+func BenchmarkPhrase(b *testing.B) {
+	ix, _ := benchIndex(b, true)
+	p := model.Pattern{0, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Phrase(p)
+	}
+}

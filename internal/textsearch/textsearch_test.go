@@ -1,0 +1,183 @@
+package textsearch
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"seqlog/internal/model"
+	"seqlog/internal/query"
+)
+
+func makeLog(traces ...string) *model.Log {
+	l := model.NewLog()
+	for ti, s := range traces {
+		tr := &model.Trace{ID: model.TraceID(ti + 1)}
+		for i, c := range []byte(s) {
+			tr.Append(model.ActivityID(c), model.Timestamp(i+1))
+		}
+		l.Traces = append(l.Traces, tr)
+	}
+	return l
+}
+
+func pattern(s string) model.Pattern {
+	p := make(model.Pattern, len(s))
+	for i, c := range []byte(s) {
+		p[i] = model.ActivityID(c)
+	}
+	return p
+}
+
+func TestPhraseBasics(t *testing.T) {
+	ix := NewIndex(Options{})
+	if err := ix.IndexLog(makeLog("AABAB", "BBA")); err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Phrase(pattern("AB"))
+	want := []Match{
+		{Trace: 1, Timestamps: []model.Timestamp{2, 3}},
+		{Trace: 1, Timestamps: []model.Timestamp{4, 5}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Phrase = %v", got)
+	}
+	if got := ix.Phrase(pattern("BA")); len(got) != 2 {
+		t.Fatalf("Phrase(BA) = %v", got)
+	}
+	if got := ix.Phrase(nil); got != nil {
+		t.Fatal("empty pattern matched")
+	}
+	if got := ix.Phrase(pattern("AZ")); len(got) != 0 {
+		t.Fatalf("absent token matched: %v", got)
+	}
+}
+
+func TestSpanNearSTNMSemantics(t *testing.T) {
+	ix := NewIndex(Options{})
+	if err := ix.IndexLog(makeLog("AAABAACB")); err != nil {
+		t.Fatal(err)
+	}
+	got := ix.SpanNear(pattern("AAB"))
+	want := []Match{
+		{Trace: 1, Timestamps: []model.Timestamp{1, 2, 4}},
+		{Trace: 1, Timestamps: []model.Timestamp{5, 6, 8}},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("SpanNear = %v", got)
+	}
+}
+
+func TestSegmentsAndMerge(t *testing.T) {
+	ix := NewIndex(Options{FlushEvery: 2, MaxSegments: 3, SkipJSON: true})
+	var traces []string
+	for i := 0; i < 20; i++ {
+		traces = append(traces, "AB")
+	}
+	if err := ix.IndexLog(makeLog(traces...)); err != nil {
+		t.Fatal(err)
+	}
+	if ix.NumDocs() != 20 {
+		t.Fatalf("NumDocs = %d", ix.NumDocs())
+	}
+	if ix.NumSegments() > 3 {
+		t.Fatalf("merge policy violated: %d segments", ix.NumSegments())
+	}
+	// All docs remain searchable across segment boundaries and merges.
+	if got := ix.SpanNear(pattern("AB")); len(got) != 20 {
+		t.Fatalf("matches after merging = %d", len(got))
+	}
+	ix.ForceMerge()
+	if ix.NumSegments() != 1 {
+		t.Fatalf("ForceMerge left %d segments", ix.NumSegments())
+	}
+	if got := ix.SpanNear(pattern("AB")); len(got) != 20 {
+		t.Fatalf("matches after force merge = %d", len(got))
+	}
+}
+
+func TestJSONRoundTripPreservesDocs(t *testing.T) {
+	withJSON := NewIndex(Options{})
+	without := NewIndex(Options{SkipJSON: true})
+	log := makeLog("ABCAB", "CAB")
+	if err := withJSON.IndexLog(log); err != nil {
+		t.Fatal(err)
+	}
+	if err := without.IndexLog(log); err != nil {
+		t.Fatal(err)
+	}
+	p := pattern("AB")
+	if !reflect.DeepEqual(withJSON.SpanNear(p), without.SpanNear(p)) {
+		t.Fatal("JSON round trip altered the documents")
+	}
+}
+
+// TestMatchesReference cross-checks Phrase (SC) and SpanNear (STNM) against
+// the query package reference matcher on random logs, across segment
+// boundaries.
+func TestMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for iter := 0; iter < 30; iter++ {
+		var traces []string
+		for i := 0; i < 7; i++ {
+			n := 3 + rng.Intn(40)
+			s := make([]byte, n)
+			for j := range s {
+				s[j] = byte('A' + rng.Intn(3))
+			}
+			traces = append(traces, string(s))
+		}
+		log := makeLog(traces...)
+		ix := NewIndex(Options{FlushEvery: 3, MaxSegments: 2, SkipJSON: true})
+		if err := ix.IndexLog(log); err != nil {
+			t.Fatal(err)
+		}
+		for plen := 1; plen <= 4; plen++ {
+			p := make(model.Pattern, plen)
+			for j := range p {
+				p[j] = model.ActivityID(byte('A' + rng.Intn(3)))
+			}
+			for _, phrase := range []bool{true, false} {
+				var got []Match
+				policy := model.STNM
+				if phrase {
+					got = ix.Phrase(p)
+					policy = model.SC
+				} else {
+					got = ix.SpanNear(p)
+				}
+				var want []Match
+				for _, tr := range log.Traces {
+					for _, ts := range query.MatchTrace(tr.Events, p, policy) {
+						want = append(want, Match{Trace: tr.ID, Timestamps: ts})
+					}
+				}
+				if len(got) != len(want) {
+					t.Fatalf("iter %d phrase=%v pattern %v: %d != %d", iter, phrase, p, len(got), len(want))
+				}
+				for i := range want {
+					if !reflect.DeepEqual(got[i], want[i]) {
+						t.Fatalf("iter %d phrase=%v pattern %v: match %d: %v != %v", iter, phrase, p, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRefreshIdempotent(t *testing.T) {
+	ix := NewIndex(Options{SkipJSON: true})
+	ix.Refresh() // empty refresh must not create segments
+	if ix.NumSegments() != 0 {
+		t.Fatalf("segments after empty refresh: %d", ix.NumSegments())
+	}
+	ix.IndexTrace(1, []model.TraceEvent{{Activity: 1, TS: 1}, {Activity: 2, TS: 2}})
+	ix.Refresh()
+	ix.Refresh()
+	if ix.NumSegments() != 1 {
+		t.Fatalf("segments = %d", ix.NumSegments())
+	}
+	if got := ix.SpanNear(model.Pattern{1, 2}); len(got) != 1 {
+		t.Fatalf("matches = %v", got)
+	}
+}

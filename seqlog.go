@@ -1,0 +1,690 @@
+// Package seqlog detects arbitrary event sequences in large activity logs.
+//
+// It is a from-scratch Go implementation of the system described in
+// "Sequence detection in event log files" (EDBT 2021): an inverted index of
+// event-type pairs, maintained incrementally as new log batches arrive, that
+// answers three families of pattern queries under two matching policies —
+// strict contiguity (SC) and skip-till-next-match (STNM):
+//
+//   - Statistics: per-pair completion counts, average durations and last
+//     completions, combined into bounds for the whole pattern.
+//   - Pattern detection: all traces (and match timestamps) containing the
+//     pattern, computed by joining inverted-index rows.
+//   - Pattern continuation: the most likely next events after a pattern,
+//     with an exact, a heuristic, and a hybrid strategy trading accuracy
+//     for response time.
+//
+// The Engine is the entry point:
+//
+//	eng, err := seqlog.Open(seqlog.Config{Policy: "STNM"})
+//	...
+//	eng.Ingest([]seqlog.Event{{Trace: 1, Activity: "login", Time: 1000}, ...})
+//	matches, err := eng.Detect([]string{"login", "checkout"})
+//
+// Indices live in an embedded key-value store: in memory by default, or on
+// disk (write-ahead logged, crash-recoverable) when Config.Dir is set.
+package seqlog
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"seqlog/internal/eventlog"
+	"seqlog/internal/index"
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/query"
+	"seqlog/internal/storage"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// Policy is the pair-indexing policy: "SC" or "STNM" (default "STNM").
+	Policy string
+	// Method is the STNM pair-extraction flavor: "parsing", "indexing" or
+	// "state" (default "indexing", the paper's recommendation for
+	// periodic batch updates).
+	Method string
+	// Workers bounds per-trace parallelism during ingestion; 0 uses all
+	// cores.
+	Workers int
+	// Dir, when non-empty, stores the index durably in that directory
+	// (write-ahead log + snapshots). Empty means in-memory.
+	Dir string
+	// Period names the index partition new batches are written to; see
+	// RotatePeriod.
+	Period string
+	// PartialOrder treats same-timestamp events of a trace as concurrent
+	// (the §7 extension): such events never pair with each other and
+	// detection steps must advance strictly in time. Requires the STNM
+	// policy; batches may not reach back into stored timestamps.
+	PartialOrder bool
+	// Planner enables the selectivity-based join planner for Detect: pair
+	// rows are intersected at the trace level before the Algorithm 2 join,
+	// which can be an order of magnitude faster for long or skewed
+	// patterns. Results are identical either way; off by default to match
+	// the paper's left-to-right join.
+	Planner bool
+}
+
+// Event is one public log record: an activity executed inside a trace at a
+// point in time (milliseconds; any monotone clock works — positions are a
+// valid fallback).
+type Event struct {
+	Trace    int64
+	Activity string
+	Time     int64
+}
+
+// Match is one detected pattern completion.
+type Match struct {
+	Trace int64
+	// Times holds one timestamp per pattern event.
+	Times []int64
+}
+
+// PairStats mirrors the Statistics query output for one consecutive pair.
+type PairStats struct {
+	First          string
+	Second         string
+	Completions    int64
+	AvgDuration    float64
+	LastCompletion int64
+}
+
+// PatternStats aggregates PairStats over a pattern.
+type PatternStats struct {
+	Pairs             []PairStats
+	MaxCompletions    int64
+	EstimatedDuration float64
+}
+
+// Proposal is one pattern-continuation candidate.
+type Proposal struct {
+	Activity    string
+	Completions int64
+	AvgDuration float64
+	Score       float64
+	Exact       bool
+}
+
+// UpdateStats summarises one ingestion batch.
+type UpdateStats struct {
+	Traces      int
+	Events      int
+	Pairs       int
+	Occurrences int
+}
+
+// ExploreMode selects a continuation strategy.
+type ExploreMode string
+
+const (
+	// Accurate verifies every candidate with a full detection (Alg. 3).
+	Accurate ExploreMode = "accurate"
+	// Fast uses only precomputed statistics (Alg. 4).
+	Fast ExploreMode = "fast"
+	// Hybrid re-checks the topK Fast candidates accurately (Alg. 5).
+	Hybrid ExploreMode = "hybrid"
+)
+
+// ExploreOptions tune continuation queries.
+type ExploreOptions struct {
+	// TopK is the number of Fast candidates Hybrid re-checks.
+	TopK int
+	// MaxAvgGap drops candidates whose mean gap after the pattern
+	// exceeds it (0 disables the constraint).
+	MaxAvgGap float64
+}
+
+// Engine is the top-level handle combining the pre-processing component and
+// the query processor over one indexing database.
+type Engine struct {
+	mu       sync.Mutex // serialises ingestion and alphabet persistence
+	store    kvstore.Store
+	disk     *kvstore.DiskStore // nil for in-memory engines
+	tables   *storage.Tables
+	builder  *index.Builder
+	proc     *query.Processor
+	alphabet *model.Alphabet
+	cfg      Config
+}
+
+const (
+	metaPolicy   = "policy"
+	metaAlphabet = "alphabet"
+	metaPartial  = "partialorder"
+)
+
+// Open creates or reopens an engine. Reopening a durable directory restores
+// the interned alphabet and verifies the policy matches the stored index.
+func Open(cfg Config) (*Engine, error) {
+	if cfg.Policy == "" {
+		cfg.Policy = "STNM"
+	}
+	if cfg.Method == "" {
+		cfg.Method = "indexing"
+	}
+	policy, err := model.ParsePolicy(cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	method, err := parseMethod(cfg.Method)
+	if err != nil {
+		return nil, err
+	}
+
+	var (
+		store kvstore.Store
+		disk  *kvstore.DiskStore
+	)
+	if cfg.Dir != "" {
+		d, err := kvstore.OpenDisk(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		store, disk = d, d
+	} else {
+		store = kvstore.NewMemStore()
+	}
+
+	tables := storage.NewTables(store)
+	builder, err := index.NewBuilder(tables, index.Options{
+		Policy: policy, Method: method, Workers: cfg.Workers, Period: cfg.Period,
+		PartialOrder: cfg.PartialOrder,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+
+	e := &Engine{
+		store:    store,
+		disk:     disk,
+		tables:   tables,
+		builder:  builder,
+		proc:     query.NewProcessor(tables),
+		alphabet: model.NewAlphabet(),
+		cfg:      cfg,
+	}
+	if err := e.restoreMeta(policy); err != nil {
+		store.Close()
+		return nil, err
+	}
+	return e, nil
+}
+
+func parseMethod(s string) (pairs.Method, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "parsing":
+		return pairs.Parsing, nil
+	case "indexing":
+		return pairs.Indexing, nil
+	case "state":
+		return pairs.State, nil
+	default:
+		return 0, fmt.Errorf("seqlog: unknown method %q (want parsing, indexing or state)", s)
+	}
+}
+
+func (e *Engine) restoreMeta(policy model.Policy) error {
+	raw, ok, err := e.tables.GetMeta(metaPolicy)
+	if err != nil {
+		return err
+	}
+	if ok {
+		stored, err := model.ParsePolicy(string(raw))
+		if err != nil {
+			return err
+		}
+		if stored != policy {
+			return fmt.Errorf("seqlog: store was indexed with policy %v, engine configured for %v", stored, policy)
+		}
+	} else if err := e.tables.PutMeta(metaPolicy, []byte(policy.String())); err != nil {
+		return err
+	}
+	mode := "total"
+	if e.cfg.PartialOrder {
+		mode = "partial"
+	}
+	raw, ok, err = e.tables.GetMeta(metaPartial)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if string(raw) != mode {
+			return fmt.Errorf("seqlog: store was indexed with %s order, engine configured for %s", raw, mode)
+		}
+	} else if err := e.tables.PutMeta(metaPartial, []byte(mode)); err != nil {
+		return err
+	}
+	raw, ok, err = e.tables.GetMeta(metaAlphabet)
+	if err != nil {
+		return err
+	}
+	if ok && len(raw) > 0 {
+		for _, name := range strings.Split(string(raw), "\x00") {
+			e.alphabet.ID(name)
+		}
+	}
+	return nil
+}
+
+func (e *Engine) persistAlphabet() error {
+	return e.tables.PutMeta(metaAlphabet, []byte(strings.Join(e.alphabet.Names(), "\x00")))
+}
+
+// Ingest indexes a batch of new events (the periodic update of §3.1.3).
+// Events may extend traces seen in earlier batches; the index never
+// duplicates pairs across batches.
+func (e *Engine) Ingest(events []Event) (UpdateStats, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	batch := make([]model.Event, len(events))
+	before := e.alphabet.Len()
+	for i, ev := range events {
+		batch[i] = model.Event{
+			Trace:    model.TraceID(ev.Trace),
+			Activity: e.alphabet.ID(ev.Activity),
+			TS:       model.Timestamp(ev.Time),
+		}
+	}
+	st, err := e.builder.Update(batch)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	if e.alphabet.Len() != before {
+		if err := e.persistAlphabet(); err != nil {
+			return UpdateStats{}, err
+		}
+	}
+	if e.disk != nil {
+		if err := e.disk.Sync(); err != nil {
+			return UpdateStats{}, err
+		}
+	}
+	return UpdateStats(st), nil
+}
+
+// IngestXES reads an XES document and ingests all its events as one batch.
+func (e *Engine) IngestXES(r io.Reader) (UpdateStats, error) {
+	log, err := eventlog.ReadXES(r)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	return e.ingestModelLog(log)
+}
+
+// IngestCSV reads trace,activity,timestamp rows and ingests them as one
+// batch.
+func (e *Engine) IngestCSV(r io.Reader) (UpdateStats, error) {
+	log, err := eventlog.ReadCSV(r)
+	if err != nil {
+		return UpdateStats{}, err
+	}
+	return e.ingestModelLog(log)
+}
+
+func (e *Engine) ingestModelLog(log *model.Log) (UpdateStats, error) {
+	names := log.Alphabet.Names()
+	events := make([]Event, 0, log.NumEvents())
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			events = append(events, Event{Trace: int64(tr.ID), Activity: names[ev.Activity], Time: int64(ev.TS)})
+		}
+	}
+	return e.Ingest(events)
+}
+
+// pattern resolves names without interning; ok=false means some activity has
+// never been ingested, so the pattern cannot occur.
+func (e *Engine) pattern(names []string) (model.Pattern, bool, error) {
+	if len(names) == 0 {
+		return nil, false, errors.New("seqlog: empty pattern")
+	}
+	p, ok := model.LookupPattern(e.alphabet, names)
+	return p, ok, nil
+}
+
+// Detect returns every completion of the pattern in the indexed log
+// (Algorithm 2). The pattern needs at least two activities.
+func (e *Engine) Detect(patternNames []string) ([]Match, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	var ms []query.Match
+	if e.cfg.Planner {
+		ms, err = e.proc.DetectPlanned(p)
+	} else {
+		ms, err = e.proc.Detect(p)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertMatches(ms), nil
+}
+
+// DetectTraces returns the distinct trace ids containing the pattern.
+func (e *Engine) DetectTraces(patternNames []string) ([]int64, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	ids, err := e.proc.DetectTraces(p)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, len(ids))
+	for i, id := range ids {
+		out[i] = int64(id)
+	}
+	return out, nil
+}
+
+// DetectWithin is Detect constrained to completions whose total span does
+// not exceed withinMS milliseconds (the WITHIN clause of CEP languages);
+// over-window chains are pruned during the join.
+func (e *Engine) DetectWithin(patternNames []string, withinMS int64) ([]Match, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	ms, err := e.proc.DetectWithin(p, withinMS)
+	if err != nil {
+		return nil, err
+	}
+	return convertMatches(ms), nil
+}
+
+// DetectScan answers the detection query by scanning stored traces instead
+// of joining index rows: exact for both policies, slower on large logs. The
+// policy is the engine's configured one.
+func (e *Engine) DetectScan(patternNames []string) ([]Match, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	var ms []query.Match
+	if e.cfg.PartialOrder {
+		ms, err = e.proc.DetectScanPartial(p)
+	} else {
+		ms, err = e.proc.DetectScan(p, e.builder.Options().Policy)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return convertMatches(ms), nil
+}
+
+func convertMatches(ms []query.Match) []Match {
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		times := make([]int64, len(m.Timestamps))
+		for j, ts := range m.Timestamps {
+			times[j] = int64(ts)
+		}
+		out[i] = Match{Trace: int64(m.Trace), Times: times}
+	}
+	return out
+}
+
+// Stats answers the Statistics query for the pattern.
+func (e *Engine) Stats(patternNames []string) (PatternStats, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return PatternStats{}, err
+	}
+	if !ok {
+		// Unknown activities: the pattern provably has zero completions.
+		return PatternStats{}, nil
+	}
+	st, err := e.proc.Stats(p)
+	if err != nil {
+		return PatternStats{}, err
+	}
+	return e.convertStats(st), nil
+}
+
+func (e *Engine) convertStats(st query.PatternStats) PatternStats {
+	out := PatternStats{
+		MaxCompletions:    st.MaxCompletions,
+		EstimatedDuration: st.EstimatedDuration,
+	}
+	for _, ps := range st.Pairs {
+		out.Pairs = append(out.Pairs, PairStats{
+			First:          e.alphabet.Name(ps.First),
+			Second:         e.alphabet.Name(ps.Second),
+			Completions:    ps.Completions,
+			AvgDuration:    ps.AvgDuration,
+			LastCompletion: int64(ps.LastCompletion),
+		})
+	}
+	return out
+}
+
+// StatsAllPairs is Stats over every ordered pair of the pattern instead of
+// the consecutive ones only: a tighter (never looser) bound on the number
+// of non-overlapping pattern completions, at quadratically more row reads
+// (§3.2.1's accuracy/running-time trade-off).
+func (e *Engine) StatsAllPairs(patternNames []string) (PatternStats, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return PatternStats{}, err
+	}
+	if !ok {
+		return PatternStats{}, nil
+	}
+	st, err := e.proc.StatsAllPairs(p)
+	if err != nil {
+		return PatternStats{}, err
+	}
+	return e.convertStats(st), nil
+}
+
+// Explore answers the pattern-continuation query with the chosen strategy.
+func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOptions) ([]Proposal, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	qopts := query.ExploreOptions{TopK: opts.TopK, MaxAvgGap: opts.MaxAvgGap}
+	var props []query.Proposal
+	switch mode {
+	case Accurate:
+		props, err = e.proc.ExploreAccurate(p, qopts)
+	case Fast:
+		props, err = e.proc.ExploreFast(p, qopts)
+	case Hybrid:
+		props, err = e.proc.ExploreHybrid(p, qopts)
+	default:
+		return nil, fmt.Errorf("seqlog: unknown explore mode %q", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Proposal, len(props))
+	for i, pr := range props {
+		out[i] = Proposal{
+			Activity:    e.alphabet.Name(pr.Event),
+			Completions: pr.Completions,
+			AvgDuration: pr.AvgDuration,
+			Score:       pr.Score,
+			Exact:       pr.Exact,
+		}
+	}
+	return out, nil
+}
+
+// ExploreInsert proposes events to insert into the pattern at the given
+// position (0 = before the first event, len(pattern) = append) — the §7
+// extension of the paper for completing patterns at arbitrary places.
+func (e *Engine) ExploreInsert(patternNames []string, pos int, mode ExploreMode, opts ExploreOptions) ([]Proposal, error) {
+	p, ok, err := e.pattern(patternNames)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, nil
+	}
+	qopts := query.ExploreOptions{TopK: opts.TopK, MaxAvgGap: opts.MaxAvgGap}
+	var props []query.Proposal
+	switch mode {
+	case Accurate:
+		props, err = e.proc.ExploreInsertAccurate(p, pos, qopts)
+	case Fast:
+		props, err = e.proc.ExploreInsertFast(p, pos, qopts)
+	case Hybrid:
+		props, err = e.proc.ExploreInsertHybrid(p, pos, qopts)
+	default:
+		return nil, fmt.Errorf("seqlog: unknown explore mode %q", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Proposal, len(props))
+	for i, pr := range props {
+		out[i] = Proposal{
+			Activity:    e.alphabet.Name(pr.Event),
+			Completions: pr.Completions,
+			AvgDuration: pr.AvgDuration,
+			Score:       pr.Score,
+			Exact:       pr.Exact,
+		}
+	}
+	return out, nil
+}
+
+// PruneTraces forgets the mutable state of completed traces (their Seq rows
+// and LastChecked watermarks); their history stays queryable in the index.
+func (e *Engine) PruneTraces(ids []int64) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	conv := make([]model.TraceID, len(ids))
+	for i, id := range ids {
+		conv[i] = model.TraceID(id)
+	}
+	return e.builder.PruneTraces(conv)
+}
+
+// RotatePeriod directs subsequent batches into a new index partition
+// (§3.1.3 suggests e.g. one per month); queries keep spanning all
+// partitions.
+func (e *Engine) RotatePeriod(period string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	b, err := index.NewBuilder(e.tables, index.Options{
+		Policy:       e.builder.Options().Policy,
+		Method:       e.builder.Options().Method,
+		Workers:      e.cfg.Workers,
+		Period:       period,
+		PartialOrder: e.cfg.PartialOrder,
+	})
+	if err != nil {
+		return err
+	}
+	e.builder = b
+	e.cfg.Period = period
+	return nil
+}
+
+// DropPeriod retires a whole index partition.
+func (e *Engine) DropPeriod(period string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tables.DropPeriod(period)
+}
+
+// Periods lists the named index partitions.
+func (e *Engine) Periods() ([]string, error) { return e.tables.Periods() }
+
+// TraceEvents returns the stored (unpruned) event sequence of a trace.
+func (e *Engine) TraceEvents(id int64) ([]Event, bool, error) {
+	events, ok, err := e.tables.GetSeq(model.TraceID(id))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make([]Event, len(events))
+	for i, ev := range events {
+		out[i] = Event{Trace: id, Activity: e.alphabet.Name(ev.Activity), Time: int64(ev.TS)}
+	}
+	return out, true, nil
+}
+
+// IndexInfo summarises the indexing database: live traces, activities, and
+// the distinct-pair count of every partition.
+type IndexInfo struct {
+	Traces     int            `json:"traces"`
+	Activities int            `json:"activities"`
+	Policy     string         `json:"policy"`
+	Partitions map[string]int `json:"partitions"` // partition -> distinct pairs ("" = default)
+}
+
+// Info reports the current index shape.
+func (e *Engine) Info() (IndexInfo, error) {
+	info := IndexInfo{
+		Activities: e.alphabet.Len(),
+		Policy:     e.builder.Options().Policy.String(),
+		Partitions: make(map[string]int),
+	}
+	var err error
+	if info.Traces, err = e.tables.NumTraces(); err != nil {
+		return IndexInfo{}, err
+	}
+	n, err := e.tables.NumIndexedPairs("")
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	if n > 0 {
+		info.Partitions[""] = n
+	}
+	periods, err := e.tables.Periods()
+	if err != nil {
+		return IndexInfo{}, err
+	}
+	for _, p := range periods {
+		if n, err = e.tables.NumIndexedPairs(p); err != nil {
+			return IndexInfo{}, err
+		}
+		info.Partitions[p] = n
+	}
+	return info, nil
+}
+
+// Activities returns all activity names seen so far.
+func (e *Engine) Activities() []string { return e.alphabet.Names() }
+
+// NumTraces returns the number of live (unpruned) traces.
+func (e *Engine) NumTraces() (int, error) { return e.tables.NumTraces() }
+
+// Compact folds the durable store into a fresh snapshot (no-op in memory).
+func (e *Engine) Compact() error {
+	if e.disk == nil {
+		return nil
+	}
+	return e.disk.Compact()
+}
+
+// Close releases the engine. Durable engines flush their write-ahead log.
+func (e *Engine) Close() error {
+	return e.store.Close()
+}

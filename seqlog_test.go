@@ -1,0 +1,572 @@
+package seqlog
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func openMem(t *testing.T, cfg Config) *Engine {
+	t.Helper()
+	e, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { e.Close() })
+	return e
+}
+
+// shopEvents is a tiny clickstream: three sessions.
+func shopEvents() []Event {
+	return []Event{
+		{Trace: 1, Activity: "search", Time: 1},
+		{Trace: 1, Activity: "view", Time: 2},
+		{Trace: 1, Activity: "cart", Time: 3},
+		{Trace: 1, Activity: "pay", Time: 4},
+		{Trace: 2, Activity: "search", Time: 1},
+		{Trace: 2, Activity: "view", Time: 2},
+		{Trace: 2, Activity: "exit", Time: 3},
+		{Trace: 3, Activity: "search", Time: 1},
+		{Trace: 3, Activity: "search", Time: 2},
+		{Trace: 3, Activity: "view", Time: 3},
+		{Trace: 3, Activity: "cart", Time: 4},
+	}
+}
+
+func TestOpenDefaultsAndValidation(t *testing.T) {
+	e := openMem(t, Config{})
+	if e.cfg.Policy != "STNM" || e.cfg.Method != "indexing" {
+		t.Fatalf("defaults not applied: %+v", e.cfg)
+	}
+	if _, err := Open(Config{Policy: "bogus"}); err == nil {
+		t.Fatal("bogus policy accepted")
+	}
+	if _, err := Open(Config{Method: "bogus"}); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}
+
+func TestIngestAndDetect(t *testing.T) {
+	e := openMem(t, Config{})
+	st, err := e.Ingest(shopEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Traces != 3 || st.Events != 11 {
+		t.Fatalf("stats = %+v", st)
+	}
+	ids, err := e.DetectTraces([]string{"search", "view", "cart"})
+	if err != nil || !reflect.DeepEqual(ids, []int64{1, 3}) {
+		t.Fatalf("traces = %v %v", ids, err)
+	}
+	ms, err := e.Detect([]string{"search", "pay"})
+	if err != nil || len(ms) != 1 || ms[0].Trace != 1 {
+		t.Fatalf("matches = %v %v", ms, err)
+	}
+	if !reflect.DeepEqual(ms[0].Times, []int64{1, 4}) {
+		t.Fatalf("times = %v", ms[0].Times)
+	}
+	// Unknown activity: provably empty, no error.
+	ms, err = e.Detect([]string{"search", "refund"})
+	if err != nil || ms != nil {
+		t.Fatalf("unknown activity: %v %v", ms, err)
+	}
+	if _, err := e.Detect(nil); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	n, err := e.NumTraces()
+	if err != nil || n != 3 {
+		t.Fatalf("NumTraces = %d %v", n, err)
+	}
+	acts := e.Activities()
+	if len(acts) != 5 {
+		t.Fatalf("activities = %v", acts)
+	}
+}
+
+func TestDetectScanAgrees(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	a, err := e.Detect([]string{"search", "cart"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.DetectScan([]string{"search", "cart"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("join %v != scan %v", a, b)
+	}
+	if ms, err := e.DetectScan([]string{"nope", "cart"}); err != nil || ms != nil {
+		t.Fatalf("unknown activity scan: %v %v", ms, err)
+	}
+}
+
+func TestStatsFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.Stats([]string{"search", "view", "cart"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Pairs) != 2 {
+		t.Fatalf("pairs = %v", st.Pairs)
+	}
+	if st.Pairs[0].First != "search" || st.Pairs[0].Second != "view" {
+		t.Fatalf("pair names: %+v", st.Pairs[0])
+	}
+	// (search,view) completes in all 3 traces; (view,cart) in 2.
+	if st.Pairs[0].Completions != 3 || st.Pairs[1].Completions != 2 {
+		t.Fatalf("completions: %+v", st.Pairs)
+	}
+	if st.MaxCompletions != 2 {
+		t.Fatalf("bound = %d", st.MaxCompletions)
+	}
+	// Unknown activity yields the zero bound.
+	st, err = e.Stats([]string{"search", "refund"})
+	if err != nil || st.MaxCompletions != 0 || st.Pairs != nil {
+		t.Fatalf("unknown stats: %+v %v", st, err)
+	}
+}
+
+func TestExploreFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ExploreMode{Accurate, Fast, Hybrid} {
+		props, err := e.Explore([]string{"search", "view"}, mode, ExploreOptions{TopK: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(props) == 0 {
+			t.Fatalf("%s returned nothing", mode)
+		}
+		// "cart" follows search→view twice; it must rank first.
+		if props[0].Activity != "cart" {
+			t.Fatalf("%s ranking: %v", mode, props)
+		}
+	}
+	acc, _ := e.Explore([]string{"search", "view"}, Accurate, ExploreOptions{})
+	for _, p := range acc {
+		if !p.Exact {
+			t.Fatalf("accurate proposal not exact: %+v", p)
+		}
+	}
+	if _, err := e.Explore([]string{"search"}, "bogus", ExploreOptions{}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if props, err := e.Explore([]string{"refund"}, Fast, ExploreOptions{}); err != nil || props != nil {
+		t.Fatalf("unknown activity explore: %v %v", props, err)
+	}
+}
+
+func TestIncrementalIngestAcrossBatches(t *testing.T) {
+	e := openMem(t, Config{})
+	evs := shopEvents()
+	if _, err := e.Ingest(evs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(evs[5:]); err != nil {
+		t.Fatal(err)
+	}
+	whole := openMem(t, Config{})
+	if _, err := whole.Ingest(evs); err != nil {
+		t.Fatal(err)
+	}
+	p := []string{"search", "view", "cart"}
+	a, _ := e.Detect(p)
+	b, _ := whole.Detect(p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("incremental %v != batch %v", a, b)
+	}
+}
+
+func TestDurableReopen(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := e.Detect([]string{"search", "pay"})
+	if err := e.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	e2, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e2.Close()
+	got, err := e2.Detect([]string{"search", "pay"})
+	if err != nil || !reflect.DeepEqual(got, want) {
+		t.Fatalf("after reopen: %v %v (want %v)", got, err, want)
+	}
+	// The alphabet survived: activities resolve without re-ingestion.
+	if len(e2.Activities()) != 5 {
+		t.Fatalf("alphabet lost: %v", e2.Activities())
+	}
+	// Policy mismatch must be rejected.
+	e2.Close()
+	if _, err := Open(Config{Dir: dir, Policy: "SC"}); err == nil {
+		t.Fatal("policy mismatch accepted")
+	}
+}
+
+func TestPeriodsFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	evs := shopEvents()
+	if _, err := e.Ingest(evs[:5]); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RotatePeriod("2026-07"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(evs[5:]); err != nil {
+		t.Fatal(err)
+	}
+	periods, err := e.Periods()
+	if err != nil || !reflect.DeepEqual(periods, []string{"2026-07"}) {
+		t.Fatalf("periods = %v %v", periods, err)
+	}
+	// Queries span partitions.
+	ids, err := e.DetectTraces([]string{"search", "view", "cart"})
+	if err != nil || !reflect.DeepEqual(ids, []int64{1, 3}) {
+		t.Fatalf("cross-period detect = %v %v", ids, err)
+	}
+	if err := e.DropPeriod("2026-07"); err != nil {
+		t.Fatal(err)
+	}
+	ids, _ = e.DetectTraces([]string{"search", "view", "cart"})
+	if !reflect.DeepEqual(ids, []int64{1}) {
+		t.Fatalf("after drop = %v", ids)
+	}
+}
+
+func TestPruneTracesFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.PruneTraces([]int64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	n, _ := e.NumTraces()
+	if n != 1 {
+		t.Fatalf("NumTraces after prune = %d", n)
+	}
+	// History remains queryable.
+	ids, _ := e.DetectTraces([]string{"search", "pay"})
+	if !reflect.DeepEqual(ids, []int64{1}) {
+		t.Fatalf("history lost: %v", ids)
+	}
+}
+
+func TestIngestCSVAndXES(t *testing.T) {
+	csvSrc := "trace,activity,timestamp\n1,a,1\n1,b,2\n2,a,5\n2,b,9\n"
+	e := openMem(t, Config{})
+	st, err := e.IngestCSV(strings.NewReader(csvSrc))
+	if err != nil || st.Events != 4 {
+		t.Fatalf("csv ingest: %+v %v", st, err)
+	}
+	ids, _ := e.DetectTraces([]string{"a", "b"})
+	if !reflect.DeepEqual(ids, []int64{1, 2}) {
+		t.Fatalf("csv traces = %v", ids)
+	}
+
+	xesSrc := `<log><trace><string key="concept:name" value="7"/>
+	  <event><string key="concept:name" value="a"/></event>
+	  <event><string key="concept:name" value="b"/></event></trace></log>`
+	e2 := openMem(t, Config{})
+	st, err = e2.IngestXES(strings.NewReader(xesSrc))
+	if err != nil || st.Events != 2 {
+		t.Fatalf("xes ingest: %+v %v", st, err)
+	}
+	ids, _ = e2.DetectTraces([]string{"a", "b"})
+	if !reflect.DeepEqual(ids, []int64{7}) {
+		t.Fatalf("xes traces = %v", ids)
+	}
+	if _, err := e2.IngestCSV(strings.NewReader("garbage")); err == nil {
+		t.Fatal("bad csv accepted")
+	}
+	if _, err := e2.IngestXES(strings.NewReader("<log><trace>")); err == nil {
+		t.Fatal("bad xes accepted")
+	}
+}
+
+func TestSCConfigEndToEnd(t *testing.T) {
+	e := openMem(t, Config{Policy: "SC"})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	// Under SC, search→cart is never contiguous.
+	ids, err := e.DetectTraces([]string{"search", "cart"})
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("SC found non-contiguous pattern: %v %v", ids, err)
+	}
+	ids, err = e.DetectTraces([]string{"view", "cart"})
+	if err != nil || !reflect.DeepEqual(ids, []int64{1, 3}) {
+		t.Fatalf("SC contiguous pattern: %v %v", ids, err)
+	}
+}
+
+func TestExploreInsertFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []ExploreMode{Accurate, Fast, Hybrid} {
+		props, err := e.ExploreInsert([]string{"search", "cart"}, 1, mode, ExploreOptions{TopK: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if len(props) == 0 || props[0].Activity != "view" {
+			t.Fatalf("%s: %v", mode, props)
+		}
+	}
+	if _, err := e.ExploreInsert([]string{"search"}, 9, Fast, ExploreOptions{}); err == nil {
+		t.Fatal("bad position accepted")
+	}
+	if _, err := e.ExploreInsert([]string{"search"}, 0, "bogus", ExploreOptions{}); err == nil {
+		t.Fatal("bogus mode accepted")
+	}
+	if props, err := e.ExploreInsert([]string{"refund"}, 0, Fast, ExploreOptions{}); err != nil || props != nil {
+		t.Fatalf("unknown activity: %v %v", props, err)
+	}
+}
+
+func TestDetectWithinFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest([]Event{
+		{Trace: 1, Activity: "a", Time: 1}, {Trace: 1, Activity: "b", Time: 5},
+		{Trace: 2, Activity: "a", Time: 1}, {Trace: 2, Activity: "b", Time: 5000},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ms, err := e.DetectWithin([]string{"a", "b"}, 100)
+	if err != nil || len(ms) != 1 || ms[0].Trace != 1 {
+		t.Fatalf("windowed = %v %v", ms, err)
+	}
+	ms, err = e.DetectWithin([]string{"a", "b"}, 0)
+	if err != nil || len(ms) != 2 {
+		t.Fatalf("unconstrained = %v %v", ms, err)
+	}
+	if ms, err := e.DetectWithin([]string{"a", "zzz"}, 100); err != nil || ms != nil {
+		t.Fatalf("unknown activity: %v %v", ms, err)
+	}
+}
+
+func TestStatsAllPairsFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	full, err := e.StatsAllPairs([]string{"search", "view", "cart"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	consec, err := e.Stats([]string{"search", "view", "cart"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Pairs) != 3 || len(consec.Pairs) != 2 {
+		t.Fatalf("pair counts: %d / %d", len(full.Pairs), len(consec.Pairs))
+	}
+	if full.MaxCompletions > consec.MaxCompletions {
+		t.Fatalf("all-pairs bound looser: %d > %d", full.MaxCompletions, consec.MaxCompletions)
+	}
+	if st, err := e.StatsAllPairs([]string{"search", "zzz"}); err != nil || st.Pairs != nil {
+		t.Fatalf("unknown activity: %+v %v", st, err)
+	}
+}
+
+func TestTraceEventsAndInfoFacade(t *testing.T) {
+	e := openMem(t, Config{})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	evs, ok, err := e.TraceEvents(1)
+	if err != nil || !ok || len(evs) != 4 {
+		t.Fatalf("TraceEvents = %v %v %v", evs, ok, err)
+	}
+	if evs[0].Activity != "search" || evs[3].Activity != "pay" || evs[0].Trace != 1 {
+		t.Fatalf("events = %v", evs)
+	}
+	if _, ok, err := e.TraceEvents(99); err != nil || ok {
+		t.Fatalf("missing trace: %v %v", ok, err)
+	}
+
+	info, err := e.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Traces != 3 || info.Activities != 5 || info.Policy != "STNM" {
+		t.Fatalf("info = %+v", info)
+	}
+	if info.Partitions[""] == 0 {
+		t.Fatalf("default partition pairs = %+v", info)
+	}
+	// After rotating, new pairs land in the named partition.
+	if err := e.RotatePeriod("p2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]Event{{Trace: 9, Activity: "x", Time: 1}, {Trace: 9, Activity: "y", Time: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	info, _ = e.Info()
+	if info.Partitions["p2"] == 0 || len(info.Partitions) != 2 {
+		t.Fatalf("partitioned info = %+v", info)
+	}
+}
+
+// TestConcurrentQueriesDuringIngest drives queries from several goroutines
+// while batches are being ingested; run with -race this validates the
+// engine's concurrency contract (single writer, many readers).
+func TestConcurrentQueriesDuringIngest(t *testing.T) {
+	e := openMem(t, Config{Workers: 2})
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			batch := []Event{
+				{Trace: int64(100 + i), Activity: "search", Time: 1},
+				{Trace: int64(100 + i), Activity: "view", Time: 2},
+				{Trace: int64(100 + i), Activity: "cart", Time: 3},
+			}
+			if _, err := e.Ingest(batch); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := e.Detect([]string{"search", "view"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Explore([]string{"search"}, Fast, ExploreOptions{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := e.Stats([]string{"search", "view"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	ids, err := e.DetectTraces([]string{"search", "view", "cart"})
+	if err != nil || len(ids) != 22 { // traces 1, 3 and the 20 new ones
+		t.Fatalf("after concurrent ingest: %d traces (%v)", len(ids), err)
+	}
+}
+
+func TestPlannerConfigAgrees(t *testing.T) {
+	plain := openMem(t, Config{})
+	planned := openMem(t, Config{Planner: true})
+	for _, e := range []*Engine{plain, planned} {
+		if _, err := e.Ingest(shopEvents()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, p := range [][]string{
+		{"search", "view"}, {"search", "view", "cart"}, {"search", "pay"},
+	} {
+		a, err := plain.Detect(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := planned.Detect(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("pattern %v: plain %v != planned %v", p, a, b)
+		}
+	}
+}
+
+func TestPartialOrderFacade(t *testing.T) {
+	if _, err := Open(Config{Policy: "SC", PartialOrder: true}); err == nil {
+		t.Fatal("partial order with SC accepted")
+	}
+	e := openMem(t, Config{PartialOrder: true})
+	// Session 1: {login, sync} concurrent, then work; session 2 ordered.
+	if _, err := e.Ingest([]Event{
+		{Trace: 1, Activity: "login", Time: 10}, {Trace: 1, Activity: "sync", Time: 10},
+		{Trace: 1, Activity: "work", Time: 20},
+		{Trace: 2, Activity: "login", Time: 10}, {Trace: 2, Activity: "sync", Time: 15},
+		{Trace: 2, Activity: "work", Time: 20},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// login->sync only exists where they are strictly ordered.
+	ids, err := e.DetectTraces([]string{"login", "sync"})
+	if err != nil || !reflect.DeepEqual(ids, []int64{2}) {
+		t.Fatalf("ordered pair = %v %v", ids, err)
+	}
+	// login->work holds in both sessions.
+	ids, err = e.DetectTraces([]string{"login", "work"})
+	if err != nil || !reflect.DeepEqual(ids, []int64{1, 2}) {
+		t.Fatalf("cross-group pair = %v %v", ids, err)
+	}
+	// The exact scan agrees.
+	ms, err := e.DetectScan([]string{"login", "sync"})
+	if err != nil || len(ms) != 1 || ms[0].Trace != 2 {
+		t.Fatalf("partial scan = %v %v", ms, err)
+	}
+}
+
+func TestPartialOrderDurableModeCheck(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{PartialOrder: true, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest([]Event{{Trace: 1, Activity: "a", Time: 1}, {Trace: 1, Activity: "b", Time: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	// Reopening in total-order mode must be rejected.
+	if _, err := Open(Config{Dir: dir}); err == nil {
+		t.Fatal("order-mode mismatch accepted")
+	}
+	// Reopening in the same mode works.
+	e2, err := Open(Config{PartialOrder: true, Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2.Close()
+}
+
+func TestRotatePeriodKeepsPartialOrder(t *testing.T) {
+	e := openMem(t, Config{PartialOrder: true})
+	if _, err := e.Ingest([]Event{
+		{Trace: 1, Activity: "a", Time: 1}, {Trace: 1, Activity: "b", Time: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RotatePeriod("p2"); err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent events in the new period must still not pair.
+	if _, err := e.Ingest([]Event{
+		{Trace: 2, Activity: "a", Time: 1}, {Trace: 2, Activity: "b", Time: 1},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ids, err := e.DetectTraces([]string{"a", "b"})
+	if err != nil || len(ids) != 0 {
+		t.Fatalf("concurrent events paired after rotation: %v %v", ids, err)
+	}
+}
