@@ -30,6 +30,8 @@ func main() {
 		policy  = flag.String("policy", "STNM", "policy the index was built with")
 		partial = flag.Bool("partial", false, "the index was built with partial order")
 		planner = flag.Bool("planner", false, "use the selectivity-based join planner")
+		cacheMB = flag.Int("cache-mb", 0, "decoded-postings cache budget in MiB (0 = default 64, negative disables)")
+		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 	if *dir == "" || flag.NArg() < 1 {
@@ -37,7 +39,10 @@ func main() {
 	}
 	verb, rest := flag.Arg(0), flag.Args()[1:]
 
-	eng, err := seqlog.Open(seqlog.Config{Dir: *dir, Policy: *policy, PartialOrder: *partial, Planner: *planner})
+	eng, err := seqlog.Open(seqlog.Config{
+		Dir: *dir, Policy: *policy, PartialOrder: *partial, Planner: *planner,
+		CacheBytes: cacheBytes(*cacheMB), QueryWorkers: *workers,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -151,6 +156,14 @@ func need(pattern []string, min int) []string {
 		os.Exit(2)
 	}
 	return pattern
+}
+
+// cacheBytes maps the -cache-mb flag onto Config.CacheBytes semantics.
+func cacheBytes(mb int) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return int64(mb) << 20
 }
 
 func fatal(err error) {

@@ -26,12 +26,15 @@ func main() {
 		method  = flag.String("method", "indexing", "STNM extraction flavor")
 		partial = flag.Bool("partial", false, "treat same-timestamp events as concurrent (partial order)")
 		planner = flag.Bool("planner", false, "use the selectivity-based join planner")
+		cacheMB = flag.Int("cache-mb", 0, "decoded-postings cache budget in MiB (0 = default 64, negative disables)")
+		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
 
 	eng, err := seqlog.Open(seqlog.Config{
 		Dir: *dir, Policy: *policy, Method: *method,
 		PartialOrder: *partial, Planner: *planner,
+		CacheBytes: cacheBytes(*cacheMB), QueryWorkers: *workers,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "seqserver:", err)
@@ -43,4 +46,12 @@ func main() {
 	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// cacheBytes maps the -cache-mb flag onto Config.CacheBytes semantics.
+func cacheBytes(mb int) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return int64(mb) << 20
 }

@@ -1,0 +1,69 @@
+package query
+
+import (
+	"math/rand"
+	"testing"
+
+	"seqlog/internal/index"
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/storage"
+)
+
+// benchTables mirrors benchProcessor's log but hands back the Tables so the
+// cache budget can be tuned. Unlike hotpath_bench_test.go this file uses the
+// post-overhaul API and cannot run against the seed.
+func benchTables(b *testing.B, traces, events, alphabet int) *storage.Tables {
+	b.Helper()
+	tb := storage.NewTables(kvstore.NewMemStore())
+	bld, err := index.NewBuilder(tb, index.Options{Policy: model.STNM, Method: pairs.Indexing, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var batch []model.Event
+	for t := 1; t <= traces; t++ {
+		for i := 0; i < events; i++ {
+			batch = append(batch, model.Event{
+				Trace:    model.TraceID(t),
+				Activity: model.ActivityID(rng.Intn(alphabet)),
+				TS:       model.Timestamp(i + 1),
+			})
+		}
+	}
+	if _, err := bld.Update(batch); err != nil {
+		b.Fatal(err)
+	}
+	return tb
+}
+
+// BenchmarkQueryCache isolates what the decoded-postings cache buys: the
+// same repeated Detect with the cache disabled (every iteration re-reads,
+// re-decodes and re-sorts the rows) versus warm (rows served from the LRU).
+func BenchmarkQueryCache(b *testing.B) {
+	pattern := model.Pattern{0, 1, 2}
+	for _, mode := range []struct {
+		name   string
+		budget int64
+	}{
+		{"cold", -1},
+		{"warm", storage.DefaultCacheBytes},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			tb := benchTables(b, 200, 100, 16)
+			tb.SetCacheBudget(mode.budget)
+			q := NewProcessor(tb)
+			if _, err := q.Detect(pattern); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := q.Detect(pattern); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

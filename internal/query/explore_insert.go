@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seqlog/internal/model"
+	"seqlog/internal/parallel"
 )
 
 // This file implements the §7 extension of the paper: "the pattern
@@ -30,34 +31,43 @@ func (q *Processor) ExploreInsertAccurate(p model.Pattern, pos int, opts Explore
 	if err != nil {
 		return nil, err
 	}
-	var out []Proposal
-	for _, cand := range candidates {
-		ext := insertAt(p, pos, cand)
-		matches, err := q.Detect(ext)
-		if err != nil {
-			return nil, err
-		}
-		var sum int64
-		for _, m := range matches {
-			sum += gapAround(m, pos)
-		}
-		var avg float64
-		if len(matches) > 0 {
-			avg = float64(sum) / float64(len(matches))
-		}
-		if opts.MaxAvgGap > 0 && avg > opts.MaxAvgGap {
-			continue
-		}
-		out = append(out, Proposal{
-			Event:       cand,
-			Completions: int64(len(matches)),
-			AvgDuration: avg,
-			Score:       score(int64(len(matches)), avg),
-			Exact:       true,
-		})
+	props, err := parallel.Map(candidates, q.workers, func(cand model.ActivityID) (*Proposal, error) {
+		return q.verifyInsert(p, pos, cand, opts)
+	})
+	if err != nil {
+		return nil, err
 	}
+	out := collectProposals(props)
 	sortProposals(out)
 	return out, nil
+}
+
+// verifyInsert runs the full detection of the pattern with cand inserted at
+// pos and scores the candidate exactly; nil means the MaxAvgGap constraint
+// dropped it.
+func (q *Processor) verifyInsert(p model.Pattern, pos int, cand model.ActivityID, opts ExploreOptions) (*Proposal, error) {
+	matches, err := q.Detect(insertAt(p, pos, cand))
+	if err != nil {
+		return nil, err
+	}
+	var sum int64
+	for _, m := range matches {
+		sum += gapAround(m, pos)
+	}
+	var avg float64
+	if len(matches) > 0 {
+		avg = float64(sum) / float64(len(matches))
+	}
+	if opts.MaxAvgGap > 0 && avg > opts.MaxAvgGap {
+		return nil, nil
+	}
+	return &Proposal{
+		Event:       cand,
+		Completions: int64(len(matches)),
+		AvgDuration: avg,
+		Score:       score(int64(len(matches)), avg),
+		Exact:       true,
+	}, nil
 }
 
 // ExploreInsertFast ranks insertion candidates from precomputed statistics
@@ -124,39 +134,9 @@ func (q *Processor) ExploreInsertHybrid(p model.Pattern, pos int, opts ExploreOp
 	if err != nil {
 		return nil, err
 	}
-	k := opts.TopK
-	if k <= 0 {
-		return fast, nil
-	}
-	if k > len(fast) {
-		k = len(fast)
-	}
-	out := make([]Proposal, 0, len(fast))
-	out = append(out, fast[k:]...)
-	for _, fp := range fast[:k] {
-		ext := insertAt(p, pos, fp.Event)
-		matches, err := q.Detect(ext)
-		if err != nil {
-			return nil, err
-		}
-		var sum int64
-		for _, m := range matches {
-			sum += gapAround(m, pos)
-		}
-		var avg float64
-		if len(matches) > 0 {
-			avg = float64(sum) / float64(len(matches))
-		}
-		out = append(out, Proposal{
-			Event:       fp.Event,
-			Completions: int64(len(matches)),
-			AvgDuration: avg,
-			Score:       score(int64(len(matches)), avg),
-			Exact:       true,
-		})
-	}
-	sortProposals(out)
-	return out, nil
+	return q.recheckTopK(fast, opts.TopK, func(event model.ActivityID) (*Proposal, error) {
+		return q.verifyInsert(p, pos, event, ExploreOptions{})
+	})
 }
 
 // insertCandidates intersects the successor set of the event before the gap

@@ -2,7 +2,6 @@ package query
 
 import (
 	"seqlog/internal/model"
-	"seqlog/internal/storage"
 )
 
 // DetectPlanned is an optimisation of Algorithm 2 beyond the paper: the
@@ -19,16 +18,9 @@ func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	rows := make([][]storage.IndexEntry, len(p)-1)
-	for i := 0; i+1 < len(p); i++ {
-		entries, err := q.tables.GetIndexAll(model.NewPairKey(p[i], p[i+1]))
-		if err != nil {
-			return nil, err
-		}
-		if len(entries) == 0 {
-			return nil, nil
-		}
-		rows[i] = entries
+	rows, err := q.sortedRows(p)
+	if err != nil || rows == nil {
+		return nil, err
 	}
 
 	// Seed the candidate set from the most selective row, then shrink it
@@ -62,59 +54,6 @@ func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
 		return nil, nil
 	}
 
-	// Standard Algorithm 2 join over the surviving traces only.
-	partials := make(map[model.TraceID][][]model.Timestamp)
-	for _, e := range rows[0] {
-		if !candidates[e.Trace] {
-			continue
-		}
-		partials[e.Trace] = append(partials[e.Trace], []model.Timestamp{e.TsA, e.TsB})
-	}
-	for i := 1; i < len(rows); i++ {
-		if len(partials) == 0 {
-			return nil, nil
-		}
-		byTrace := make(map[model.TraceID]map[model.Timestamp][]model.Timestamp)
-		for _, e := range rows[i] {
-			if !candidates[e.Trace] {
-				continue
-			}
-			m := byTrace[e.Trace]
-			if m == nil {
-				m = make(map[model.Timestamp][]model.Timestamp)
-				byTrace[e.Trace] = m
-			}
-			m[e.TsA] = append(m[e.TsA], e.TsB)
-		}
-		next := make(map[model.TraceID][][]model.Timestamp, len(partials))
-		for trace, chains := range partials {
-			starts := byTrace[trace]
-			if starts == nil {
-				continue
-			}
-			var extended [][]model.Timestamp
-			for _, chain := range chains {
-				last := chain[len(chain)-1]
-				for _, tsB := range starts[last] {
-					ext := make([]model.Timestamp, len(chain)+1)
-					copy(ext, chain)
-					ext[len(chain)] = tsB
-					extended = append(extended, ext)
-				}
-			}
-			if len(extended) > 0 {
-				next[trace] = extended
-			}
-		}
-		partials = next
-	}
-
-	var out []Match
-	for trace, chains := range partials {
-		for _, chain := range chains {
-			out = append(out, Match{Trace: trace, Timestamps: chain})
-		}
-	}
-	sortMatches(out)
-	return out, nil
+	// The standard merge join, seeded with the surviving traces only.
+	return joinSorted(rows, 0, candidates), nil
 }

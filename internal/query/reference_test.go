@@ -1,0 +1,71 @@
+package query
+
+import (
+	"seqlog/internal/model"
+)
+
+// detectReference is the pre-overhaul Detect, kept verbatim as the oracle
+// the merge join of join.go is asserted against: the paper's Algorithm 2
+// with nested map[trace]map[tsA][]tsB grouping rebuilt on every step, full
+// chain copies per extension, and uncached GetIndexAll row reads.
+func detectReference(q *Processor, p model.Pattern) ([]Match, error) {
+	if len(p) < 2 {
+		return nil, ErrShortPattern
+	}
+	first, err := q.tables.GetIndexAll(model.NewPairKey(p[0], p[1]))
+	if err != nil {
+		return nil, err
+	}
+	partials := make(map[model.TraceID][][]model.Timestamp)
+	for _, e := range first {
+		partials[e.Trace] = append(partials[e.Trace], []model.Timestamp{e.TsA, e.TsB})
+	}
+	for i := 1; i+1 < len(p); i++ {
+		if len(partials) == 0 {
+			return nil, nil
+		}
+		entries, err := q.tables.GetIndexAll(model.NewPairKey(p[i], p[i+1]))
+		if err != nil {
+			return nil, err
+		}
+		byTrace := make(map[model.TraceID]map[model.Timestamp][]model.Timestamp)
+		for _, e := range entries {
+			m := byTrace[e.Trace]
+			if m == nil {
+				m = make(map[model.Timestamp][]model.Timestamp)
+				byTrace[e.Trace] = m
+			}
+			m[e.TsA] = append(m[e.TsA], e.TsB)
+		}
+		next := make(map[model.TraceID][][]model.Timestamp, len(partials))
+		for trace, chains := range partials {
+			starts := byTrace[trace]
+			if starts == nil {
+				continue
+			}
+			var extended [][]model.Timestamp
+			for _, chain := range chains {
+				last := chain[len(chain)-1]
+				for _, tsB := range starts[last] {
+					ext := make([]model.Timestamp, len(chain)+1)
+					copy(ext, chain)
+					ext[len(chain)] = tsB
+					extended = append(extended, ext)
+				}
+			}
+			if len(extended) > 0 {
+				next[trace] = extended
+			}
+		}
+		partials = next
+	}
+
+	var out []Match
+	for trace, chains := range partials {
+		for _, chain := range chains {
+			out = append(out, Match{Trace: trace, Timestamps: chain})
+		}
+	}
+	sortMatches(out)
+	return out, nil
+}

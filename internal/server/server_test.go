@@ -272,6 +272,14 @@ func TestInfoAndTraceEndpoints(t *testing.T) {
 	srv, _ := newServer(t)
 	ingestSample(t, srv.URL)
 
+	// Query twice so the postings cache records a miss then a hit, both
+	// of which /info must surface.
+	for i := 0; i < 2; i++ {
+		if resp, _ := post(t, srv.URL+"/detect", DetectRequest{Pattern: []string{"a", "b"}}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("detect warmup status %d", resp.StatusCode)
+		}
+	}
+
 	resp, err := http.Get(srv.URL + "/info")
 	if err != nil || resp.StatusCode != http.StatusOK {
 		t.Fatalf("info: %v %v", resp, err)
@@ -284,6 +292,9 @@ func TestInfoAndTraceEndpoints(t *testing.T) {
 	}
 	if info.Partitions[""] == 0 {
 		t.Fatalf("default partition missing: %+v", info)
+	}
+	if info.Cache.Hits == 0 || info.Cache.Misses == 0 {
+		t.Fatalf("cache counters missing from /info: %+v", info.Cache)
 	}
 
 	resp, err = http.Get(srv.URL + "/trace/1")

@@ -3,6 +3,7 @@ package storage
 import (
 	"encoding/binary"
 	"sort"
+	"sync"
 
 	"seqlog/internal/kvstore"
 	"seqlog/internal/model"
@@ -40,10 +41,42 @@ func (c CountEntry) AvgDuration() float64 {
 // parallel appends into Cassandra).
 type Tables struct {
 	store kvstore.Store
+	cache *postingsCache // decoded-postings cache; nil when disabled
+
+	// Registered-period list, cached so GetIndexAllSorted does not re-scan
+	// and re-sort the periods table on every pair fetch. The slice is a
+	// copy-on-write snapshot: readers hold it without locks, writers
+	// replace it wholesale.
+	pmu           sync.RWMutex
+	periods       []string
+	periodsLoaded bool
 }
 
-// NewTables wraps a store.
-func NewTables(store kvstore.Store) *Tables { return &Tables{store: store} }
+// NewTables wraps a store. The decoded-postings cache starts at
+// DefaultCacheBytes; use SetCacheBudget to resize or disable it.
+func NewTables(store kvstore.Store) *Tables {
+	return &Tables{store: store, cache: newPostingsCache(DefaultCacheBytes)}
+}
+
+// SetCacheBudget resizes the decoded-postings cache: 0 restores the default
+// budget, a negative value disables caching. Resizing discards cached rows;
+// call it at startup, before serving queries.
+func (t *Tables) SetCacheBudget(bytes int64) {
+	if bytes < 0 {
+		t.cache = nil
+		return
+	}
+	t.cache = newPostingsCache(bytes)
+}
+
+// CacheStats reports the postings-cache counters (all zero when the cache
+// is disabled).
+func (t *Tables) CacheStats() CacheStats {
+	if t.cache == nil {
+		return CacheStats{}
+	}
+	return t.cache.stats()
+}
 
 // Store exposes the underlying kvstore (the server and tools report raw
 // table statistics through it).
@@ -83,7 +116,10 @@ func (t *Tables) GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error) {
 
 func decodeSeq(raw []byte) ([]model.TraceEvent, error) {
 	r := &reader{buf: raw}
-	var events []model.TraceEvent
+	// Activity and timestamp varints are at least one byte each plus the
+	// typical two-to-three-byte timestamp: /3 is the same growth hint
+	// decodeIndexEntries uses.
+	events := make([]model.TraceEvent, 0, len(raw)/3)
 	for !r.done() {
 		a, err := r.uvarint()
 		if err != nil {
@@ -150,7 +186,15 @@ func (t *Tables) AppendIndex(period string, pair model.PairKey, entries []IndexE
 			return err
 		}
 	}
-	return t.store.Append(indexTable(period), pairKeyString(pair), encodeIndexEntries(nil, entries))
+	if err := t.store.Append(indexTable(period), pairKeyString(pair), encodeIndexEntries(nil, entries)); err != nil {
+		return err
+	}
+	// Invalidate after the append: a reader that decoded the pre-append row
+	// concurrently sees its generation snapshot go stale and drops it.
+	if t.cache != nil {
+		t.cache.invalidate(cacheKey{period: period, pair: pair})
+	}
+	return nil
 }
 
 // GetIndex returns the entries of pair in one period partition.
@@ -195,7 +239,7 @@ func (t *Tables) GetIndexAll(pair model.PairKey) ([]IndexEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	periods, err := t.Periods()
+	periods, err := t.periodsShared()
 	if err != nil {
 		return nil, err
 	}
@@ -209,24 +253,186 @@ func (t *Tables) GetIndexAll(pair model.PairKey) ([]IndexEntry, error) {
 	return out, nil
 }
 
+// lessIndexEntry is the (Trace, TsA, TsB) order GetIndexSorted rows obey —
+// the order the query processor's merge join binary-searches.
+func lessIndexEntry(a, b IndexEntry) bool {
+	if a.Trace != b.Trace {
+		return a.Trace < b.Trace
+	}
+	if a.TsA != b.TsA {
+		return a.TsA < b.TsA
+	}
+	return a.TsB < b.TsB
+}
+
+func sortIndexEntries(entries []IndexEntry) {
+	sort.Slice(entries, func(i, j int) bool { return lessIndexEntry(entries[i], entries[j]) })
+}
+
+// GetIndexSorted returns the entries of pair in one partition, sorted by
+// (Trace, TsA, TsB). Rows are decoded and sorted at most once per index
+// update: they are served from the postings cache until AppendIndex or
+// DropPeriod touches them. The returned slice is shared with the cache —
+// callers must not modify it.
+func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry, error) {
+	if t.cache == nil {
+		entries, err := t.GetIndex(period, pair)
+		if err != nil {
+			return nil, err
+		}
+		sortIndexEntries(entries)
+		return entries, nil
+	}
+	k := cacheKey{period: period, pair: pair}
+	if entries, ok := t.cache.get(k); ok {
+		return entries, nil
+	}
+	gen, epoch := t.cache.begin(k)
+	entries, err := t.GetIndex(period, pair)
+	if err != nil {
+		return nil, err
+	}
+	sortIndexEntries(entries)
+	t.cache.put(k, gen, epoch, entries)
+	return entries, nil
+}
+
+// GetIndexAllSorted returns the entries of pair across the default partition
+// and every registered period, sorted by (Trace, TsA, TsB). Per-partition
+// rows come from the postings cache; with a single populated partition the
+// cached slice is returned directly, otherwise the sorted rows are merged
+// into a fresh slice. The returned slice is shared — callers must not
+// modify it.
+func (t *Tables) GetIndexAllSorted(pair model.PairKey) ([]IndexEntry, error) {
+	periods, err := t.periodsShared()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([][]IndexEntry, 0, len(periods)+1)
+	row, err := t.GetIndexSorted("", pair)
+	if err != nil {
+		return nil, err
+	}
+	if len(row) > 0 {
+		rows = append(rows, row)
+	}
+	for _, p := range periods {
+		if row, err = t.GetIndexSorted(p, pair); err != nil {
+			return nil, err
+		}
+		if len(row) > 0 {
+			rows = append(rows, row)
+		}
+	}
+	switch len(rows) {
+	case 0:
+		return nil, nil
+	case 1:
+		return rows[0], nil
+	}
+	return mergeSortedEntries(rows), nil
+}
+
+// mergeSortedEntries k-way merges sorted rows; k is the partition count, so
+// a linear minimum scan beats a heap.
+func mergeSortedEntries(rows [][]IndexEntry) []IndexEntry {
+	n := 0
+	for _, r := range rows {
+		n += len(r)
+	}
+	out := make([]IndexEntry, 0, n)
+	pos := make([]int, len(rows))
+	for len(out) < n {
+		best := -1
+		for i, r := range rows {
+			if pos[i] >= len(r) {
+				continue
+			}
+			if best < 0 || lessIndexEntry(r[pos[i]], rows[best][pos[best]]) {
+				best = i
+			}
+		}
+		out = append(out, rows[best][pos[best]])
+		pos[best]++
+	}
+	return out
+}
+
 // DropPeriod retires an entire period partition of the index.
 func (t *Tables) DropPeriod(period string) error {
 	if period == "" {
-		return t.store.DropTable(tableIndex)
+		if err := t.store.DropTable(tableIndex); err != nil {
+			return err
+		}
+	} else {
+		if err := t.store.Delete(tablePeriods, period); err != nil {
+			return err
+		}
+		if err := t.store.DropTable(indexTable(period)); err != nil {
+			return err
+		}
+		t.pmu.Lock()
+		if t.periodsLoaded {
+			ps := make([]string, 0, len(t.periods))
+			for _, p := range t.periods {
+				if p != period {
+					ps = append(ps, p)
+				}
+			}
+			t.periods = ps
+		}
+		t.pmu.Unlock()
 	}
-	if err := t.store.Delete(tablePeriods, period); err != nil {
-		return err
+	if t.cache != nil {
+		t.cache.invalidatePeriod(period)
 	}
-	return t.store.DropTable(indexTable(period))
+	return nil
 }
 
 func (t *Tables) registerPeriod(period string) error {
-	// Idempotent put; Periods() sorts on read.
-	return t.store.Put(tablePeriods, period, nil)
+	t.pmu.RLock()
+	known := t.periodsLoaded && containsPeriod(t.periods, period)
+	t.pmu.RUnlock()
+	if known {
+		return nil // fast path: skip the idempotent store write too
+	}
+	if err := t.store.Put(tablePeriods, period, nil); err != nil {
+		return err
+	}
+	t.pmu.Lock()
+	if t.periodsLoaded && !containsPeriod(t.periods, period) {
+		// Copy-on-write: snapshots already handed out stay immutable.
+		ps := make([]string, 0, len(t.periods)+1)
+		ps = append(ps, t.periods...)
+		ps = append(ps, period)
+		sort.Strings(ps)
+		t.periods = ps
+	}
+	t.pmu.Unlock()
+	return nil
 }
 
-// Periods lists the registered period partitions in sorted order.
-func (t *Tables) Periods() ([]string, error) {
+func containsPeriod(sorted []string, period string) bool {
+	i := sort.SearchStrings(sorted, period)
+	return i < len(sorted) && sorted[i] == period
+}
+
+// periodsShared returns the cached sorted period list, loading it from the
+// periods table on first use. The slice is shared — callers must not modify
+// it.
+func (t *Tables) periodsShared() ([]string, error) {
+	t.pmu.RLock()
+	if t.periodsLoaded {
+		ps := t.periods
+		t.pmu.RUnlock()
+		return ps, nil
+	}
+	t.pmu.RUnlock()
+	t.pmu.Lock()
+	defer t.pmu.Unlock()
+	if t.periodsLoaded {
+		return t.periods, nil
+	}
 	var out []string
 	err := t.store.Scan(tablePeriods, func(k string, _ []byte) error {
 		out = append(out, k)
@@ -236,7 +442,17 @@ func (t *Tables) Periods() ([]string, error) {
 		return nil, err
 	}
 	sort.Strings(out)
+	t.periods, t.periodsLoaded = out, true
 	return out, nil
+}
+
+// Periods lists the registered period partitions in sorted order.
+func (t *Tables) Periods() ([]string, error) {
+	ps, err := t.periodsShared()
+	if err != nil || len(ps) == 0 {
+		return nil, err
+	}
+	return append([]string(nil), ps...), nil
 }
 
 // NumIndexedPairs returns the number of distinct pairs in one partition.

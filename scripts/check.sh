@@ -1,0 +1,11 @@
+#!/bin/sh
+# Fast correctness gate for the hot paths: vet everything, then run the
+# query/storage/kvstore suites under the race detector (these are the
+# packages with real concurrency: postings cache, parallel continuation,
+# WAL). Full suite: go test ./...
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go test -race ./internal/query/... ./internal/storage/... ./internal/kvstore/...

@@ -69,6 +69,15 @@ type Config struct {
 	// patterns. Results are identical either way; off by default to match
 	// the paper's left-to-right join.
 	Planner bool
+	// CacheBytes bounds the decoded-postings cache that keeps hot
+	// inverted-index rows decoded and pre-sorted between queries: 0 uses
+	// the default budget (64 MiB), a negative value disables caching.
+	// Results are identical either way; only latency changes.
+	CacheBytes int64
+	// QueryWorkers bounds the per-candidate fan-out of the continuation
+	// queries (Accurate verification and the Hybrid re-check): 0 uses all
+	// cores, 1 runs serially. Rankings are identical at any worker count.
+	QueryWorkers int
 }
 
 // Event is one public log record: an activity executed inside a trace at a
@@ -193,6 +202,9 @@ func Open(cfg Config) (*Engine, error) {
 	}
 
 	tables := storage.NewTables(store)
+	if cfg.CacheBytes != 0 {
+		tables.SetCacheBudget(cfg.CacheBytes)
+	}
 	builder, err := index.NewBuilder(tables, index.Options{
 		Policy: policy, Method: method, Workers: cfg.Workers, Period: cfg.Period,
 		PartialOrder: cfg.PartialOrder,
@@ -202,12 +214,14 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
+	proc := query.NewProcessor(tables)
+	proc.SetWorkers(cfg.QueryWorkers)
 	e := &Engine{
 		store:    store,
 		disk:     disk,
 		tables:   tables,
 		builder:  builder,
-		proc:     query.NewProcessor(tables),
+		proc:     proc,
 		alphabet: model.NewAlphabet(),
 		cfg:      cfg,
 	}
@@ -630,13 +644,29 @@ func (e *Engine) TraceEvents(id int64) ([]Event, bool, error) {
 	return out, true, nil
 }
 
-// IndexInfo summarises the indexing database: live traces, activities, and
-// the distinct-pair count of every partition.
+// CacheStats are the decoded-postings cache counters of the query hot path.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// CacheStats reports the postings-cache counters (all zero when the cache
+// is disabled via Config.CacheBytes < 0).
+func (e *Engine) CacheStats() CacheStats {
+	return CacheStats(e.tables.CacheStats())
+}
+
+// IndexInfo summarises the indexing database: live traces, activities, the
+// distinct-pair count of every partition, and the postings-cache counters.
 type IndexInfo struct {
 	Traces     int            `json:"traces"`
 	Activities int            `json:"activities"`
 	Policy     string         `json:"policy"`
 	Partitions map[string]int `json:"partitions"` // partition -> distinct pairs ("" = default)
+	Cache      CacheStats     `json:"cache"`
 }
 
 // Info reports the current index shape.
@@ -645,6 +675,7 @@ func (e *Engine) Info() (IndexInfo, error) {
 		Activities: e.alphabet.Len(),
 		Policy:     e.builder.Options().Policy.String(),
 		Partitions: make(map[string]int),
+		Cache:      e.CacheStats(),
 	}
 	var err error
 	if info.Traces, err = e.tables.NumTraces(); err != nil {
