@@ -1,4 +1,6 @@
-// Command seqquery runs pattern queries against an index built by seqindex.
+// Command seqquery runs pattern queries against an index built by seqindex,
+// either by opening the index directory directly or by talking to a running
+// seqserver over HTTP.
 //
 // Usage:
 //
@@ -6,27 +8,37 @@
 //	seqquery -dir ./idx traces  search view cart
 //	seqquery -dir ./idx stats   search view
 //	seqquery -dir ./idx explore [-mode hybrid] [-topk 5] [-maxgap 0] search view
+//	seqquery -dir ./idx info
+//	seqquery -server http://host:8080 [-retries 3] detect search view cart
 //
-// Global flags (-dir, -policy) come before the verb; verb flags after it.
+// Global flags (-dir, -server, -policy) come before the verb; verb flags
+// after it. In server mode idempotent GETs (the info verb) are retried with
+// exponential backoff; query POSTs are attempted once.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"seqlog"
+	"seqlog/internal/httpclient"
+	"seqlog/internal/server"
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: seqquery -dir DIR [-policy STNM] {detect|traces|stats|explore} [verb flags] ACTIVITY...")
+	fmt.Fprintln(os.Stderr, "usage: seqquery {-dir DIR | -server URL} [-policy STNM] {detect|traces|stats|explore|info} [verb flags] ACTIVITY...")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
 
 func main() {
 	var (
-		dir     = flag.String("dir", "", "index directory (required)")
+		dir     = flag.String("dir", "", "index directory (local mode)")
+		srvURL  = flag.String("server", "", "seqserver base URL (server mode, e.g. http://localhost:8080)")
+		retries = flag.Int("retries", 3, "server mode: retry idempotent GETs this many times on connection errors and 5xx")
 		policy  = flag.String("policy", "STNM", "policy the index was built with")
 		partial = flag.Bool("partial", false, "the index was built with partial order")
 		planner = flag.Bool("planner", false, "use the selectivity-based join planner")
@@ -34,10 +46,15 @@ func main() {
 		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
 	)
 	flag.Parse()
-	if *dir == "" || flag.NArg() < 1 {
+	if (*dir == "") == (*srvURL == "") || flag.NArg() < 1 {
 		usage()
 	}
 	verb, rest := flag.Arg(0), flag.Args()[1:]
+
+	if *srvURL != "" {
+		runRemote(strings.TrimRight(*srvURL, "/"), *retries, verb, rest)
+		return
+	}
 
 	eng, err := seqlog.Open(seqlog.Config{
 		Dir: *dir, Policy: *policy, PartialOrder: *partial, Planner: *planner,
@@ -50,32 +67,20 @@ func main() {
 
 	switch verb {
 	case "detect":
-		fs := flag.NewFlagSet("detect", flag.ExitOnError)
-		scan := fs.Bool("scan", false, "use the exact per-trace scan instead of the index join")
-		within := fs.Int64("within", 0, "keep only completions spanning at most this many ms (0 = off)")
-		limit := fs.Int("limit", 20, "max rows to print")
-		fs.Parse(rest)
-		pattern := need(fs.Args(), 2)
+		scan, within, limit, pattern := detectFlags(rest)
 		var ms []seqlog.Match
 		switch {
-		case *scan:
+		case scan:
 			ms, err = eng.DetectScan(pattern)
-		case *within > 0:
-			ms, err = eng.DetectWithin(pattern, *within)
+		case within > 0:
+			ms, err = eng.DetectWithin(pattern, within)
 		default:
 			ms, err = eng.Detect(pattern)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%d completions\n", len(ms))
-		for i, m := range ms {
-			if i >= *limit {
-				fmt.Printf("... and %d more\n", len(ms)-*limit)
-				break
-			}
-			fmt.Printf("trace %d at %v\n", m.Trace, m.Times)
-		}
+		printMatches(ms, limit)
 
 	case "traces":
 		fs := flag.NewFlagSet("traces", flag.ExitOnError)
@@ -85,67 +90,199 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("%d traces contain the pattern\n", len(ids))
-		for i, id := range ids {
-			if i >= *limit {
-				fmt.Printf("... and %d more\n", len(ids)-*limit)
-				break
-			}
-			fmt.Println(id)
-		}
+		printTraces(ids, *limit)
 
 	case "stats":
-		fs := flag.NewFlagSet("stats", flag.ExitOnError)
-		allPairs := fs.Bool("all-pairs", false, "bound with every ordered pattern pair (tighter, O(p²) reads)")
-		fs.Parse(rest)
+		allPairs, pattern := statsFlags(rest)
 		var st seqlog.PatternStats
-		if *allPairs {
-			st, err = eng.StatsAllPairs(need(fs.Args(), 2))
+		if allPairs {
+			st, err = eng.StatsAllPairs(pattern)
 		} else {
-			st, err = eng.Stats(need(fs.Args(), 2))
+			st, err = eng.Stats(pattern)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		for _, ps := range st.Pairs {
-			fmt.Printf("(%s -> %s): completions=%d avg_duration=%.2fms last=%d\n",
-				ps.First, ps.Second, ps.Completions, ps.AvgDuration, ps.LastCompletion)
-		}
-		fmt.Printf("pattern completions <= %d, estimated duration %.2fms\n",
-			st.MaxCompletions, st.EstimatedDuration)
+		printStats(st)
 
 	case "explore":
-		fs := flag.NewFlagSet("explore", flag.ExitOnError)
-		mode := fs.String("mode", "hybrid", "accurate, fast or hybrid")
-		topK := fs.Int("topk", 5, "hybrid: candidates to re-check accurately")
-		maxGap := fs.Float64("maxgap", 0, "drop candidates with mean gap above this (0 = off)")
-		pos := fs.Int("pos", -1, "insert the candidate at this position instead of appending (-1 = append)")
-		limit := fs.Int("limit", 20, "max rows to print")
-		fs.Parse(rest)
-		opts := seqlog.ExploreOptions{TopK: *topK, MaxAvgGap: *maxGap}
+		mode, opts, pos, limit, pattern := exploreFlags(rest)
 		var props []seqlog.Proposal
-		if *pos >= 0 {
-			props, err = eng.ExploreInsert(need(fs.Args(), 1), *pos, seqlog.ExploreMode(*mode), opts)
+		if pos >= 0 {
+			props, err = eng.ExploreInsert(pattern, pos, mode, opts)
 		} else {
-			props, err = eng.Explore(need(fs.Args(), 1), seqlog.ExploreMode(*mode), opts)
+			props, err = eng.Explore(pattern, mode, opts)
 		}
 		if err != nil {
 			fatal(err)
 		}
-		for i, p := range props {
-			if i >= *limit {
-				break
-			}
-			kind := "approx"
-			if p.Exact {
-				kind = "exact"
-			}
-			fmt.Printf("%2d. %-20s completions=%-6d avg=%.2fms score=%.4f (%s)\n",
-				i+1, p.Activity, p.Completions, p.AvgDuration, p.Score, kind)
+		printProposals(props, limit)
+
+	case "info":
+		info, err := eng.Info()
+		if err != nil {
+			fatal(err)
 		}
+		printInfo(info)
 
 	default:
 		fatal(fmt.Errorf("unknown verb %q", verb))
+	}
+}
+
+// runRemote answers the same verbs against a seqserver HTTP API.
+func runRemote(base string, retries int, verb string, rest []string) {
+	c := &httpclient.Client{Retries: retries}
+	switch verb {
+	case "detect":
+		scan, within, limit, pattern := detectFlags(rest)
+		var resp server.DetectResponse
+		req := server.DetectRequest{Pattern: pattern, Scan: scan, Within: within}
+		if err := c.PostJSON(base+"/detect", req, &resp); err != nil {
+			fatal(err)
+		}
+		printMatches(resp.Matches, limit)
+
+	case "traces":
+		fs := flag.NewFlagSet("traces", flag.ExitOnError)
+		limit := fs.Int("limit", 20, "max rows to print")
+		fs.Parse(rest)
+		var resp server.DetectResponse
+		req := server.DetectRequest{Pattern: need(fs.Args(), 2), TracesOnly: true}
+		if err := c.PostJSON(base+"/detect", req, &resp); err != nil {
+			fatal(err)
+		}
+		printTraces(resp.Traces, *limit)
+
+	case "stats":
+		allPairs, pattern := statsFlags(rest)
+		var st seqlog.PatternStats
+		if err := c.PostJSON(base+"/stats", server.StatsRequest{Pattern: pattern, AllPairs: allPairs}, &st); err != nil {
+			fatal(err)
+		}
+		printStats(st)
+
+	case "explore":
+		mode, opts, pos, limit, pattern := exploreFlags(rest)
+		req := server.ExploreRequest{Pattern: pattern, Mode: string(mode), TopK: opts.TopK, MaxAvgGap: opts.MaxAvgGap}
+		if pos >= 0 {
+			req.Position = &pos
+		}
+		var resp struct {
+			Proposals []seqlog.Proposal `json:"proposals"`
+		}
+		if err := c.PostJSON(base+"/explore", req, &resp); err != nil {
+			fatal(err)
+		}
+		printProposals(resp.Proposals, limit)
+
+	case "info":
+		var info seqlog.IndexInfo
+		if err := c.GetJSON(base+"/info", &info); err != nil {
+			fatal(err)
+		}
+		printInfo(info)
+
+	default:
+		fatal(fmt.Errorf("unknown verb %q", verb))
+	}
+}
+
+// ---- verb flag parsing, shared between local and server mode --------------
+
+func detectFlags(rest []string) (scan bool, within int64, limit int, pattern []string) {
+	fs := flag.NewFlagSet("detect", flag.ExitOnError)
+	scanF := fs.Bool("scan", false, "use the exact per-trace scan instead of the index join")
+	withinF := fs.Int64("within", 0, "keep only completions spanning at most this many ms (0 = off)")
+	limitF := fs.Int("limit", 20, "max rows to print")
+	fs.Parse(rest)
+	return *scanF, *withinF, *limitF, need(fs.Args(), 2)
+}
+
+func statsFlags(rest []string) (allPairs bool, pattern []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	allPairsF := fs.Bool("all-pairs", false, "bound with every ordered pattern pair (tighter, O(p²) reads)")
+	fs.Parse(rest)
+	return *allPairsF, need(fs.Args(), 2)
+}
+
+func exploreFlags(rest []string) (mode seqlog.ExploreMode, opts seqlog.ExploreOptions, pos, limit int, pattern []string) {
+	fs := flag.NewFlagSet("explore", flag.ExitOnError)
+	modeF := fs.String("mode", "hybrid", "accurate, fast or hybrid")
+	topK := fs.Int("topk", 5, "hybrid: candidates to re-check accurately")
+	maxGap := fs.Float64("maxgap", 0, "drop candidates with mean gap above this (0 = off)")
+	posF := fs.Int("pos", -1, "insert the candidate at this position instead of appending (-1 = append)")
+	limitF := fs.Int("limit", 20, "max rows to print")
+	fs.Parse(rest)
+	return seqlog.ExploreMode(*modeF), seqlog.ExploreOptions{TopK: *topK, MaxAvgGap: *maxGap},
+		*posF, *limitF, need(fs.Args(), 1)
+}
+
+// ---- output, shared between local and server mode -------------------------
+
+func printMatches(ms []seqlog.Match, limit int) {
+	fmt.Printf("%d completions\n", len(ms))
+	for i, m := range ms {
+		if i >= limit {
+			fmt.Printf("... and %d more\n", len(ms)-limit)
+			break
+		}
+		fmt.Printf("trace %d at %v\n", m.Trace, m.Times)
+	}
+}
+
+func printTraces(ids []int64, limit int) {
+	fmt.Printf("%d traces contain the pattern\n", len(ids))
+	for i, id := range ids {
+		if i >= limit {
+			fmt.Printf("... and %d more\n", len(ids)-limit)
+			break
+		}
+		fmt.Println(id)
+	}
+}
+
+func printStats(st seqlog.PatternStats) {
+	for _, ps := range st.Pairs {
+		fmt.Printf("(%s -> %s): completions=%d avg_duration=%.2fms last=%d\n",
+			ps.First, ps.Second, ps.Completions, ps.AvgDuration, ps.LastCompletion)
+	}
+	fmt.Printf("pattern completions <= %d, estimated duration %.2fms\n",
+		st.MaxCompletions, st.EstimatedDuration)
+}
+
+func printProposals(props []seqlog.Proposal, limit int) {
+	for i, p := range props {
+		if i >= limit {
+			break
+		}
+		kind := "approx"
+		if p.Exact {
+			kind = "exact"
+		}
+		fmt.Printf("%2d. %-20s completions=%-6d avg=%.2fms score=%.4f (%s)\n",
+			i+1, p.Activity, p.Completions, p.AvgDuration, p.Score, kind)
+	}
+}
+
+func printInfo(info seqlog.IndexInfo) {
+	status := "ok"
+	if info.Degraded {
+		status = "degraded (salvaged recovery)"
+	}
+	fmt.Printf("traces=%d activities=%d policy=%s status=%s\n",
+		info.Traces, info.Activities, info.Policy, status)
+	parts := make([]string, 0, len(info.Partitions))
+	for p := range info.Partitions {
+		parts = append(parts, p)
+	}
+	sort.Strings(parts)
+	for _, p := range parts {
+		name := p
+		if name == "" {
+			name = "(default)"
+		}
+		fmt.Printf("partition %s: %d pairs\n", name, info.Partitions[p])
 	}
 }
 

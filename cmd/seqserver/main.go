@@ -2,17 +2,26 @@
 // deployment shape of the paper's architecture (Figure 1): a pre-processing
 // batch path (seqindex or POST /ingest) and an online query path.
 //
+// On SIGINT/SIGTERM the server stops accepting connections, drains in-flight
+// requests (bounded by -shutdown-timeout), then syncs and closes the store —
+// acknowledged ingests are never lost to a graceful shutdown.
+//
 // Usage:
 //
 //	seqserver -dir ./idx -addr :8080 [-policy STNM]
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"seqlog"
 	"seqlog/internal/server"
@@ -28,24 +37,85 @@ func main() {
 		planner = flag.Bool("planner", false, "use the selectivity-based join planner")
 		cacheMB = flag.Int("cache-mb", 0, "decoded-postings cache budget in MiB (0 = default 64, negative disables)")
 		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
+		salvage = flag.Bool("salvage", false, "recover a corrupt store by quarantining unreadable regions instead of failing")
+
+		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (0 disables)")
+		maxBodyMB    = flag.Int("max-body-mb", 64, "maximum request body size in MiB (0 disables the cap)")
+		drainTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
-
-	eng, err := seqlog.Open(seqlog.Config{
-		Dir: *dir, Policy: *policy, Method: *method,
-		PartialOrder: *partial, Planner: *planner,
-		CacheBytes: cacheBytes(*cacheMB), QueryWorkers: *workers,
-	})
-	if err != nil {
+	if err := run(*dir, *addr, *policy, *method, *partial, *planner, *cacheMB, *workers,
+		*salvage, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "seqserver:", err)
 		os.Exit(1)
 	}
-	defer eng.Close()
+}
 
-	log.Printf("seqserver listening on %s (dir=%q policy=%s)", *addr, *dir, *policy)
-	if err := http.ListenAndServe(*addr, server.New(eng)); err != nil {
-		log.Fatal(err)
+func run(dir, addr, policy, method string, partial, planner bool, cacheMB, workers int,
+	salvage bool, reqTimeout time.Duration, maxBodyMB int, drainTimeout time.Duration) error {
+	eng, err := seqlog.Open(seqlog.Config{
+		Dir: dir, Policy: policy, Method: method,
+		PartialOrder: partial, Planner: planner,
+		CacheBytes: cacheBytes(cacheMB), QueryWorkers: workers,
+		Salvage: salvage,
+	})
+	if err != nil {
+		return err
 	}
+	if rec := eng.Recovery(); rec.Degraded() {
+		log.Printf("WARNING: store salvaged at startup: %d corrupt regions (%d bytes) quarantined; /health reports degraded",
+			rec.DroppedRegions, rec.DroppedBytes)
+	}
+
+	handler := server.NewWith(eng, server.Options{
+		RequestTimeout: reqTimeout,
+		MaxBodyBytes:   int64(maxBodyMB) << 20,
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("seqserver listening on %s (dir=%q policy=%s)", addr, dir, policy)
+		serveErr <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		eng.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	log.Printf("seqserver shutting down: draining in-flight requests (up to %s)", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("seqserver: drain incomplete: %v", err)
+	}
+
+	// Every acknowledged ingest already hit the WAL with an fsync; this final
+	// sync+close covers anything in flight at the cutoff and folds the WAL
+	// cleanly for the next start.
+	if err := eng.Sync(); err != nil {
+		eng.Close()
+		return fmt.Errorf("final sync: %w", err)
+	}
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("close store: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("seqserver stopped cleanly")
+	return nil
 }
 
 // cacheBytes maps the -cache-mb flag onto Config.CacheBytes semantics.

@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -178,5 +179,101 @@ func TestFullWorkflow(t *testing.T) {
 	}
 	if info.Traces == 0 || len(info.Partitions) != 2 {
 		t.Fatalf("info = %+v (want 2 period partitions)", info)
+	}
+
+	// seqquery server mode: the same verbs against the live server.
+	out = run(t, "seqquery", "-server", base, "traces", "act_000", "act_001")
+	if !strings.Contains(out, "traces contain the pattern") {
+		t.Fatalf("server-mode traces:\n%s", out)
+	}
+	out = run(t, "seqquery", "-server", base, "stats", "act_000", "act_001")
+	if !strings.Contains(out, "pattern completions <=") {
+		t.Fatalf("server-mode stats:\n%s", out)
+	}
+	out = run(t, "seqquery", "-server", base, "-retries", "2", "info")
+	if !strings.Contains(out, "status=ok") {
+		t.Fatalf("server-mode info:\n%s", out)
+	}
+	// A dead server fails fast with -retries 0.
+	runExpectFail(t, "seqquery", "-server", "http://127.0.0.1:1", "-retries", "0", "info")
+	// -dir and -server are mutually exclusive.
+	runExpectFail(t, "seqquery", "-dir", idx, "-server", base, "info")
+}
+
+// TestGracefulShutdownCrashSafety ingests over HTTP, SIGTERMs the server,
+// and verifies every acknowledged batch survives into a fresh process — the
+// "graceful shutdown loses no acknowledged ingest" guarantee end to end.
+func TestGracefulShutdownCrashSafety(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	work := t.TempDir()
+	idx := filepath.Join(work, "idx")
+	addr := "127.0.0.1:18743"
+	srv := exec.Command(filepath.Join(binDir, "seqserver"),
+		"-dir", idx, "-addr", addr, "-shutdown-timeout", "10s")
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	killed := false
+	defer func() {
+		if !killed {
+			srv.Process.Kill()
+			srv.Wait()
+		}
+	}()
+
+	base := "http://" + addr
+	ready := false
+	for i := 0; i < 50; i++ {
+		if resp, err := http.Get(base + "/health"); err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatalf("seqserver never became healthy\n%s", srvOut.String())
+	}
+
+	// Every 200 response below is an acknowledgement: the batch must survive.
+	acked := 0
+	for batch := 0; batch < 5; batch++ {
+		var events []string
+		for i := 0; i < 4; i++ {
+			events = append(events, fmt.Sprintf(
+				`{"trace":%d,"activity":"act_%d","time":%d}`, batch+1, i, batch*100+i))
+		}
+		body := `{"events":[` + strings.Join(events, ",") + `]}`
+		resp, err := http.Post(base+"/ingest", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("ingest batch %d: status %d", batch, resp.StatusCode)
+		}
+		acked++
+	}
+
+	// SIGTERM is what systemd sends; SIGINT shares the handler.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Wait(); err != nil {
+		t.Fatalf("seqserver did not exit cleanly: %v\n%s", err, srvOut.String())
+	}
+	killed = true
+	if !strings.Contains(srvOut.String(), "stopped cleanly") {
+		t.Fatalf("no clean shutdown log:\n%s", srvOut.String())
+	}
+
+	// Reopen the directory with the CLI: all acknowledged traces must be there.
+	out := run(t, "seqquery", "-dir", idx, "traces", "act_0", "act_1")
+	if !strings.Contains(out, fmt.Sprintf("%d traces contain the pattern", acked)) {
+		t.Fatalf("acknowledged ingest lost after graceful shutdown (want %d traces):\n%s", acked, out)
 	}
 }

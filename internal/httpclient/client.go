@@ -1,0 +1,146 @@
+// Package httpclient is a small retrying HTTP client for the seqlog tools.
+// Only idempotent GET requests are retried — on connection errors and 5xx
+// responses — with capped exponential backoff and jitter, so a brief server
+// restart (the graceful-shutdown window) does not fail a whole query script.
+package httpclient
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"time"
+)
+
+// Client wraps an http.Client with bounded GET retries. The zero value is
+// usable: it never retries and uses http.DefaultClient.
+type Client struct {
+	// HTTP is the underlying client; nil means http.DefaultClient.
+	HTTP *http.Client
+	// Retries is the number of extra attempts after the first failed GET.
+	Retries int
+	// BaseDelay seeds the exponential backoff (default 100ms); the delay
+	// doubles per attempt up to MaxDelay (default 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep replaces time.Sleep in tests; Jitter replaces the random jitter
+	// fraction source (must return [0,1)) for determinism.
+	Sleep  func(time.Duration)
+	Jitter func() float64
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// retryable reports whether a response status is worth retrying: the server
+// existed but could not serve (5xx — a restarting seqserver answers 503).
+func retryable(status int) bool { return status >= 500 }
+
+// backoff returns the sleep before the given retry attempt (0-based):
+// exponential with equal jitter, so synchronized clients fan out.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseDelay
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	max := c.MaxDelay
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base << uint(attempt)
+	if d > max || d <= 0 {
+		d = max
+	}
+	jitter := c.Jitter
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	// Half fixed, half jittered: never less than d/2, never more than d.
+	return d/2 + time.Duration(jitter()*float64(d/2))
+}
+
+func (c *Client) sleep(d time.Duration) {
+	if c.Sleep != nil {
+		c.Sleep(d)
+		return
+	}
+	time.Sleep(d)
+}
+
+// Get performs a GET with bounded retries on connection errors and 5xx
+// responses. Any returned response has its body intact and unconsumed.
+func (c *Client) Get(url string) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.http().Get(url)
+		switch {
+		case err != nil:
+			lastErr = err
+		case retryable(resp.StatusCode):
+			lastErr = fmt.Errorf("server error: %s", resp.Status)
+			// Drain so the connection can be reused, then retry.
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		default:
+			return resp, nil
+		}
+		if attempt >= c.Retries {
+			return nil, fmt.Errorf("GET %s: %w (after %d attempts)", url, lastErr, attempt+1)
+		}
+		c.sleep(c.backoff(attempt))
+	}
+}
+
+// GetJSON GETs a URL (with retries) and decodes the JSON response into out.
+func (c *Client) GetJSON(url string, out any) error {
+	resp, err := c.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// PostJSON POSTs a JSON body and decodes the JSON response into out (when
+// non-nil). POSTs are never retried: the seqlog API uses POST for ingestion
+// and queries alike, and replaying a half-applied ingest would duplicate it.
+func (c *Client) PostJSON(url string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http().Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return apiError(resp)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// apiError extracts the server's {"error": ...} body, falling back to the
+// HTTP status.
+func apiError(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, body.Error)
+	}
+	return fmt.Errorf("%s", resp.Status)
+}

@@ -1,0 +1,113 @@
+package httpclient
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGetRetriesOn5xxThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "starting up", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		Retries:   3,
+		BaseDelay: 10 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+		Jitter:    func() float64 { return 0.5 },
+	}
+	var out struct {
+		Status string `json:"status"`
+	}
+	if err := c.GetJSON(srv.URL, &out); err != nil {
+		t.Fatalf("GetJSON: %v", err)
+	}
+	if out.Status != "ok" || calls.Load() != 3 {
+		t.Fatalf("status=%q calls=%d", out.Status, calls.Load())
+	}
+	// Exponential with equal jitter at 0.5: 10ms -> 7.5ms, 20ms -> 15ms.
+	if len(slept) != 2 || slept[0] != 7500*time.Microsecond || slept[1] != 15*time.Millisecond {
+		t.Fatalf("backoff schedule = %v", slept)
+	}
+}
+
+func TestGetRetriesOnConnectionError(t *testing.T) {
+	// A closed server: every attempt is a connection error.
+	srv := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {}))
+	url := srv.URL
+	srv.Close()
+
+	sleeps := 0
+	c := &Client{Retries: 2, BaseDelay: time.Millisecond, Sleep: func(time.Duration) { sleeps++ }}
+	_, err := c.Get(url)
+	if err == nil {
+		t.Fatal("Get against a dead server succeeded")
+	}
+	if sleeps != 2 {
+		t.Fatalf("retried %d times, want 2", sleeps)
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("error does not report attempts: %v", err)
+	}
+}
+
+func TestGetDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"nope"}`, http.StatusNotFound)
+	}))
+	defer srv.Close()
+
+	c := &Client{Retries: 5, Sleep: func(time.Duration) { t.Fatal("slept on a 4xx") }}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("4xx must be returned, not retried into an error: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound || calls.Load() != 1 {
+		t.Fatalf("status=%d calls=%d", resp.StatusCode, calls.Load())
+	}
+}
+
+func TestPostNeverRetries(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	c := &Client{Retries: 5, Sleep: func(time.Duration) { t.Fatal("POST slept for a retry") }}
+	err := c.PostJSON(srv.URL, map[string]int{"x": 1}, nil)
+	if err == nil || calls.Load() != 1 {
+		t.Fatalf("err=%v calls=%d (POST must fail fast)", err, calls.Load())
+	}
+	if !strings.Contains(err.Error(), "down") {
+		t.Fatalf("server error body lost: %v", err)
+	}
+}
+
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	c := &Client{BaseDelay: time.Second, MaxDelay: 3 * time.Second, Jitter: func() float64 { return 1 }}
+	for attempt, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 3 * time.Second} {
+		if got := c.backoff(attempt); got > want || got < want/2 {
+			t.Fatalf("backoff(%d) = %v, want in [%v, %v]", attempt, got, want/2, want)
+		}
+	}
+	// Huge attempt counts must not overflow into negative delays.
+	if got := c.backoff(62); got < 0 || got > 3*time.Second {
+		t.Fatalf("backoff(62) = %v", got)
+	}
+}

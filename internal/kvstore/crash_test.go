@@ -1,0 +1,494 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// The crash-torture harness replays a fixed op script against the disk
+// engine with a crash injected at every byte of the write stream and between
+// every pair of filesystem operations, then asserts that strict recovery
+// succeeds and yields exactly the state of some committed prefix of the
+// script — at least everything acknowledged by the last successful Sync or
+// Compact, never anything the script had not yet executed.
+
+// tortureOp is one step of the deterministic torture script.
+type tortureOp struct {
+	kind              byte // 'P' put, 'A' append, 'D' delete, 'T' drop table, 'S' sync, 'C' compact
+	table, key, value string
+}
+
+// tortureScript mixes every mutation kind with sync and compaction points so
+// the byte-level crash sweep covers WAL appends, flushes, snapshot writes,
+// the rename, the directory fsync and the WAL reset.
+func tortureScript() []tortureOp {
+	return []tortureOp{
+		{'P', "idx", "a", "1"},
+		{'A', "idx", "a", "22"},
+		{'P', "idx", "b", "x"},
+		{'S', "", "", ""},
+		{'P', "seq", "t1", "e1|e2"},
+		{'A', "seq", "t1", "|e3"},
+		{'D', "idx", "b", ""},
+		{'P', "tmp", "k", "v"},
+		{'T', "tmp", "", ""},
+		{'S', "", "", ""},
+		{'C', "", "", ""},
+		{'P', "idx", "c", "post-compact"},
+		{'A', "seq", "t1", "|e4"},
+		{'P', "idx", "a", "rewritten"},
+		{'S', "", "", ""},
+		{'A', "seq", "t2", "f1"},
+		{'D', "idx", "c", ""},
+		{'C', "", "", ""},
+		{'P', "idx", "d", "tail"},
+		{'A', "seq", "t2", "|f2"},
+		{'S', "", "", ""},
+		{'P', "idx", "e", "unsynced"},
+	}
+}
+
+// applyModelOp applies one script op to the flat table\x00key -> value model.
+func applyModelOp(m map[string]string, op tortureOp) {
+	ck := op.table + "\x00" + op.key
+	switch op.kind {
+	case 'P':
+		m[ck] = op.value
+	case 'A':
+		m[ck] += op.value
+	case 'D':
+		delete(m, ck)
+	case 'T':
+		for k := range m {
+			if strings.HasPrefix(k, op.table+"\x00") {
+				delete(m, k)
+			}
+		}
+	}
+}
+
+// modelFingerprint canonicalises a model state for comparison.
+func modelFingerprint(m map[string]string) string {
+	lines := make([]string, 0, len(m))
+	for k, v := range m {
+		lines = append(lines, k+"\x00"+v)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\x01")
+}
+
+// modelStates returns the fingerprint of the state after each prefix of ops:
+// states[i] is the state once the first i ops have executed.
+func modelStates(ops []tortureOp) []string {
+	cur := map[string]string{}
+	states := make([]string, len(ops)+1)
+	states[0] = modelFingerprint(cur)
+	for i, op := range ops {
+		applyModelOp(cur, op)
+		states[i+1] = modelFingerprint(cur)
+	}
+	return states
+}
+
+// storeFingerprint canonicalises the full contents of a store.
+func storeFingerprint(t *testing.T, s Store) string {
+	t.Helper()
+	tables, err := s.Tables()
+	if err != nil {
+		t.Fatalf("Tables: %v", err)
+	}
+	var lines []string
+	for _, tab := range tables {
+		err := s.Scan(tab, func(k string, v []byte) error {
+			lines = append(lines, tab+"\x00"+k+"\x00"+string(v))
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("Scan %s: %v", tab, err)
+		}
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\x01")
+}
+
+// runTorture executes the script against a store on ffs until the first
+// error (the simulated crash). It reports how many ops completed and how
+// many were durable — acknowledged by a successful Sync, Compact or Close.
+func runTorture(ffs *FaultFS, dir string, ops []tortureOp) (completed, durable int) {
+	s, err := OpenDiskWith(dir, DiskOptions{FS: ffs})
+	if err != nil {
+		return 0, 0
+	}
+	s.CompactAt = 0 // explicit 'C' ops only, so every run compacts at the same point
+	for i, op := range ops {
+		switch op.kind {
+		case 'P':
+			err = s.Put(op.table, op.key, []byte(op.value))
+		case 'A':
+			err = s.Append(op.table, op.key, []byte(op.value))
+		case 'D':
+			err = s.Delete(op.table, op.key)
+		case 'T':
+			err = s.DropTable(op.table)
+		case 'S':
+			err = s.Sync()
+		case 'C':
+			err = s.Compact()
+		}
+		if err != nil {
+			s.Close()
+			return i, durable
+		}
+		if op.kind == 'S' || op.kind == 'C' {
+			durable = i + 1
+		}
+	}
+	if err := s.Close(); err == nil {
+		durable = len(ops)
+	}
+	return len(ops), durable
+}
+
+// checkRecovery opens dir strictly on the real filesystem and asserts the
+// recovered state equals the model state after some prefix of [lo, hi] ops.
+func checkRecovery(t *testing.T, dir string, states []string, lo, hi int, ctx string) {
+	t.Helper()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("%s: strict recovery failed: %v", ctx, err)
+	}
+	defer s.Close()
+	if s.Recovery().Degraded() {
+		t.Fatalf("%s: crash artifact classified as corruption: %+v", ctx, s.Recovery())
+	}
+	got := storeFingerprint(t, s)
+	for i := lo; i <= hi; i++ {
+		if states[i] == got {
+			return
+		}
+	}
+	t.Fatalf("%s: recovered state matches no committed prefix in [%d,%d]\ngot: %q", ctx, lo, hi, got)
+}
+
+// TestCrashAtEveryByte simulates a power cut at every byte offset of the
+// write stream: the write crossing the offset persists only a prefix (a torn
+// write) and nothing later reaches the disk.
+func TestCrashAtEveryByte(t *testing.T) {
+	ops := tortureScript()
+	states := modelStates(ops)
+	root := t.TempDir()
+
+	probe := NewFaultFS(nil)
+	if n, _ := runTorture(probe, filepath.Join(root, "probe"), ops); n != len(ops) {
+		t.Fatalf("clean run stopped at op %d", n)
+	}
+	total := probe.BytesWritten()
+	if total == 0 {
+		t.Fatal("probe run wrote nothing")
+	}
+
+	for b := int64(0); b < total; b++ {
+		ffs := NewFaultFS(nil)
+		ffs.CrashAfterBytes(b)
+		dir := filepath.Join(root, fmt.Sprintf("b%05d", b))
+		completed, durable := runTorture(ffs, dir, ops)
+		if !ffs.Crashed() {
+			t.Fatalf("byte budget %d never triggered (total %d)", b, total)
+		}
+		checkRecovery(t, dir, states, durable, completed, fmt.Sprintf("crash at byte %d", b))
+	}
+}
+
+// TestCrashAtEveryFSOp simulates a crash between every pair of filesystem
+// operations, covering the non-write crash points: fsync, snapshot rename,
+// directory sync and the WAL reset inside Compact.
+func TestCrashAtEveryFSOp(t *testing.T) {
+	ops := tortureScript()
+	states := modelStates(ops)
+	root := t.TempDir()
+
+	probe := NewFaultFS(nil)
+	if n, _ := runTorture(probe, filepath.Join(root, "probe"), ops); n != len(ops) {
+		t.Fatalf("clean run stopped at op %d", n)
+	}
+	total := probe.Ops()
+
+	for k := int64(0); k < total; k++ {
+		ffs := NewFaultFS(nil)
+		ffs.CrashAfterOps(k)
+		dir := filepath.Join(root, fmt.Sprintf("o%05d", k))
+		completed, durable := runTorture(ffs, dir, ops)
+		if !ffs.Crashed() {
+			t.Fatalf("op budget %d never triggered (total %d)", k, total)
+		}
+		checkRecovery(t, dir, states, durable, completed, fmt.Sprintf("crash at fs op %d", k))
+	}
+}
+
+// decodeAll decodes the record stream in data[start:]; it fails the test on
+// anything but a clean end, since it only runs on uncorrupted files.
+func decodeAll(t *testing.T, data []byte, start int) []tortureOp {
+	t.Helper()
+	var recs []tortureOp
+	off := start
+	for off < len(data) {
+		op, table, key, value, next, err := decodeRecordAt(data, off)
+		if err != nil {
+			t.Fatalf("clean file does not decode at %d: %v", off, err)
+		}
+		kind := map[byte]byte{opPut: 'P', opAppend: 'A', opDelete: 'D', opDropTable: 'T'}[op]
+		recs = append(recs, tortureOp{kind, table, key, string(value)})
+		off = next
+	}
+	return recs
+}
+
+// cutStates returns the fingerprints of every state reachable by dropping
+// one contiguous run of records — what salvage recovery yields when it
+// quarantines a corrupt region — applied on top of nothing. The empty cut
+// (full replay) is included.
+func cutStates(recs []tortureOp) map[string]bool {
+	set := map[string]bool{}
+	for i := 0; i <= len(recs); i++ {
+		for j := i; j <= len(recs); j++ {
+			m := map[string]string{}
+			for k, r := range recs {
+				if k >= i && k < j {
+					continue
+				}
+				applyModelOp(m, r)
+			}
+			set[modelFingerprint(m)] = true
+		}
+	}
+	return set
+}
+
+// prefixStates returns the fingerprints of every prefix of recs — the only
+// states strict recovery may return.
+func prefixStates(recs []tortureOp) map[string]bool {
+	set := map[string]bool{}
+	m := map[string]string{}
+	set[modelFingerprint(m)] = true
+	for _, r := range recs {
+		applyModelOp(m, r)
+		set[modelFingerprint(m)] = true
+	}
+	return set
+}
+
+// checkCorrupt opens a dir holding the given WAL/SNAPSHOT bytes in both
+// recovery modes and asserts the corruption contract: strict either succeeds
+// with a committed prefix or fails with a typed error; salvage always
+// succeeds with the records minus one contiguous cut.
+func checkCorrupt(t *testing.T, root, name string, wal, snap []byte, prefixes, cuts map[string]bool) {
+	t.Helper()
+	write := func(dir string) {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if wal != nil {
+			if err := os.WriteFile(filepath.Join(dir, walName), wal, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if snap != nil {
+			if err := os.WriteFile(filepath.Join(dir, snapshotName), snap, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	strictDir := filepath.Join(root, name+"-strict")
+	write(strictDir)
+	strictFailed := false
+	if s, err := OpenDisk(strictDir); err != nil {
+		if !errors.Is(err, ErrCorruptWAL) && !errors.Is(err, ErrCorruptSnapshot) {
+			t.Fatalf("%s: strict failure untyped: %v", name, err)
+		}
+		strictFailed = true
+	} else {
+		if got := storeFingerprint(t, s); !prefixes[got] {
+			s.Close()
+			t.Fatalf("%s: strict recovery returned a non-prefix state: %q", name, got)
+		}
+		s.Close()
+	}
+
+	salvageDir := filepath.Join(root, name+"-salvage")
+	write(salvageDir)
+	s, err := OpenDiskWith(salvageDir, DiskOptions{Salvage: true})
+	if err != nil {
+		t.Fatalf("%s: salvage failed: %v", name, err)
+	}
+	if strictFailed && !s.Recovery().Degraded() {
+		t.Fatalf("%s: strict failed but salvage not degraded: %+v", name, s.Recovery())
+	}
+	if got := storeFingerprint(t, s); !cuts[got] {
+		s.Close()
+		t.Fatalf("%s: salvaged state is not the records minus one contiguous cut: %q", name, got)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("%s: salvage close: %v", name, err)
+	}
+	s2, err := OpenDisk(salvageDir)
+	if err != nil {
+		t.Fatalf("%s: reopen after salvage not clean: %v", name, err)
+	}
+	if s2.Recovery().Degraded() {
+		s2.Close()
+		t.Fatalf("%s: salvage left a degraded on-disk state", name)
+	}
+	s2.Close()
+}
+
+// TestCorruptWALEveryByte flips every byte of a WAL (no snapshot present)
+// and asserts the corruption contract for both recovery modes.
+func TestCorruptWALEveryByte(t *testing.T) {
+	build := t.TempDir()
+	s, err := OpenDisk(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range tortureScript() {
+		switch op.kind {
+		case 'P':
+			err = s.Put(op.table, op.key, []byte(op.value))
+		case 'A':
+			err = s.Append(op.table, op.key, []byte(op.value))
+		case 'D':
+			err = s.Delete(op.table, op.key)
+		case 'T':
+			err = s.DropTable(op.table)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(build, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeAll(t, wal, walHeaderLen)
+	prefixes := prefixStates(recs)
+	cuts := cutStates(recs)
+
+	root := t.TempDir()
+	for b := range wal {
+		flipped := append([]byte(nil), wal...)
+		flipped[b] ^= 0xff
+		checkCorrupt(t, root, fmt.Sprintf("w%04d", b), flipped, nil, prefixes, cuts)
+	}
+}
+
+// TestCorruptSnapshotEveryByte compacts the whole state into a snapshot,
+// then flips every byte of the snapshot and of the residual WAL header.
+func TestCorruptSnapshotEveryByte(t *testing.T) {
+	build := t.TempDir()
+	s, err := OpenDisk(build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range tortureScript() {
+		switch op.kind {
+		case 'P':
+			err = s.Put(op.table, op.key, []byte(op.value))
+		case 'A':
+			err = s.Append(op.table, op.key, []byte(op.value))
+		case 'D':
+			err = s.Delete(op.table, op.key)
+		case 'T':
+			err = s.DropTable(op.table)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := os.ReadFile(filepath.Join(build, snapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal, err := os.ReadFile(filepath.Join(build, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := decodeAll(t, snap, snapHeaderLen)
+	prefixes := prefixStates(recs)
+	cuts := cutStates(recs)
+
+	root := t.TempDir()
+	for b := range snap {
+		flipped := append([]byte(nil), snap...)
+		flipped[b] ^= 0xff
+		checkCorrupt(t, root, fmt.Sprintf("s%04d", b), wal, flipped, prefixes, cuts)
+	}
+	for b := range wal {
+		flipped := append([]byte(nil), wal...)
+		flipped[b] ^= 0xff
+		checkCorrupt(t, root, fmt.Sprintf("wh%04d", b), flipped, snap, prefixes, cuts)
+	}
+}
+
+// TestCrashMidCompactKeepsEpochConsistent pins the nastiest compaction
+// window: a crash between the snapshot rename and the WAL reset must not
+// replay the old WAL generation on top of the new snapshot (which would
+// double-apply every Append).
+func TestCrashMidCompactKeepsEpochConsistent(t *testing.T) {
+	root := t.TempDir()
+	// Find the rename of the snapshot during Compact via the op hook, then
+	// crash on every op from the rename until the compaction finishes.
+	for delay := int64(0); ; delay++ {
+		dir := filepath.Join(root, fmt.Sprintf("d%02d", delay))
+		ffs := NewFaultFS(nil)
+		s, err := OpenDiskWith(dir, DiskOptions{FS: ffs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.CompactAt = 0
+		if err := s.Append("t", "k", []byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		armed := false
+		ffs.OpHook = func(op, path string) error {
+			if op == "rename" && !armed {
+				armed = true
+				ffs.CrashAfterOps(delay)
+			}
+			return nil
+		}
+		cerr := s.Compact()
+		s.Close()
+		if !armed {
+			t.Fatal("compact never renamed a snapshot")
+		}
+		s2, err := OpenDisk(dir)
+		if err != nil {
+			t.Fatalf("delay %d: recovery failed: %v", delay, err)
+		}
+		v, ok, _ := s2.Get("t", "k")
+		s2.Close()
+		if !ok || string(v) != "abc" {
+			t.Fatalf("delay %d: appends double-applied or lost: %q ok=%v", delay, v, ok)
+		}
+		if cerr == nil {
+			return // the whole post-rename window has been swept
+		}
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -28,15 +27,35 @@ const (
 //
 // File layout inside the directory:
 //
-//	SNAPSHOT  full state at the last compaction (may be absent)
-//	WAL       records appended since the snapshot
+//	SNAPSHOT    full state at the last compaction (may be absent)
+//	WAL         records appended since the snapshot
+//	QUARANTINE  corrupt byte regions skipped by salvage recovery (forensics)
+//
+// Both files carry an epoch: Compact writes the snapshot under epoch e+1
+// (temp file + fsync + rename + directory fsync) before resetting the WAL to
+// epoch e+1, so a crash at any byte of the compaction leaves either the old
+// (snapshot e, WAL e) or the new (snapshot e+1, WAL e+1) state, with a
+// lower-epoch WAL recognisably stale and discarded on recovery.
+//
+// A write error (WAL append, flush or fsync failure) poisons the store: the
+// in-memory state and the log can no longer be trusted to agree, so every
+// later mutation and Sync fails with the original error until the store is
+// reopened (which re-derives the state from what actually reached the disk).
 type DiskStore struct {
 	mu   sync.Mutex // serialises WAL writes and compaction
 	mem  *MemStore
+	fs   FS
 	dir  string
-	wal  *os.File
+	wal  File
 	bw   *bufio.Writer
-	size int64 // bytes appended to WAL since last compaction
+	size int64 // bytes in the WAL (header included)
+
+	epoch  uint64 // current snapshot/WAL epoch
+	legacy bool   // WAL has no header (pre-epoch format); healed by Compact
+
+	salvage bool
+	stats   RecoveryStats
+	failed  error // sticky write-path error; poisons all later mutations
 
 	// CompactAt is the WAL size in bytes beyond which Sync triggers an
 	// automatic compaction. Zero disables auto-compaction.
@@ -46,24 +65,90 @@ type DiskStore struct {
 }
 
 const (
-	walName      = "WAL"
-	snapshotName = "SNAPSHOT"
-	magic        = "seqlogkv1"
+	walName        = "WAL"
+	snapshotName   = "SNAPSHOT"
+	quarantineName = "QUARANTINE"
+	magic          = "seqlogkv2" // snapshot header: magic + uint64 epoch
+	magicV1        = "seqlogkv1" // legacy snapshot header: magic only, epoch 0
+	walMagic       = "seqlogw2"  // WAL header: magic + uint64 epoch
+	walHeaderLen   = len(walMagic) + 8
+	snapHeaderLen  = len(magic) + 8
 )
+
+// Typed corruption errors. A torn tail (half-written final record) is a
+// normal crash artifact and is dropped silently; these errors mean bytes that
+// were once durable no longer decode.
+var (
+	// ErrCorruptWAL reports mid-log WAL corruption: a record fails its
+	// checksum while valid records still follow it, so dropping the tail
+	// would lose acknowledged data. Open with Salvage to skip the corrupt
+	// region and keep the rest.
+	ErrCorruptWAL = errors.New("kvstore: corrupt wal")
+
+	// ErrCorruptSnapshot reports snapshot corruption. Snapshots are written
+	// atomically, so any decode failure means bitrot or truncation, never a
+	// crash artifact. Open with Salvage to keep the readable records.
+	ErrCorruptSnapshot = errors.New("kvstore: corrupt snapshot")
+)
+
+// RecoveryStats describes what crash recovery found when the store was
+// opened. Zero values mean a clean start.
+type RecoveryStats struct {
+	// SnapshotRecords is the number of records restored from SNAPSHOT.
+	SnapshotRecords int64 `json:"snapshotRecords,omitempty"`
+	// WALReplayed is the number of WAL records applied.
+	WALReplayed int64 `json:"walReplayed,omitempty"`
+	// TornTailBytes counts trailing bytes of a half-written record dropped
+	// from the WAL — the normal artifact of a crash mid-append.
+	TornTailBytes int64 `json:"tornTailBytes,omitempty"`
+	// StaleWALBytes counts bytes of an already-compacted WAL generation
+	// discarded — the normal artifact of a crash mid-compaction.
+	StaleWALBytes int64 `json:"staleWALBytes,omitempty"`
+	// DroppedRegions counts corrupt byte regions (records or headers) that
+	// salvage recovery skipped; DroppedBytes is their total size. Non-zero
+	// regions mean committed data may have been lost: the store is degraded.
+	DroppedRegions int64 `json:"droppedRegions,omitempty"`
+	DroppedBytes   int64 `json:"droppedBytes,omitempty"`
+	// Salvaged is true when recovery dropped possibly-committed data.
+	Salvaged bool `json:"salvaged,omitempty"`
+}
+
+// Degraded reports whether recovery lost possibly-committed data.
+func (r RecoveryStats) Degraded() bool { return r.Salvaged }
+
+// DiskOptions configures OpenDiskWith.
+type DiskOptions struct {
+	// FS overrides the filesystem (fault injection in tests); nil = OSFS.
+	FS FS
+	// Salvage switches recovery to quarantine-and-continue: corrupt WAL or
+	// snapshot regions are appended to the QUARANTINE file and skipped
+	// instead of failing the open with ErrCorruptWAL/ErrCorruptSnapshot,
+	// and the store reports itself degraded through Recovery().
+	Salvage bool
+}
 
 // OpenDisk opens (or creates) a durable store rooted at dir.
 func OpenDisk(dir string) (*DiskStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	return OpenDiskWith(dir, DiskOptions{})
+}
+
+// OpenDiskWith is OpenDisk with an injected filesystem and recovery options.
+func OpenDiskWith(dir string, opts DiskOptions) (*DiskStore, error) {
+	fs := opts.FS
+	if fs == nil {
+		fs = OSFS
+	}
+	if err := fs.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("kvstore: create dir: %w", err)
 	}
-	s := &DiskStore{mem: NewMemStore(), dir: dir, CompactAt: 64 << 20}
+	s := &DiskStore{mem: NewMemStore(), fs: fs, dir: dir, salvage: opts.Salvage, CompactAt: 64 << 20}
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
 	if err := s.replayWAL(); err != nil {
 		return nil, err
 	}
-	f, err := os.OpenFile(s.path(walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := fs.OpenFile(s.path(walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("kvstore: open wal: %w", err)
 	}
@@ -75,8 +160,20 @@ func OpenDisk(dir string) (*DiskStore, error) {
 	s.wal = f
 	s.size = st.Size()
 	s.bw = bufio.NewWriterSize(f, 1<<20)
+	if s.stats.Salvaged {
+		// Re-establish a clean on-disk state: the WAL still contains the
+		// corrupt regions recovery skipped, so fold the salvaged state into
+		// a fresh snapshot and restart the log.
+		if err := s.Compact(); err != nil {
+			s.Close()
+			return nil, fmt.Errorf("kvstore: compact after salvage: %w", err)
+		}
+	}
 	return s, nil
 }
+
+// Recovery reports what crash recovery found when this store was opened.
+func (s *DiskStore) Recovery() RecoveryStats { return s.stats }
 
 func (s *DiskStore) path(name string) string { return filepath.Join(s.dir, name) }
 
@@ -99,35 +196,25 @@ func encodeRecord(buf []byte, op byte, table, key string, value []byte) []byte {
 	return append(buf, payload...)
 }
 
-// errTornRecord marks a truncated or corrupt WAL tail; replay stops there.
+// errTornRecord marks a record that does not decode at its offset (truncated,
+// checksum mismatch or malformed payload).
 var errTornRecord = errors.New("kvstore: torn wal record")
 
-func decodeRecord(r *bufio.Reader) (op byte, table, key string, value []byte, err error) {
-	var hdr [8]byte
-	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		if errors.Is(err, io.ErrUnexpectedEOF) {
-			err = errTornRecord
-		}
-		return
+// decodeRecordAt decodes the record starting at data[off:]. It returns the
+// offset just past the record, or errTornRecord when no whole valid record
+// starts there. The returned value aliases data.
+func decodeRecordAt(data []byte, off int) (op byte, table, key string, value []byte, next int, err error) {
+	if off+8 > len(data) {
+		return 0, "", "", nil, off, errTornRecord
 	}
-	sum := binary.LittleEndian.Uint32(hdr[0:4])
-	n := binary.LittleEndian.Uint32(hdr[4:8])
-	if n > 1<<30 {
-		err = errTornRecord
-		return
+	sum := binary.LittleEndian.Uint32(data[off : off+4])
+	n := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if n > 1<<30 || off+8+int(n) > len(data) {
+		return 0, "", "", nil, off, errTornRecord
 	}
-	payload := make([]byte, n)
-	if _, err = io.ReadFull(r, payload); err != nil {
-		err = errTornRecord
-		return
-	}
-	if crc32.ChecksumIEEE(payload) != sum {
-		err = errTornRecord
-		return
-	}
-	if len(payload) < 1 {
-		err = errTornRecord
-		return
+	payload := data[off+8 : off+8+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum || len(payload) < 1 {
+		return 0, "", "", nil, off, errTornRecord
 	}
 	op = payload[0]
 	rest := payload[1:]
@@ -142,20 +229,29 @@ func decodeRecord(r *bufio.Reader) (op byte, table, key string, value []byte, er
 	}
 	var ok bool
 	if table, ok = readStr(); !ok {
-		err = errTornRecord
-		return
+		return 0, "", "", nil, off, errTornRecord
 	}
 	if key, ok = readStr(); !ok {
-		err = errTornRecord
-		return
+		return 0, "", "", nil, off, errTornRecord
 	}
 	l, k := binary.Uvarint(rest)
-	if k <= 0 || uint64(len(rest)-k) < l {
-		err = errTornRecord
-		return
+	if k <= 0 || uint64(len(rest)-k) != l {
+		return 0, "", "", nil, off, errTornRecord
 	}
 	value = rest[k : k+int(l)]
-	return
+	return op, table, key, value, off + 8 + int(n), nil
+}
+
+// resyncRecord scans forward from just past off for the next offset where a
+// whole record decodes — the boundary between a corrupt region and readable
+// data. found is false when nothing decodes before the end.
+func resyncRecord(data []byte, off int) (next int, found bool) {
+	for i := off + 1; i+8 <= len(data); i++ {
+		if _, _, _, _, _, err := decodeRecordAt(data, i); err == nil {
+			return i, true
+		}
+	}
+	return len(data), false
 }
 
 func (s *DiskStore) apply(op byte, table, key string, value []byte) error {
@@ -173,53 +269,224 @@ func (s *DiskStore) apply(op byte, table, key string, value []byte) error {
 	}
 }
 
-func (s *DiskStore) replayWAL() error {
-	f, err := os.Open(s.path(walName))
+// replayRecords applies the record stream in data[start:]. In the WAL a torn
+// tail (no valid record after the failure point) is a normal crash artifact;
+// in a snapshot — written atomically — every decode failure is corruption.
+// Corruption fails with typedErr unless salvage is on, in which case the
+// corrupt region is quarantined and skipped. It returns the offset just past
+// the last applied record and the count of applied records.
+func (s *DiskStore) replayRecords(data []byte, start int, isWAL bool, typedErr error) (goodEnd int, applied int64, err error) {
+	off := start
+	goodEnd = start
+	for off < len(data) {
+		op, table, key, value, next, derr := decodeRecordAt(data, off)
+		var aerr error
+		if derr == nil {
+			if aerr = s.apply(op, table, key, value); aerr == nil {
+				applied++
+				off, goodEnd = next, next
+				continue
+			}
+		}
+		// data[off:] does not decode (or decodes to an inapplicable op).
+		// Find where readable records resume to classify the failure.
+		resume, found := resyncRecord(data, off)
+		if derr == nil && aerr != nil && !found {
+			// A checksum-valid record we cannot apply, with nothing after:
+			// not a torn write — surface it.
+			if !s.salvage {
+				return goodEnd, applied, fmt.Errorf("%w: %v", typedErr, aerr)
+			}
+		}
+		if !found && isWAL && derr != nil {
+			// Torn tail: the process died mid-append. Normal; drop it.
+			s.stats.TornTailBytes += int64(len(data) - off)
+			return goodEnd, applied, nil
+		}
+		if !s.salvage {
+			if !found {
+				// Torn snapshot tail — snapshots are atomic, so corruption.
+				return goodEnd, applied, fmt.Errorf("%w: torn record at byte %d", typedErr, off)
+			}
+			return goodEnd, applied, fmt.Errorf("%w: unreadable region at bytes [%d,%d)", typedErr, off, resume)
+		}
+		s.quarantine(data[off:resume])
+		s.stats.DroppedRegions++
+		s.stats.DroppedBytes += int64(resume - off)
+		s.stats.Salvaged = true
+		off = resume
+		if !found {
+			return goodEnd, applied, nil
+		}
+	}
+	return goodEnd, applied, nil
+}
+
+// quarantine preserves a corrupt byte region for forensics, best effort.
+func (s *DiskStore) quarantine(region []byte) {
+	f, err := s.fs.OpenFile(s.path(quarantineName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return
+	}
+	f.Write(region)
+	f.Close()
+}
+
+func (s *DiskStore) loadSnapshot() error {
+	data, err := s.fs.ReadFile(s.path(snapshotName))
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("kvstore: open wal for replay: %w", err)
+		return fmt.Errorf("kvstore: read snapshot: %w", err)
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	var good int64
-	for {
-		op, table, key, value, err := decodeRecord(r)
-		if errors.Is(err, io.EOF) {
-			break
+	start := 0
+	switch {
+	case len(data) >= snapHeaderLen && string(data[:len(magic)]) == magic:
+		s.epoch = binary.LittleEndian.Uint64(data[len(magic):snapHeaderLen])
+		start = snapHeaderLen
+	case len(data) >= len(magicV1) && string(data[:len(magicV1)]) == magicV1:
+		s.epoch = 0
+		start = len(magicV1)
+	default:
+		if !s.salvage {
+			return fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
 		}
-		if errors.Is(err, errTornRecord) {
-			// Crash mid-write: truncate the torn tail and continue.
-			if terr := os.Truncate(s.path(walName), good); terr != nil {
-				return fmt.Errorf("kvstore: truncate torn wal: %w", terr)
+		// Unreadable header: quarantine the whole snapshot and fall back to
+		// whatever the WAL holds.
+		s.quarantine(data)
+		s.stats.DroppedRegions++
+		s.stats.DroppedBytes += int64(len(data))
+		s.stats.Salvaged = true
+		return nil
+	}
+	_, applied, err := s.replayRecords(data, start, false, ErrCorruptSnapshot)
+	s.stats.SnapshotRecords = applied
+	return err
+}
+
+func (s *DiskStore) replayWAL() error {
+	walPath := s.path(walName)
+	data, err := s.fs.ReadFile(walPath)
+	if errors.Is(err, os.ErrNotExist) {
+		return s.resetWAL()
+	}
+	if err != nil {
+		return fmt.Errorf("kvstore: read wal: %w", err)
+	}
+
+	start := walHeaderLen
+	if len(data) >= walHeaderLen && string(data[:len(walMagic)]) == walMagic {
+		walEpoch := binary.LittleEndian.Uint64(data[len(walMagic):walHeaderLen])
+		switch {
+		case walEpoch == s.epoch:
+			// The normal case: records since the snapshot.
+		case walEpoch < s.epoch:
+			// Crash between the snapshot rename and the WAL reset: this log
+			// generation is already folded into the snapshot. Discard it.
+			s.stats.StaleWALBytes += int64(len(data))
+			return s.resetWAL()
+		default: // walEpoch > s.epoch
+			// The snapshot this log extends is gone (or its header rotted).
+			if !s.salvage {
+				return fmt.Errorf("%w: wal epoch %d ahead of snapshot epoch %d", ErrCorruptSnapshot, walEpoch, s.epoch)
 			}
-			break
+			s.stats.Salvaged = true
+			s.stats.DroppedRegions++ // the missing snapshot itself
 		}
-		if err != nil {
-			return fmt.Errorf("kvstore: replay wal: %w", err)
+	} else {
+		switch {
+		case s.epoch == 0 && !s.stats.Salvaged:
+			// Pre-epoch store (or a fresh WAL whose header write was cut
+			// short): the records, if any, start at byte zero. A partial
+			// header decodes as a torn record and is dropped below.
+			start = 0
+			s.legacy = len(data) > 0
+		case len(data) <= walHeaderLen:
+			// Crash while resetting the WAL after a compaction: nothing but
+			// a partial header, and the snapshot already holds everything.
+			s.stats.StaleWALBytes += int64(len(data))
+			return s.resetWAL()
+		default:
+			// A snapshot exists but the WAL header does not decode — the
+			// epoch stamp that proves these records are current is gone.
+			if !s.salvage {
+				return fmt.Errorf("%w: bad header", ErrCorruptWAL)
+			}
+			s.quarantine(data[:walHeaderLen])
+			s.stats.DroppedRegions++
+			s.stats.DroppedBytes += int64(walHeaderLen)
+			s.stats.Salvaged = true
+			start = walHeaderLen
 		}
-		if err := s.apply(op, table, key, value); err != nil {
-			return err
+	}
+	if start > len(data) {
+		start = len(data)
+	}
+
+	goodEnd, applied, err := s.replayRecords(data, start, true, ErrCorruptWAL)
+	s.stats.WALReplayed = applied
+	if err != nil {
+		return err
+	}
+	if goodEnd < len(data) && !s.stats.Salvaged {
+		// Torn tail: truncate so the next append starts on a record
+		// boundary. (After salvage the WAL is rebuilt by Compact instead.)
+		if terr := s.fs.Truncate(walPath, int64(goodEnd)); terr != nil {
+			return fmt.Errorf("kvstore: truncate torn wal: %w", terr)
 		}
-		good += 8 + int64(recordPayloadLen(table, key, value))
+	}
+	if s.legacy && applied == 0 && goodEnd == 0 {
+		// Nothing decoded from byte zero: not really a legacy log, just a
+		// truncated fresh one. Give it a proper header.
+		s.legacy = false
+		return s.resetWAL()
 	}
 	return nil
 }
 
-func recordPayloadLen(table, key string, value []byte) int {
-	return 1 + uvarintLen(uint64(len(table))) + len(table) +
-		uvarintLen(uint64(len(key))) + len(key) +
-		uvarintLen(uint64(len(value))) + len(value)
+// resetWAL truncates the WAL and stamps it with the current epoch.
+func (s *DiskStore) resetWAL() error {
+	f, err := s.fs.OpenFile(s.path(walName), os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("kvstore: reset wal: %w", err)
+	}
+	if err := f.Truncate(0); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := f.Write(s.walHeader()); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	// Make the file itself durable; its first fsync covers the contents.
+	return s.fs.SyncDir(s.dir)
 }
 
-func uvarintLen(v uint64) int {
-	n := 1
-	for v >= 0x80 {
-		v >>= 7
-		n++
+func (s *DiskStore) walHeader() []byte {
+	hdr := make([]byte, walHeaderLen)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint64(hdr[len(walMagic):], s.epoch)
+	return hdr
+}
+
+// poison records the first write-path failure; all later mutations fail.
+func (s *DiskStore) poison(err error) error {
+	if s.failed == nil {
+		s.failed = err
 	}
-	return n
+	return err
+}
+
+// ErrPoisoned wraps the original write failure in errors returned by a store
+// whose WAL can no longer be trusted.
+var ErrPoisoned = errors.New("kvstore: store poisoned by earlier write error")
+
+func (s *DiskStore) poisonedErr() error {
+	return fmt.Errorf("%w: %w", ErrPoisoned, s.failed)
 }
 
 // logAndApply writes the record to the WAL and applies it to the in-memory
@@ -231,9 +498,14 @@ func (s *DiskStore) logAndApply(op byte, table, key string, value []byte) error 
 	if s.closed {
 		return ErrClosed
 	}
+	if s.failed != nil {
+		return s.poisonedErr()
+	}
 	rec := encodeRecord(nil, op, table, key, value)
 	if _, err := s.bw.Write(rec); err != nil {
-		return fmt.Errorf("kvstore: wal write: %w", err)
+		// The WAL tail is now unknowable (possibly a half-written record):
+		// the op is not applied and the store stops accepting writes.
+		return s.poison(fmt.Errorf("kvstore: wal write: %w", err))
 	}
 	s.size += int64(len(rec))
 	return s.apply(op, table, key, value)
@@ -278,17 +550,25 @@ func (s *DiskStore) Len(table string) (int, error) { return s.mem.Len(table) }
 // Sync flushes buffered WAL records to the operating system and fsyncs the
 // file, then compacts if the log has outgrown CompactAt. Batch ingestion
 // calls Sync once per period, matching the paper's periodic update model.
+// A flush or fsync failure poisons the store: acknowledging later writes on
+// top of a half-flushed WAL would break the committed-prefix guarantee.
 func (s *DiskStore) Sync() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		return ErrClosed
 	}
+	if s.failed != nil {
+		s.mu.Unlock()
+		return s.poisonedErr()
+	}
 	if err := s.bw.Flush(); err != nil {
+		err = s.poison(fmt.Errorf("kvstore: wal flush: %w", err))
 		s.mu.Unlock()
 		return err
 	}
 	if err := s.wal.Sync(); err != nil {
+		err = s.poison(fmt.Errorf("kvstore: wal fsync: %w", err))
 		s.mu.Unlock()
 		return err
 	}
@@ -300,23 +580,66 @@ func (s *DiskStore) Sync() error {
 	return nil
 }
 
-// Compact writes the full state to a fresh snapshot and truncates the WAL.
+// Compact writes the full state to a fresh snapshot under the next epoch and
+// restarts the WAL. The snapshot becomes visible atomically (temp file,
+// fsync, rename, directory fsync); a crash at any byte offset of the
+// compaction recovers either the previous or the new state, never a mix.
 func (s *DiskStore) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return ErrClosed
 	}
+	if s.failed != nil {
+		return s.poisonedErr()
+	}
 	if err := s.bw.Flush(); err != nil {
+		return s.poison(fmt.Errorf("kvstore: wal flush: %w", err))
+	}
+
+	tmp := s.path(snapshotName + ".tmp")
+	next := s.epoch + 1
+	if err := s.writeSnapshot(tmp, next); err != nil {
+		s.fs.Remove(tmp) // best effort; a stray .tmp is harmless
 		return err
 	}
-	tmp := s.path(snapshotName + ".tmp")
-	f, err := os.Create(tmp)
+	if err := s.fs.Rename(tmp, s.path(snapshotName)); err != nil {
+		s.fs.Remove(tmp)
+		return fmt.Errorf("kvstore: install snapshot: %w", err)
+	}
+	// The snapshot (epoch e+1) is now installed. From here on any failure
+	// poisons the store: the WAL still carries epoch e, so records appended
+	// to it would be discarded as stale by the next recovery.
+	s.epoch = next
+	if err := s.fs.SyncDir(s.dir); err != nil {
+		return s.poison(fmt.Errorf("kvstore: sync dir: %w", err))
+	}
+	if err := s.wal.Truncate(0); err != nil {
+		return s.poison(fmt.Errorf("kvstore: reset wal: %w", err))
+	}
+	if _, err := s.wal.Write(s.walHeader()); err != nil {
+		return s.poison(fmt.Errorf("kvstore: reset wal: %w", err))
+	}
+	if err := s.wal.Sync(); err != nil {
+		return s.poison(fmt.Errorf("kvstore: reset wal: %w", err))
+	}
+	s.bw.Reset(s.wal)
+	s.size = int64(walHeaderLen)
+	s.legacy = false
+	return nil
+}
+
+// writeSnapshot writes the full in-memory state to path under epoch.
+func (s *DiskStore) writeSnapshot(path string, epoch uint64) error {
+	f, err := s.fs.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("kvstore: create snapshot: %w", err)
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
-	if _, err := w.WriteString(magic); err != nil {
+	hdr := make([]byte, snapHeaderLen)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint64(hdr[len(magic):], epoch)
+	if _, err := w.Write(hdr); err != nil {
 		f.Close()
 		return err
 	}
@@ -345,53 +668,12 @@ func (s *DiskStore) Compact() error {
 		f.Close()
 		return err
 	}
-	if err := f.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp, s.path(snapshotName)); err != nil {
-		return fmt.Errorf("kvstore: install snapshot: %w", err)
-	}
-	// State is durable in the snapshot; restart the WAL from zero.
-	if err := s.wal.Truncate(0); err != nil {
-		return err
-	}
-	if _, err := s.wal.Seek(0, io.SeekStart); err != nil {
-		return err
-	}
-	s.bw.Reset(s.wal)
-	s.size = 0
-	return nil
+	return f.Close()
 }
 
-func (s *DiskStore) loadSnapshot() error {
-	f, err := os.Open(s.path(snapshotName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("kvstore: open snapshot: %w", err)
-	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<20)
-	hdr := make([]byte, len(magic))
-	if _, err := io.ReadFull(r, hdr); err != nil || string(hdr) != magic {
-		return fmt.Errorf("kvstore: bad snapshot header")
-	}
-	for {
-		op, table, key, value, err := decodeRecord(r)
-		if errors.Is(err, io.EOF) {
-			return nil
-		}
-		if err != nil {
-			return fmt.Errorf("kvstore: read snapshot: %w", err)
-		}
-		if err := s.apply(op, table, key, value); err != nil {
-			return err
-		}
-	}
-}
-
-// Close flushes the WAL and closes the store.
+// Close flushes the WAL and closes the store. A poisoned store closes its
+// file without flushing (the buffered tail cannot be trusted) and returns
+// the original write error.
 func (s *DiskStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -400,11 +682,15 @@ func (s *DiskStore) Close() error {
 	}
 	s.closed = true
 	var first error
-	if err := s.bw.Flush(); err != nil {
-		first = err
-	}
-	if err := s.wal.Sync(); err != nil && first == nil {
-		first = err
+	if s.failed != nil {
+		first = s.poisonedErr()
+	} else {
+		if err := s.bw.Flush(); err != nil {
+			first = err
+		}
+		if err := s.wal.Sync(); err != nil && first == nil {
+			first = err
+		}
 	}
 	if err := s.wal.Close(); err != nil && first == nil {
 		first = err

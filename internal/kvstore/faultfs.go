@@ -1,0 +1,268 @@
+package kvstore
+
+import (
+	"errors"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every FaultFS operation after a simulated crash:
+// the process is "dead", nothing reaches the disk anymore. The files already
+// written stay on the underlying FS, exactly as a real crash leaves them.
+var ErrCrashed = errors.New("kvstore: simulated crash")
+
+// FaultFS wraps an FS and injects faults into the disk engine's write path:
+//
+//   - OpHook returns an error to inject into any single operation
+//     (error-per-op testing: a failed fsync, an unwritable rename, ...);
+//   - CrashAfterBytes simulates a crash at an exact byte offset of the write
+//     stream: the write that crosses the budget persists only its prefix
+//     (a short, torn write) and every later operation fails with ErrCrashed;
+//   - CrashAfterOps simulates a crash between two filesystem operations,
+//     covering the non-write crash points (rename, truncate, fsync).
+//
+// All methods are safe for concurrent use.
+type FaultFS struct {
+	base FS
+
+	// OpHook, when non-nil, runs before every filesystem operation with the
+	// operation name ("write", "sync", "rename", "truncate", "syncdir",
+	// "open", "close", ...) and the file path; a non-nil result is injected
+	// as that operation's error (the operation does not execute).
+	OpHook func(op, path string) error
+
+	mu        sync.Mutex
+	crashed   bool
+	bytesLeft int64 // remaining write-byte budget; <0 = unlimited
+	opsLeft   int64 // remaining operation budget; <0 = unlimited
+	bytes     int64 // total bytes written so far
+	ops       int64 // total operations so far
+}
+
+// NewFaultFS wraps base (OSFS when nil) with no faults armed.
+func NewFaultFS(base FS) *FaultFS {
+	if base == nil {
+		base = OSFS
+	}
+	return &FaultFS{base: base, bytesLeft: -1, opsLeft: -1}
+}
+
+// CrashAfterBytes arms a crash once n more bytes have been written: the
+// crossing write persists a prefix and fails, and all later operations
+// return ErrCrashed. Negative disarms.
+func (f *FaultFS) CrashAfterBytes(n int64) {
+	f.mu.Lock()
+	f.bytesLeft = n
+	f.mu.Unlock()
+}
+
+// CrashAfterOps arms a crash after n more filesystem operations complete;
+// the n+1-th and later return ErrCrashed. Negative disarms.
+func (f *FaultFS) CrashAfterOps(n int64) {
+	f.mu.Lock()
+	f.opsLeft = n
+	f.mu.Unlock()
+}
+
+// Crashed reports whether the simulated crash has triggered.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// BytesWritten returns the total bytes written through the FS so far — run a
+// workload once to measure it, then replay with CrashAfterBytes at every
+// offset below it.
+func (f *FaultFS) BytesWritten() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.bytes
+}
+
+// Ops returns the total number of filesystem operations so far.
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// begin gates one non-write operation: it returns an error to inject, or nil
+// to let the operation run.
+func (f *FaultFS) begin(op, path string) error {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	if f.opsLeft == 0 {
+		f.crashed = true
+		f.mu.Unlock()
+		return ErrCrashed
+	}
+	if f.opsLeft > 0 {
+		f.opsLeft--
+	}
+	f.ops++
+	hook := f.OpHook
+	f.mu.Unlock()
+	if hook != nil {
+		if err := hook(op, path); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// beginWrite gates one write of n bytes; allow is how many bytes may still
+// reach the disk (allow < n means a torn write followed by the crash).
+func (f *FaultFS) beginWrite(path string, n int) (allow int, err error) {
+	f.mu.Lock()
+	if f.crashed {
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if f.opsLeft == 0 {
+		f.crashed = true
+		f.mu.Unlock()
+		return 0, ErrCrashed
+	}
+	if f.opsLeft > 0 {
+		f.opsLeft--
+	}
+	f.ops++
+	allow = n
+	if f.bytesLeft >= 0 && int64(n) >= f.bytesLeft {
+		allow = int(f.bytesLeft)
+		f.crashed = true
+		f.bytesLeft = 0
+	} else if f.bytesLeft > 0 {
+		f.bytesLeft -= int64(n)
+	}
+	f.bytes += int64(allow)
+	hook := f.OpHook
+	f.mu.Unlock()
+	if hook != nil {
+		if err := hook("write", path); err != nil {
+			return 0, err
+		}
+	}
+	return allow, nil
+}
+
+func (f *FaultFS) MkdirAll(path string, perm os.FileMode) error {
+	if err := f.begin("mkdirall", path); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if err := f.begin("open", name); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{fs: f, path: name, base: file}, nil
+}
+
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	if err := f.begin("readfile", name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(name)
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	if err := f.begin("rename", newpath); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) Remove(name string) error {
+	if err := f.begin("remove", name); err != nil {
+		return err
+	}
+	return f.base.Remove(name)
+}
+
+func (f *FaultFS) Truncate(name string, size int64) error {
+	if err := f.begin("truncate", name); err != nil {
+		return err
+	}
+	return f.base.Truncate(name, size)
+}
+
+func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
+	if err := f.begin("stat", name); err != nil {
+		return nil, err
+	}
+	return f.base.Stat(name)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	if err := f.begin("syncdir", dir); err != nil {
+		return err
+	}
+	return f.base.SyncDir(dir)
+}
+
+type faultFile struct {
+	fs   *FaultFS
+	path string
+	base File
+}
+
+func (f *faultFile) Read(p []byte) (int, error) {
+	if err := f.fs.begin("read", f.path); err != nil {
+		return 0, err
+	}
+	return f.base.Read(p)
+}
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	allow, err := f.fs.beginWrite(f.path, len(p))
+	if err != nil {
+		return 0, err
+	}
+	if allow < len(p) {
+		// The crossing write: persist the prefix, then die.
+		n, werr := f.base.Write(p[:allow])
+		if werr != nil {
+			return n, werr
+		}
+		return n, ErrCrashed
+	}
+	return f.base.Write(p)
+}
+
+func (f *faultFile) Close() error {
+	if err := f.fs.begin("close", f.path); err != nil {
+		return err
+	}
+	return f.base.Close()
+}
+
+func (f *faultFile) Sync() error {
+	if err := f.fs.begin("sync", f.path); err != nil {
+		return err
+	}
+	return f.base.Sync()
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.fs.begin("truncate", f.path); err != nil {
+		return err
+	}
+	return f.base.Truncate(size)
+}
+
+func (f *faultFile) Stat() (os.FileInfo, error) {
+	if err := f.fs.begin("stat", f.path); err != nil {
+		return nil, err
+	}
+	return f.base.Stat()
+}

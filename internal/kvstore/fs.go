@@ -1,0 +1,90 @@
+package kvstore
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS abstracts every filesystem operation the disk engine performs, so tests
+// can inject faults (per-operation errors, short writes, crashes at a byte
+// offset) at any point of the write path. OSFS is the real filesystem;
+// FaultFS wraps any FS with fault hooks.
+type FS interface {
+	// MkdirAll creates a directory tree like os.MkdirAll.
+	MkdirAll(path string, perm os.FileMode) error
+
+	// OpenFile opens a file like os.OpenFile.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+
+	// ReadFile returns the whole content of a file like os.ReadFile.
+	ReadFile(name string) ([]byte, error)
+
+	// Rename atomically replaces newpath with oldpath like os.Rename.
+	Rename(oldpath, newpath string) error
+
+	// Remove deletes a file like os.Remove.
+	Remove(name string) error
+
+	// Truncate resizes the named file like os.Truncate.
+	Truncate(name string, size int64) error
+
+	// Stat describes a file like os.Stat.
+	Stat(name string) (os.FileInfo, error)
+
+	// SyncDir fsyncs the directory itself, making completed renames and
+	// file creations inside it durable across a power failure.
+	SyncDir(dir string) error
+}
+
+// File is the open-file handle surface the disk engine uses.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+
+	// Sync fsyncs the file contents.
+	Sync() error
+
+	// Truncate resizes the open file.
+	Truncate(size int64) error
+
+	// Stat describes the open file.
+	Stat() (os.FileInfo, error)
+}
+
+// OSFS is the real operating-system filesystem.
+var OSFS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(path string, perm os.FileMode) error { return os.MkdirAll(path, perm) }
+
+func (osFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (osFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(name string) error { return os.Remove(name) }
+
+func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
+
+func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) SyncDir(dir string) error {
+	if dir == "" {
+		dir = string(filepath.Separator)
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -1,11 +1,11 @@
 package kvstore
 
 import (
-	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
-	"io"
 	"os"
+	"path/filepath"
 	"testing"
 )
 
@@ -19,31 +19,49 @@ func FuzzDecodeRecord(f *testing.F) {
 	f.Add([]byte{1, 2, 3})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		r := bufio.NewReader(bytes.NewReader(data))
-		for {
-			op, table, key, value, err := decodeRecord(r)
-			if errors.Is(err, io.EOF) || errors.Is(err, errTornRecord) {
-				return
-			}
+		off := 0
+		for off < len(data) {
+			op, table, key, value, next, err := decodeRecordAt(data, off)
 			if err != nil {
 				return
 			}
-			re := encodeRecord(nil, op, table, key, value)
-			gotOp, gotTable, gotKey, gotValue, err := decodeRecord(bufio.NewReader(bytes.NewReader(re)))
-			if err != nil || gotOp != op || gotTable != table || gotKey != key || !bytes.Equal(gotValue, value) {
-				t.Fatalf("re-encode mismatch: %v", err)
+			if next <= off {
+				t.Fatalf("decoder did not advance: %d -> %d", off, next)
 			}
+			re := encodeRecord(nil, op, table, key, value)
+			if !bytes.Equal(re, data[off:next]) {
+				t.Fatalf("re-encode mismatch at %d", off)
+			}
+			off = next
 		}
 	})
 }
 
+// fuzzWALHeader builds a v2 WAL header for fuzz seeds.
+func fuzzWALHeader(epoch uint64) []byte {
+	hdr := make([]byte, walHeaderLen)
+	copy(hdr, walMagic)
+	binary.LittleEndian.PutUint64(hdr[len(walMagic):], epoch)
+	return hdr
+}
+
+// fuzzSnapHeader builds a v2 snapshot header for fuzz seeds.
+func fuzzSnapHeader(epoch uint64) []byte {
+	hdr := make([]byte, snapHeaderLen)
+	copy(hdr, magic)
+	binary.LittleEndian.PutUint64(hdr[len(magic):], epoch)
+	return hdr
+}
+
 // FuzzWALReplay writes fuzz bytes as a WAL file and asserts recovery either
-// succeeds (tolerating any torn tail) or fails cleanly.
+// succeeds (tolerating any torn tail) or fails cleanly with a typed error.
 func FuzzWALReplay(f *testing.F) {
 	valid := encodeRecord(nil, opPut, "t", "k", []byte("v"))
 	f.Add(valid)
 	f.Add(append(append([]byte{}, valid...), 0x01, 0x02))
 	f.Add([]byte{0xde, 0xad})
+	f.Add(append(fuzzWALHeader(0), valid...))
+	f.Add(append(fuzzWALHeader(3), valid...))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		dir := t.TempDir()
 		if err := writeFile(dir+"/WAL", data); err != nil {
@@ -51,7 +69,10 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		s, err := OpenDisk(dir)
 		if err != nil {
-			return // clean failure is acceptable
+			if !errors.Is(err, ErrCorruptWAL) && !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("untyped recovery failure: %v", err)
+			}
+			return // clean failure is acceptable in strict mode
 		}
 		// The store must be usable after any recovery.
 		if err := s.Put("t", "post", []byte("recovery")); err != nil {
@@ -68,6 +89,70 @@ func FuzzWALReplay(f *testing.F) {
 		if v, ok, _ := s2.Get("t", "post"); !ok || string(v) != "recovery" {
 			t.Fatalf("post-recovery write lost: %q %v", v, ok)
 		}
+	})
+}
+
+// FuzzOpenDiskCorrupt throws arbitrary WAL and SNAPSHOT byte pairs at both
+// recovery modes: strict open must either succeed or fail with a typed
+// corruption error (never panic), and salvage open must always produce a
+// usable store that reopens cleanly afterwards.
+func FuzzOpenDiskCorrupt(f *testing.F) {
+	rec := encodeRecord(nil, opPut, "t", "k", []byte("v"))
+	f.Add([]byte{}, []byte{})
+	f.Add(append(fuzzWALHeader(1), rec...), append(fuzzSnapHeader(1), rec...))
+	f.Add(append(fuzzWALHeader(0), rec...), []byte(magicV1))
+	f.Add(append(fuzzWALHeader(7), rec...), append(fuzzSnapHeader(2), rec...))
+	f.Add([]byte{0xff, 0xfe}, append(fuzzSnapHeader(1), 0xde, 0xad))
+	f.Fuzz(func(t *testing.T, wal, snap []byte) {
+		strictDir := t.TempDir()
+		writePair := func(dir string) {
+			if len(wal) > 0 {
+				if err := writeFile(filepath.Join(dir, "WAL"), wal); err != nil {
+					t.Skip()
+				}
+			}
+			if len(snap) > 0 {
+				if err := writeFile(filepath.Join(dir, "SNAPSHOT"), snap); err != nil {
+					t.Skip()
+				}
+			}
+		}
+
+		writePair(strictDir)
+		if s, err := OpenDisk(strictDir); err != nil {
+			if !errors.Is(err, ErrCorruptWAL) && !errors.Is(err, ErrCorruptSnapshot) {
+				t.Fatalf("strict open: untyped failure: %v", err)
+			}
+		} else {
+			if err := s.Put("t", "post", []byte("x")); err != nil {
+				t.Fatalf("strict store unusable: %v", err)
+			}
+			s.Close()
+		}
+
+		salvageDir := t.TempDir()
+		writePair(salvageDir)
+		s, err := OpenDiskWith(salvageDir, DiskOptions{Salvage: true})
+		if err != nil {
+			t.Fatalf("salvage open failed: %v", err)
+		}
+		if err := s.Put("t", "post", []byte("x")); err != nil {
+			t.Fatalf("salvaged store unusable: %v", err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatalf("salvaged close: %v", err)
+		}
+		s2, err := OpenDisk(salvageDir)
+		if err != nil {
+			t.Fatalf("reopen after salvage not clean: %v", err)
+		}
+		if s2.Recovery().Degraded() {
+			t.Fatal("salvage did not re-establish a clean on-disk state")
+		}
+		if v, ok, _ := s2.Get("t", "post"); !ok || string(v) != "x" {
+			t.Fatalf("write after salvage lost: %q %v", v, ok)
+		}
+		s2.Close()
 	})
 }
 

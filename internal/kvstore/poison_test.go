@@ -1,0 +1,193 @@
+package kvstore
+
+import (
+	"errors"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failOp returns an OpHook that fails every matching operation on the named
+// file with the given error.
+func failOp(op, file string, err error) func(string, string) error {
+	return func(gotOp, path string) error {
+		if gotOp == op && filepath.Base(path) == file {
+			return err
+		}
+		return nil
+	}
+}
+
+// TestSyncFsyncErrorPoisonsStore: a failed WAL fsync must fail the Sync and
+// every later mutation — continuing would acknowledge writes on top of a WAL
+// whose durable prefix is unknown.
+func TestSyncFsyncErrorPoisonsStore(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, err := OpenDiskWith(t.TempDir(), DiskOptions{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("disk on fire")
+	ffs.OpHook = failOp("sync", walName, boom)
+	if err := s.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync swallowed the fsync error: %v", err)
+	}
+	ffs.OpHook = nil // the disk "recovers" — the store must not
+	if err := s.Put("t", "k2", []byte("v2")); !errors.Is(err, ErrPoisoned) || !errors.Is(err, boom) {
+		t.Fatalf("Put after failed Sync: %v", err)
+	}
+	if err := s.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Sync after failed Sync: %v", err)
+	}
+	if err := s.Compact(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Compact after failed Sync: %v", err)
+	}
+	if err := s.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close swallowed the original error: %v", err)
+	}
+	// The poisoned mutation must not be visible in memory either: the store
+	// state always matches what a reopen could recover.
+	if _, ok, err := s.Get("t", "k2"); ok && err == nil {
+		t.Fatal("poisoned Put reached the in-memory state")
+	}
+}
+
+// TestFlushErrorPoisonsAndCloseReports: a WAL write failure during flush
+// must poison the store and still be reported by Close, not swallowed.
+func TestFlushErrorPoisonsAndCloseReports(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, err := OpenDiskWith(t.TempDir(), DiskOptions{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("short write")
+	ffs.OpHook = failOp("write", walName, boom)
+	if err := s.Sync(); !errors.Is(err, boom) {
+		t.Fatalf("Sync swallowed the flush error: %v", err)
+	}
+	ffs.OpHook = nil
+	if err := s.Put("t", "k2", []byte("v2")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("Put after failed flush: %v", err)
+	}
+	if err := s.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close must report the original write error: %v", err)
+	}
+}
+
+// TestDirectWriteErrorPoisons: a record larger than the WAL buffer forces a
+// write during the mutation itself; its failure must poison the store and
+// the mutation must not be applied in memory.
+func TestDirectWriteErrorPoisons(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	s, err := OpenDiskWith(t.TempDir(), DiskOptions{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("io error")
+	ffs.OpHook = failOp("write", walName, boom)
+	big := strings.Repeat("x", 2<<20) // larger than the 1 MiB WAL buffer
+	if err := s.Put("t", "big", []byte(big)); !errors.Is(err, boom) {
+		t.Fatalf("oversized Put did not surface the write error: %v", err)
+	}
+	if _, ok, _ := s.Get("t", "big"); ok {
+		t.Fatal("failed Put is visible in memory")
+	}
+	ffs.OpHook = nil
+	if err := s.Put("t", "k", []byte("v")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("store not poisoned after write error: %v", err)
+	}
+}
+
+// TestCompactSnapshotErrorDoesNotPoison: a failure while writing the
+// temporary snapshot (before the rename) leaves the store fully usable — the
+// WAL is still intact and authoritative.
+func TestCompactSnapshotErrorDoesNotPoison(t *testing.T) {
+	ffs := NewFaultFS(nil)
+	dir := t.TempDir()
+	s, err := OpenDiskWith(dir, DiskOptions{FS: ffs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("no space")
+	ffs.OpHook = failOp("sync", snapshotName+".tmp", boom)
+	if err := s.Compact(); !errors.Is(err, boom) {
+		t.Fatalf("Compact swallowed the snapshot error: %v", err)
+	}
+	ffs.OpHook = nil
+	if err := s.Put("t", "k2", []byte("v2")); err != nil {
+		t.Fatalf("store poisoned by a pre-rename snapshot failure: %v", err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("retried Compact: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for k, want := range map[string]string{"k": "v", "k2": "v2"} {
+		if v, ok, _ := s2.Get("t", k); !ok || string(v) != want {
+			t.Fatalf("recovered %s = %q ok=%v", k, v, ok)
+		}
+	}
+}
+
+// TestLegacyV1LayoutStillOpens: a store written in the headerless pre-epoch
+// layout (v1 snapshot magic, WAL records from byte zero) must recover, and
+// its first compaction must migrate it to the epoch-stamped layout.
+func TestLegacyV1LayoutStillOpens(t *testing.T) {
+	dir := t.TempDir()
+	var snap, wal []byte
+	snap = append(snap, magicV1...)
+	snap = encodeRecord(snap, opPut, "t", "old", []byte("snapval"))
+	wal = encodeRecord(wal, opPut, "t", "new", []byte("walval"))
+	wal = encodeRecord(wal, opAppend, "t", "new", []byte("+more"))
+	if err := writeFile(filepath.Join(dir, snapshotName), snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFile(filepath.Join(dir, walName), wal); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("legacy layout failed to open: %v", err)
+	}
+	if s.Recovery().Degraded() {
+		t.Fatalf("legacy layout marked degraded: %+v", s.Recovery())
+	}
+	if v, _, _ := s.Get("t", "old"); string(v) != "snapval" {
+		t.Fatalf("legacy snapshot lost: %q", v)
+	}
+	if v, _, _ := s.Get("t", "new"); string(v) != "walval+more" {
+		t.Fatalf("legacy wal lost: %q", v)
+	}
+	if err := s.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("reopen after migration: %v", err)
+	}
+	defer s2.Close()
+	if v, _, _ := s2.Get("t", "new"); string(v) != "walval+more" {
+		t.Fatalf("migrated value lost: %q", v)
+	}
+}

@@ -1,7 +1,6 @@
 package kvstore
 
 import (
-	"bufio"
 	"bytes"
 	"errors"
 	"fmt"
@@ -347,11 +346,8 @@ func TestRecordRoundTripProperty(t *testing.T) {
 			op = 1
 		}
 		rec := encodeRecord(nil, op, table, key, value)
-		gotOp, gotTable, gotKey, gotValue, err := decodeRecord(bufio.NewReader(bytes.NewReader(rec)))
-		if err != nil {
-			return false
-		}
-		if len(rec) != 8+recordPayloadLen(table, key, value) {
+		gotOp, gotTable, gotKey, gotValue, next, err := decodeRecordAt(rec, 0)
+		if err != nil || next != len(rec) {
 			return false
 		}
 		return gotOp == op && gotTable == table && gotKey == key && bytes.Equal(gotValue, value)

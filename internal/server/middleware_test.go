@@ -1,0 +1,154 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"seqlog"
+)
+
+// newHardenedServer starts a server with request limits enabled.
+func newHardenedServer(t *testing.T, opts Options) (*httptest.Server, *Handler) {
+	t.Helper()
+	eng, err := seqlog.Open(seqlog.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := NewWith(eng, opts)
+	srv := httptest.NewServer(h)
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	return srv, h
+}
+
+// TestPanicRecoveryMiddleware: a panicking handler must produce a 500
+// response, not kill the connection or the server.
+func TestPanicRecoveryMiddleware(t *testing.T) {
+	srv, h := newHardenedServer(t, Options{})
+	h.mux.HandleFunc("GET /boom", func(http.ResponseWriter, *http.Request) {
+		panic("handler bug")
+	})
+	resp, err := http.Get(srv.URL + "/boom")
+	if err != nil {
+		t.Fatalf("panic escaped the middleware: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status = %d, want 500", resp.StatusCode)
+	}
+	var body errorBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil || !strings.Contains(body.Error, "handler bug") {
+		t.Fatalf("error body = %+v, %v", body, err)
+	}
+	// The server must still answer after the panic.
+	ok, err := http.Get(srv.URL + "/health")
+	if err != nil || ok.StatusCode != http.StatusOK {
+		t.Fatalf("server dead after panic: %v %v", ok, err)
+	}
+	ok.Body.Close()
+}
+
+// TestRequestTimeoutMiddleware: a request exceeding RequestTimeout is cut
+// off with 503 while fast requests pass.
+func TestRequestTimeoutMiddleware(t *testing.T) {
+	srv, h := newHardenedServer(t, Options{RequestTimeout: 50 * time.Millisecond})
+	h.mux.HandleFunc("GET /slow", func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(5 * time.Second):
+		case <-r.Context().Done():
+		}
+	})
+	resp, err := http.Get(srv.URL + "/slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("slow request status = %d, want 503", resp.StatusCode)
+	}
+	ok, err := http.Get(srv.URL + "/health")
+	if err != nil || ok.StatusCode != http.StatusOK {
+		t.Fatalf("fast request blocked: %v %v", ok, err)
+	}
+	ok.Body.Close()
+}
+
+// TestMaxBodyBytesMiddleware: ingest bodies beyond MaxBodyBytes get 413.
+func TestMaxBodyBytesMiddleware(t *testing.T) {
+	srv, _ := newHardenedServer(t, Options{MaxBodyBytes: 256})
+	big := IngestRequest{}
+	for i := 0; i < 100; i++ {
+		big.Events = append(big.Events, seqlog.Event{Trace: int64(i), Activity: "activity", Time: int64(i)})
+	}
+	resp, _ := post(t, srv.URL+"/ingest", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body status = %d, want 413", resp.StatusCode)
+	}
+	small := IngestRequest{Events: []seqlog.Event{{Trace: 1, Activity: "a", Time: 1}}}
+	resp, _ = post(t, srv.URL+"/ingest", small)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small body status = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestHealthReportsDegradedAfterSalvage: a store opened through salvage
+// recovery must flip /health from "ok" to "degraded".
+func TestHealthReportsDegradedAfterSalvage(t *testing.T) {
+	dir := t.TempDir()
+	eng, err := seqlog.Open(seqlog.Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Ingest([]seqlog.Event{
+		{Trace: 1, Activity: "a", Time: 1},
+		{Trace: 1, Activity: "b", Time: 2},
+		{Trace: 2, Activity: "a", Time: 3},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, "WAL")
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal[20] ^= 0xff // corrupt an early record; valid records follow
+	if err := os.WriteFile(walPath, wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	eng2, err := seqlog.Open(seqlog.Config{Dir: dir, Salvage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(eng2))
+	t.Cleanup(func() {
+		srv.Close()
+		eng2.Close()
+	})
+	resp, err := http.Get(srv.URL + "/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Status   string          `json:"status"`
+		Recovery json.RawMessage `json:"recovery"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Status != "degraded" || len(body.Recovery) == 0 {
+		t.Fatalf("health after salvage = %+v", body)
+	}
+}

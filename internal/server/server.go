@@ -10,20 +10,36 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
 
 	"seqlog"
 )
+
+// Options harden the HTTP API against abusive or stuck requests.
+type Options struct {
+	// RequestTimeout bounds the total handling time of every request; slow
+	// requests are cut off with 503. Zero disables the limit.
+	RequestTimeout time.Duration
+	// MaxBodyBytes caps request body sizes (ingestion batches, query
+	// payloads); larger bodies are rejected with 413. Zero disables the cap.
+	MaxBodyBytes int64
+}
 
 // Handler is the HTTP API. Create it with New and mount it as an
 // http.Handler.
 type Handler struct {
 	engine *seqlog.Engine
 	mux    *http.ServeMux
+	inner  http.Handler
+	opts   Options
 }
 
-// New wraps an engine.
-func New(engine *seqlog.Engine) *Handler {
-	h := &Handler{engine: engine, mux: http.NewServeMux()}
+// New wraps an engine with no request limits.
+func New(engine *seqlog.Engine) *Handler { return NewWith(engine, Options{}) }
+
+// NewWith wraps an engine with the given request limits.
+func NewWith(engine *seqlog.Engine, opts Options) *Handler {
+	h := &Handler{engine: engine, mux: http.NewServeMux(), opts: opts}
 	h.mux.HandleFunc("GET /health", h.health)
 	h.mux.HandleFunc("GET /activities", h.activities)
 	h.mux.HandleFunc("GET /periods", h.periods)
@@ -35,12 +51,31 @@ func New(engine *seqlog.Engine) *Handler {
 	h.mux.HandleFunc("POST /explore", h.explore)
 	h.mux.HandleFunc("POST /prune", h.prune)
 	h.mux.HandleFunc("POST /periods/rotate", h.rotate)
+	h.inner = h.mux
+	if opts.RequestTimeout > 0 {
+		h.inner = http.TimeoutHandler(h.mux, opts.RequestTimeout,
+			`{"error":"request timed out"}`)
+	}
 	return h
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler: body limits, the request timeout, and a
+// panic barrier so one bad request cannot take the whole server down.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	h.mux.ServeHTTP(w, r)
+	defer func() {
+		if rec := recover(); rec != nil {
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			// Best effort: if the handler already wrote headers this is a
+			// no-op and the client sees a truncated response.
+			writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
+		}
+	}()
+	if h.opts.MaxBodyBytes > 0 && r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
+	}
+	h.inner.ServeHTTP(w, r)
 }
 
 type errorBody struct {
@@ -66,13 +101,33 @@ func decode(r *http.Request, v any) error {
 	return nil
 }
 
+// writeDecodeErr maps a request-body failure onto its status: 413 when the
+// MaxBodyBytes cap cut the body off, 400 otherwise.
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	var tooBig *http.MaxBytesError
+	if errors.As(err, &tooBig) {
+		writeErr(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	writeErr(w, http.StatusBadRequest, err)
+}
+
 func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	n, err := h.engine.NumTraces()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "traces": n})
+	status := "ok"
+	body := map[string]any{"traces": n}
+	if rec := h.engine.Recovery(); rec.Degraded() {
+		// The store came up via salvage recovery: it serves what survived,
+		// but some committed data was quarantined.
+		status = "degraded"
+		body["recovery"] = rec
+	}
+	body["status"] = status
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (h *Handler) activities(w http.ResponseWriter, _ *http.Request) {
@@ -123,7 +178,7 @@ type IngestRequest struct {
 func (h *Handler) ingest(w http.ResponseWriter, r *http.Request) {
 	var req IngestRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if len(req.Events) == 0 {
@@ -159,7 +214,7 @@ type DetectResponse struct {
 func (h *Handler) detect(w http.ResponseWriter, r *http.Request) {
 	var req DetectRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	var resp DetectResponse
@@ -191,7 +246,7 @@ type StatsRequest struct {
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 	var req StatsRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	var st seqlog.PatternStats
@@ -221,7 +276,7 @@ type ExploreRequest struct {
 func (h *Handler) explore(w http.ResponseWriter, r *http.Request) {
 	var req ExploreRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if req.Mode == "" {
@@ -250,7 +305,7 @@ type PruneRequest struct {
 func (h *Handler) prune(w http.ResponseWriter, r *http.Request) {
 	var req PruneRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if err := h.engine.PruneTraces(req.Traces); err != nil {
@@ -268,7 +323,7 @@ type RotateRequest struct {
 func (h *Handler) rotate(w http.ResponseWriter, r *http.Request) {
 	var req RotateRequest
 	if err := decode(r, &req); err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if req.Period == "" {

@@ -82,6 +82,15 @@ func (t *Tables) CacheStats() CacheStats {
 // table statistics through it).
 func (t *Tables) Store() kvstore.Store { return t.store }
 
+// Recovery reports what crash recovery found when the underlying store was
+// opened. Memory-backed stores report a clean zero value.
+func (t *Tables) Recovery() kvstore.RecoveryStats {
+	if r, ok := t.store.(interface{ Recovery() kvstore.RecoveryStats }); ok {
+		return r.Recovery()
+	}
+	return kvstore.RecoveryStats{}
+}
+
 // ---- Seq table: trace_id -> [(activity, ts), ...] -------------------------
 
 func encodeSeq(buf []byte, events []model.TraceEvent) []byte {

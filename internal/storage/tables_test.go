@@ -396,3 +396,30 @@ func TestLargeIndexRow(t *testing.T) {
 		t.Fatalf("large row mismatch: %d entries, err=%v", len(got), err)
 	}
 }
+
+func TestRecoveryPassthrough(t *testing.T) {
+	// Memory-backed tables report a clean zero value.
+	if r := newTables(t).Recovery(); r != (kvstore.RecoveryStats{}) {
+		t.Fatalf("mem recovery = %+v", r)
+	}
+	// Disk-backed tables surface the store's replay counters.
+	dir := t.TempDir()
+	s, err := kvstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("t", "k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := kvstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if r := NewTables(s2).Recovery(); r.WALReplayed != 1 || r.Degraded() {
+		t.Fatalf("disk recovery = %+v", r)
+	}
+}

@@ -9,3 +9,9 @@ cd "$(dirname "$0")/.."
 
 go vet ./...
 go test -race ./internal/query/... ./internal/storage/... ./internal/kvstore/...
+
+# Crash-torture tier: replay every write-path crash point and every
+# single-byte corruption through recovery (see DESIGN.md "Durability &
+# failure model"). Redundant with the line above but kept as an explicit
+# gate so a -run filter during debugging can't silently skip it.
+go test -race -run 'Crash|Corrupt' ./internal/kvstore/

@@ -78,6 +78,12 @@ type Config struct {
 	// queries (Accurate verification and the Hybrid re-check): 0 uses all
 	// cores, 1 runs serially. Rankings are identical at any worker count.
 	QueryWorkers int
+	// Salvage switches durable-store recovery to quarantine-and-continue:
+	// corrupt WAL or snapshot regions are skipped (and preserved in a
+	// QUARANTINE file) instead of failing Open, and the engine reports
+	// itself degraded through Recovery / Info. Without it, corruption fails
+	// Open with kvstore.ErrCorruptWAL or kvstore.ErrCorruptSnapshot.
+	Salvage bool
 }
 
 // Event is one public log record: an activity executed inside a trace at a
@@ -192,7 +198,7 @@ func Open(cfg Config) (*Engine, error) {
 		disk  *kvstore.DiskStore
 	)
 	if cfg.Dir != "" {
-		d, err := kvstore.OpenDisk(cfg.Dir)
+		d, err := kvstore.OpenDiskWith(cfg.Dir, kvstore.DiskOptions{Salvage: cfg.Salvage})
 		if err != nil {
 			return nil, err
 		}
@@ -659,14 +665,38 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats(e.tables.CacheStats())
 }
 
+// RecoveryInfo describes what crash recovery found when a durable engine
+// was opened; the zero value means a clean start (or an in-memory engine).
+type RecoveryInfo struct {
+	SnapshotRecords int64 `json:"snapshotRecords,omitempty"`
+	WALReplayed     int64 `json:"walReplayed,omitempty"`
+	TornTailBytes   int64 `json:"tornTailBytes,omitempty"`
+	StaleWALBytes   int64 `json:"staleWALBytes,omitempty"`
+	DroppedRegions  int64 `json:"droppedRegions,omitempty"`
+	DroppedBytes    int64 `json:"droppedBytes,omitempty"`
+	Salvaged        bool  `json:"salvaged,omitempty"`
+}
+
+// Degraded reports whether recovery lost possibly-committed data (only ever
+// true after a Salvage open).
+func (r RecoveryInfo) Degraded() bool { return r.Salvaged }
+
+// Recovery reports the crash-recovery outcome of this engine's store.
+func (e *Engine) Recovery() RecoveryInfo {
+	return RecoveryInfo(e.tables.Recovery())
+}
+
 // IndexInfo summarises the indexing database: live traces, activities, the
-// distinct-pair count of every partition, and the postings-cache counters.
+// distinct-pair count of every partition, the postings-cache counters and
+// the crash-recovery outcome.
 type IndexInfo struct {
 	Traces     int            `json:"traces"`
 	Activities int            `json:"activities"`
 	Policy     string         `json:"policy"`
 	Partitions map[string]int `json:"partitions"` // partition -> distinct pairs ("" = default)
 	Cache      CacheStats     `json:"cache"`
+	Recovery   RecoveryInfo   `json:"recovery"`
+	Degraded   bool           `json:"degraded"`
 }
 
 // Info reports the current index shape.
@@ -676,7 +706,9 @@ func (e *Engine) Info() (IndexInfo, error) {
 		Policy:     e.builder.Options().Policy.String(),
 		Partitions: make(map[string]int),
 		Cache:      e.CacheStats(),
+		Recovery:   e.Recovery(),
 	}
+	info.Degraded = info.Recovery.Degraded()
 	var err error
 	if info.Traces, err = e.tables.NumTraces(); err != nil {
 		return IndexInfo{}, err
@@ -713,6 +745,16 @@ func (e *Engine) Compact() error {
 		return nil
 	}
 	return e.disk.Compact()
+}
+
+// Sync flushes and fsyncs the write-ahead log (no-op in memory). Ingest
+// already syncs before acknowledging a batch; Sync exists for callers that
+// need a durability point outside ingestion, such as server shutdown.
+func (e *Engine) Sync() error {
+	if e.disk == nil {
+		return nil
+	}
+	return e.disk.Sync()
 }
 
 // Close releases the engine. Durable engines flush their write-ahead log.

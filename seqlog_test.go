@@ -1,9 +1,14 @@
 package seqlog
 
 import (
+	"errors"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
+
+	"seqlog/internal/kvstore"
 )
 
 func openMem(t *testing.T, cfg Config) *Engine {
@@ -568,5 +573,71 @@ func TestRotatePeriodKeepsPartialOrder(t *testing.T) {
 	ids, err := e.DetectTraces([]string{"a", "b"})
 	if err != nil || len(ids) != 0 {
 		t.Fatalf("concurrent events paired after rotation: %v %v", ids, err)
+	}
+}
+
+func TestSalvageRecoveryFacade(t *testing.T) {
+	dir := t.TempDir()
+	e, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Ingest(shopEvents()); err != nil {
+		t.Fatal(err)
+	}
+	if e.Recovery().Degraded() {
+		t.Fatal("fresh engine reports degraded recovery")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Corrupt an early WAL record while many valid records follow: mid-log
+	// corruption, not a droppable torn tail.
+	walPath := filepath.Join(dir, "WAL")
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wal[20] ^= 0xff
+	if err := os.WriteFile(walPath, wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Open(Config{Dir: dir}); !errors.Is(err, kvstore.ErrCorruptWAL) {
+		t.Fatalf("strict open on mid-log corruption: %v", err)
+	}
+
+	e2, err := Open(Config{Dir: dir, Salvage: true})
+	if err != nil {
+		t.Fatalf("salvage open: %v", err)
+	}
+	rec := e2.Recovery()
+	if !rec.Degraded() || rec.DroppedRegions == 0 {
+		t.Fatalf("salvage recovery not reported: %+v", rec)
+	}
+	info, err := e2.Info()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !info.Degraded || !info.Recovery.Salvaged {
+		t.Fatalf("Info does not surface degraded state: %+v", info)
+	}
+	// The salvaged engine still answers queries over the surviving records.
+	if _, err := e2.Detect([]string{"search", "pay"}); err != nil {
+		t.Fatalf("salvaged engine cannot query: %v", err)
+	}
+	if err := e2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Salvage compacted at open: a plain reopen is clean again.
+	e3, err := Open(Config{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after salvage: %v", err)
+	}
+	defer e3.Close()
+	if e3.Recovery().Degraded() {
+		t.Fatal("salvage left a degraded on-disk state")
 	}
 }
