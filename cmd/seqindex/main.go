@@ -6,7 +6,9 @@
 //
 //	seqindex -dir ./idx -policy STNM [-method indexing] [-period 2026-07] log.xes [more.csv ...]
 //
-// Input format is inferred from the extension (.xes or .csv).
+// Input format is inferred from the extension (.xes or .csv). With -stream
+// the files are fed through the concurrent ingestion pipeline (trace-affinity
+// workers, group commits) instead of one serial batch per file.
 package main
 
 import (
@@ -18,6 +20,8 @@ import (
 	"time"
 
 	"seqlog"
+	"seqlog/internal/eventlog"
+	"seqlog/internal/model"
 )
 
 func main() {
@@ -28,6 +32,11 @@ func main() {
 		period  = flag.String("period", "", "index partition for this batch")
 		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		partial = flag.Bool("partial", false, "treat same-timestamp events as concurrent (partial order; STNM only)")
+
+		stream        = flag.Bool("stream", false, "ingest through the streaming pipeline instead of serial batches")
+		ingestWorkers = flag.Int("ingest-workers", 0, "streaming shard workers (0 = all cores; implies -stream semantics only with -stream)")
+		flushEvents   = flag.Int("flush-events", 0, "streaming flush threshold in events (0 = default 1024)")
+		flushInterval = flag.Duration("flush-interval", 0, "streaming flush age bound (0 = default 50ms)")
 	)
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
@@ -38,38 +47,113 @@ func main() {
 
 	eng, err := seqlog.Open(seqlog.Config{
 		Policy: *policy, Method: *method, Workers: *workers, Dir: *dir, Period: *period,
-		PartialOrder: *partial,
+		PartialOrder:  *partial,
+		IngestWorkers: *ingestWorkers, FlushEvents: *flushEvents, FlushInterval: *flushInterval,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer eng.Close()
 
-	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
+	if *stream {
+		if err := streamFiles(eng, flag.Args()); err != nil {
 			fatal(err)
 		}
-		start := time.Now()
-		var st seqlog.UpdateStats
-		switch strings.ToLower(filepath.Ext(path)) {
-		case ".xes", ".xml":
-			st, err = eng.IngestXES(f)
-		case ".csv":
-			st, err = eng.IngestCSV(f)
-		default:
-			err = fmt.Errorf("seqindex: unknown log format %q (want .xes or .csv)", path)
+	} else {
+		for _, path := range flag.Args() {
+			f, err := os.Open(path)
+			if err != nil {
+				fatal(err)
+			}
+			start := time.Now()
+			var st seqlog.UpdateStats
+			switch strings.ToLower(filepath.Ext(path)) {
+			case ".xes", ".xml":
+				st, err = eng.IngestXES(f)
+			case ".csv":
+				st, err = eng.IngestCSV(f)
+			default:
+				err = fmt.Errorf("seqindex: unknown log format %q (want .xes or .csv)", path)
+			}
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("%s: %d events in %d traces -> %d pairs, %d occurrences (%.3fs)\n",
+				path, st.Events, st.Traces, st.Pairs, st.Occurrences, time.Since(start).Seconds())
 		}
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("%s: %d events in %d traces -> %d pairs, %d occurrences (%.3fs)\n",
-			path, st.Events, st.Traces, st.Pairs, st.Occurrences, time.Since(start).Seconds())
 	}
 	if err := eng.Compact(); err != nil {
 		fatal(err)
 	}
+}
+
+// streamFiles pushes every log file through one shared ingestion stream. The
+// appender blocks on backpressure (a batch loader has nowhere else to put
+// events), and the final Close drains the pipeline with a durable group
+// commit before Compact runs.
+func streamFiles(eng *seqlog.Engine, paths []string) error {
+	app, err := eng.OpenStream(seqlog.StreamOptions{Block: true})
+	if err != nil {
+		return err
+	}
+	defer app.Close()
+
+	const chunk = 4096
+	for _, path := range paths {
+		start := time.Now()
+		events, err := loadEvents(path)
+		if err != nil {
+			return err
+		}
+		for len(events) > 0 {
+			n := min(chunk, len(events))
+			if err := app.Append(events[:n]); err != nil {
+				return err
+			}
+			events = events[n:]
+		}
+		fmt.Printf("%s: streamed (%.3fs)\n", path, time.Since(start).Seconds())
+	}
+	if err := app.Flush(); err != nil {
+		return err
+	}
+	st := app.Stats()
+	fmt.Printf("stream: %d events flushed in %d group commits (%d syncs, %d stalls)\n",
+		st.Flushed, st.Batches, st.Syncs, st.Stalls)
+	return app.Close()
+}
+
+// loadEvents parses a log file into the public event form, preserving
+// per-trace order.
+func loadEvents(path string) ([]seqlog.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var log *model.Log
+	switch strings.ToLower(filepath.Ext(path)) {
+	case ".xes", ".xml":
+		log, err = eventlog.ReadXES(f)
+	case ".csv":
+		log, err = eventlog.ReadCSV(f)
+	default:
+		return nil, fmt.Errorf("seqindex: unknown log format %q (want .xes or .csv)", path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := log.Alphabet.Names()
+	events := make([]seqlog.Event, 0, log.NumEvents())
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			events = append(events, seqlog.Event{
+				Trace: int64(tr.ID), Activity: names[ev.Activity], Time: int64(ev.TS),
+			})
+		}
+	}
+	return events, nil
 }
 
 func fatal(err error) {

@@ -284,6 +284,10 @@ func printInfo(info seqlog.IndexInfo) {
 		}
 		fmt.Printf("partition %s: %d pairs\n", name, info.Partitions[p])
 	}
+	if st := info.Ingest; st != nil {
+		fmt.Printf("ingest: queued=%d flushed=%d batches=%d syncs=%d stalls=%d sessions=%d\n",
+			st.Queued, st.Flushed, st.Batches, st.Syncs, st.Stalls, st.Sessions)
+	}
 }
 
 // need exits with usage help when the pattern has fewer than min activities.

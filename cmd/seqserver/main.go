@@ -39,26 +39,32 @@ func main() {
 		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
 		salvage = flag.Bool("salvage", false, "recover a corrupt store by quarantining unreadable regions instead of failing")
 
+		ingestWorkers = flag.Int("ingest-workers", 0, "streaming-ingest shard workers (0 = all cores)")
+		flushEvents   = flag.Int("flush-events", 0, "streaming-ingest flush threshold in events (0 = default 1024)")
+		flushInterval = flag.Duration("flush-interval", 0, "streaming-ingest flush age bound (0 = default 50ms)")
+
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (0 disables)")
 		maxBodyMB    = flag.Int("max-body-mb", 64, "maximum request body size in MiB (0 disables the cap)")
 		drainTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
 	)
 	flag.Parse()
-	if err := run(*dir, *addr, *policy, *method, *partial, *planner, *cacheMB, *workers,
-		*salvage, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
+	cfg := seqlog.Config{
+		Dir: *dir, Policy: *policy, Method: *method,
+		PartialOrder: *partial, Planner: *planner,
+		CacheBytes: cacheBytes(*cacheMB), QueryWorkers: *workers,
+		Salvage:       *salvage,
+		IngestWorkers: *ingestWorkers,
+		FlushEvents:   *flushEvents,
+		FlushInterval: *flushInterval,
+	}
+	if err := run(cfg, *addr, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "seqserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir, addr, policy, method string, partial, planner bool, cacheMB, workers int,
-	salvage bool, reqTimeout time.Duration, maxBodyMB int, drainTimeout time.Duration) error {
-	eng, err := seqlog.Open(seqlog.Config{
-		Dir: dir, Policy: policy, Method: method,
-		PartialOrder: partial, Planner: planner,
-		CacheBytes: cacheBytes(cacheMB), QueryWorkers: workers,
-		Salvage: salvage,
-	})
+func run(cfg seqlog.Config, addr string, reqTimeout time.Duration, maxBodyMB int, drainTimeout time.Duration) error {
+	eng, err := seqlog.Open(cfg)
 	if err != nil {
 		return err
 	}
@@ -82,7 +88,7 @@ func run(dir, addr, policy, method string, partial, planner bool, cacheMB, worke
 
 	serveErr := make(chan error, 1)
 	go func() {
-		log.Printf("seqserver listening on %s (dir=%q policy=%s)", addr, dir, policy)
+		log.Printf("seqserver listening on %s (dir=%q policy=%s)", addr, cfg.Dir, cfg.Policy)
 		serveErr <- srv.ListenAndServe()
 	}()
 

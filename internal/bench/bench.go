@@ -45,6 +45,9 @@ type Config struct {
 	// Datasets, when non-empty, restricts table experiments to the named
 	// catalog entries.
 	Datasets []string
+	// JSONDir, when non-empty, is where experiments with machine-readable
+	// output (ingest) write their BENCH_*.json files.
+	JSONDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -83,6 +86,7 @@ func Experiments() []string {
 		"table4", "figure2", "table5", "figure3", "table6", "table7",
 		"figure4", "table8", "figure5", "figure6", "figure7",
 		"recall", "incremental", "partitions", "baseline19", "joinorder",
+		"ingest",
 	}
 }
 
@@ -121,6 +125,8 @@ func (r *Runner) Run(name string) error {
 		return r.Baseline19()
 	case "joinorder":
 		return r.JoinOrder()
+	case "ingest":
+		return r.Ingest()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments())
 	}

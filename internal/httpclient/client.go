@@ -7,12 +7,20 @@ package httpclient
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"time"
 )
+
+// ErrOverloaded marks a backpressure response (429, or 503 on a POST): the
+// server is up but refusing load right now. The request was not applied —
+// the streaming ingest endpoint admits all-or-nothing and reports its
+// accepted count — so the caller may resend after a pause. Test with
+// errors.Is.
+var ErrOverloaded = errors.New("httpclient: server overloaded, retry later")
 
 // Client wraps an http.Client with bounded GET retries. The zero value is
 // usable: it never retries and uses http.DefaultClient.
@@ -110,20 +118,24 @@ func (c *Client) GetJSON(url string, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// PostJSON POSTs a JSON body and decodes the JSON response into out (when
-// non-nil). POSTs are never retried: the seqlog API uses POST for ingestion
-// and queries alike, and replaying a half-applied ingest would duplicate it.
-func (c *Client) PostJSON(url string, in, out any) error {
-	raw, err := json.Marshal(in)
-	if err != nil {
-		return err
-	}
-	resp, err := c.http().Post(url, "application/json", bytes.NewReader(raw))
+// Post performs one POST and decodes the JSON response into out (when
+// non-nil). POSTs are NEVER retried: the seqlog API uses POST for ingestion
+// and queries alike, and replaying a half-applied ingest would duplicate
+// it. Backpressure statuses map onto the typed ErrOverloaded (429 always;
+// 503 too, since a loaded-shedding proxy answers it) so streaming callers
+// can pause and resume instead of failing; other non-200 statuses become
+// generic errors carrying the server's {"error": ...} body.
+func (c *Client) Post(url, contentType string, body io.Reader, out any) error {
+	resp, err := c.http().Post(url, contentType, body)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+		return fmt.Errorf("%w (%s)", ErrOverloaded, strippedAPIError(resp))
+	default:
 		return apiError(resp)
 	}
 	if out == nil {
@@ -133,14 +145,28 @@ func (c *Client) PostJSON(url string, in, out any) error {
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// PostJSON POSTs a JSON body via Post (same no-retry and backpressure
+// semantics) and decodes the JSON response into out (when non-nil).
+func (c *Client) PostJSON(url string, in, out any) error {
+	raw, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	return c.Post(url, "application/json", bytes.NewReader(raw), out)
+}
+
 // apiError extracts the server's {"error": ...} body, falling back to the
 // HTTP status.
 func apiError(resp *http.Response) error {
+	return errors.New(strippedAPIError(resp))
+}
+
+func strippedAPIError(resp *http.Response) string {
 	var body struct {
 		Error string `json:"error"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body); err == nil && body.Error != "" {
-		return fmt.Errorf("%s: %s", resp.Status, body.Error)
+		return fmt.Sprintf("%s: %s", resp.Status, body.Error)
 	}
-	return fmt.Errorf("%s", resp.Status)
+	return resp.Status
 }

@@ -1,6 +1,8 @@
 package httpclient
 
 import (
+	"errors"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -96,6 +98,56 @@ func TestPostNeverRetries(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "down") {
 		t.Fatalf("server error body lost: %v", err)
+	}
+}
+
+func TestPostMapsBackpressureToErrOverloaded(t *testing.T) {
+	for _, status := range []int{http.StatusTooManyRequests, http.StatusServiceUnavailable} {
+		var calls atomic.Int64
+		srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			calls.Add(1)
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write([]byte(`{"error":"pipeline overloaded","accepted":512}`))
+		}))
+		c := &Client{Retries: 5, Sleep: func(time.Duration) { t.Fatal("backpressure must not be retried") }}
+		err := c.Post(srv.URL, "application/x-ndjson", strings.NewReader("{}\n"), nil)
+		srv.Close()
+		if !errors.Is(err, ErrOverloaded) {
+			t.Fatalf("status %d: err = %v, want ErrOverloaded", status, err)
+		}
+		if !strings.Contains(err.Error(), "pipeline overloaded") {
+			t.Fatalf("status %d: server detail lost: %v", status, err)
+		}
+		if calls.Load() != 1 {
+			t.Fatalf("status %d: %d calls, want exactly 1", status, calls.Load())
+		}
+	}
+}
+
+func TestPostDecodesResponse(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if ct := r.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+			t.Errorf("content type = %q", ct)
+		}
+		body, _ := io.ReadAll(r.Body)
+		w.Write([]byte(`{"echoed":` + string(body) + `}`))
+	}))
+	defer srv.Close()
+
+	var out struct {
+		Echoed int `json:"echoed"`
+	}
+	c := &Client{}
+	if err := c.Post(srv.URL, "application/x-ndjson", strings.NewReader("42"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Echoed != 42 {
+		t.Fatalf("echoed = %d", out.Echoed)
+	}
+	// nil out: the body is drained and discarded without error.
+	if err := c.Post(srv.URL, "application/x-ndjson", strings.NewReader("7"), nil); err != nil {
+		t.Fatal(err)
 	}
 }
 

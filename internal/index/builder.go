@@ -49,9 +49,12 @@ type Stats struct {
 }
 
 // Builder is the pre-processing component. A Builder is safe for concurrent
-// reads of its configuration but Update calls must not overlap (the paper's
-// updates are periodic and serial).
+// use: Update and PruneTraces calls may overlap and are serialized by an
+// internal mutex (the paper's updates are periodic and serial; concurrent
+// callers simply queue). Note the serialization is per-Builder — two
+// Builders over the same Tables still race.
 type Builder struct {
+	mu     sync.Mutex // serializes Update / PruneTraces
 	tables *storage.Tables
 	opts   Options
 }
@@ -120,6 +123,8 @@ func (b *Builder) Update(events []model.Event) (Stats, error) {
 	if len(events) == 0 {
 		return Stats{}, nil
 	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
 
 	byTrace := make(map[model.TraceID][]model.TraceEvent)
 	for _, ev := range events {
@@ -316,6 +321,8 @@ func (b *Builder) updateTrace(id model.TraceID, newEvents []model.TraceEvent, sh
 // watermarks from LastChecked (§3.1.3). The inverted index keeps their
 // occurrences — pruning only forgets the mutable per-trace state.
 func (b *Builder) PruneTraces(ids []model.TraceID) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	set := make(map[model.TraceID]bool, len(ids))
 	for _, id := range ids {
 		if err := b.tables.DeleteSeq(id); err != nil {

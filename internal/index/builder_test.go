@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"seqlog/internal/kvstore"
@@ -394,5 +395,116 @@ func TestPartialOrderEqualsTotalWithoutTies(t *testing.T) {
 	}
 	if !reflect.DeepEqual(collectIndex(t, tbTotal), collectIndex(t, tbPartial)) {
 		t.Fatal("partial-order index differs on tie-free data")
+	}
+}
+
+// TestConcurrentUpdatesAreSerialized: overlapping Update calls are safe — the
+// builder's internal mutex queues them. Each goroutine owns disjoint traces,
+// so any serialization order yields the same index; run under -race this also
+// proves the calls do not trample the shared accumulators.
+func TestConcurrentUpdatesAreSerialized(t *testing.T) {
+	const workers = 8
+	var batches [workers][]model.Event
+	var all []model.Event
+	for w := 0; w < workers; w++ {
+		ts := int64(0)
+		for i := 0; i < 40; i++ {
+			ts++
+			e := ev(model.TraceID(w+1), byte('A'+(i*7+w)%5), ts)
+			batches[w] = append(batches[w], e)
+			all = append(all, e)
+		}
+	}
+
+	conc, tbConc := newBuilder(t, Options{Policy: model.STNM, Method: pairs.State, Workers: 2})
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Split each goroutine's stream in two so calls genuinely
+			// overlap calls from other goroutines mid-sequence.
+			if _, err := conc.Update(batches[w][:20]); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := conc.Update(batches[w][20:]); err != nil {
+				t.Error(err)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	serial, tbSerial := newBuilder(t, Options{Policy: model.STNM, Method: pairs.State, Workers: 1})
+	if _, err := serial.Update(all); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := collectIndex(t, tbConc), collectIndex(t, tbSerial); !reflect.DeepEqual(got, want) {
+		t.Fatalf("concurrent updates diverged from serial\ngot  %v\nwant %v", got, want)
+	}
+}
+
+// TestCrossBatchDedupOracle (Algorithm 1): interleaving traces across many
+// tiny batches must yield exactly the occurrences of one big batch — the
+// boundary watermark filters every re-extracted occurrence — for SC and all
+// three STNM flavors.
+func TestCrossBatchDedupOracle(t *testing.T) {
+	type cfg struct {
+		policy model.Policy
+		method pairs.Method
+	}
+	cfgs := []cfg{
+		{model.SC, pairs.Indexing},
+		{model.STNM, pairs.Parsing},
+		{model.STNM, pairs.Indexing},
+		{model.STNM, pairs.State},
+	}
+	rng := rand.New(rand.NewSource(31))
+	for _, c := range cfgs {
+		for iter := 0; iter < 10; iter++ {
+			var events []model.Event
+			ts := int64(0)
+			numTraces := 2 + rng.Intn(4)
+			for len(events) < 80 {
+				ts++
+				events = append(events, ev(model.TraceID(1+rng.Intn(numTraces)), byte('A'+rng.Intn(4)), ts))
+			}
+
+			big, tbBig := newBuilder(t, Options{Policy: c.policy, Method: c.method, Workers: 1})
+			bigStats, err := big.Update(events)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			tiny, tbTiny := newBuilder(t, Options{Policy: c.policy, Method: c.method, Workers: 1})
+			tinyOcc := 0
+			for lo := 0; lo < len(events); {
+				hi := lo + 1 + rng.Intn(3)
+				if hi > len(events) {
+					hi = len(events)
+				}
+				st, err := tiny.Update(events[lo:hi])
+				if err != nil {
+					t.Fatal(err)
+				}
+				tinyOcc += st.Occurrences
+				lo = hi
+			}
+
+			if tinyOcc != bigStats.Occurrences {
+				t.Fatalf("%v/%v iter %d: tiny batches produced %d occurrences, one batch %d",
+					c.policy, c.method, iter, tinyOcc, bigStats.Occurrences)
+			}
+			if got, want := collectIndex(t, tbTiny), collectIndex(t, tbBig); !reflect.DeepEqual(got, want) {
+				t.Fatalf("%v/%v iter %d: tiny-batch index != big-batch index", c.policy, c.method, iter)
+			}
+			for a := byte('A'); a <= 'D'; a++ {
+				c1, _ := tbBig.GetCounts(model.ActivityID(a))
+				c2, _ := tbTiny.GetCounts(model.ActivityID(a))
+				if !reflect.DeepEqual(c1, c2) {
+					t.Fatalf("%v/%v iter %d: counts(%c) diverged", c.policy, c.method, iter, a)
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,265 @@
+package ingest
+
+import (
+	"sort"
+
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/storage"
+)
+
+// shardDelta is the table delta one shard contributes to a flush cycle:
+// normalized new events per trace, new index entries and watermarks per
+// pair, and count increments per leading/trailing activity. Shapes mirror
+// the Builder's accumulators so the committed rows are encoded identically.
+type shardDelta struct {
+	traces  []model.TraceID // first-appearance order, for determinism
+	seqs    map[model.TraceID][]model.TraceEvent
+	entries map[model.PairKey][]storage.IndexEntry
+	last    map[model.PairKey]map[model.TraceID]model.Timestamp
+	counts  map[model.ActivityID]map[model.ActivityID]*storage.CountEntry
+	rcounts map[model.ActivityID]map[model.ActivityID]*storage.CountEntry
+}
+
+func newShardDelta() *shardDelta {
+	return &shardDelta{
+		seqs:    make(map[model.TraceID][]model.TraceEvent),
+		entries: make(map[model.PairKey][]storage.IndexEntry),
+		last:    make(map[model.PairKey]map[model.TraceID]model.Timestamp),
+		counts:  make(map[model.ActivityID]map[model.ActivityID]*storage.CountEntry),
+		rcounts: make(map[model.ActivityID]map[model.ActivityID]*storage.CountEntry),
+	}
+}
+
+func (d *shardDelta) bumpCount(m map[model.ActivityID]map[model.ActivityID]*storage.CountEntry,
+	key, other model.ActivityID, dur int64) {
+	row := m[key]
+	if row == nil {
+		row = make(map[model.ActivityID]*storage.CountEntry)
+		m[key] = row
+	}
+	e := row[other]
+	if e == nil {
+		e = &storage.CountEntry{Other: other}
+		row[other] = e
+	}
+	e.SumDuration += dur
+	e.Completions++
+}
+
+// add folds one trace's flush result into the delta.
+func (d *shardDelta) add(id model.TraceID, evs []model.TraceEvent, occs []pairs.PairOccurrence) {
+	if _, seen := d.seqs[id]; !seen {
+		d.traces = append(d.traces, id)
+	}
+	d.seqs[id] = append(d.seqs[id], evs...)
+	for _, po := range occs {
+		k, o := po.Key, po.Occ
+		d.entries[k] = append(d.entries[k], storage.IndexEntry{Trace: id, TsA: o.TsA, TsB: o.TsB})
+		lw := d.last[k]
+		if lw == nil {
+			lw = make(map[model.TraceID]model.Timestamp)
+			d.last[k] = lw
+		}
+		lw[id] = o.TsB // occurrences arrive in completion order
+		dur := int64(o.TsB - o.TsA)
+		d.bumpCount(d.counts, k.First(), k.Second(), dur)
+		d.bumpCount(d.rcounts, k.Second(), k.First(), dur)
+	}
+}
+
+// extractShard runs one shard's part of a flush cycle: group the inbox by
+// trace (arrival order preserved — the inbox is per-shard FIFO), feed each
+// trace's resident session, and collect the delta. Only the flusher calls
+// this, so sessions need no locking.
+func (p *Pipeline) extractShard(sh *ingestShard, inbox []model.Event) (*shardDelta, error) {
+	byTrace := make(map[model.TraceID][]model.Event)
+	var order []model.TraceID
+	for _, ev := range inbox {
+		if _, ok := byTrace[ev.Trace]; !ok {
+			order = append(order, ev.Trace)
+		}
+		byTrace[ev.Trace] = append(byTrace[ev.Trace], ev)
+	}
+	d := newShardDelta()
+	for _, id := range order {
+		sess := sh.sessions[id]
+		if sess == nil {
+			var err error
+			if sess, err = loadSession(p.tables, id, p.opts.Policy); err != nil {
+				return nil, err
+			}
+			sh.sessions[id] = sess
+		}
+		evs, occs := sess.addBatch(byTrace[id])
+		d.add(id, evs, occs)
+	}
+	return d, nil
+}
+
+// mergeDeltas folds the per-shard deltas into one. Traces are disjoint
+// across shards (affinity sharding), so Seq rows concatenate; pair and
+// count rows may collide and are merged.
+func mergeDeltas(deltas []*shardDelta) *shardDelta {
+	out := newShardDelta()
+	for _, d := range deltas {
+		if d == nil {
+			continue
+		}
+		for _, id := range d.traces {
+			if _, seen := out.seqs[id]; !seen {
+				out.traces = append(out.traces, id)
+			}
+			out.seqs[id] = append(out.seqs[id], d.seqs[id]...)
+		}
+		for k, es := range d.entries {
+			out.entries[k] = append(out.entries[k], es...)
+		}
+		for k, lw := range d.last {
+			olw := out.last[k]
+			if olw == nil {
+				out.last[k] = lw
+				continue
+			}
+			for id, ts := range lw {
+				if ts > olw[id] {
+					olw[id] = ts
+				}
+			}
+		}
+		for a, row := range d.counts {
+			for b, e := range row {
+				out.bumpCountBy(out.counts, a, b, e)
+			}
+		}
+		for a, row := range d.rcounts {
+			for b, e := range row {
+				out.bumpCountBy(out.rcounts, a, b, e)
+			}
+		}
+	}
+	return out
+}
+
+func (d *shardDelta) bumpCountBy(m map[model.ActivityID]map[model.ActivityID]*storage.CountEntry,
+	key model.ActivityID, other model.ActivityID, by *storage.CountEntry) {
+	row := m[key]
+	if row == nil {
+		row = make(map[model.ActivityID]*storage.CountEntry)
+		m[key] = row
+	}
+	e := row[other]
+	if e == nil {
+		e = &storage.CountEntry{Other: other}
+		row[other] = e
+	}
+	e.SumDuration += by.SumDuration
+	e.Completions += by.Completions
+}
+
+// commit writes one merged delta through the tables as a single atomic
+// group: BeginBatch … CommitBatch on stores with a WAL (one fsync for the
+// whole flush — the group commit), a plain write sequence followed by the
+// optional Sync hook otherwise. Iteration orders are sorted so committed
+// rows are reproducible run to run.
+func (p *Pipeline) commit(d *shardDelta) (err error) {
+	if len(d.seqs) == 0 {
+		return nil
+	}
+	if p.opts.CommitLock != nil {
+		p.opts.CommitLock.Lock()
+		defer p.opts.CommitLock.Unlock()
+	}
+	if p.batch != nil {
+		if err := p.batch.BeginBatch(); err != nil {
+			return err
+		}
+		defer func() {
+			if err != nil {
+				p.batch.AbortBatch(err)
+				return
+			}
+			err = p.batch.CommitBatch()
+			if err == nil {
+				p.countSync()
+			}
+		}()
+	}
+
+	sort.Slice(d.traces, func(i, j int) bool { return d.traces[i] < d.traces[j] })
+	for _, id := range d.traces {
+		if err = p.tables.AppendSeq(id, d.seqs[id]); err != nil {
+			return err
+		}
+	}
+
+	keys := make([]model.PairKey, 0, len(d.entries))
+	for k := range d.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		es := d.entries[k]
+		// Within a cycle a pair's entries come from many traces; keep a
+		// canonical order inside the appended chunk.
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].Trace != es[j].Trace {
+				return es[i].Trace < es[j].Trace
+			}
+			return es[i].TsB < es[j].TsB
+		})
+		if err = p.tables.AppendIndex(p.opts.Period, k, es); err != nil {
+			return err
+		}
+		if err = p.tables.MergeLastChecked(k, d.last[k]); err != nil {
+			return err
+		}
+	}
+
+	if err = p.mergeCountTable(d.counts, p.tables.MergeCounts); err != nil {
+		return err
+	}
+	if err = p.mergeCountTable(d.rcounts, p.tables.MergeReverseCounts); err != nil {
+		return err
+	}
+
+	if p.opts.BeforeCommit != nil {
+		if err = p.opts.BeforeCommit(); err != nil {
+			return err
+		}
+	}
+	if p.batch == nil && p.opts.Sync != nil {
+		if err = p.opts.Sync(); err != nil {
+			return err
+		}
+		p.countSync()
+	}
+	return nil
+}
+
+func (p *Pipeline) mergeCountTable(m map[model.ActivityID]map[model.ActivityID]*storage.CountEntry,
+	merge func(model.ActivityID, []storage.CountEntry) error) error {
+	acts := make([]model.ActivityID, 0, len(m))
+	for a := range m {
+		acts = append(acts, a)
+	}
+	sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
+	for _, a := range acts {
+		row := m[a]
+		delta := make([]storage.CountEntry, 0, len(row))
+		for _, e := range row {
+			delta = append(delta, *e)
+		}
+		sort.Slice(delta, func(i, j int) bool { return delta[i].Other < delta[j].Other })
+		if err := merge(a, delta); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Pipeline) countSync() {
+	p.mu.Lock()
+	p.stats.Syncs++
+	p.mu.Unlock()
+}

@@ -1,0 +1,431 @@
+// Package ingest is the streaming write path of the reproduction: a
+// concurrent pipeline that accepts events continuously and maintains the
+// pair index incrementally, the regime §4.2 of the paper argues the State
+// method (Algorithm 8) exists for.
+//
+// Architecture (see DESIGN.md "Ingestion pipeline"):
+//
+//   - Append shards incoming events by trace id onto N affinity shards.
+//     A trace always lands on the same shard, so per-trace arrival order —
+//     the only order the index semantics need — survives sharding.
+//   - Each shard keeps resident extraction sessions: one StateExtractor
+//     (or last-event cell under SC) per live trace, fed across micro-batches
+//     instead of re-deriving pairs from the stored prefix every flush the
+//     way the batch Builder must.
+//   - A single flusher goroutine swaps the shard inboxes when a flush
+//     trigger fires (size or age), extracts deltas on all shards in
+//     parallel, merges them, and commits the merged delta through
+//     storage.Tables as ONE atomic group — BeginBatch … CommitBatch on a
+//     durable store, which is one WAL fsync per flush. An acknowledged
+//     flush therefore still means "fsynced", matching the serial path.
+//   - A bounded credit pool applies backpressure: Append either blocks or
+//     fails fast with ErrOverloaded when the queue is full.
+//
+// Equivalence contract, enforced by the oracle tests: when each trace's
+// events are appended in timestamp order (any interleaving across traces,
+// any chunking), the resulting tables are equivalent to a single serial
+// index.Builder.Update of the whole log — identical Seq, Count,
+// ReverseCount and LastChecked rows, and an Index holding exactly the same
+// entries (append order within a posting list may differ, as it already
+// does between two Builder runs).
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/parallel"
+	"seqlog/internal/storage"
+)
+
+// ErrOverloaded is returned by non-blocking Append when the input queue
+// cannot take the batch. The caller should retry later; nothing of the
+// batch was enqueued (all-or-nothing admission).
+var ErrOverloaded = errors.New("ingest: pipeline overloaded, retry later")
+
+// ErrClosed is returned by operations on a closed pipeline.
+var ErrClosed = errors.New("ingest: pipeline is closed")
+
+// Options configures a Pipeline.
+type Options struct {
+	// Policy is SC or STNM (STAM is not indexable, and the positional
+	// partial-order extractor is batch-only — both are rejected).
+	Policy model.Policy
+
+	// Period is the index partition new entries are appended to.
+	Period string
+
+	// Workers is the shard / extraction-parallelism count.
+	// Defaults to GOMAXPROCS.
+	Workers int
+
+	// FlushEvents triggers a flush once at least this many events are
+	// buffered. Default 1024.
+	FlushEvents int
+
+	// FlushInterval bounds how long a buffered event waits before being
+	// flushed. Default 50ms.
+	FlushInterval time.Duration
+
+	// QueueEvents bounds the input queue. Admission beyond it blocks or
+	// fails with ErrOverloaded. Raised to 2×FlushEvents if smaller, so
+	// backpressure can never deadlock the flush trigger. Default
+	// 4×FlushEvents.
+	QueueEvents int
+
+	// Block selects the backpressure style of Append: true blocks the
+	// caller until the queue drains, false fails fast with ErrOverloaded.
+	Block bool
+
+	// CommitLock, when set, is held around every table commit, so an
+	// embedding engine can serialize flushes against its readers.
+	CommitLock sync.Locker
+
+	// BeforeCommit, when set, runs inside the commit (under CommitLock
+	// and inside the atomic batch group, before the group fsync). The
+	// engine uses it to persist alphabet growth in the same crash-atomic
+	// unit as the events that introduced the new activities.
+	BeforeCommit func() error
+
+	// Sync, when set, is called after a commit on stores that do not
+	// implement kvstore.BatchWriter (group commit subsumes it otherwise).
+	Sync func() error
+}
+
+// Stats is a snapshot of the pipeline counters.
+type Stats struct {
+	Queued   int64 `json:"queued"`             // events buffered right now
+	Accepted int64 `json:"accepted"`           // events admitted in total
+	Flushed  int64 `json:"flushed"`            // events committed to tables
+	Batches  int64 `json:"batches"`            // committed flush cycles
+	Syncs    int64 `json:"syncs"`              // group commits / fsyncs issued
+	Stalls   int64 `json:"stalls"`             // Appends that blocked or were refused
+	Sessions int64 `json:"sessions,omitempty"` // resident trace sessions
+}
+
+// Pipeline is the streaming ingestion subsystem. Append may be called from
+// any number of goroutines; Flush, Close and Stats are also safe for
+// concurrent use.
+type Pipeline struct {
+	tables *storage.Tables
+	opts   Options
+	batch  kvstore.BatchWriter // nil when the store has no atomic groups
+
+	shards []ingestShard
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	free     int   // admission credits left
+	queued   int64 // events admitted, not yet committed
+	closed   bool
+	failed   error // first commit error; poisons the pipeline
+	flushing bool
+	stats    Stats
+
+	kick chan struct{}
+	done chan struct{}
+
+	cycleMu sync.Mutex // serializes flush cycles with Forget
+}
+
+// ingestShard owns the inbox and the resident sessions of the traces
+// assigned to it. The inbox is touched by producers under mu; sessions are
+// touched only by the flusher's extraction pass, which is serialized.
+type ingestShard struct {
+	mu       sync.Mutex
+	inbox    []model.Event
+	sessions map[model.TraceID]*session
+}
+
+// New returns a running pipeline writing through tables.
+func New(tables *storage.Tables, opts Options) (*Pipeline, error) {
+	if opts.Policy != model.SC && opts.Policy != model.STNM {
+		return nil, fmt.Errorf("ingest: policy %v is not indexable", opts.Policy)
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.FlushEvents <= 0 {
+		opts.FlushEvents = 1024
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = 50 * time.Millisecond
+	}
+	if opts.QueueEvents <= 0 {
+		opts.QueueEvents = 4 * opts.FlushEvents
+	}
+	if opts.QueueEvents < 2*opts.FlushEvents {
+		opts.QueueEvents = 2 * opts.FlushEvents
+	}
+	p := &Pipeline{
+		tables: tables,
+		opts:   opts,
+		shards: make([]ingestShard, opts.Workers),
+		free:   opts.QueueEvents,
+		kick:   make(chan struct{}, 1),
+		done:   make(chan struct{}),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	if bw, ok := tables.Store().(kvstore.BatchWriter); ok {
+		p.batch = bw
+	}
+	for i := range p.shards {
+		p.shards[i].sessions = make(map[model.TraceID]*session)
+	}
+	go p.run()
+	return p, nil
+}
+
+// shardFor maps a trace onto its affinity shard (Fibonacci mix, as the
+// Builder does for pair keys).
+func (p *Pipeline) shardFor(id model.TraceID) int {
+	return int((uint64(id) * 0x9E3779B97F4A7C15) >> 32 % uint64(len(p.shards)))
+}
+
+// Append admits a batch of events into the pipeline. Admission is
+// all-or-nothing per chunk: in non-blocking mode a full queue refuses the
+// whole batch with ErrOverloaded; in blocking mode the call waits for
+// credits (large batches are admitted in queue-sized chunks, preserving
+// order). Events of one trace must be appended in timestamp order for the
+// Builder-equivalence contract to hold; out-of-order events are still
+// accepted and normalized forward, exactly as the serial path would.
+func (p *Pipeline) Append(events []model.Event) error {
+	oversize := len(events) > p.opts.QueueEvents
+	for len(events) > 0 {
+		n := len(events)
+		if n > p.opts.QueueEvents {
+			n = p.opts.QueueEvents
+		}
+		if err := p.admit(n, oversize); err != nil {
+			return err
+		}
+		p.enqueue(events[:n])
+		events = events[n:]
+	}
+	return nil
+}
+
+// admit takes n credits. oversize marks a chunk of a batch larger than the
+// queue, which must block regardless of mode (refusing would tear the
+// batch).
+func (p *Pipeline) admit(n int, oversize bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	stalled := false
+	for {
+		if p.closed {
+			return ErrClosed
+		}
+		if p.failed != nil {
+			return p.failed
+		}
+		if p.free >= n {
+			p.free -= n
+			p.queued += int64(n)
+			p.stats.Accepted += int64(n)
+			if stalled {
+				p.stats.Stalls++
+			}
+			return nil
+		}
+		if !p.opts.Block && !oversize {
+			p.stats.Stalls++
+			p.kickFlusher()
+			return ErrOverloaded
+		}
+		stalled = true
+		p.kickFlusher()
+		p.cond.Wait()
+	}
+}
+
+// enqueue distributes admitted events onto their affinity shards and kicks
+// the flusher when the size trigger is reached.
+func (p *Pipeline) enqueue(events []model.Event) {
+	// Group by shard first so each shard lock is taken once per call.
+	byShard := make(map[int][]model.Event)
+	for _, ev := range events {
+		si := p.shardFor(ev.Trace)
+		byShard[si] = append(byShard[si], ev)
+	}
+	for si, evs := range byShard {
+		sh := &p.shards[si]
+		sh.mu.Lock()
+		sh.inbox = append(sh.inbox, evs...)
+		sh.mu.Unlock()
+	}
+	p.mu.Lock()
+	if p.queued >= int64(p.opts.FlushEvents) {
+		p.kickFlusher()
+	}
+	p.mu.Unlock()
+}
+
+// kickFlusher nudges the flusher without blocking. Callers hold p.mu or
+// don't — the channel is the synchronization.
+func (p *Pipeline) kickFlusher() {
+	select {
+	case p.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Flush commits everything admitted before the call and blocks until done
+// (or until the pipeline fails). With concurrent appenders it waits for a
+// moment when the queue is empty, so it is a barrier primarily for
+// single-producer use — the HTTP handler's end-of-request ack.
+func (p *Pipeline) Flush() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for (p.queued > 0 || p.flushing) && p.failed == nil {
+		p.kickFlusher()
+		p.cond.Wait()
+	}
+	return p.failed
+}
+
+// Close drains the queue with a final commit and stops the flusher. It is
+// idempotent; the first error the pipeline hit (if any) is returned.
+func (p *Pipeline) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		err := p.failed
+		p.mu.Unlock()
+		<-p.done
+		return err
+	}
+	p.closed = true
+	p.mu.Unlock()
+	p.kickFlusher()
+	<-p.done
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
+// Stats returns a snapshot of the pipeline counters.
+func (p *Pipeline) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.Queued = p.queued
+	return st
+}
+
+// Forget drops the resident sessions of pruned traces so their memory is
+// reclaimed. The caller must have flushed (or not care about) pending
+// events of those traces.
+func (p *Pipeline) Forget(ids []model.TraceID) {
+	p.cycleMu.Lock()
+	defer p.cycleMu.Unlock()
+	for _, id := range ids {
+		delete(p.shards[p.shardFor(id)].sessions, id)
+	}
+}
+
+// run is the flusher loop: one goroutine, woken by size kicks and the age
+// timer, so commits are naturally serialized.
+func (p *Pipeline) run() {
+	defer close(p.done)
+	timer := time.NewTimer(p.opts.FlushInterval)
+	defer timer.Stop()
+	for {
+		select {
+		case <-p.kick:
+		case <-timer.C:
+		}
+		timer.Reset(p.opts.FlushInterval)
+
+		p.mu.Lock()
+		runnable := p.queued > 0 && p.failed == nil
+		if runnable {
+			p.flushing = true
+		}
+		p.mu.Unlock()
+
+		if runnable {
+			err := p.runCycle()
+			p.mu.Lock()
+			p.flushing = false
+			if err != nil && p.failed == nil {
+				p.failed = err
+			}
+			drain := p.closed && p.queued > 0 && p.failed == nil
+			closed := p.closed
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			if drain {
+				// Keep draining to the final commit.
+				p.kickFlusher()
+				continue
+			}
+			if closed {
+				return
+			}
+			continue
+		}
+
+		p.mu.Lock()
+		p.cond.Broadcast()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			return
+		}
+	}
+}
+
+// runCycle performs one flush: swap inboxes, extract deltas in parallel,
+// merge, commit as one group. Credits are released only after the commit
+// succeeded — an acknowledged Append is durable once Flush returns.
+func (p *Pipeline) runCycle() error {
+	p.cycleMu.Lock()
+	defer p.cycleMu.Unlock()
+
+	pend := make([][]model.Event, len(p.shards))
+	total := 0
+	for i := range p.shards {
+		sh := &p.shards[i]
+		sh.mu.Lock()
+		pend[i], sh.inbox = sh.inbox, nil
+		sh.mu.Unlock()
+		total += len(pend[i])
+	}
+	if total == 0 {
+		return nil
+	}
+
+	deltas := make([]*shardDelta, len(p.shards))
+	err := parallel.ForEach(len(p.shards), p.opts.Workers, func(i int) error {
+		if len(pend[i]) == 0 {
+			return nil
+		}
+		d, err := p.extractShard(&p.shards[i], pend[i])
+		deltas[i] = d
+		return err
+	})
+	if err == nil {
+		err = p.commit(mergeDeltas(deltas))
+	}
+
+	p.mu.Lock()
+	if err == nil {
+		p.queued -= int64(total)
+		p.free += total
+		p.stats.Flushed += int64(total)
+		p.stats.Batches++
+		var sess int64
+		for i := range p.shards {
+			sess += int64(len(p.shards[i].sessions))
+		}
+		p.stats.Sessions = sess
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	return err
+}

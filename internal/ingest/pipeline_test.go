@@ -1,0 +1,413 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seqlog/internal/index"
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/storage"
+)
+
+// dumpTables renders the full semantic content of the index tables into a
+// canonical string: Seq rows verbatim, Index entries sorted per pair (the
+// append order of a posting list is nondeterministic even between two
+// Builder runs), counts and watermarks for every indexed pair. Two stores
+// are equivalent iff their dumps match.
+func dumpTables(t *testing.T, tb *storage.Tables, period string) string {
+	t.Helper()
+	var lines []string
+
+	err := tb.ScanSeq(func(id model.TraceID, evs []model.TraceEvent) error {
+		lines = append(lines, fmt.Sprintf("seq %d %v", id, evs))
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	acts := map[model.ActivityID]bool{}
+	err = tb.ScanIndex(period, func(k model.PairKey, es []storage.IndexEntry) error {
+		cp := append([]storage.IndexEntry(nil), es...)
+		sort.Slice(cp, func(i, j int) bool {
+			if cp[i].Trace != cp[j].Trace {
+				return cp[i].Trace < cp[j].Trace
+			}
+			if cp[i].TsA != cp[j].TsA {
+				return cp[i].TsA < cp[j].TsA
+			}
+			return cp[i].TsB < cp[j].TsB
+		})
+		lines = append(lines, fmt.Sprintf("idx %v %v", k, cp))
+		lc, err := tb.GetLastChecked(k)
+		if err != nil {
+			return err
+		}
+		var lcs []string
+		for id, ts := range lc {
+			lcs = append(lcs, fmt.Sprintf("%d:%d", id, ts))
+		}
+		sort.Strings(lcs)
+		lines = append(lines, fmt.Sprintf("lc %v %v", k, lcs))
+		acts[k.First()] = true
+		acts[k.Second()] = true
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for a := range acts {
+		c, err := tb.GetCounts(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rc, err := tb.GetReverseCounts(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines = append(lines, fmt.Sprintf("cnt %d %v", a, c), fmt.Sprintf("rcnt %d %v", a, rc))
+	}
+
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// randomLog emits a multi-trace event stream. Per-trace timestamps are
+// nondecreasing (the stream regime of the equivalence contract) and include
+// ties, so the normalization path is exercised.
+func randomLog(rng *rand.Rand, traces, events, alphabet int) []model.Event {
+	var out []model.Event
+	ts := int64(1)
+	for len(out) < events {
+		if rng.Intn(3) != 0 {
+			ts++ // ~1/3 of events tie with the previous timestamp
+		}
+		out = append(out, model.Event{
+			Trace:    model.TraceID(1 + rng.Intn(traces)),
+			Activity: model.ActivityID(rng.Intn(alphabet)),
+			TS:       model.Timestamp(ts),
+		})
+	}
+	return out
+}
+
+// serialDump indexes the whole log with one serial Builder.Update and
+// returns the canonical dump — the oracle every streaming run must match.
+func serialDump(t *testing.T, events []model.Event, policy model.Policy, period string) string {
+	t.Helper()
+	tb := storage.NewTables(kvstore.NewMemStore())
+	b, err := index.NewBuilder(tb, index.Options{Policy: policy, Method: pairs.Indexing, Workers: 2, Period: period})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Update(events); err != nil {
+		t.Fatal(err)
+	}
+	return dumpTables(t, tb, period)
+}
+
+// TestStreamEqualsSerialBuilder is the equivalence oracle of the tentpole:
+// any chunking of the stream, any worker count, SC and STNM, tiny flush
+// thresholds forcing many micro-batch cycles — the tables must come out
+// equivalent to one serial batch update.
+func TestStreamEqualsSerialBuilder(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, policy := range []model.Policy{model.SC, model.STNM} {
+		for _, workers := range []int{1, 4} {
+			for iter := 0; iter < 6; iter++ {
+				events := randomLog(rng, 1+rng.Intn(6), 150, 4)
+				want := serialDump(t, events, policy, "")
+
+				tb := storage.NewTables(kvstore.NewMemStore())
+				p, err := New(tb, Options{
+					Policy:        policy,
+					Workers:       workers,
+					FlushEvents:   8,
+					FlushInterval: time.Millisecond,
+					Block:         true,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for lo := 0; lo < len(events); {
+					hi := lo + 1 + rng.Intn(12)
+					if hi > len(events) {
+						hi = len(events)
+					}
+					if err := p.Append(events[lo:hi]); err != nil {
+						t.Fatal(err)
+					}
+					lo = hi
+				}
+				if err := p.Close(); err != nil {
+					t.Fatal(err)
+				}
+
+				if got := dumpTables(t, tb, ""); got != want {
+					t.Fatalf("policy=%v workers=%d iter=%d: streamed tables diverge from serial build\ngot:\n%s\nwant:\n%s",
+						policy, workers, iter, got, want)
+				}
+
+				st := p.Stats()
+				if st.Flushed != int64(len(events)) || st.Queued != 0 {
+					t.Fatalf("stats after close: %+v, want %d flushed, 0 queued", st, len(events))
+				}
+			}
+		}
+	}
+}
+
+// TestConcurrentProducers partitions the traces across goroutines that
+// append concurrently (each preserving its own traces' order). Run under
+// -race this is the pipeline's concurrency proof.
+func TestConcurrentProducers(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	const producers = 4
+	events := randomLog(rng, producers*3, 600, 5)
+	want := serialDump(t, events, model.STNM, "")
+
+	// Partition by trace, preserving per-trace order.
+	parts := make([][]model.Event, producers)
+	for _, ev := range events {
+		pi := int(ev.Trace) % producers
+		parts[pi] = append(parts[pi], ev)
+	}
+
+	tb := storage.NewTables(kvstore.NewMemStore())
+	p, err := New(tb, Options{
+		Policy:        model.STNM,
+		Workers:       4,
+		FlushEvents:   16,
+		FlushInterval: time.Millisecond,
+		Block:         true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for pi := 0; pi < producers; pi++ {
+		wg.Add(1)
+		go func(evs []model.Event) {
+			defer wg.Done()
+			prng := rand.New(rand.NewSource(int64(len(evs))))
+			for lo := 0; lo < len(evs); {
+				hi := lo + 1 + prng.Intn(9)
+				if hi > len(evs) {
+					hi = len(evs)
+				}
+				if err := p.Append(evs[lo:hi]); err != nil {
+					t.Error(err)
+					return
+				}
+				lo = hi
+			}
+		}(parts[pi])
+	}
+	wg.Wait()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := dumpTables(t, tb, ""); got != want {
+		t.Fatalf("concurrent producers diverge from serial build\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// lockedLocker hands the test a way to stall commits: while held, the
+// flusher blocks inside its cycle and the queue fills up.
+func TestBackpressureOverloaded(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	var gate sync.Mutex
+	p, err := New(tb, Options{
+		Policy:        model.STNM,
+		Workers:       1,
+		FlushEvents:   4,
+		QueueEvents:   8,
+		FlushInterval: time.Hour, // only explicit kicks
+		CommitLock:    &gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate.Lock() // stall every commit
+
+	ev := func(i int) model.Event {
+		return model.Event{Trace: 1, Activity: model.ActivityID(i % 3), TS: model.Timestamp(i + 1)}
+	}
+	accepted := 0
+	var lastErr error
+	for i := 0; i < 100; i++ {
+		if err := p.Append([]model.Event{ev(i)}); err != nil {
+			lastErr = err
+			break
+		}
+		accepted++
+	}
+	if !errors.Is(lastErr, ErrOverloaded) {
+		t.Fatalf("overfilling the queue returned %v, want ErrOverloaded", lastErr)
+	}
+	if st := p.Stats(); st.Stalls == 0 {
+		t.Fatalf("no stall recorded: %+v", st)
+	}
+
+	gate.Unlock() // release the flusher
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Flushed != int64(accepted) {
+		t.Fatalf("flushed %d of %d accepted events", st.Flushed, accepted)
+	}
+	if got, want := dumpTables(t, tb, ""), serialDump(t, func() []model.Event {
+		evs := make([]model.Event, accepted)
+		for i := range evs {
+			evs[i] = ev(i)
+		}
+		return evs
+	}(), model.STNM, ""); got != want {
+		t.Fatal("accepted prefix not indexed equivalently")
+	}
+}
+
+// TestBlockingAppendWaits: in blocking mode a full queue parks the producer
+// until the flusher frees credits, instead of erroring.
+func TestBlockingAppendWaits(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	var gate sync.Mutex
+	p, err := New(tb, Options{
+		Policy:        model.STNM,
+		Workers:       1,
+		FlushEvents:   4,
+		QueueEvents:   8,
+		FlushInterval: time.Millisecond,
+		Block:         true,
+		CommitLock:    &gate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate.Lock()
+	done := make(chan error, 1)
+	go func() {
+		evs := make([]model.Event, 40) // 5× the queue
+		for i := range evs {
+			evs[i] = model.Event{Trace: 1, Activity: 0, TS: model.Timestamp(i + 1)}
+		}
+		done <- p.Append(evs)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("append finished while commits were stalled: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	gate.Unlock()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Flushed != 40 || st.Stalls == 0 {
+		t.Fatalf("stats %+v, want 40 flushed and >0 stalls", st)
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	p, err := New(tb, Options{Policy: model.STNM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	err = p.Append([]model.Event{{Trace: 1, Activity: 0, TS: 1}})
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("append after close: %v, want ErrClosed", err)
+	}
+	if err := p.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestRejectsBadPolicy(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	if _, err := New(tb, Options{Policy: model.STAM}); err == nil {
+		t.Fatal("STAM accepted")
+	}
+}
+
+// TestStreamOnTopOfBatchPrefix: traces already indexed by the serial
+// Builder continue over the stream — the session must resume from the
+// stored prefix (boundary, extractor state, SC last event).
+func TestStreamOnTopOfBatchPrefix(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for _, policy := range []model.Policy{model.SC, model.STNM} {
+		events := randomLog(rng, 4, 120, 4)
+		cut := len(events) / 2
+		want := serialDump(t, events, policy, "")
+
+		tb := storage.NewTables(kvstore.NewMemStore())
+		b, err := index.NewBuilder(tb, index.Options{Policy: policy, Method: pairs.State, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.Update(events[:cut]); err != nil {
+			t.Fatal(err)
+		}
+
+		p, err := New(tb, Options{Policy: policy, Workers: 2, FlushEvents: 8, FlushInterval: time.Millisecond, Block: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Append(events[cut:]); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got := dumpTables(t, tb, ""); got != want {
+			t.Fatalf("policy=%v: stream atop batch prefix diverges\ngot:\n%s\nwant:\n%s", policy, got, want)
+		}
+	}
+}
+
+// TestForgetDropsSessions: pruned traces release their resident state.
+func TestForgetDropsSessions(t *testing.T) {
+	tb := storage.NewTables(kvstore.NewMemStore())
+	p, err := New(tb, Options{Policy: model.STNM, Workers: 2, FlushEvents: 4, Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var evs []model.Event
+	for i := 0; i < 20; i++ {
+		evs = append(evs, model.Event{Trace: model.TraceID(1 + i%4), Activity: model.ActivityID(i % 3), TS: model.Timestamp(i + 1)})
+	}
+	if err := p.Append(evs); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if st := p.Stats(); st.Sessions != 4 {
+		t.Fatalf("sessions = %d, want 4", st.Sessions)
+	}
+	p.Forget([]model.TraceID{1, 2, 3, 4})
+	total := 0
+	for i := range p.shards {
+		total += len(p.shards[i].sessions)
+	}
+	if total != 0 {
+		t.Fatalf("%d sessions survive Forget", total)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

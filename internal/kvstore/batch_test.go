@@ -1,0 +1,292 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// Batch torture: the streaming ingestion pipeline writes every flush as one
+// atomic record group (BeginBatch ... CommitBatch). The crash sweep asserts
+// the group-commit guarantee: a crash at any byte of the write stream
+// recovers to the state after some whole number of committed batches — never
+// to a state with half a batch applied.
+
+// batchScript returns the torture workload as a list of atomic batches.
+// Only mutation kinds appear inside a batch; each batch mixes tables the way
+// an ingest flush does (index rows, seq rows, count rows, meta).
+func batchScript() [][]tortureOp {
+	return [][]tortureOp{
+		{
+			{'P', "idx", "a", "1"},
+			{'A', "seq", "t1", "e1|e2"},
+			{'P', "cnt", "a", "c1"},
+		},
+		{
+			{'A', "idx", "a", "22"},
+			{'A', "seq", "t1", "|e3"},
+			{'P', "cnt", "a", "c2"},
+			{'P', "meta", "alphabet", "a\x00b"},
+		},
+		{
+			{'P', "idx", "b", "x"},
+			{'A', "seq", "t2", "f1"},
+			{'D', "idx", "a", ""},
+		},
+		{
+			{'A', "idx", "b", "yy"},
+			{'A', "seq", "t2", "|f2"},
+			{'P', "cnt", "b", "c3"},
+			{'P', "meta", "alphabet", "a\x00b\x00c"},
+		},
+		{
+			{'P', "idx", "c", "tail"},
+			{'A', "seq", "t1", "|e4"},
+		},
+	}
+}
+
+// batchStates returns the model fingerprint after each whole batch:
+// states[i] is the state once the first i batches have committed.
+func batchStates(batches [][]tortureOp) []string {
+	cur := map[string]string{}
+	states := make([]string, len(batches)+1)
+	states[0] = modelFingerprint(cur)
+	for i, b := range batches {
+		for _, op := range b {
+			applyModelOp(cur, op)
+		}
+		states[i+1] = modelFingerprint(cur)
+	}
+	return states
+}
+
+// runBatchTorture executes the batches on ffs until the first error. It
+// reports how many batches were started and how many were acknowledged by a
+// successful CommitBatch (durable).
+func runBatchTorture(ffs *FaultFS, dir string, batches [][]tortureOp) (started, durable int) {
+	s, err := OpenDiskWith(dir, DiskOptions{FS: ffs})
+	if err != nil {
+		return 0, 0
+	}
+	defer s.Close()
+	s.CompactAt = 0
+	for i, b := range batches {
+		if err := s.BeginBatch(); err != nil {
+			return i, durable
+		}
+		started = i + 1
+		for _, op := range b {
+			switch op.kind {
+			case 'P':
+				err = s.Put(op.table, op.key, []byte(op.value))
+			case 'A':
+				err = s.Append(op.table, op.key, []byte(op.value))
+			case 'D':
+				err = s.Delete(op.table, op.key)
+			case 'T':
+				err = s.DropTable(op.table)
+			}
+			if err != nil {
+				s.AbortBatch(err)
+				return started, durable
+			}
+		}
+		if err := s.CommitBatch(); err != nil {
+			return started, durable
+		}
+		durable = i + 1
+	}
+	return started, durable
+}
+
+// checkBatchRecovery opens dir strictly and asserts the recovered state is a
+// whole-batch prefix within [lo, hi].
+func checkBatchRecovery(t *testing.T, dir string, states []string, lo, hi int, ctx string) {
+	t.Helper()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("%s: strict recovery failed: %v", ctx, err)
+	}
+	defer s.Close()
+	if s.Recovery().Degraded() {
+		t.Fatalf("%s: crash artifact classified as corruption: %+v", ctx, s.Recovery())
+	}
+	got := storeFingerprint(t, s)
+	for i := lo; i <= hi; i++ {
+		if states[i] == got {
+			return
+		}
+	}
+	t.Fatalf("%s: recovered state matches no whole-batch prefix in [%d,%d] — atomicity violated\ngot: %q",
+		ctx, lo, hi, got)
+}
+
+// TestBatchCrashAtEveryByte sweeps a power cut over every byte of the write
+// stream of a fully batched workload.
+func TestBatchCrashAtEveryByte(t *testing.T) {
+	batches := batchScript()
+	states := batchStates(batches)
+	root := t.TempDir()
+
+	probe := NewFaultFS(nil)
+	if n, d := runBatchTorture(probe, filepath.Join(root, "probe"), batches); n != len(batches) || d != len(batches) {
+		t.Fatalf("clean run: started %d, durable %d of %d", n, d, len(batches))
+	}
+	total := probe.BytesWritten()
+	if total == 0 {
+		t.Fatal("probe run wrote nothing")
+	}
+
+	for b := int64(0); b < total; b++ {
+		ffs := NewFaultFS(nil)
+		ffs.CrashAfterBytes(b)
+		dir := filepath.Join(root, fmt.Sprintf("b%05d", b))
+		started, durable := runBatchTorture(ffs, dir, batches)
+		if !ffs.Crashed() {
+			t.Fatalf("byte budget %d never triggered (total %d)", b, total)
+		}
+		checkBatchRecovery(t, dir, states, durable, started, fmt.Sprintf("crash at byte %d", b))
+	}
+}
+
+// TestBatchCrashAtEveryFSOp sweeps a crash between every pair of filesystem
+// operations of the batched workload (fsync boundaries included).
+func TestBatchCrashAtEveryFSOp(t *testing.T) {
+	batches := batchScript()
+	states := batchStates(batches)
+	root := t.TempDir()
+
+	probe := NewFaultFS(nil)
+	if n, _ := runBatchTorture(probe, filepath.Join(root, "probe"), batches); n != len(batches) {
+		t.Fatalf("clean run stopped at batch %d", n)
+	}
+	total := probe.Ops()
+
+	for op := int64(0); op < total; op++ {
+		ffs := NewFaultFS(nil)
+		ffs.CrashAfterOps(op)
+		dir := filepath.Join(root, fmt.Sprintf("op%05d", op))
+		started, durable := runBatchTorture(ffs, dir, batches)
+		if !ffs.Crashed() {
+			t.Fatalf("op budget %d never triggered (total %d)", op, total)
+		}
+		checkBatchRecovery(t, dir, states, durable, started, fmt.Sprintf("crash at fs op %d", op))
+	}
+}
+
+// TestBatchWithoutCommitIsDiscarded: records of a group whose commit marker
+// was never written do not survive a reopen, even when they reached the disk
+// via Close's flush.
+func TestBatchWithoutCommitIsDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("idx", "committed", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("idx", "uncommitted", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	// The record is visible in memory before the commit (dirty read, as
+	// documented) ...
+	if _, ok, _ := s.Get("idx", "uncommitted"); !ok {
+		t.Fatal("open-batch record not visible in memory")
+	}
+	// ... Close flushes the WAL, but without the commit marker the group
+	// must be rolled back on recovery.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if _, ok, _ := s2.Get("idx", "uncommitted"); ok {
+		t.Fatal("uncommitted batch record survived recovery")
+	}
+	if _, ok, _ := s2.Get("idx", "committed"); !ok {
+		t.Fatal("committed record lost")
+	}
+	if s2.Recovery().UncommittedBatchBytes == 0 {
+		t.Fatalf("UncommittedBatchBytes not reported: %+v", s2.Recovery())
+	}
+	if s2.Recovery().Degraded() {
+		t.Fatalf("uncommitted batch classified as corruption: %+v", s2.Recovery())
+	}
+}
+
+// TestBatchCommitIsDurable: a committed group survives reopen whole.
+func TestBatchCommitIsDurable(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("idx", "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append("seq", "t", []byte("e1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.CommitBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer s2.Close()
+	if v, ok, _ := s2.Get("idx", "a"); !ok || string(v) != "1" {
+		t.Fatalf("idx/a = %q, %v; want \"1\", true", v, ok)
+	}
+	if v, ok, _ := s2.Get("seq", "t"); !ok || string(v) != "e1" {
+		t.Fatalf("seq/t = %q, %v; want \"e1\", true", v, ok)
+	}
+}
+
+// TestBatchGuards: nesting, stray commits, compaction inside a group, and
+// abort poisoning.
+func TestBatchGuards(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.CommitBatch(); err == nil {
+		t.Fatal("CommitBatch without BeginBatch succeeded")
+	}
+	if err := s.BeginBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BeginBatch(); err == nil {
+		t.Fatal("nested BeginBatch succeeded")
+	}
+	if err := s.Compact(); err == nil {
+		t.Fatal("Compact inside an open batch succeeded")
+	}
+	cause := errors.New("boom")
+	s.AbortBatch(cause)
+	if err := s.Put("idx", "x", []byte("v")); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("write after AbortBatch: got %v, want ErrPoisoned", err)
+	}
+}

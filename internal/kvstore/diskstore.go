@@ -17,6 +17,13 @@ const (
 	opAppend
 	opDelete
 	opDropTable
+
+	// Batch markers group the records between them into one atomic unit:
+	// recovery applies the group only when its commit marker is present, so
+	// a crash mid-group rolls the store back to the last committed batch.
+	// Markers appear only in the WAL, never in snapshots.
+	opBatchBegin
+	opBatchCommit
 )
 
 // DiskStore is the durable engine: all data lives in an in-memory MemStore
@@ -50,8 +57,9 @@ type DiskStore struct {
 	bw   *bufio.Writer
 	size int64 // bytes in the WAL (header included)
 
-	epoch  uint64 // current snapshot/WAL epoch
-	legacy bool   // WAL has no header (pre-epoch format); healed by Compact
+	epoch   uint64 // current snapshot/WAL epoch
+	legacy  bool   // WAL has no header (pre-epoch format); healed by Compact
+	inBatch bool   // an atomic record group is open (BeginBatch without CommitBatch)
 
 	salvage bool
 	stats   RecoveryStats
@@ -109,6 +117,11 @@ type RecoveryStats struct {
 	// regions mean committed data may have been lost: the store is degraded.
 	DroppedRegions int64 `json:"droppedRegions,omitempty"`
 	DroppedBytes   int64 `json:"droppedBytes,omitempty"`
+	// UncommittedBatchBytes counts bytes of atomic record groups whose
+	// commit marker never reached the disk, discarded on recovery — the
+	// normal artifact of a crash mid-group-commit. The store rolls back to
+	// the last committed batch; nothing acknowledged is lost.
+	UncommittedBatchBytes int64 `json:"uncommittedBatchBytes,omitempty"`
 	// Salvaged is true when recovery dropped possibly-committed data.
 	Salvaged bool `json:"salvaged,omitempty"`
 }
@@ -269,23 +282,75 @@ func (s *DiskStore) apply(op byte, table, key string, value []byte) error {
 	}
 }
 
+// walRec is one decoded record buffered while replaying an atomic batch.
+type walRec struct {
+	op         byte
+	table, key string
+	value      []byte
+}
+
 // replayRecords applies the record stream in data[start:]. In the WAL a torn
 // tail (no valid record after the failure point) is a normal crash artifact;
 // in a snapshot — written atomically — every decode failure is corruption.
 // Corruption fails with typedErr unless salvage is on, in which case the
 // corrupt region is quarantined and skipped. It returns the offset just past
 // the last applied record and the count of applied records.
+//
+// WAL records between opBatchBegin and opBatchCommit form an atomic group:
+// they are buffered and applied only when the commit marker is reached. A
+// group cut short by the end of the log (the crash-mid-group-commit artifact)
+// is discarded whole, so recovery always lands on a committed-batch boundary.
 func (s *DiskStore) replayRecords(data []byte, start int, isWAL bool, typedErr error) (goodEnd int, applied int64, err error) {
 	off := start
 	goodEnd = start
+	batchStart := -1 // offset of the opBatchBegin of an open group, -1 when none
+	var batch []walRec
 	for off < len(data) {
 		op, table, key, value, next, derr := decodeRecordAt(data, off)
 		var aerr error
 		if derr == nil {
-			if aerr = s.apply(op, table, key, value); aerr == nil {
-				applied++
-				off, goodEnd = next, next
+			switch {
+			case isWAL && op == opBatchBegin:
+				if batchStart >= 0 {
+					// A fresh group opened while one was pending: the pending
+					// group's commit never made it. Discard it.
+					s.stats.UncommittedBatchBytes += int64(off - batchStart)
+					batch = batch[:0]
+				}
+				batchStart = off
+				off = next
 				continue
+			case isWAL && op == opBatchCommit:
+				if batchStart < 0 {
+					// Stray commit without a begin; nothing to apply.
+					off, goodEnd = next, next
+					continue
+				}
+				batchStart = -1
+				for _, r := range batch {
+					if aerr = s.apply(r.op, r.table, r.key, r.value); aerr != nil {
+						break
+					}
+					applied++
+				}
+				batch = batch[:0]
+				if aerr == nil {
+					off, goodEnd = next, next
+					continue
+				}
+				// An unapplicable record inside a committed group: fall
+				// through to the corruption classification below.
+			case isWAL && batchStart >= 0:
+				// Inside an open group: defer application until its commit.
+				batch = append(batch, walRec{op: op, table: table, key: key, value: value})
+				off = next
+				continue
+			default:
+				if aerr = s.apply(op, table, key, value); aerr == nil {
+					applied++
+					off, goodEnd = next, next
+					continue
+				}
 			}
 		}
 		// data[off:] does not decode (or decodes to an inapplicable op).
@@ -299,8 +364,12 @@ func (s *DiskStore) replayRecords(data []byte, start int, isWAL bool, typedErr e
 			}
 		}
 		if !found && isWAL && derr != nil {
-			// Torn tail: the process died mid-append. Normal; drop it.
+			// Torn tail: the process died mid-append. Normal; drop it,
+			// together with any group whose commit it cut off.
 			s.stats.TornTailBytes += int64(len(data) - off)
+			if batchStart >= 0 {
+				s.stats.UncommittedBatchBytes += int64(off - batchStart)
+			}
 			return goodEnd, applied, nil
 		}
 		if !s.salvage {
@@ -316,8 +385,16 @@ func (s *DiskStore) replayRecords(data []byte, start int, isWAL bool, typedErr e
 		s.stats.Salvaged = true
 		off = resume
 		if !found {
+			if batchStart >= 0 {
+				s.stats.UncommittedBatchBytes += int64(len(data) - batchStart)
+			}
 			return goodEnd, applied, nil
 		}
+	}
+	if batchStart >= 0 {
+		// The log ends inside a group whose commit never made it: the
+		// crash hit mid-group-commit. Roll back to the committed prefix.
+		s.stats.UncommittedBatchBytes += int64(len(data) - batchStart)
 	}
 	return goodEnd, applied, nil
 }
@@ -572,12 +649,87 @@ func (s *DiskStore) Sync() error {
 		s.mu.Unlock()
 		return err
 	}
-	need := s.CompactAt > 0 && s.size > s.CompactAt
+	// Never auto-compact inside an open batch: the snapshot would bake in
+	// records whose commit marker does not exist yet.
+	need := s.CompactAt > 0 && s.size > s.CompactAt && !s.inBatch
 	s.mu.Unlock()
 	if need {
 		return s.Compact()
 	}
 	return nil
+}
+
+// BeginBatch opens an atomic record group: every mutation until CommitBatch
+// is buffered by recovery and applied only if the commit marker reached the
+// disk, so a crash anywhere inside the group rolls the store back to the
+// state before BeginBatch. The caller must serialise: no concurrent writers
+// between BeginBatch and CommitBatch, and groups do not nest.
+func (s *DiskStore) BeginBatch() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if s.failed != nil {
+		return s.poisonedErr()
+	}
+	if s.inBatch {
+		return errors.New("kvstore: batch already open")
+	}
+	rec := encodeRecord(nil, opBatchBegin, "", "", nil)
+	if _, err := s.bw.Write(rec); err != nil {
+		return s.poison(fmt.Errorf("kvstore: wal write: %w", err))
+	}
+	s.size += int64(len(rec))
+	s.inBatch = true
+	return nil
+}
+
+// CommitBatch writes the group's commit marker and makes the whole group
+// durable with a single WAL fsync — the group-commit that amortises
+// durability over every record since BeginBatch. When it returns nil the
+// batch is crash-safe.
+func (s *DiskStore) CommitBatch() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrClosed
+	}
+	if s.failed != nil {
+		s.mu.Unlock()
+		return s.poisonedErr()
+	}
+	if !s.inBatch {
+		s.mu.Unlock()
+		return errors.New("kvstore: no batch open")
+	}
+	rec := encodeRecord(nil, opBatchCommit, "", "", nil)
+	if _, err := s.bw.Write(rec); err != nil {
+		err = s.poison(fmt.Errorf("kvstore: wal write: %w", err))
+		s.mu.Unlock()
+		return err
+	}
+	s.size += int64(len(rec))
+	s.inBatch = false
+	s.mu.Unlock()
+	return s.Sync()
+}
+
+// AbortBatch abandons an open group after a mid-batch failure. The group's
+// records may be partially durable and are already applied to the in-memory
+// state, so the store is poisoned: reopening discards the uncommitted group
+// and restores the last committed batch. A no-op when no batch is open.
+func (s *DiskStore) AbortBatch(cause error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.inBatch {
+		return
+	}
+	s.inBatch = false
+	if cause == nil {
+		cause = errors.New("batch aborted")
+	}
+	s.poison(fmt.Errorf("kvstore: batch aborted mid-write: %w", cause))
 }
 
 // Compact writes the full state to a fresh snapshot under the next epoch and
@@ -592,6 +744,11 @@ func (s *DiskStore) Compact() error {
 	}
 	if s.failed != nil {
 		return s.poisonedErr()
+	}
+	if s.inBatch {
+		// The snapshot would absorb records whose commit marker is not
+		// written yet, silently committing an uncommitted group.
+		return errors.New("kvstore: cannot compact inside an open batch")
 	}
 	if err := s.bw.Flush(); err != nil {
 		return s.poison(fmt.Errorf("kvstore: wal flush: %w", err))
@@ -699,4 +856,7 @@ func (s *DiskStore) Close() error {
 	return first
 }
 
-var _ Store = (*DiskStore)(nil)
+var (
+	_ Store       = (*DiskStore)(nil)
+	_ BatchWriter = (*DiskStore)(nil)
+)

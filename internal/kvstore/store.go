@@ -56,3 +56,20 @@ type Store interface {
 	// Close releases resources; for durable engines it flushes state.
 	Close() error
 }
+
+// BatchWriter is implemented by stores that can group mutations into a unit
+// that is atomic with respect to crash recovery: either every record between
+// BeginBatch and CommitBatch survives a reopen, or none does. CommitBatch
+// also makes the group durable (one fsync for the whole group — the group
+// commit of the streaming ingestion pipeline). Callers must serialise: no
+// concurrent writers between BeginBatch and CommitBatch, and groups do not
+// nest. AbortBatch abandons a group after a mid-batch write failure; for
+// durable stores this poisons the store so a reopen rolls back cleanly.
+//
+// MemStore does not implement BatchWriter: without durability every batch
+// is trivially atomic, and callers fall back to plain writes.
+type BatchWriter interface {
+	BeginBatch() error
+	CommitBatch() error
+	AbortBatch(cause error)
+}

@@ -46,6 +46,7 @@ func NewWith(engine *seqlog.Engine, opts Options) *Handler {
 	h.mux.HandleFunc("GET /info", h.info)
 	h.mux.HandleFunc("GET /trace/{id}", h.trace)
 	h.mux.HandleFunc("POST /ingest", h.ingest)
+	h.mux.HandleFunc("POST /ingest/stream", h.ingestStream)
 	h.mux.HandleFunc("POST /detect", h.detect)
 	h.mux.HandleFunc("POST /stats", h.stats)
 	h.mux.HandleFunc("POST /explore", h.explore)
@@ -125,6 +126,9 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 		// but some committed data was quarantined.
 		status = "degraded"
 		body["recovery"] = rec
+	}
+	if st := h.engine.IngestInfo(); st != nil {
+		body["ingest"] = st
 	}
 	body["status"] = status
 	writeJSON(w, http.StatusOK, body)

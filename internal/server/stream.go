@@ -1,0 +1,124 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"seqlog"
+)
+
+// streamChunkEvents is how many NDJSON rows are buffered before each
+// pipeline Append — small enough to react to backpressure mid-request,
+// large enough to amortize admission.
+const streamChunkEvents = 512
+
+// StreamResponse is the terminal JSON object of POST /ingest/stream: how
+// many events were accepted (and, on success, flushed durably before the
+// 200 was written), plus the pipeline counters.
+type StreamResponse struct {
+	Accepted int                 `json:"accepted"`
+	Stats    *seqlog.IngestStats `json:"stats,omitempty"`
+}
+
+// ingestStream is POST /ingest/stream: an NDJSON body — one event object
+// per line, same shape as the /ingest elements — fed into the engine's
+// streaming pipeline as it is read. The 200 ack is written only after a
+// final Flush, so it means every accepted event is committed (and fsynced
+// on durable engines). Error semantics are streaming-aware:
+//
+//   - 413 when MaxBodyBytes cut the body mid-stream; the response reports
+//     how many events had already been accepted (they remain committed).
+//   - 429 + Retry-After when the pipeline pushes back (ErrOverloaded),
+//     again with the accepted count. Nothing of the refused chunk was
+//     admitted; the client resumes from accepted.
+//   - 400 on a malformed line, with the accepted count.
+func (h *Handler) ingestStream(w http.ResponseWriter, r *http.Request) {
+	app, err := h.engine.OpenStream(seqlog.StreamOptions{})
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	defer app.Close()
+
+	accepted := 0
+	fail := func(status int, err error) {
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", "1")
+		}
+		writeJSON(w, status, map[string]any{
+			"error":    err.Error(),
+			"accepted": accepted,
+		})
+	}
+	push := func(chunk []seqlog.Event) bool {
+		if len(chunk) == 0 {
+			return true
+		}
+		if err := app.Append(chunk); err != nil {
+			switch {
+			case errors.Is(err, seqlog.ErrOverloaded):
+				fail(http.StatusTooManyRequests, err)
+			default:
+				fail(http.StatusInternalServerError, err)
+			}
+			return false
+		}
+		accepted += len(chunk)
+		return true
+	}
+
+	sc := bufio.NewScanner(r.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	chunk := make([]seqlog.Event, 0, streamChunkEvents)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev seqlog.Event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			// A body-size cut mid-line surfaces as a truncated (malformed)
+			// final token before sc.Err() is reachable; report it as 413,
+			// not as a client syntax error.
+			var tooBig *http.MaxBytesError
+			if errors.As(sc.Err(), &tooBig) {
+				fail(http.StatusRequestEntityTooLarge, sc.Err())
+				return
+			}
+			fail(http.StatusBadRequest, fmt.Errorf("line %d: %w", line, err))
+			return
+		}
+		chunk = append(chunk, ev)
+		if len(chunk) >= streamChunkEvents {
+			if !push(chunk) {
+				return
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if err := sc.Err(); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			fail(http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		fail(http.StatusBadRequest, err)
+		return
+	}
+	if !push(chunk) {
+		return
+	}
+
+	// Ack means fsynced: drain what this request admitted before the 200.
+	if err := app.Flush(); err != nil {
+		fail(http.StatusInternalServerError, err)
+		return
+	}
+	st := app.Stats()
+	writeJSON(w, http.StatusOK, StreamResponse{Accepted: accepted, Stats: &st})
+}

@@ -1,0 +1,134 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"seqlog"
+	"seqlog/internal/httpclient"
+)
+
+func ndjson(lines ...string) string { return strings.Join(lines, "\n") + "\n" }
+
+func streamBody() string {
+	return ndjson(
+		`{"Trace":1,"Activity":"search","Time":1}`,
+		`{"Trace":1,"Activity":"view","Time":2}`,
+		`{"Trace":2,"Activity":"search","Time":3}`,
+		``,
+		`{"Trace":1,"Activity":"cart","Time":4}`,
+		`{"Trace":2,"Activity":"view","Time":5}`,
+		`{"Trace":2,"Activity":"cart","Time":6}`,
+	)
+}
+
+func TestIngestStream(t *testing.T) {
+	srv, eng := newServer(t)
+	c := &httpclient.Client{}
+	var out StreamResponse
+	if err := c.Post(srv.URL+"/ingest/stream", "application/x-ndjson",
+		strings.NewReader(streamBody()), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Accepted != 6 {
+		t.Fatalf("accepted = %d, want 6", out.Accepted)
+	}
+	if out.Stats == nil || out.Stats.Flushed != 6 || out.Stats.Syncs != 0 {
+		t.Fatalf("stats = %+v (memory engine: 6 flushed, 0 syncs)", out.Stats)
+	}
+
+	// The streamed events are queryable, equivalently to serial ingestion.
+	ids, err := eng.DetectTraces([]string{"search", "view", "cart"})
+	if err != nil || len(ids) != 2 {
+		t.Fatalf("traces = %v %v", ids, err)
+	}
+
+	// /health now carries the pipeline counters.
+	var health map[string]json.RawMessage
+	if err := c.GetJSON(srv.URL+"/health", &health); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := health["ingest"]; !ok {
+		t.Fatalf("health lacks ingest stats: %v", health)
+	}
+}
+
+func TestIngestStreamBadLine(t *testing.T) {
+	srv, _ := newServer(t)
+	body := ndjson(
+		`{"Trace":1,"Activity":"a","Time":1}`,
+		`{not json}`,
+	)
+	resp, err := http.Post(srv.URL+"/ingest/stream", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+	var out struct {
+		Accepted int    `json:"accepted"`
+		Error    string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Error == "" || !strings.Contains(out.Error, "line 2") {
+		t.Fatalf("error = %q, want line number", out.Error)
+	}
+}
+
+func TestIngestStreamTooLarge(t *testing.T) {
+	eng, err := seqlog.Open(seqlog.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWith(eng, Options{MaxBodyBytes: 64}))
+	t.Cleanup(func() { srv.Close(); eng.Close() })
+
+	resp, err := http.Post(srv.URL+"/ingest/stream", "application/x-ndjson",
+		strings.NewReader(streamBody()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestIngestStreamSequentialRequests: a trace may continue across requests;
+// the second request resumes the trace's session from the stored prefix.
+func TestIngestStreamSequentialRequests(t *testing.T) {
+	srv, eng := newServer(t)
+	c := &httpclient.Client{}
+	first := ndjson(
+		`{"Trace":7,"Activity":"a","Time":1}`,
+		`{"Trace":7,"Activity":"b","Time":2}`,
+	)
+	second := ndjson(
+		`{"Trace":7,"Activity":"a","Time":3}`,
+		`{"Trace":7,"Activity":"b","Time":4}`,
+	)
+	var out StreamResponse
+	if err := c.Post(srv.URL+"/ingest/stream", "application/x-ndjson", strings.NewReader(first), &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Post(srv.URL+"/ingest/stream", "application/x-ndjson", strings.NewReader(second), &out); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the (1,2) and (3,4) completions of (a,b) — a re-emitted
+	// prefix occurrence in the second request would inflate the count.
+	st, err := eng.Stats([]string{"a", "b"})
+	if err != nil || st.MaxCompletions != 2 {
+		t.Fatalf("cross-request continuation: stats = %+v %v, want 2 completions", st, err)
+	}
+	ms, err := eng.Detect([]string{"a", "b"})
+	if err != nil || len(ms) == 0 {
+		t.Fatalf("cross-request continuation: matches = %v %v", ms, err)
+	}
+}

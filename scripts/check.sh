@@ -15,3 +15,10 @@ go test -race ./internal/query/... ./internal/storage/... ./internal/kvstore/...
 # failure model"). Redundant with the line above but kept as an explicit
 # gate so a -run filter during debugging can't silently skip it.
 go test -race -run 'Crash|Corrupt' ./internal/kvstore/
+
+# Ingest tier: the streaming pipeline under the race detector, plus the
+# serial-equivalence oracle (streamed micro-batches must produce exactly
+# the tables of one serial Builder.Update) and the group-commit crash
+# sweep, run explicitly for the same reason as above.
+go test -race ./internal/ingest/...
+go test -race -run 'StreamEqualsSerialBuilder|StreamCrash' ./internal/ingest/

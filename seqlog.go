@@ -31,9 +31,11 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"time"
 
 	"seqlog/internal/eventlog"
 	"seqlog/internal/index"
+	"seqlog/internal/ingest"
 	"seqlog/internal/kvstore"
 	"seqlog/internal/model"
 	"seqlog/internal/pairs"
@@ -84,6 +86,15 @@ type Config struct {
 	// itself degraded through Recovery / Info. Without it, corruption fails
 	// Open with kvstore.ErrCorruptWAL or kvstore.ErrCorruptSnapshot.
 	Salvage bool
+	// IngestWorkers is the default shard count of streaming ingestion
+	// (OpenStream); 0 falls back to Workers, then to all cores.
+	IngestWorkers int
+	// FlushEvents is the default size trigger of a streaming flush.
+	FlushEvents int
+	// FlushInterval is the default age trigger of a streaming flush.
+	FlushInterval time.Duration
+	// IngestQueue bounds the streaming input queue (backpressure).
+	IngestQueue int
 }
 
 // Event is one public log record: an activity executed inside a trace at a
@@ -167,6 +178,15 @@ type Engine struct {
 	proc     *query.Processor
 	alphabet *model.Alphabet
 	cfg      Config
+
+	// Streaming ingestion (stream.go). pipeMu guards the pipeline handle
+	// and refcount; persistedActs (under mu) tracks how much of the
+	// alphabet is durable, so stream flushes persist it only on growth.
+	pipeMu        sync.Mutex
+	pipeline      *ingest.Pipeline
+	streams       int
+	lastIngest    ingest.Stats // snapshot of the last drained stream
+	persistedActs int
 }
 
 const (
@@ -291,6 +311,7 @@ func (e *Engine) restoreMeta(policy model.Policy) error {
 			e.alphabet.ID(name)
 		}
 	}
+	e.persistedActs = e.alphabet.Len()
 	return nil
 }
 
@@ -301,7 +322,25 @@ func (e *Engine) persistAlphabet() error {
 // Ingest indexes a batch of new events (the periodic update of §3.1.3).
 // Events may extend traces seen in earlier batches; the index never
 // duplicates pairs across batches.
+//
+// While a stream is open (OpenStream) the batch is routed through the
+// pipeline instead — its resident sessions must observe every write — and
+// acknowledged after a full flush, preserving the durability contract. On
+// that path only the Events counter of the returned stats is populated.
 func (e *Engine) Ingest(events []Event) (UpdateStats, error) {
+	e.pipeMu.Lock()
+	p := e.pipeline
+	e.pipeMu.Unlock()
+	if p != nil {
+		if err := p.Append(e.intern(events)); err != nil {
+			return UpdateStats{}, err
+		}
+		if err := p.Flush(); err != nil {
+			return UpdateStats{}, err
+		}
+		return UpdateStats{Events: len(events)}, nil
+	}
+
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	batch := make([]model.Event, len(events))
@@ -321,6 +360,7 @@ func (e *Engine) Ingest(events []Event) (UpdateStats, error) {
 		if err := e.persistAlphabet(); err != nil {
 			return UpdateStats{}, err
 		}
+		e.persistedActs = e.alphabet.Len()
 	}
 	if e.disk != nil {
 		if err := e.disk.Sync(); err != nil {
@@ -597,19 +637,40 @@ func (e *Engine) ExploreInsert(patternNames []string, pos int, mode ExploreMode,
 // PruneTraces forgets the mutable state of completed traces (their Seq rows
 // and LastChecked watermarks); their history stays queryable in the index.
 func (e *Engine) PruneTraces(ids []int64) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	conv := make([]model.TraceID, len(ids))
 	for i, id := range ids {
 		conv[i] = model.TraceID(id)
 	}
-	return e.builder.PruneTraces(conv)
+	// Flush the stream first so pending events of the pruned traces are
+	// committed (not resurrected by a later flush), then drop their
+	// resident sessions.
+	e.pipeMu.Lock()
+	p := e.pipeline
+	e.pipeMu.Unlock()
+	if p != nil {
+		if err := p.Flush(); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	err := e.builder.PruneTraces(conv)
+	e.mu.Unlock()
+	if err == nil && p != nil {
+		p.Forget(conv)
+	}
+	return err
 }
 
 // RotatePeriod directs subsequent batches into a new index partition
 // (§3.1.3 suggests e.g. one per month); queries keep spanning all
 // partitions.
 func (e *Engine) RotatePeriod(period string) error {
+	e.pipeMu.Lock()
+	streaming := e.pipeline != nil
+	e.pipeMu.Unlock()
+	if streaming {
+		return errors.New("seqlog: close ingestion streams before rotating the period")
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	b, err := index.NewBuilder(e.tables, index.Options{
@@ -674,7 +735,12 @@ type RecoveryInfo struct {
 	StaleWALBytes   int64 `json:"staleWALBytes,omitempty"`
 	DroppedRegions  int64 `json:"droppedRegions,omitempty"`
 	DroppedBytes    int64 `json:"droppedBytes,omitempty"`
-	Salvaged        bool  `json:"salvaged,omitempty"`
+
+	// UncommittedBatchBytes counts WAL bytes of ingest group-commits whose
+	// commit marker never made it to disk; they are rolled back on open.
+	UncommittedBatchBytes int64 `json:"uncommittedBatchBytes,omitempty"`
+
+	Salvaged bool `json:"salvaged,omitempty"`
 }
 
 // Degraded reports whether recovery lost possibly-committed data (only ever
@@ -697,6 +763,10 @@ type IndexInfo struct {
 	Cache      CacheStats     `json:"cache"`
 	Recovery   RecoveryInfo   `json:"recovery"`
 	Degraded   bool           `json:"degraded"`
+	// Ingest reports the streaming-pipeline counters: live while a stream
+	// is open, the final snapshot after it drained, nil when streaming was
+	// never used.
+	Ingest *IngestStats `json:"ingest,omitempty"`
 }
 
 // Info reports the current index shape.
@@ -707,6 +777,7 @@ func (e *Engine) Info() (IndexInfo, error) {
 		Partitions: make(map[string]int),
 		Cache:      e.CacheStats(),
 		Recovery:   e.Recovery(),
+		Ingest:     e.ingestStats(),
 	}
 	info.Degraded = info.Recovery.Degraded()
 	var err error
@@ -757,7 +828,13 @@ func (e *Engine) Sync() error {
 	return e.disk.Sync()
 }
 
-// Close releases the engine. Durable engines flush their write-ahead log.
+// Close releases the engine. An open ingestion stream is drained with a
+// final group commit first; durable engines then flush their write-ahead
+// log.
 func (e *Engine) Close() error {
-	return e.store.Close()
+	perr := e.closePipeline()
+	if err := e.store.Close(); err != nil {
+		return err
+	}
+	return perr
 }

@@ -1,0 +1,221 @@
+package seqlog
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"seqlog/internal/ingest"
+	"seqlog/internal/model"
+)
+
+// ErrOverloaded is returned by a non-blocking stream Append when the
+// pipeline's input queue is full. Nothing of the batch was enqueued; the
+// caller should retry after a flush drains the queue.
+var ErrOverloaded = ingest.ErrOverloaded
+
+// StreamOptions tunes an ingestion stream. Zero fields fall back to the
+// engine Config (IngestWorkers, FlushEvents, FlushInterval, IngestQueue)
+// and then to the pipeline defaults.
+type StreamOptions struct {
+	// Workers is the number of trace-affinity shards / extraction workers.
+	Workers int
+	// FlushEvents triggers a flush once this many events are buffered.
+	FlushEvents int
+	// FlushInterval bounds how long a buffered event waits for its flush.
+	FlushInterval time.Duration
+	// QueueEvents bounds the input queue (backpressure threshold).
+	QueueEvents int
+	// Block makes Append wait for queue space instead of returning
+	// ErrOverloaded.
+	Block bool
+}
+
+// IngestStats mirrors the pipeline counters of the streaming write path.
+type IngestStats struct {
+	Queued   int64 `json:"queued"`
+	Accepted int64 `json:"accepted"`
+	Flushed  int64 `json:"flushed"`
+	Batches  int64 `json:"batches"`
+	Syncs    int64 `json:"syncs"`
+	Stalls   int64 `json:"stalls"`
+	Sessions int64 `json:"sessions,omitempty"`
+}
+
+// Appender is one handle onto the engine's shared ingestion stream. All
+// appenders feed the same pipeline; the last Close drains it with a final
+// group commit. An Appender is safe for concurrent use, but events of one
+// trace must be appended in timestamp order (across all its appenders) for
+// the serial-equivalence guarantee.
+type Appender struct {
+	e      *Engine
+	closed bool
+}
+
+// OpenStream opens (or joins) the engine's streaming ingestion pipeline.
+// The first call starts the pipeline; later calls return additional
+// appenders onto it — opts of later calls are ignored. An acknowledged
+// Flush (and every acknowledged non-blocking Append after its flush) is
+// durable on disk-backed engines: each flush commits as one atomic WAL
+// group with a single fsync.
+func (e *Engine) OpenStream(opts StreamOptions) (*Appender, error) {
+	if e.cfg.PartialOrder {
+		return nil, errors.New("seqlog: streaming ingestion requires a total order (the partial-order extractor is batch-only)")
+	}
+	e.pipeMu.Lock()
+	defer e.pipeMu.Unlock()
+	if e.pipeline == nil {
+		pick := func(v, cfg int) int {
+			if v > 0 {
+				return v
+			}
+			return cfg
+		}
+		interval := opts.FlushInterval
+		if interval <= 0 {
+			interval = e.cfg.FlushInterval
+		}
+		p, err := ingest.New(e.tables, ingest.Options{
+			Policy:        e.builder.Options().Policy,
+			Period:        e.cfg.Period,
+			Workers:       pick(opts.Workers, pick(e.cfg.IngestWorkers, e.cfg.Workers)),
+			FlushEvents:   pick(opts.FlushEvents, e.cfg.FlushEvents),
+			FlushInterval: interval,
+			QueueEvents:   pick(opts.QueueEvents, e.cfg.IngestQueue),
+			Block:         opts.Block,
+			CommitLock:    &e.mu,
+			BeforeCommit:  e.persistAlphabetIfGrown,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.pipeline = p
+	}
+	e.streams++
+	return &Appender{e: e}, nil
+}
+
+// persistAlphabetIfGrown persists the interned alphabet when it grew since
+// the last persist. It runs under e.mu — as the pipeline's BeforeCommit
+// hook it executes inside the flush's atomic batch group, so new activity
+// names become durable in the same fsync as the events that introduced
+// them.
+func (e *Engine) persistAlphabetIfGrown() error {
+	if n := e.alphabet.Len(); n != e.persistedActs {
+		if err := e.persistAlphabet(); err != nil {
+			return err
+		}
+		e.persistedActs = n
+	}
+	return nil
+}
+
+// intern converts public events to model events. Alphabet interning is
+// thread-safe, so appenders do not contend on the engine mutex.
+func (e *Engine) intern(events []Event) []model.Event {
+	batch := make([]model.Event, len(events))
+	for i, ev := range events {
+		batch[i] = model.Event{
+			Trace:    model.TraceID(ev.Trace),
+			Activity: e.alphabet.ID(ev.Activity),
+			TS:       model.Timestamp(ev.Time),
+		}
+	}
+	return batch
+}
+
+// Append admits events into the stream. In non-blocking mode a full queue
+// returns ErrOverloaded and admits nothing.
+func (a *Appender) Append(events []Event) error {
+	if a.closed {
+		return ingest.ErrClosed
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	return a.e.pipeline.Append(a.e.intern(events))
+}
+
+// Flush commits everything this appender admitted and blocks until the
+// commit is durable (fsynced on disk-backed engines).
+func (a *Appender) Flush() error {
+	if a.closed {
+		return ingest.ErrClosed
+	}
+	return a.e.pipeline.Flush()
+}
+
+// Stats snapshots the shared pipeline counters.
+func (a *Appender) Stats() IngestStats {
+	return IngestStats(a.e.pipeline.Stats())
+}
+
+// Close detaches this appender. The last Close drains the pipeline with a
+// final group commit and stops it; a later OpenStream starts a fresh one.
+func (a *Appender) Close() error {
+	if a.closed {
+		return nil
+	}
+	a.closed = true
+	return a.e.releaseStream()
+}
+
+func (e *Engine) releaseStream() error {
+	e.pipeMu.Lock()
+	e.streams--
+	var p *ingest.Pipeline
+	if e.streams == 0 {
+		p, e.pipeline = e.pipeline, nil
+		e.lastIngest = p.Stats() // snapshot survives for Info
+	}
+	e.pipeMu.Unlock()
+	if p == nil {
+		return nil
+	}
+	if err := p.Close(); err != nil {
+		return fmt.Errorf("seqlog: draining ingestion stream: %w", err)
+	}
+	e.pipeMu.Lock()
+	e.lastIngest = p.Stats()
+	e.pipeMu.Unlock()
+	return nil
+}
+
+// closePipeline force-drains the stream on engine Close, regardless of open
+// appenders.
+func (e *Engine) closePipeline() error {
+	e.pipeMu.Lock()
+	p := e.pipeline
+	e.pipeline = nil
+	e.streams = 0
+	e.pipeMu.Unlock()
+	if p == nil {
+		return nil
+	}
+	err := p.Close()
+	e.pipeMu.Lock()
+	e.lastIngest = p.Stats()
+	e.pipeMu.Unlock()
+	return err
+}
+
+// IngestInfo returns the streaming-pipeline counters: live while a stream
+// is open, the final snapshot after the last one drained, nil when
+// streaming was never used. Unlike Info it touches no tables.
+func (e *Engine) IngestInfo() *IngestStats { return e.ingestStats() }
+
+// ingestStats returns the live pipeline counters, or the snapshot of the
+// last drained stream, or nil when streaming was never used.
+func (e *Engine) ingestStats() *IngestStats {
+	e.pipeMu.Lock()
+	defer e.pipeMu.Unlock()
+	if e.pipeline != nil {
+		st := IngestStats(e.pipeline.Stats())
+		return &st
+	}
+	if e.lastIngest != (ingest.Stats{}) {
+		st := IngestStats(e.lastIngest)
+		return &st
+	}
+	return nil
+}
