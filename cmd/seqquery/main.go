@@ -9,6 +9,7 @@
 //	seqquery -dir ./idx stats   search view
 //	seqquery -dir ./idx explore [-mode hybrid] [-topk 5] [-maxgap 0] search view
 //	seqquery -dir ./idx info
+//	seqquery -dir ./idx metrics
 //	seqquery -server http://host:8080 [-retries 3] detect search view cart
 //
 // Global flags (-dir, -server, -policy) come before the verb; verb flags
@@ -19,6 +20,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strings"
@@ -29,7 +31,7 @@ import (
 )
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: seqquery {-dir DIR | -server URL} [-policy STNM] {detect|traces|stats|explore|info} [verb flags] ACTIVITY...")
+	fmt.Fprintln(os.Stderr, "usage: seqquery {-dir DIR | -server URL} [-policy STNM] {detect|traces|stats|explore|info|metrics} [verb flags] ACTIVITY...")
 	flag.PrintDefaults()
 	os.Exit(2)
 }
@@ -125,6 +127,13 @@ func main() {
 		}
 		printInfo(info)
 
+	case "metrics":
+		// Run the queries first (in a script: earlier in the process), then
+		// dump the engine registry — the local-mode twin of GET /metrics.
+		if err := eng.Metrics().WritePrometheus(os.Stdout); err != nil {
+			fatal(err)
+		}
+
 	default:
 		fatal(fmt.Errorf("unknown verb %q", verb))
 	}
@@ -182,6 +191,19 @@ func runRemote(base string, retries int, verb string, rest []string) {
 			fatal(err)
 		}
 		printInfo(info)
+
+	case "metrics":
+		resp, err := c.Get(base + "/metrics")
+		if err != nil {
+			fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			fatal(fmt.Errorf("GET /metrics: %s (is the server running with -metrics?)", resp.Status))
+		}
+		if _, err := io.Copy(os.Stdout, resp.Body); err != nil {
+			fatal(err)
+		}
 
 	default:
 		fatal(fmt.Errorf("unknown verb %q", verb))

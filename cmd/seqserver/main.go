@@ -46,6 +46,10 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (0 disables)")
 		maxBodyMB    = flag.Int("max-body-mb", 64, "maximum request body size in MiB (0 disables the cap)")
 		drainTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
+
+		metricsOn   = flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format)")
+		pprofOn     = flag.Bool("pprof", false, "mount the runtime profiler under GET /debug/pprof/")
+		slowQueryMS = flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds to stderr (0 disables)")
 	)
 	flag.Parse()
 	cfg := seqlog.Config{
@@ -57,13 +61,20 @@ func main() {
 		FlushEvents:   *flushEvents,
 		FlushInterval: *flushInterval,
 	}
-	if err := run(cfg, *addr, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
+	if *slowQueryMS > 0 {
+		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond
+	}
+	opts := server.Options{
+		Pprof:                  *pprofOn,
+		DisableMetricsEndpoint: !*metricsOn,
+	}
+	if err := run(cfg, opts, *addr, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "seqserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg seqlog.Config, addr string, reqTimeout time.Duration, maxBodyMB int, drainTimeout time.Duration) error {
+func run(cfg seqlog.Config, opts server.Options, addr string, reqTimeout time.Duration, maxBodyMB int, drainTimeout time.Duration) error {
 	eng, err := seqlog.Open(cfg)
 	if err != nil {
 		return err
@@ -73,10 +84,9 @@ func run(cfg seqlog.Config, addr string, reqTimeout time.Duration, maxBodyMB int
 			rec.DroppedRegions, rec.DroppedBytes)
 	}
 
-	handler := server.NewWith(eng, server.Options{
-		RequestTimeout: reqTimeout,
-		MaxBodyBytes:   int64(maxBodyMB) << 20,
-	})
+	opts.RequestTimeout = reqTimeout
+	opts.MaxBodyBytes = int64(maxBodyMB) << 20
+	handler := server.NewWith(eng, opts)
 	srv := &http.Server{
 		Addr:              addr,
 		Handler:           handler,

@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"seqlog"
+)
+
+// MetricsOverhead measures what the observability layer costs on the query
+// hot path: the same pattern workload (Detect + Stats per pattern) runs
+// against two otherwise identical in-memory engines — one opened with
+// DisableMetrics (no registry, no per-query tracking) and one with the full
+// instrumentation including slow-query accounting (threshold set high enough
+// that nothing logs, so the bookkeeping runs but the writer does not).
+// Rounds alternate between the engines so drift (thermal, GC) hits both;
+// the reported figure is the median-round overhead, which the acceptance
+// criterion bounds at 5%.
+func (r *Runner) MetricsOverhead() error {
+	spec := r.datasets()[0]
+	log := r.log(spec)
+	names := log.Alphabet.Names()
+	events := make([]seqlog.Event, 0, log.NumEvents())
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			events = append(events, seqlog.Event{
+				Trace: int64(tr.ID), Activity: names[ev.Activity], Time: int64(ev.TS),
+			})
+		}
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("metrics-overhead: dataset %s is empty", spec.Name)
+	}
+
+	open := func(cfg seqlog.Config) (*seqlog.Engine, error) {
+		cfg.Workers = r.cfg.Workers
+		eng, err := seqlog.Open(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := eng.Ingest(events); err != nil {
+			eng.Close()
+			return nil, err
+		}
+		return eng, nil
+	}
+	baseline, err := open(seqlog.Config{DisableMetrics: true})
+	if err != nil {
+		return err
+	}
+	defer baseline.Close()
+	instrumented, err := open(seqlog.Config{
+		SlowQueryThreshold: time.Hour,
+		SlowQueryLog:       io.Discard,
+	})
+	if err != nil {
+		return err
+	}
+	defer instrumented.Close()
+
+	patterns := samplePatterns(log, 3, 20, 42)
+	if len(patterns) == 0 {
+		patterns = samplePatterns(log, 2, 20, 42)
+	}
+	patNames := make([][]string, len(patterns))
+	for i, p := range patterns {
+		ns := make([]string, len(p))
+		for j, a := range p {
+			ns[j] = names[a]
+		}
+		patNames[i] = ns
+	}
+
+	pass := func(eng *seqlog.Engine) (time.Duration, error) {
+		start := time.Now()
+		for _, p := range patNames {
+			if _, err := eng.Detect(p); err != nil {
+				return 0, err
+			}
+			if _, err := eng.Stats(p); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	rounds := r.cfg.QueryRepeats
+	if rounds < 5 {
+		rounds = 5
+	}
+	// One unmeasured warmup each fills the postings caches; the baseline
+	// warmup also calibrates how many passes make a round long enough
+	// (~100ms) that the per-query delta, not timer noise, is what's measured.
+	warm, err := pass(baseline)
+	if err != nil {
+		return err
+	}
+	if _, err := pass(instrumented); err != nil {
+		return err
+	}
+	passes := 1
+	if warm > 0 && warm < 100*time.Millisecond {
+		passes = int(100*time.Millisecond/warm) + 1
+	}
+	round := func(eng *seqlog.Engine) (time.Duration, error) {
+		var total time.Duration
+		for i := 0; i < passes; i++ {
+			d, err := pass(eng)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+		}
+		return total, nil
+	}
+	baseSamples := make([]time.Duration, 0, rounds)
+	instrSamples := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		order := []*seqlog.Engine{baseline, instrumented}
+		sinks := []*[]time.Duration{&baseSamples, &instrSamples}
+		if i%2 == 1 {
+			order[0], order[1] = order[1], order[0]
+			sinks[0], sinks[1] = sinks[1], sinks[0]
+		}
+		for j, eng := range order {
+			d, err := round(eng)
+			if err != nil {
+				return err
+			}
+			*sinks[j] = append(*sinks[j], d)
+		}
+	}
+	baseMed := medianDuration(baseSamples)
+	instrMed := medianDuration(instrSamples)
+	overheadPct := 100 * (instrMed.Seconds() - baseMed.Seconds()) / baseMed.Seconds()
+
+	queriesPerRound := 2 * len(patNames) * passes
+	r.section("Metrics overhead — instrumented vs uninstrumented hot path",
+		fmt.Sprintf("dataset=%s patterns=%d queries/round=%d rounds=%d (alternating, median)",
+			spec.Name, len(patNames), queriesPerRound, rounds))
+	r.table(
+		[]string{"mode", "median round", "queries/sec", "overhead"},
+		[][]string{
+			{"baseline (metrics off)", msecs(baseMed) + "ms",
+				fmt.Sprintf("%.0f", float64(queriesPerRound)/baseMed.Seconds()), "—"},
+			{"instrumented", msecs(instrMed) + "ms",
+				fmt.Sprintf("%.0f", float64(queriesPerRound)/instrMed.Seconds()),
+				fmt.Sprintf("%+.2f%%", overheadPct)},
+		})
+
+	if r.cfg.JSONDir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(map[string]any{
+		"experiment":          "metrics-overhead",
+		"dataset":             spec.Name,
+		"patterns":            len(patNames),
+		"queriesPerRound":     queriesPerRound,
+		"rounds":              rounds,
+		"baselineSeconds":     baseMed.Seconds(),
+		"instrumentedSeconds": instrMed.Seconds(),
+		"overheadPct":         overheadPct,
+		"budgetPct":           5.0,
+		"withinBudget":        overheadPct <= 5.0,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.cfg.JSONDir, "BENCH_metrics_overhead.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out(), "wrote %s\n", path)
+	return nil
+}
+
+func medianDuration(xs []time.Duration) time.Duration {
+	cp := append([]time.Duration(nil), xs...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[len(cp)/2]
+}

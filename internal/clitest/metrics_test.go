@@ -1,0 +1,114 @@
+package clitest
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMetricsScrape drives the observability surface end to end with the
+// real binaries: seqserver with -pprof and -slow-query-ms, a curl-style
+// GET /metrics scrape after real queries, the pprof mount, and the seqquery
+// metrics verb in both server and local mode.
+func TestMetricsScrape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs real binaries")
+	}
+	work := t.TempDir()
+	csv := filepath.Join(work, "log.csv")
+	idx := filepath.Join(work, "idx")
+	run(t, "loggen", "-random", "-traces", "30", "-events", "12", "-activities", "5", "-o", csv)
+	run(t, "seqindex", "-dir", idx, csv)
+
+	addr := "127.0.0.1:18744"
+	srv := exec.Command(filepath.Join(binDir, "seqserver"),
+		"-dir", idx, "-addr", addr, "-pprof", "-slow-query-ms", "1")
+	var srvOut bytes.Buffer
+	srv.Stdout, srv.Stderr = &srvOut, &srvOut
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Kill()
+		srv.Wait()
+	}()
+
+	base := "http://" + addr
+	ready := false
+	for i := 0; i < 50; i++ {
+		if resp, err := http.Get(base + "/health"); err == nil {
+			resp.Body.Close()
+			ready = true
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !ready {
+		t.Fatalf("seqserver never became healthy\n%s", srvOut.String())
+	}
+
+	// Real queries over HTTP so the scrape has something to show.
+	run(t, "seqquery", "-server", base, "detect", "act_000", "act_001")
+	run(t, "seqquery", "-server", base, "stats", "act_000", "act_001")
+
+	// Curl-style scrape: proper content type, query families, HTTP series,
+	// storage and WAL coverage.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	text := string(raw)
+	for _, want := range []string{
+		`seqlog_query_duration_seconds_count{family="detect"} 1`,
+		`seqlog_query_duration_seconds_count{family="stats"} 1`,
+		`seqlog_http_requests_total{code="200",route="detect"} 1`,
+		"seqlog_rows_read_total",
+		"seqlog_wal_size_bytes",
+		"seqlog_traces 30",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("scrape lacks %q:\n%s", want, text)
+		}
+	}
+
+	// The profiler is mounted (and only because -pprof was given).
+	if presp, err := http.Get(base + "/debug/pprof/cmdline"); err != nil {
+		t.Fatal(err)
+	} else {
+		presp.Body.Close()
+		if presp.StatusCode != http.StatusOK {
+			t.Fatalf("pprof cmdline: status %d", presp.StatusCode)
+		}
+	}
+
+	// seqquery metrics, server mode: relays the same exposition.
+	out := run(t, "seqquery", "-server", base, "metrics")
+	if !strings.Contains(out, "seqlog_query_duration_seconds_bucket") {
+		t.Fatalf("seqquery metrics (server mode):\n%s", out)
+	}
+
+	srv.Process.Kill()
+	srv.Wait()
+
+	// seqquery metrics, local mode: opens the index directly and dumps the
+	// engine registry (func-backed series are live without any queries).
+	out = run(t, "seqquery", "-dir", idx, "metrics")
+	for _, want := range []string{"seqlog_activities 5", "seqlog_traces 30", "seqlog_rows_read_total"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("seqquery metrics (local mode) lacks %q:\n%s", want, out)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"time"
 )
 
@@ -33,10 +34,17 @@ type Client struct {
 	// doubles per attempt up to MaxDelay (default 5s).
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
+	// RetryBudget bounds the total wall-clock a single Get may spend across
+	// all attempts and backoff sleeps. Zero falls back to HTTP.Timeout (when
+	// set); negative disables the bound. A sleep that would overrun the
+	// budget is not taken — Get fails immediately with the last error.
+	RetryBudget time.Duration
 	// Sleep replaces time.Sleep in tests; Jitter replaces the random jitter
 	// fraction source (must return [0,1)) for determinism.
 	Sleep  func(time.Duration)
 	Jitter func() float64
+	// now replaces time.Now in tests (nil means time.Now).
+	now func() time.Time
 }
 
 func (c *Client) http() *http.Client {
@@ -47,8 +55,16 @@ func (c *Client) http() *http.Client {
 }
 
 // retryable reports whether a response status is worth retrying: the server
-// existed but could not serve (5xx — a restarting seqserver answers 503).
-func retryable(status int) bool { return status >= 500 }
+// existed but could not serve (5xx — a restarting seqserver answers 503) or
+// is shedding load (429).
+func retryable(status int) bool { return status >= 500 || status == http.StatusTooManyRequests }
+
+func (c *Client) maxDelay() time.Duration {
+	if c.MaxDelay > 0 {
+		return c.MaxDelay
+	}
+	return 5 * time.Second
+}
 
 // backoff returns the sleep before the given retry attempt (0-based):
 // exponential with equal jitter, so synchronized clients fan out.
@@ -57,10 +73,7 @@ func (c *Client) backoff(attempt int) time.Duration {
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
-	max := c.MaxDelay
-	if max <= 0 {
-		max = 5 * time.Second
-	}
+	max := c.maxDelay()
 	d := base << uint(attempt)
 	if d > max || d <= 0 {
 		d = max
@@ -73,6 +86,53 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return d/2 + time.Duration(jitter()*float64(d/2))
 }
 
+// retryAfter parses a Retry-After header — delta-seconds or an HTTP-date —
+// into a wait, capped at MaxDelay so a misconfigured server cannot park the
+// client for minutes. ok is false when the header is absent or unparseable
+// (then the usual backoff applies).
+func (c *Client) retryAfter(resp *http.Response) (time.Duration, bool) {
+	raw := resp.Header.Get("Retry-After")
+	if raw == "" {
+		return 0, false
+	}
+	var d time.Duration
+	if secs, err := strconv.Atoi(raw); err == nil {
+		d = time.Duration(secs) * time.Second
+	} else if at, err := http.ParseTime(raw); err == nil {
+		d = at.Sub(c.timeNow())
+	} else {
+		return 0, false
+	}
+	if d < 0 {
+		return 0, false
+	}
+	if max := c.maxDelay(); d > max {
+		d = max
+	}
+	return d, true
+}
+
+func (c *Client) timeNow() time.Time {
+	if c.now != nil {
+		return c.now()
+	}
+	return time.Now()
+}
+
+// budget returns the wall-clock bound of one retried request; zero means
+// unbounded.
+func (c *Client) budget() time.Duration {
+	switch {
+	case c.RetryBudget > 0:
+		return c.RetryBudget
+	case c.RetryBudget < 0:
+		return 0
+	case c.HTTP != nil && c.HTTP.Timeout > 0:
+		return c.HTTP.Timeout
+	}
+	return 0
+}
+
 func (c *Client) sleep(d time.Duration) {
 	if c.Sleep != nil {
 		c.Sleep(d)
@@ -81,17 +141,27 @@ func (c *Client) sleep(d time.Duration) {
 	time.Sleep(d)
 }
 
-// Get performs a GET with bounded retries on connection errors and 5xx
-// responses. Any returned response has its body intact and unconsumed.
+// Get performs a GET with bounded retries on connection errors, 5xx
+// responses and 429 backpressure. A Retry-After header (capped at MaxDelay)
+// overrides the exponential backoff; the total time spent — attempts plus
+// sleeps — never exceeds the retry budget (RetryBudget, defaulting to
+// HTTP.Timeout). Any returned response has its body intact and unconsumed.
 func (c *Client) Get(url string) (*http.Response, error) {
+	var deadline time.Time
+	if b := c.budget(); b > 0 {
+		deadline = c.timeNow().Add(b)
+	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
 		resp, err := c.http().Get(url)
+		var wait time.Duration
+		var hasWait bool
 		switch {
 		case err != nil:
 			lastErr = err
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("server error: %s", resp.Status)
+			wait, hasWait = c.retryAfter(resp)
 			// Drain so the connection can be reused, then retry.
 			io.Copy(io.Discard, resp.Body)
 			resp.Body.Close()
@@ -101,7 +171,14 @@ func (c *Client) Get(url string) (*http.Response, error) {
 		if attempt >= c.Retries {
 			return nil, fmt.Errorf("GET %s: %w (after %d attempts)", url, lastErr, attempt+1)
 		}
-		c.sleep(c.backoff(attempt))
+		if !hasWait {
+			wait = c.backoff(attempt)
+		}
+		if !deadline.IsZero() && c.timeNow().Add(wait).After(deadline) {
+			return nil, fmt.Errorf("GET %s: %w (retry budget exhausted after %d attempts)",
+				url, lastErr, attempt+1)
+		}
+		c.sleep(wait)
 	}
 }
 

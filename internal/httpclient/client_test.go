@@ -151,6 +151,140 @@ func TestPostDecodesResponse(t *testing.T) {
 	}
 }
 
+func TestGetHonorsRetryAfterSeconds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "2")
+			http.Error(w, "busy", http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		Retries:   2,
+		BaseDelay: 10 * time.Millisecond,
+		Sleep:     func(d time.Duration) { slept = append(slept, d) },
+		Jitter:    func() float64 { return 0 },
+	}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2 (429 must be retried)", calls.Load())
+	}
+	// The server's 2s hint replaces the 5ms backoff exactly.
+	if len(slept) != 1 || slept[0] != 2*time.Second {
+		t.Fatalf("slept = %v, want [2s]", slept)
+	}
+}
+
+func TestGetCapsRetryAfterAtMaxDelay(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600")
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		Retries:  1,
+		MaxDelay: 50 * time.Millisecond,
+		Sleep:    func(d time.Duration) { slept = append(slept, d) },
+	}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 || slept[0] != 50*time.Millisecond {
+		t.Fatalf("slept = %v, want the hour-long hint capped to [50ms]", slept)
+	}
+}
+
+func TestGetRetryAfterHTTPDate(t *testing.T) {
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", base.Add(3*time.Second).Format(http.TimeFormat))
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	c := &Client{
+		Retries: 1,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+		now:     func() time.Time { return base },
+	}
+	resp, err := c.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	resp.Body.Close()
+	if len(slept) != 1 || slept[0] != 3*time.Second {
+		t.Fatalf("slept = %v, want [3s] from the HTTP-date hint", slept)
+	}
+}
+
+func TestGetRetryBudgetBoundsTotalWallClock(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+
+	// A fake clock: sleeps advance it, nothing else does. With a 300ms
+	// budget and 100ms/200ms/400ms backoff the client takes the first two
+	// sleeps (total 300ms) and must refuse the third.
+	var elapsed time.Duration
+	base := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	c := &Client{
+		Retries:     10,
+		BaseDelay:   100 * time.Millisecond,
+		RetryBudget: 300 * time.Millisecond,
+		Jitter:      func() float64 { return 1 }, // full delay, no halving
+		Sleep:       func(d time.Duration) { elapsed += d },
+		now:         func() time.Time { return base.Add(elapsed) },
+	}
+	_, err := c.Get(srv.URL)
+	if err == nil {
+		t.Fatal("Get against a permanently down server succeeded")
+	}
+	if !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("error does not report the budget: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("calls = %d, want exactly 3 within a 300ms budget", calls.Load())
+	}
+}
+
+func TestGetRetryBudgetDefaultsToHTTPTimeout(t *testing.T) {
+	c := &Client{HTTP: &http.Client{Timeout: 7 * time.Second}}
+	if got := c.budget(); got != 7*time.Second {
+		t.Fatalf("budget = %v, want the HTTP timeout", got)
+	}
+	c.RetryBudget = -1
+	if got := c.budget(); got != 0 {
+		t.Fatalf("budget = %v, want unbounded when negative", got)
+	}
+}
+
 func TestBackoffCapsAtMaxDelay(t *testing.T) {
 	c := &Client{BaseDelay: time.Second, MaxDelay: 3 * time.Second, Jitter: func() float64 { return 1 }}
 	for attempt, want := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second, 3 * time.Second} {

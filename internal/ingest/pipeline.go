@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"seqlog/internal/kvstore"
+	"seqlog/internal/metrics"
 	"seqlog/internal/model"
 	"seqlog/internal/parallel"
 	"seqlog/internal/storage"
@@ -95,6 +96,12 @@ type Options struct {
 	// Sync, when set, is called after a commit on stores that do not
 	// implement kvstore.BatchWriter (group commit subsumes it otherwise).
 	Sync func() error
+
+	// Metrics, when set, receives a seqlog_ingest_flush_seconds histogram
+	// observing each committed flush cycle (swap + extract + group commit).
+	// The counters of Stats are exposed by the embedding engine instead, so
+	// they stay monotone across pipeline restarts.
+	Metrics *metrics.Registry
 }
 
 // Stats is a snapshot of the pipeline counters.
@@ -115,6 +122,7 @@ type Pipeline struct {
 	tables *storage.Tables
 	opts   Options
 	batch  kvstore.BatchWriter // nil when the store has no atomic groups
+	flushH *metrics.Histogram  // committed-flush latency; nil-safe
 
 	shards []ingestShard
 
@@ -171,6 +179,7 @@ func New(tables *storage.Tables, opts Options) (*Pipeline, error) {
 		done:   make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
+	p.flushH = opts.Metrics.Histogram("seqlog_ingest_flush_seconds")
 	if bw, ok := tables.Store().(kvstore.BatchWriter); ok {
 		p.batch = bw
 	}
@@ -399,6 +408,7 @@ func (p *Pipeline) runCycle() error {
 	if total == 0 {
 		return nil
 	}
+	start := time.Now()
 
 	deltas := make([]*shardDelta, len(p.shards))
 	err := parallel.ForEach(len(p.shards), p.opts.Workers, func(i int) error {
@@ -415,6 +425,7 @@ func (p *Pipeline) runCycle() error {
 
 	p.mu.Lock()
 	if err == nil {
+		p.flushH.Observe(time.Since(start))
 		p.queued -= int64(total)
 		p.free += total
 		p.stats.Flushed += int64(total)

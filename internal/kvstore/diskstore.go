@@ -9,6 +9,9 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
+
+	"seqlog/internal/metrics"
 )
 
 // Record operations in the write-ahead log.
@@ -68,6 +71,11 @@ type DiskStore struct {
 	// CompactAt is the WAL size in bytes beyond which Sync triggers an
 	// automatic compaction. Zero disables auto-compaction.
 	CompactAt int64
+
+	// Durability timings (nil-safe no-ops when DiskOptions.Metrics is unset):
+	// fsyncH observes each WAL flush+fsync, compactH each full compaction.
+	fsyncH   *metrics.Histogram
+	compactH *metrics.Histogram
 
 	closed bool
 }
@@ -138,6 +146,10 @@ type DiskOptions struct {
 	// instead of failing the open with ErrCorruptWAL/ErrCorruptSnapshot,
 	// and the store reports itself degraded through Recovery().
 	Salvage bool
+	// Metrics, when set, receives the durability telemetry: WAL fsync and
+	// compaction latency histograms plus a WAL size gauge. Nil disables
+	// instrumentation at zero cost.
+	Metrics *metrics.Registry
 }
 
 // OpenDisk opens (or creates) a durable store rooted at dir.
@@ -155,6 +167,9 @@ func OpenDiskWith(dir string, opts DiskOptions) (*DiskStore, error) {
 		return nil, fmt.Errorf("kvstore: create dir: %w", err)
 	}
 	s := &DiskStore{mem: NewMemStore(), fs: fs, dir: dir, salvage: opts.Salvage, CompactAt: 64 << 20}
+	s.fsyncH = opts.Metrics.Histogram("seqlog_wal_fsync_seconds")
+	s.compactH = opts.Metrics.Histogram("seqlog_wal_compaction_seconds")
+	opts.Metrics.GaugeFunc("seqlog_wal_size_bytes", s.walSize)
 	if err := s.loadSnapshot(); err != nil {
 		return nil, err
 	}
@@ -639,6 +654,7 @@ func (s *DiskStore) Sync() error {
 		s.mu.Unlock()
 		return s.poisonedErr()
 	}
+	start := time.Now()
 	if err := s.bw.Flush(); err != nil {
 		err = s.poison(fmt.Errorf("kvstore: wal flush: %w", err))
 		s.mu.Unlock()
@@ -649,6 +665,7 @@ func (s *DiskStore) Sync() error {
 		s.mu.Unlock()
 		return err
 	}
+	s.fsyncH.Observe(time.Since(start))
 	// Never auto-compact inside an open batch: the snapshot would bake in
 	// records whose commit marker does not exist yet.
 	need := s.CompactAt > 0 && s.size > s.CompactAt && !s.inBatch
@@ -737,6 +754,7 @@ func (s *DiskStore) AbortBatch(cause error) {
 // fsync, rename, directory fsync); a crash at any byte offset of the
 // compaction recovers either the previous or the new state, never a mix.
 func (s *DiskStore) Compact() error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -783,7 +801,15 @@ func (s *DiskStore) Compact() error {
 	s.bw.Reset(s.wal)
 	s.size = int64(walHeaderLen)
 	s.legacy = false
+	s.compactH.Observe(time.Since(start))
 	return nil
+}
+
+// walSize reports the current WAL length for the metrics gauge.
+func (s *DiskStore) walSize() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.size
 }
 
 // writeSnapshot writes the full in-memory state to path under epoch.

@@ -1,0 +1,328 @@
+// Package metrics is a dependency-free, race-safe metrics registry for the
+// seqlog service: counters, gauges and log₂-bucketed latency histograms,
+// exposed in the Prometheus text format (prometheus.go).
+//
+// Design constraints, in order:
+//
+//   - Hot-path cheap. Observing a latency is a handful of atomic adds — no
+//     locks, no allocation, no time formatting. The registry lock is taken
+//     only when a metric is first created or the registry is scraped.
+//   - Nil-safe everywhere. A nil *Registry hands out nil metrics, and every
+//     metric method is a no-op on a nil receiver, so instrumented code never
+//     branches on "is telemetry enabled".
+//   - Stdlib only. The exposition writer emits the Prometheus text format
+//     directly; nothing is imported beyond sync/atomic and friends.
+//
+// Histograms bucket durations by the bit length of their nanosecond count
+// (bucket i holds 2^(i-1) ≤ ns < 2^i), trading ~2x resolution for a fixed
+// 64-slot atomic array. Percentiles are estimated from the cumulative bucket
+// counts and reported as the upper bound of the containing bucket; an empty
+// histogram snapshots to all zeros — never NaN.
+package metrics
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// A Label is one name="value" dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+// series is one labeled instance of a family. Exactly one of the value
+// fields is non-nil, matching the family kind; fn, when set, overrides the
+// stored value at scrape time (func-backed counters and gauges delegate to
+// an existing subsystem counter instead of double-counting).
+type series struct {
+	labels  string // rendered {k="v",...}, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() int64
+}
+
+type family struct {
+	name   string
+	kind   kind
+	series map[string]*series
+}
+
+// Registry holds metric families by name. All methods are safe for
+// concurrent use, including on a nil receiver (which hands out nil,
+// no-op metrics).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// lookup returns (creating if needed) the series for name+labels, with its
+// value field for kind k initialized and fn installed (when non-nil) — all
+// under the registry lock, so a concurrent scrape never sees a half-built
+// series. A name already registered under a different kind yields a detached
+// series: the caller gets a working metric that simply never appears in the
+// exposition, so a naming collision cannot panic a running server.
+func (r *Registry) lookup(name string, k kind, labels []Label, fn func() int64) *series {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, kind: k, series: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	var s *series
+	if fam.kind != k {
+		s = &series{labels: ls}
+	} else if s, ok = fam.series[ls]; !ok {
+		s = &series{labels: ls}
+		fam.series[ls] = s
+	}
+	switch k {
+	case kindCounter:
+		if s.counter == nil {
+			s.counter = &Counter{}
+		}
+	case kindGauge:
+		if s.gauge == nil {
+			s.gauge = &Gauge{}
+		}
+	case kindHistogram:
+		if s.hist == nil {
+			s.hist = &Histogram{}
+		}
+	}
+	if fn != nil {
+		s.fn = fn
+	}
+	return s
+}
+
+// Counter returns the named monotone counter, creating it on first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindCounter, labels, nil).counter
+}
+
+// CounterFunc registers (or replaces) a counter whose value is read from fn
+// at scrape time. fn must be safe for concurrent use and should be monotone.
+func (r *Registry) CounterFunc(name string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, kindCounter, labels, fn)
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindGauge, labels, nil).gauge
+}
+
+// GaugeFunc registers (or replaces) a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.lookup(name, kindGauge, labels, fn)
+}
+
+// Histogram returns the named latency histogram, creating it on first use.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, kindHistogram, labels, nil).hist
+}
+
+// famView is a scrape-time copy of one family: name, kind and its series
+// copied by value (the copies share the atomic value cells via pointers, so
+// samples are live; the copies themselves are never mutated).
+type famView struct {
+	name   string
+	kind   kind
+	series []series
+}
+
+// snapshot copies every family under the registry lock — series maps keep
+// growing concurrently (lookup inserts while queries run), so the scrape
+// must not touch them after the lock is released. Families are sorted by
+// name and series by label string for a deterministic exposition.
+func (r *Registry) snapshot() []famView {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	views := make([]famView, 0, len(r.families))
+	for _, f := range r.families {
+		v := famView{name: f.name, kind: f.kind, series: make([]series, 0, len(f.series))}
+		for _, s := range f.series {
+			v.series = append(v.series, *s)
+		}
+		sort.Slice(v.series, func(i, j int) bool { return v.series[i].labels < v.series[j].labels })
+		views = append(views, v)
+	}
+	r.mu.Unlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].name < views[j].name })
+	return views
+}
+
+// Counter is a monotone counter. The nil counter is a no-op.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n (n must be non-negative).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous value. The nil gauge is a no-op.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adjusts the gauge by n (which may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// histBuckets is the fixed bucket count: bits.Len64 of a nanosecond count
+// never exceeds 63, and bucket 0 holds exact zeros.
+const histBuckets = 64
+
+// Histogram is a lock-free log₂-bucketed latency histogram: bucket i counts
+// observations whose nanosecond count has bit length i, i.e. values in
+// [2^(i-1), 2^i). The nil histogram is a no-op.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= histBuckets {
+		i = histBuckets - 1
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+}
+
+// Snapshot is a consistent-enough view of a histogram: Count is the sum of
+// the loaded buckets (so the percentile ranks always resolve), percentiles
+// are bucket upper bounds. An empty histogram snapshots to the zero value —
+// well-defined, never NaN.
+type Snapshot struct {
+	Count int64
+	Sum   time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+}
+
+// Snapshot estimates p50/p95/p99 from the bucket counts.
+func (h *Histogram) Snapshot() Snapshot {
+	if h == nil {
+		return Snapshot{}
+	}
+	var b [histBuckets]int64
+	var total int64
+	for i := range b {
+		b[i] = h.buckets[i].Load()
+		total += b[i]
+	}
+	if total == 0 {
+		return Snapshot{}
+	}
+	return Snapshot{
+		Count: total,
+		Sum:   time.Duration(h.sum.Load()),
+		P50:   bucketQuantile(b[:], total, 0.50),
+		P95:   bucketQuantile(b[:], total, 0.95),
+		P99:   bucketQuantile(b[:], total, 0.99),
+	}
+}
+
+// bucketQuantile returns the upper bound of the bucket containing the q-th
+// quantile observation. total must be > 0.
+func bucketQuantile(b []int64, total int64, q float64) time.Duration {
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, n := range b {
+		cum += n
+		if cum >= rank {
+			return bucketUpper(i)
+		}
+	}
+	return bucketUpper(histBuckets - 1)
+}
+
+// bucketUpper is the inclusive upper bound of bucket i in nanoseconds:
+// 2^i - 1 (bucket 0 holds exact zeros).
+func bucketUpper(i int) time.Duration {
+	if i <= 0 {
+		return 0
+	}
+	return time.Duration((uint64(1) << uint(i)) - 1)
+}

@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := New()
+	c := r.Counter("reqs_total")
+	c.Add(3)
+	c.Add(2)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("reqs_total"); again != c {
+		t.Fatalf("same name returned a different counter")
+	}
+
+	g := r.Gauge("queued")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	r := New()
+	a := r.Counter("q_total", Label{Key: "family", Value: "detect"})
+	b := r.Counter("q_total", Label{Key: "family", Value: "stats"})
+	if a == b {
+		t.Fatalf("distinct labels shared a series")
+	}
+	a.Add(1)
+	if b.Value() != 0 {
+		t.Fatalf("label crosstalk")
+	}
+	// Label order must not matter.
+	x := r.Counter("multi", Label{Key: "b", Value: "2"}, Label{Key: "a", Value: "1"})
+	y := r.Counter("multi", Label{Key: "a", Value: "1"}, Label{Key: "b", Value: "2"})
+	if x != y {
+		t.Fatalf("label order created distinct series")
+	}
+}
+
+func TestFuncBackedMetricsDelegate(t *testing.T) {
+	r := New()
+	v := int64(7)
+	r.CounterFunc("hits_total", func() int64 { return v })
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "hits_total 7") {
+		t.Fatalf("func counter not exposed:\n%s", out.String())
+	}
+	// Re-registering replaces the callback (pipelines restart between
+	// streams; the newest source wins).
+	r.CounterFunc("hits_total", func() int64 { return 42 })
+	out.Reset()
+	r.WritePrometheus(&out)
+	if !strings.Contains(out.String(), "hits_total 42") {
+		t.Fatalf("replaced func counter not exposed:\n%s", out.String())
+	}
+}
+
+func TestNilRegistryAndMetricsAreNoOps(t *testing.T) {
+	var r *Registry
+	r.Counter("a").Add(1)
+	r.Gauge("b").Set(2)
+	r.Histogram("c").Observe(time.Second)
+	r.CounterFunc("d", func() int64 { return 0 })
+	r.GaugeFunc("e", func() int64 { return 0 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	if sn := r.Histogram("c").Snapshot(); sn != (Snapshot{}) {
+		t.Fatalf("nil histogram snapshot = %+v, want zero", sn)
+	}
+}
+
+func TestKindMismatchIsDetachedNotPanic(t *testing.T) {
+	r := New()
+	r.Counter("x")
+	g := r.Gauge("x") // wrong kind: must still work, just unexposed
+	g.Set(5)
+	if g.Value() != 5 {
+		t.Fatalf("detached gauge broken")
+	}
+}
+
+func TestHistogramBucketsAndPercentiles(t *testing.T) {
+	r := New()
+	h := r.Histogram("lat")
+	// 90 fast observations, 10 slow: p50 lands in the fast bucket, p95/p99
+	// in the slow one.
+	for i := 0; i < 90; i++ {
+		h.Observe(1 * time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1 * time.Millisecond)
+	}
+	sn := h.Snapshot()
+	if sn.Count != 100 {
+		t.Fatalf("count = %d, want 100", sn.Count)
+	}
+	if want := 90*time.Microsecond + 10*time.Millisecond; sn.Sum != want {
+		t.Fatalf("sum = %v, want %v", sn.Sum, want)
+	}
+	// Bucket upper bounds are 2^i-1 ns: the p50 bound must cover 1µs but
+	// stay well under 1ms, the p95/p99 bound must cover 1ms.
+	if sn.P50 < time.Microsecond || sn.P50 >= 100*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~µs scale", sn.P50)
+	}
+	if sn.P95 < time.Millisecond || sn.P99 < time.Millisecond {
+		t.Fatalf("p95/p99 = %v/%v, want ≥1ms", sn.P95, sn.P99)
+	}
+	if sn.P50 > sn.P95 || sn.P95 > sn.P99 {
+		t.Fatalf("percentiles not monotone: %v %v %v", sn.P50, sn.P95, sn.P99)
+	}
+}
+
+// TestEmptyHistogramSnapshot pins the zero/empty-input contract: an empty
+// histogram must snapshot to all zeros (never NaN or a panic), and its
+// exposition must be valid with zero-count buckets.
+func TestEmptyHistogramSnapshot(t *testing.T) {
+	cases := []struct {
+		name string
+		hist func() *Histogram
+	}{
+		{"nil", func() *Histogram { return nil }},
+		{"fresh", func() *Histogram { return &Histogram{} }},
+		{"registered", func() *Histogram { return New().Histogram("empty") }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sn := tc.hist().Snapshot()
+			if sn != (Snapshot{}) {
+				t.Fatalf("empty snapshot = %+v, want zero value", sn)
+			}
+			for _, v := range []float64{sn.P50.Seconds(), sn.P95.Seconds(), sn.P99.Seconds()} {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("empty percentile not finite: %v", v)
+				}
+			}
+		})
+	}
+	r := New()
+	r.Histogram("empty_lat")
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`empty_lat_bucket{le="+Inf"} 0`,
+		"empty_lat_count 0",
+		"empty_lat_p99 0",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestHistogramObserveEdgeValues(t *testing.T) {
+	h := New().Histogram("edge")
+	h.Observe(0)
+	h.Observe(-time.Second) // clamped to zero, not a corrupt bucket index
+	h.Observe(time.Duration(math.MaxInt64))
+	sn := h.Snapshot()
+	if sn.Count != 3 {
+		t.Fatalf("count = %d, want 3", sn.Count)
+	}
+	if sn.P50 != 0 {
+		t.Fatalf("p50 of {0,0,max} = %v, want 0", sn.P50)
+	}
+	if sn.P99 <= 0 {
+		t.Fatalf("p99 = %v, want positive", sn.P99)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := New()
+	r.Counter("seqlog_requests_total", Label{Key: "route", Value: "detect"}, Label{Key: "code", Value: "200"}).Add(3)
+	r.Gauge("seqlog_queued").Set(17)
+	h := r.Histogram("seqlog_query_seconds", Label{Key: "family", Value: "detect"})
+	h.Observe(2 * time.Millisecond)
+	h.Observe(3 * time.Millisecond)
+
+	var out strings.Builder
+	if err := r.WritePrometheus(&out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{
+		"# TYPE seqlog_requests_total counter",
+		`seqlog_requests_total{code="200",route="detect"} 3`,
+		"# TYPE seqlog_queued gauge",
+		"seqlog_queued 17",
+		"# TYPE seqlog_query_seconds histogram",
+		`seqlog_query_seconds_bucket{family="detect",le="+Inf"} 2`,
+		`seqlog_query_seconds_count{family="detect"} 2`,
+		"# TYPE seqlog_query_seconds_p95 gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("missing %q in exposition:\n%s", want, text)
+		}
+	}
+	// Cumulative buckets: the 2ms and 3ms observations share log₂ buckets
+	// ≤ 2^22-1 ns (~4.19ms), so every le ≥ that bound must read 2.
+	if !strings.Contains(text, `le="0.004194303"} 2`) {
+		t.Fatalf("cumulative bucket for ~4.2ms missing:\n%s", text)
+	}
+	// Label escaping.
+	r2 := New()
+	r2.Counter("esc", Label{Key: "v", Value: `a"b\c`}).Add(1)
+	out.Reset()
+	r2.WritePrometheus(&out)
+	if !strings.Contains(out.String(), `esc{v="a\"b\\c"} 1`) {
+		t.Fatalf("label escaping wrong:\n%s", out.String())
+	}
+}
+
+// TestRegistryConcurrency hammers creation, observation and scraping from
+// many goroutines; run under -race it is the registry's thread-safety gate.
+func TestRegistryConcurrency(t *testing.T) {
+	r := New()
+	families := []string{"detect", "stats", "explore", "insert"}
+
+	var writers sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for j := 0; j < 2000; j++ {
+				fam := families[j%len(families)]
+				r.Histogram("lat", Label{Key: "family", Value: fam}).Observe(time.Duration(j) * time.Microsecond)
+				r.Counter("n_total", Label{Key: "family", Value: fam}).Add(1)
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var sink strings.Builder
+			if err := r.WritePrometheus(&sink); err != nil {
+				t.Error(err)
+				return
+			}
+			r.Histogram("lat", Label{Key: "family", Value: "detect"}).Snapshot()
+		}
+	}()
+
+	writers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	var total int64
+	for _, fam := range families {
+		total += r.Counter("n_total", Label{Key: "family", Value: fam}).Value()
+	}
+	if total != 8*2000 {
+		t.Fatalf("counters lost updates: %d, want %d", total, 8*2000)
+	}
+}

@@ -1,0 +1,169 @@
+// Prometheus text exposition (format version 0.0.4), written with the
+// stdlib only. Counters and gauges emit one sample per series; histograms
+// emit cumulative _bucket{le="..."} samples over a fixed subset of the log₂
+// bucket bounds (about 1µs to 18min, every other power of two) plus +Inf,
+// _sum and _count, and companion <name>_p50/_p95/_p99 gauges computed from
+// the same buckets so operators get percentiles without a query engine.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposed histogram bucket bounds: every other log₂ bucket from index
+// expoMin to expoMax. 2^10-1 ns ≈ 1µs, 2^40-1 ns ≈ 18.3min — the range
+// where query, fsync and flush latencies live; +Inf catches the rest.
+const (
+	expoMin = 10
+	expoMax = 40
+)
+
+// WritePrometheus writes every registered metric in the Prometheus text
+// format. Safe to call concurrently with metric updates; a no-op on a nil
+// registry.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, fam := range r.snapshot() {
+		var err error
+		switch fam.kind {
+		case kindCounter:
+			err = writeScalar(w, fam, "counter")
+		case kindGauge:
+			err = writeScalar(w, fam, "gauge")
+		case kindHistogram:
+			err = writeHistogram(w, fam)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeScalar(w io.Writer, fam famView, typ string) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", fam.name, typ); err != nil {
+		return err
+	}
+	for _, s := range fam.series {
+		var v int64
+		switch {
+		case s.fn != nil:
+			v = s.fn()
+		case s.counter != nil:
+			v = s.counter.Value()
+		case s.gauge != nil:
+			v = s.gauge.Value()
+		}
+		if _, err := fmt.Fprintf(w, "%s%s %d\n", fam.name, s.labels, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, fam famView) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", fam.name); err != nil {
+		return err
+	}
+	sers := fam.series
+	for _, s := range sers {
+		h := s.hist
+		if h == nil {
+			continue
+		}
+		var cum int64
+		next := expoMin
+		for i := 0; i < histBuckets; i++ {
+			cum += h.buckets[i].Load()
+			if i == next && next <= expoMax {
+				le := formatSeconds(float64(bucketUpper(i)) / 1e9)
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					fam.name, withLabel(s.labels, "le", le), cum); err != nil {
+					return err
+				}
+				next += 2
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			fam.name, withLabel(s.labels, "le", "+Inf"), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n",
+			fam.name, s.labels, formatSeconds(float64(h.sum.Load())/1e9)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", fam.name, s.labels, cum); err != nil {
+			return err
+		}
+	}
+	for _, q := range []struct {
+		suffix string
+		pick   func(Snapshot) float64
+	}{
+		{"_p50", func(sn Snapshot) float64 { return sn.P50.Seconds() }},
+		{"_p95", func(sn Snapshot) float64 { return sn.P95.Seconds() }},
+		{"_p99", func(sn Snapshot) float64 { return sn.P99.Seconds() }},
+	} {
+		if _, err := fmt.Fprintf(w, "# TYPE %s%s gauge\n", fam.name, q.suffix); err != nil {
+			return err
+		}
+		for _, s := range sers {
+			if s.hist == nil {
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s%s %s\n",
+				fam.name, q.suffix, s.labels, formatSeconds(q.pick(s.hist.Snapshot()))); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// renderLabels renders a sorted, escaped {k="v",...} block ("" if empty).
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// withLabel appends one extra label (le) to an already-rendered label block.
+func withLabel(rendered, key, value string) string {
+	extra := key + `="` + escapeLabel(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatSeconds prints a float without trailing noise ("0.001", not
+// "1e-03"-style surprises for common magnitudes).
+func formatSeconds(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -9,10 +9,13 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
 
 	"seqlog"
+	"seqlog/internal/metrics"
 )
 
 // Options harden the HTTP API against abusive or stuck requests.
@@ -23,6 +26,14 @@ type Options struct {
 	// MaxBodyBytes caps request body sizes (ingestion batches, query
 	// payloads); larger bodies are rejected with 413. Zero disables the cap.
 	MaxBodyBytes int64
+	// Pprof mounts the runtime profiler under GET /debug/pprof/. Off by
+	// default: the profile endpoints can hold a request open for tens of
+	// seconds and expose internals, so enabling is an operator decision.
+	Pprof bool
+	// DisableMetricsEndpoint hides GET /metrics. Per-request metrics are
+	// still recorded into the engine registry (unless the engine itself has
+	// metrics disabled).
+	DisableMetricsEndpoint bool
 }
 
 // Handler is the HTTP API. Create it with New and mount it as an
@@ -31,7 +42,12 @@ type Handler struct {
 	engine *seqlog.Engine
 	mux    *http.ServeMux
 	inner  http.Handler
-	opts   Options
+	// ops serves /metrics and /debug/pprof outside the request timeout: a
+	// 30s CPU profile must not be cut off by TimeoutHandler (which would
+	// also buffer the streamed profile). Nil when neither is enabled.
+	ops  *http.ServeMux
+	reg  *metrics.Registry // engine registry; nil disables HTTP telemetry
+	opts Options
 }
 
 // New wraps an engine with no request limits.
@@ -39,25 +55,86 @@ func New(engine *seqlog.Engine) *Handler { return NewWith(engine, Options{}) }
 
 // NewWith wraps an engine with the given request limits.
 func NewWith(engine *seqlog.Engine, opts Options) *Handler {
-	h := &Handler{engine: engine, mux: http.NewServeMux(), opts: opts}
-	h.mux.HandleFunc("GET /health", h.health)
-	h.mux.HandleFunc("GET /activities", h.activities)
-	h.mux.HandleFunc("GET /periods", h.periods)
-	h.mux.HandleFunc("GET /info", h.info)
-	h.mux.HandleFunc("GET /trace/{id}", h.trace)
-	h.mux.HandleFunc("POST /ingest", h.ingest)
-	h.mux.HandleFunc("POST /ingest/stream", h.ingestStream)
-	h.mux.HandleFunc("POST /detect", h.detect)
-	h.mux.HandleFunc("POST /stats", h.stats)
-	h.mux.HandleFunc("POST /explore", h.explore)
-	h.mux.HandleFunc("POST /prune", h.prune)
-	h.mux.HandleFunc("POST /periods/rotate", h.rotate)
+	h := &Handler{engine: engine, mux: http.NewServeMux(), reg: engine.Metrics(), opts: opts}
+	h.route("GET /health", "health", h.health)
+	h.route("GET /activities", "activities", h.activities)
+	h.route("GET /periods", "periods", h.periods)
+	h.route("GET /info", "info", h.info)
+	h.route("GET /trace/{id}", "trace", h.trace)
+	h.route("POST /ingest", "ingest", h.ingest)
+	h.route("POST /ingest/stream", "ingest_stream", h.ingestStream)
+	h.route("POST /detect", "detect", h.detect)
+	h.route("POST /stats", "stats", h.stats)
+	h.route("POST /explore", "explore", h.explore)
+	h.route("POST /prune", "prune", h.prune)
+	h.route("POST /periods/rotate", "rotate", h.rotate)
 	h.inner = h.mux
 	if opts.RequestTimeout > 0 {
 		h.inner = http.TimeoutHandler(h.mux, opts.RequestTimeout,
 			`{"error":"request timed out"}`)
 	}
+	if h.reg != nil && !opts.DisableMetricsEndpoint {
+		h.opsMux().HandleFunc("GET /metrics", h.metricsText)
+	}
+	if opts.Pprof {
+		m := h.opsMux()
+		m.HandleFunc("GET /debug/pprof/", pprof.Index)
+		m.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		m.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		m.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		m.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return h
+}
+
+func (h *Handler) opsMux() *http.ServeMux {
+	if h.ops == nil {
+		h.ops = http.NewServeMux()
+	}
+	return h.ops
+}
+
+// route registers one API endpoint, wrapped — when the engine records
+// metrics — to observe its latency and count its responses by status code.
+func (h *Handler) route(pattern, name string, fn http.HandlerFunc) {
+	if h.reg == nil {
+		h.mux.HandleFunc(pattern, fn)
+		return
+	}
+	dur := h.reg.Histogram("seqlog_http_request_duration_seconds",
+		metrics.Label{Key: "route", Value: name})
+	h.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		fn(sw, r)
+		dur.Observe(time.Since(start))
+		code := sw.status
+		if code == 0 {
+			code = http.StatusOK
+		}
+		h.reg.Counter("seqlog_http_requests_total",
+			metrics.Label{Key: "route", Value: name},
+			metrics.Label{Key: "code", Value: strconv.Itoa(code)}).Add(1)
+	})
+}
+
+// statusWriter remembers the first status code a handler wrote.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// metricsText is GET /metrics: the registry in Prometheus text exposition.
+func (h *Handler) metricsText(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	h.reg.WritePrometheus(w)
 }
 
 // ServeHTTP implements http.Handler: body limits, the request timeout, and a
@@ -73,6 +150,10 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusInternalServerError, fmt.Errorf("internal error: %v", rec))
 		}
 	}()
+	if h.ops != nil && (r.URL.Path == "/metrics" || strings.HasPrefix(r.URL.Path, "/debug/pprof")) {
+		h.ops.ServeHTTP(w, r)
+		return
+	}
 	if h.opts.MaxBodyBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
 	}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"seqlog"
@@ -35,6 +36,12 @@ type StreamResponse struct {
 //     again with the accepted count. Nothing of the refused chunk was
 //     admitted; the client resumes from accepted.
 //   - 400 on a malformed line, with the accepted count.
+//
+// Every reply that reports accepted > 0 — success or error — is preceded by
+// a Flush: clients resume from the accepted count, so the events behind it
+// must be durable before it is reported. When the client disconnects
+// mid-stream no reply is reachable; admitted events are still flushed so the
+// work (and the shared pipeline) is left in a clean state.
 func (h *Handler) ingestStream(w http.ResponseWriter, r *http.Request) {
 	app, err := h.engine.OpenStream(seqlog.StreamOptions{})
 	if err != nil {
@@ -44,12 +51,22 @@ func (h *Handler) ingestStream(w http.ResponseWriter, r *http.Request) {
 	defer app.Close()
 
 	accepted := 0
-	fail := func(status int, err error) {
+	fail := func(status int, ferr error) {
+		// Make the accepted count durable before reporting it as resumable.
+		// A failed flush escalates: claiming "accepted: n" while the events
+		// may be lost on crash would make clients skip them on retry.
+		if accepted > 0 {
+			if flushErr := app.Flush(); flushErr != nil {
+				status = http.StatusInternalServerError
+				ferr = fmt.Errorf("flushing %d accepted events: %w (while handling: %v)",
+					accepted, flushErr, ferr)
+			}
+		}
 		if status == http.StatusTooManyRequests {
 			w.Header().Set("Retry-After", "1")
 		}
 		writeJSON(w, status, map[string]any{
-			"error":    err.Error(),
+			"error":    ferr.Error(),
 			"accepted": accepted,
 		})
 	}
@@ -105,6 +122,14 @@ func (h *Handler) ingestStream(w http.ResponseWriter, r *http.Request) {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			fail(http.StatusRequestEntityTooLarge, err)
+			return
+		}
+		// A read error with a dead request context means the client hung up
+		// mid-stream: no reply is deliverable, so skip it — but commit what
+		// was admitted (best effort) so the shared pipeline is not left with
+		// this request's events pending and the deferred Close drains clean.
+		if r.Context().Err() != nil || errors.Is(err, io.ErrUnexpectedEOF) {
+			app.Flush()
 			return
 		}
 		fail(http.StatusBadRequest, err)

@@ -1,11 +1,16 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"seqlog"
 	"seqlog/internal/httpclient"
@@ -98,6 +103,70 @@ func TestIngestStreamTooLarge(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status = %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestIngestStreamClientDisconnect kills the client mid-NDJSON-stream: the
+// handler must commit what it admitted, drain its appender (no leaked shard
+// goroutines), and leave the engine able to serve later streams.
+func TestIngestStreamClientDisconnect(t *testing.T) {
+	srv, eng := newServer(t)
+	baseline := runtime.NumGoroutine()
+
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	for i := 0; i < 600; i++ {
+		fmt.Fprintf(&body, `{"Trace":%d,"Activity":"burst","Time":%d}`+"\n", i%8, i)
+	}
+	// Announce far more bytes than will ever be sent: the abrupt close below
+	// then surfaces to the handler as an unexpected-EOF mid-body, not as a
+	// clean end of stream.
+	fmt.Fprintf(conn, "POST /ingest/stream HTTP/1.1\r\nHost: x\r\nContent-Type: application/x-ndjson\r\nContent-Length: %d\r\n\r\n",
+		body.Len()*1000)
+	if _, err := conn.Write(body.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+
+	// The first 512-line chunk was admitted before the disconnect; the
+	// handler must flush it even though nobody is listening for the reply.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st := eng.IngestInfo(); st != nil && st.Flushed >= 512 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("admitted events never flushed after disconnect: %+v", eng.IngestInfo())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n, err := eng.NumTraces(); err != nil || n < 8 {
+		t.Fatalf("traces = %d %v, want the 8 disconnected traces committed", n, err)
+	}
+
+	// The engine is not wedged: a well-behaved stream right after works.
+	c := &httpclient.Client{}
+	var out StreamResponse
+	if err := c.Post(srv.URL+"/ingest/stream", "application/x-ndjson",
+		strings.NewReader(streamBody()), &out); err != nil {
+		t.Fatalf("stream after disconnect: %v", err)
+	}
+	if out.Accepted != 6 {
+		t.Fatalf("accepted = %d, want 6", out.Accepted)
+	}
+
+	// The dead request's pipeline goroutines wound down.
+	for {
+		if runtime.NumGoroutine() <= baseline+10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d now vs %d baseline", runtime.NumGoroutine(), baseline)
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

@@ -4,8 +4,10 @@ import (
 	"encoding/binary"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"seqlog/internal/kvstore"
+	"seqlog/internal/metrics"
 	"seqlog/internal/model"
 )
 
@@ -43,6 +45,14 @@ type Tables struct {
 	store kvstore.Store
 	cache *postingsCache // decoded-postings cache; nil when disabled
 
+	// rows counts decoded rows served to readers across every table
+	// (postings entries, seq events, count entries, watermarks) — the
+	// "rows scanned" figure of the slow-query log and the
+	// seqlog_rows_read_total counter. A single process-wide atomic: per-query
+	// attribution is a delta around the call, exact for serial queries and
+	// approximate under concurrency.
+	rows atomic.Int64
+
 	// Registered-period list, cached so GetIndexAllSorted does not re-scan
 	// and re-sort the periods table on every pair fetch. The slice is a
 	// copy-on-write snapshot: readers hold it without locks, writers
@@ -76,6 +86,22 @@ func (t *Tables) CacheStats() CacheStats {
 		return CacheStats{}
 	}
 	return t.cache.stats()
+}
+
+// ReadRows reports the cumulative count of decoded rows served to readers.
+func (t *Tables) ReadRows() int64 { return t.rows.Load() }
+
+// SetMetrics registers the cache and row-read counters with a registry as
+// func-backed metrics: the existing atomic counters stay the single source
+// of truth (CacheStats and Info keep reading them directly), the registry
+// merely exposes the same values. Safe with a nil registry.
+func (t *Tables) SetMetrics(reg *metrics.Registry) {
+	reg.CounterFunc("seqlog_cache_hits_total", func() int64 { return t.CacheStats().Hits })
+	reg.CounterFunc("seqlog_cache_misses_total", func() int64 { return t.CacheStats().Misses })
+	reg.CounterFunc("seqlog_cache_evictions_total", func() int64 { return t.CacheStats().Evictions })
+	reg.GaugeFunc("seqlog_cache_entries", func() int64 { return t.CacheStats().Entries })
+	reg.GaugeFunc("seqlog_cache_bytes", func() int64 { return t.CacheStats().Bytes })
+	reg.CounterFunc("seqlog_rows_read_total", t.ReadRows)
 }
 
 // Store exposes the underlying kvstore (the server and tools report raw
@@ -120,6 +146,7 @@ func (t *Tables) GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
+	t.rows.Add(int64(len(events)))
 	return events, true, nil
 }
 
@@ -159,6 +186,7 @@ func (t *Tables) ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error
 		if err != nil {
 			return err
 		}
+		t.rows.Add(int64(len(events)))
 		return fn(id, events)
 	})
 }
@@ -290,10 +318,12 @@ func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry
 			return nil, err
 		}
 		sortIndexEntries(entries)
+		t.rows.Add(int64(len(entries)))
 		return entries, nil
 	}
 	k := cacheKey{period: period, pair: pair}
 	if entries, ok := t.cache.get(k); ok {
+		t.rows.Add(int64(len(entries)))
 		return entries, nil
 	}
 	gen, epoch := t.cache.begin(k)
@@ -303,6 +333,7 @@ func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry
 	}
 	sortIndexEntries(entries)
 	t.cache.put(k, gen, epoch, entries)
+	t.rows.Add(int64(len(entries)))
 	return entries, nil
 }
 
@@ -570,7 +601,9 @@ func (t *Tables) GetCounts(first model.ActivityID) ([]CountEntry, error) {
 	if err != nil {
 		return nil, err
 	}
-	return decodeCounts(raw)
+	entries, err := decodeCounts(raw)
+	t.rows.Add(int64(len(entries)))
+	return entries, err
 }
 
 // GetReverseCounts returns the Reverse Count row of second: one entry per
@@ -580,7 +613,9 @@ func (t *Tables) GetReverseCounts(second model.ActivityID) ([]CountEntry, error)
 	if err != nil {
 		return nil, err
 	}
-	return decodeCounts(raw)
+	entries, err := decodeCounts(raw)
+	t.rows.Add(int64(len(entries)))
+	return entries, err
 }
 
 // GetPairCount returns the Count entry of the exact pair (a, b).
@@ -637,7 +672,9 @@ func (t *Tables) GetLastChecked(pair model.PairKey) (map[model.TraceID]model.Tim
 	if err != nil {
 		return nil, err
 	}
-	return decodeLastChecked(raw)
+	m, err := decodeLastChecked(raw)
+	t.rows.Add(int64(len(m)))
+	return m, err
 }
 
 // MergeLastChecked folds new watermarks into the row of pair, keeping the

@@ -22,3 +22,11 @@ go test -race -run 'Crash|Corrupt' ./internal/kvstore/
 # sweep, run explicitly for the same reason as above.
 go test -race ./internal/ingest/...
 go test -race -run 'StreamEqualsSerialBuilder|StreamCrash' ./internal/ingest/
+
+# Metrics tier: the registry and the whole telemetry path under the race
+# detector (parallel queries + live ingest stream + concurrent /metrics
+# scrapes), then a real-binary scrape assertion (seqserver -pprof
+# -slow-query-ms, curl-style GET /metrics, seqquery metrics verb).
+go test -race ./internal/metrics/
+go test -race -run 'Metrics|Disconnect' ./internal/server/
+go test -run 'Metrics' ./internal/clitest/

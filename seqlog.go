@@ -29,6 +29,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -37,6 +39,7 @@ import (
 	"seqlog/internal/index"
 	"seqlog/internal/ingest"
 	"seqlog/internal/kvstore"
+	"seqlog/internal/metrics"
 	"seqlog/internal/model"
 	"seqlog/internal/pairs"
 	"seqlog/internal/query"
@@ -95,6 +98,18 @@ type Config struct {
 	FlushInterval time.Duration
 	// IngestQueue bounds the streaming input queue (backpressure).
 	IngestQueue int
+	// SlowQueryThreshold, when positive, logs every query taking at least
+	// this long as one structured line — family, pattern arity, rows
+	// scanned, duration — to SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines; nil means os.Stderr.
+	SlowQueryLog io.Writer
+	// DisableMetrics turns the metrics registry off entirely: Metrics
+	// returns nil and no layer records telemetry. It exists for the
+	// metrics-overhead benchmark's uninstrumented baseline; production
+	// deployments keep it false (the instrumented hot path is within noise
+	// of the uninstrumented one — see BENCH_metrics_overhead.json).
+	DisableMetrics bool
 }
 
 // Event is one public log record: an activity executed inside a trace at a
@@ -186,7 +201,32 @@ type Engine struct {
 	pipeline      *ingest.Pipeline
 	streams       int
 	lastIngest    ingest.Stats // snapshot of the last drained stream
+	ingestTotal   ingest.Stats // counters accumulated over drained pipelines
 	persistedActs int
+
+	// Observability (metrics.go wiring lives in this file): the registry is
+	// nil when Config.DisableMetrics is set; qdur/qerr hold the per-family
+	// query histograms and error counters so the hot path never takes the
+	// registry lock.
+	metrics    *metrics.Registry
+	qdur       map[string]*metrics.Histogram
+	qerr       map[string]*metrics.Counter
+	slowThresh time.Duration
+	slowLog    *log.Logger
+}
+
+// Query families, the label values of seqlog_query_duration_seconds: the
+// Statistics query, pattern detection (SC and STNM share the join), pattern
+// continuation (Explore) and the §7 insert-position continuation.
+const (
+	famDetect  = "detect"
+	famStats   = "stats"
+	famExplore = "explore"
+	famInsert  = "explore_insert"
+)
+
+func queryFamilies() []string {
+	return []string{famDetect, famStats, famExplore, famInsert}
 }
 
 const (
@@ -213,12 +253,17 @@ func Open(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 
+	var reg *metrics.Registry
+	if !cfg.DisableMetrics {
+		reg = metrics.New()
+	}
+
 	var (
 		store kvstore.Store
 		disk  *kvstore.DiskStore
 	)
 	if cfg.Dir != "" {
-		d, err := kvstore.OpenDiskWith(cfg.Dir, kvstore.DiskOptions{Salvage: cfg.Salvage})
+		d, err := kvstore.OpenDiskWith(cfg.Dir, kvstore.DiskOptions{Salvage: cfg.Salvage, Metrics: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -250,12 +295,112 @@ func Open(cfg Config) (*Engine, error) {
 		proc:     proc,
 		alphabet: model.NewAlphabet(),
 		cfg:      cfg,
+		metrics:  reg,
 	}
 	if err := e.restoreMeta(policy); err != nil {
 		store.Close()
 		return nil, err
 	}
+	e.initMetrics()
+	if cfg.SlowQueryThreshold > 0 {
+		w := cfg.SlowQueryLog
+		if w == nil {
+			w = os.Stderr
+		}
+		e.slowThresh = cfg.SlowQueryThreshold
+		e.slowLog = log.New(w, "", log.LstdFlags|log.LUTC)
+	}
 	return e, nil
+}
+
+// Metrics returns the engine's telemetry registry — per-family query latency
+// histograms, WAL/cache/ingest counters — or nil when Config.DisableMetrics
+// is set. The HTTP server exposes it as GET /metrics.
+func (e *Engine) Metrics() *metrics.Registry { return e.metrics }
+
+// initMetrics builds the per-family query series and registers the
+// function-backed metrics that delegate to the subsystems' own counters, so
+// the registry never becomes a second (driftable) source of truth.
+func (e *Engine) initMetrics() {
+	if e.metrics == nil {
+		return
+	}
+	e.qdur = make(map[string]*metrics.Histogram, 4)
+	e.qerr = make(map[string]*metrics.Counter, 4)
+	for _, fam := range queryFamilies() {
+		l := metrics.Label{Key: "family", Value: fam}
+		e.qdur[fam] = e.metrics.Histogram("seqlog_query_duration_seconds", l)
+		e.qerr[fam] = e.metrics.Counter("seqlog_query_errors_total", l)
+	}
+	e.tables.SetMetrics(e.metrics)
+	e.metrics.GaugeFunc("seqlog_activities", func() int64 {
+		return int64(e.alphabet.Len())
+	})
+	e.metrics.GaugeFunc("seqlog_traces", func() int64 {
+		n, err := e.tables.NumTraces()
+		if err != nil {
+			return -1
+		}
+		return int64(n)
+	})
+	// Recovery is a fact about this open, not a moving value: set once.
+	rec := e.Recovery()
+	e.metrics.Gauge("seqlog_recovery_wal_replayed").Set(rec.WALReplayed)
+	e.metrics.Gauge("seqlog_recovery_dropped_regions").Set(rec.DroppedRegions)
+	var salv int64
+	if rec.Salvaged {
+		salv = 1
+	}
+	e.metrics.Gauge("seqlog_recovery_salvaged").Set(salv)
+	// Streaming-ingest counters stay monotone across pipeline restarts:
+	// ingestCumulative folds drained pipelines into the live one.
+	cum := func(pick func(ingest.Stats) int64) func() int64 {
+		return func() int64 { return pick(e.ingestCumulative()) }
+	}
+	e.metrics.CounterFunc("seqlog_ingest_accepted_total", cum(func(s ingest.Stats) int64 { return s.Accepted }))
+	e.metrics.CounterFunc("seqlog_ingest_flushed_total", cum(func(s ingest.Stats) int64 { return s.Flushed }))
+	e.metrics.CounterFunc("seqlog_ingest_batches_total", cum(func(s ingest.Stats) int64 { return s.Batches }))
+	e.metrics.CounterFunc("seqlog_ingest_syncs_total", cum(func(s ingest.Stats) int64 { return s.Syncs }))
+	e.metrics.CounterFunc("seqlog_ingest_stalls_total", cum(func(s ingest.Stats) int64 { return s.Stalls }))
+	e.metrics.GaugeFunc("seqlog_ingest_queued", func() int64 { return e.liveIngest().Queued })
+	e.metrics.GaugeFunc("seqlog_ingest_sessions", func() int64 { return e.liveIngest().Sessions })
+}
+
+var noopTrack = func(*error) {}
+
+// track begins one query observation; defer the returned func with the
+// method's named error:
+//
+//	defer e.track(famDetect, len(pattern))(&err)
+//
+// It feeds the per-family latency histogram and error counter, and — when a
+// slow-query threshold is configured — emits one structured line with the
+// family, pattern arity, rows scanned and duration. Rows scanned is a delta
+// of the process-wide row counter: exact for serial queries, an approximation
+// when queries overlap.
+func (e *Engine) track(family string, arity int) func(*error) {
+	if e.metrics == nil && e.slowThresh <= 0 {
+		return noopTrack
+	}
+	start := time.Now()
+	rows0 := e.tables.ReadRows()
+	return func(errp *error) {
+		d := time.Since(start)
+		e.qdur[family].Observe(d) // nil when metrics are off: a safe no-op
+		if *errp != nil {
+			e.qerr[family].Add(1)
+		}
+		if e.slowLog != nil && d >= e.slowThresh {
+			rows := e.tables.ReadRows() - rows0
+			if *errp != nil {
+				e.slowLog.Printf("slow-query family=%s arity=%d rows=%d duration=%s err=%q",
+					family, arity, rows, d, (*errp).Error())
+			} else {
+				e.slowLog.Printf("slow-query family=%s arity=%d rows=%d duration=%s",
+					family, arity, rows, d)
+			}
+		}
+	}
 }
 
 func parseMethod(s string) (pairs.Method, error) {
@@ -412,7 +557,8 @@ func (e *Engine) pattern(names []string) (model.Pattern, bool, error) {
 
 // Detect returns every completion of the pattern in the indexed log
 // (Algorithm 2). The pattern needs at least two activities.
-func (e *Engine) Detect(patternNames []string) ([]Match, error) {
+func (e *Engine) Detect(patternNames []string) (_ []Match, err error) {
+	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return nil, err
@@ -433,7 +579,8 @@ func (e *Engine) Detect(patternNames []string) ([]Match, error) {
 }
 
 // DetectTraces returns the distinct trace ids containing the pattern.
-func (e *Engine) DetectTraces(patternNames []string) ([]int64, error) {
+func (e *Engine) DetectTraces(patternNames []string) (_ []int64, err error) {
+	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return nil, err
@@ -455,7 +602,8 @@ func (e *Engine) DetectTraces(patternNames []string) ([]int64, error) {
 // DetectWithin is Detect constrained to completions whose total span does
 // not exceed withinMS milliseconds (the WITHIN clause of CEP languages);
 // over-window chains are pruned during the join.
-func (e *Engine) DetectWithin(patternNames []string, withinMS int64) ([]Match, error) {
+func (e *Engine) DetectWithin(patternNames []string, withinMS int64) (_ []Match, err error) {
+	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return nil, err
@@ -473,7 +621,8 @@ func (e *Engine) DetectWithin(patternNames []string, withinMS int64) ([]Match, e
 // DetectScan answers the detection query by scanning stored traces instead
 // of joining index rows: exact for both policies, slower on large logs. The
 // policy is the engine's configured one.
-func (e *Engine) DetectScan(patternNames []string) ([]Match, error) {
+func (e *Engine) DetectScan(patternNames []string) (_ []Match, err error) {
+	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return nil, err
@@ -506,7 +655,8 @@ func convertMatches(ms []query.Match) []Match {
 }
 
 // Stats answers the Statistics query for the pattern.
-func (e *Engine) Stats(patternNames []string) (PatternStats, error) {
+func (e *Engine) Stats(patternNames []string) (_ PatternStats, err error) {
+	defer e.track(famStats, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return PatternStats{}, err
@@ -543,7 +693,8 @@ func (e *Engine) convertStats(st query.PatternStats) PatternStats {
 // the consecutive ones only: a tighter (never looser) bound on the number
 // of non-overlapping pattern completions, at quadratically more row reads
 // (§3.2.1's accuracy/running-time trade-off).
-func (e *Engine) StatsAllPairs(patternNames []string) (PatternStats, error) {
+func (e *Engine) StatsAllPairs(patternNames []string) (_ PatternStats, err error) {
+	defer e.track(famStats, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return PatternStats{}, err
@@ -559,7 +710,8 @@ func (e *Engine) StatsAllPairs(patternNames []string) (PatternStats, error) {
 }
 
 // Explore answers the pattern-continuation query with the chosen strategy.
-func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOptions) ([]Proposal, error) {
+func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOptions) (_ []Proposal, err error) {
+	defer e.track(famExplore, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return nil, err
@@ -598,7 +750,8 @@ func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOp
 // ExploreInsert proposes events to insert into the pattern at the given
 // position (0 = before the first event, len(pattern) = append) — the §7
 // extension of the paper for completing patterns at arbitrary places.
-func (e *Engine) ExploreInsert(patternNames []string, pos int, mode ExploreMode, opts ExploreOptions) ([]Proposal, error) {
+func (e *Engine) ExploreInsert(patternNames []string, pos int, mode ExploreMode, opts ExploreOptions) (_ []Proposal, err error) {
+	defer e.track(famInsert, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
 		return nil, err

@@ -85,6 +85,7 @@ func (e *Engine) OpenStream(opts StreamOptions) (*Appender, error) {
 			Block:         opts.Block,
 			CommitLock:    &e.mu,
 			BeforeCommit:  e.persistAlphabetIfGrown,
+			Metrics:       e.metrics,
 		})
 		if err != nil {
 			return nil, err
@@ -172,13 +173,58 @@ func (e *Engine) releaseStream() error {
 	if p == nil {
 		return nil
 	}
-	if err := p.Close(); err != nil {
-		return fmt.Errorf("seqlog: draining ingestion stream: %w", err)
-	}
+	cerr := p.Close()
 	e.pipeMu.Lock()
 	e.lastIngest = p.Stats()
+	e.accumulateIngestLocked(e.lastIngest)
 	e.pipeMu.Unlock()
+	if cerr != nil {
+		return fmt.Errorf("seqlog: draining ingestion stream: %w", cerr)
+	}
 	return nil
+}
+
+// accumulateIngestLocked folds a drained pipeline's counters into the
+// engine-lifetime totals (pipeMu held). Only monotone counters accumulate;
+// Queued/Sessions are instantaneous and belong to the live pipeline.
+func (e *Engine) accumulateIngestLocked(st ingest.Stats) {
+	e.ingestTotal.Accepted += st.Accepted
+	e.ingestTotal.Flushed += st.Flushed
+	e.ingestTotal.Batches += st.Batches
+	e.ingestTotal.Syncs += st.Syncs
+	e.ingestTotal.Stalls += st.Stalls
+}
+
+// ingestCumulative sums the counters of all drained pipelines with the live
+// one, keeping the exported ingest counters monotone across stream restarts.
+func (e *Engine) ingestCumulative() ingest.Stats {
+	e.pipeMu.Lock()
+	st := e.ingestTotal
+	p := e.pipeline
+	e.pipeMu.Unlock()
+	if p != nil {
+		live := p.Stats()
+		st.Accepted += live.Accepted
+		st.Flushed += live.Flushed
+		st.Batches += live.Batches
+		st.Syncs += live.Syncs
+		st.Stalls += live.Stalls
+		st.Queued = live.Queued
+		st.Sessions = live.Sessions
+	}
+	return st
+}
+
+// liveIngest snapshots the open pipeline's counters, or zeros when no stream
+// is open.
+func (e *Engine) liveIngest() ingest.Stats {
+	e.pipeMu.Lock()
+	p := e.pipeline
+	e.pipeMu.Unlock()
+	if p == nil {
+		return ingest.Stats{}
+	}
+	return p.Stats()
 }
 
 // closePipeline force-drains the stream on engine Close, regardless of open
@@ -195,6 +241,7 @@ func (e *Engine) closePipeline() error {
 	err := p.Close()
 	e.pipeMu.Lock()
 	e.lastIngest = p.Stats()
+	e.accumulateIngestLocked(e.lastIngest)
 	e.pipeMu.Unlock()
 	return err
 }
