@@ -33,6 +33,9 @@ func main() {
 		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		partial = flag.Bool("partial", false, "treat same-timestamp events as concurrent (partial order; STNM only)")
 
+		shards   = flag.Int("shards", 0, "split the index across N independent stores (0/1 = single store; pinned at creation)")
+		shardDir = flag.String("shard-dir", "", "base directory for shard-NNNN stores (default: -dir)")
+
 		stream        = flag.Bool("stream", false, "ingest through the streaming pipeline instead of serial batches")
 		ingestWorkers = flag.Int("ingest-workers", 0, "streaming shard workers (0 = all cores; implies -stream semantics only with -stream)")
 		flushEvents   = flag.Int("flush-events", 0, "streaming flush threshold in events (0 = default 1024)")
@@ -47,7 +50,8 @@ func main() {
 
 	eng, err := seqlog.Open(seqlog.Config{
 		Policy: *policy, Method: *method, Workers: *workers, Dir: *dir, Period: *period,
-		PartialOrder:  *partial,
+		PartialOrder: *partial,
+		Shards:       *shards, ShardDir: *shardDir,
 		IngestWorkers: *ingestWorkers, FlushEvents: *flushEvents, FlushInterval: *flushInterval,
 	})
 	if err != nil {

@@ -46,6 +46,9 @@ func main() {
 		planner = flag.Bool("planner", false, "use the selectivity-based join planner")
 		cacheMB = flag.Int("cache-mb", 0, "decoded-postings cache budget in MiB (0 = default 64, negative disables)")
 		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
+
+		shards   = flag.Int("shards", 0, "shard count the index was built with (0/1 = single store)")
+		shardDir = flag.String("shard-dir", "", "base directory of the shard-NNNN stores (default: -dir)")
 	)
 	flag.Parse()
 	if (*dir == "") == (*srvURL == "") || flag.NArg() < 1 {
@@ -61,6 +64,7 @@ func main() {
 	eng, err := seqlog.Open(seqlog.Config{
 		Dir: *dir, Policy: *policy, PartialOrder: *partial, Planner: *planner,
 		CacheBytes: cacheBytes(*cacheMB), QueryWorkers: *workers,
+		Shards: *shards, ShardDir: *shardDir,
 	})
 	if err != nil {
 		fatal(err)

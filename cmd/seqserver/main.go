@@ -39,6 +39,9 @@ func main() {
 		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
 		salvage = flag.Bool("salvage", false, "recover a corrupt store by quarantining unreadable regions instead of failing")
 
+		shards   = flag.Int("shards", 0, "split the index across N independent stores (0/1 = single store; pinned at creation)")
+		shardDir = flag.String("shard-dir", "", "base directory for shard-NNNN stores (default: -dir)")
+
 		ingestWorkers = flag.Int("ingest-workers", 0, "streaming-ingest shard workers (0 = all cores)")
 		flushEvents   = flag.Int("flush-events", 0, "streaming-ingest flush threshold in events (0 = default 1024)")
 		flushInterval = flag.Duration("flush-interval", 0, "streaming-ingest flush age bound (0 = default 50ms)")
@@ -57,6 +60,8 @@ func main() {
 		PartialOrder: *partial, Planner: *planner,
 		CacheBytes: cacheBytes(*cacheMB), QueryWorkers: *workers,
 		Salvage:       *salvage,
+		Shards:        *shards,
+		ShardDir:      *shardDir,
 		IngestWorkers: *ingestWorkers,
 		FlushEvents:   *flushEvents,
 		FlushInterval: *flushInterval,

@@ -86,7 +86,7 @@ func Experiments() []string {
 		"table4", "figure2", "table5", "figure3", "table6", "table7",
 		"figure4", "table8", "figure5", "figure6", "figure7",
 		"recall", "incremental", "partitions", "baseline19", "joinorder",
-		"ingest", "metrics-overhead",
+		"ingest", "metrics-overhead", "shards",
 	}
 }
 
@@ -129,6 +129,8 @@ func (r *Runner) Run(name string) error {
 		return r.Ingest()
 	case "metrics-overhead":
 		return r.MetricsOverhead()
+	case "shards":
+		return r.Shards()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments())
 	}

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"seqlog/internal/index"
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/query"
+	"seqlog/internal/shard"
+	"seqlog/internal/storage"
+)
+
+// shardsResult is one row of BENCH_shards.json.
+type shardsResult struct {
+	Shards       int     `json:"shards"`
+	BuildSeconds float64 `json:"buildSeconds"`
+	BuildEvtSec  float64 `json:"buildEventsPerSec"`
+	BuildSpeedup float64 `json:"buildSpeedup"` // vs 1 shard
+	QuerySeconds float64 `json:"querySeconds"`
+	QueriesSec   float64 `json:"queriesPerSec"`
+	QuerySpeedup float64 `json:"querySpeedup"` // vs 1 shard
+}
+
+// shardPoints returns the shard counts to measure: 1 (the baseline), 2, 4,
+// and — when the machine has the cores to drive them — all cores.
+func shardPoints(workers int) []int {
+	all := workers
+	if all <= 0 {
+		all = runtime.GOMAXPROCS(0)
+	}
+	points := []int{1, 2, 4}
+	if all > 4 {
+		points = append(points, all)
+	}
+	return points
+}
+
+// Shards measures how index builds and a concurrent multi-pattern detection
+// workload scale with the shard count of the storage backend. Builds write
+// through N independent stores (pair-routed, so the parallel write phase
+// stops contending on one store mutex); queries run one client per core,
+// each detecting a batch of patterns whose rows scatter across the shards'
+// independent postings caches. Results are identical at every shard count —
+// the differential oracle test asserts that; this experiment measures only
+// the throughput shape.
+func (r *Runner) Shards() error {
+	spec := r.datasets()[0]
+	log := r.log(spec)
+	events := log.Events()
+	if len(events) == 0 {
+		return fmt.Errorf("shards: dataset %s is empty", spec.Name)
+	}
+	patterns := samplePatterns(log, 3, 32, 42)
+	clients := r.cfg.Workers
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+	}
+
+	r.section("Shards — scatter-gather scaling",
+		fmt.Sprintf("dataset=%s events=%d patterns=%d clients=%d policy=STNM/indexing; results identical at every shard count",
+			spec.Name, len(events), len(patterns), clients))
+
+	var results []shardsResult
+	for _, n := range shardPoints(r.cfg.Workers) {
+		buildSec, qSec, err := r.shardRun(n, events, patterns, clients)
+		if err != nil {
+			return err
+		}
+		res := shardsResult{
+			Shards:       n,
+			BuildSeconds: buildSec,
+			BuildEvtSec:  float64(len(events)) / buildSec,
+			QuerySeconds: qSec,
+			QueriesSec:   float64(clients*len(patterns)*r.cfg.QueryRepeats) / qSec,
+		}
+		if len(results) > 0 {
+			res.BuildSpeedup = results[0].BuildSeconds / buildSec
+			res.QuerySpeedup = results[0].QuerySeconds / qSec
+		} else {
+			res.BuildSpeedup, res.QuerySpeedup = 1, 1
+		}
+		results = append(results, res)
+	}
+
+	rows := make([][]string, 0, len(results))
+	for _, res := range results {
+		rows = append(rows, []string{
+			fmt.Sprint(res.Shards),
+			fmt.Sprintf("%.3f", res.BuildSeconds),
+			fmt.Sprintf("%.0f", res.BuildEvtSec),
+			fmt.Sprintf("%.2fx", res.BuildSpeedup),
+			fmt.Sprintf("%.3f", res.QuerySeconds),
+			fmt.Sprintf("%.0f", res.QueriesSec),
+			fmt.Sprintf("%.2fx", res.QuerySpeedup),
+		})
+	}
+	r.table([]string{"shards", "build s", "build ev/s", "speedup", "query s", "queries/s", "speedup"}, rows)
+
+	if r.cfg.JSONDir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(map[string]any{
+		"experiment": "shards",
+		"dataset":    spec.Name,
+		"patterns":   len(patterns),
+		"clients":    clients,
+		"results":    results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.cfg.JSONDir, "BENCH_shards.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out(), "wrote %s\n", path)
+	return nil
+}
+
+// shardBackend builds an n-shard in-memory backend (n=1 degenerates to the
+// classic single store).
+func shardBackend(n int) (storage.Backend, error) {
+	if n <= 1 {
+		return storage.NewTables(kvstore.NewMemStore()), nil
+	}
+	stores := make([]kvstore.Store, n)
+	for i := range stores {
+		stores[i] = kvstore.NewMemStore()
+	}
+	return shard.New(stores, shard.Options{})
+}
+
+// shardRun builds the dataset into an n-shard backend (timed, averaged over
+// BuildRepeats) and then hammers it with `clients` concurrent detection
+// loops over the pattern batch (timed over QueryRepeats rounds per client).
+func (r *Runner) shardRun(n int, events []model.Event, patterns []model.Pattern, clients int) (buildSec, querySec float64, err error) {
+	var backend storage.Backend
+	var buildTotal time.Duration
+	for rep := 0; rep < r.cfg.BuildRepeats; rep++ {
+		backend, err = shardBackend(n)
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := index.NewBuilder(backend, index.Options{Policy: model.STNM, Method: pairs.Indexing, Workers: r.cfg.Workers})
+		if err != nil {
+			return 0, 0, err
+		}
+		start := time.Now()
+		if _, err := b.Update(events); err != nil {
+			return 0, 0, err
+		}
+		buildTotal += time.Since(start)
+	}
+	buildSec = (buildTotal / time.Duration(r.cfg.BuildRepeats)).Seconds()
+
+	proc := query.NewProcessor(backend)
+	// Warm the postings caches so every shard count is measured hot.
+	for _, p := range patterns {
+		if _, err := proc.Detect(p); err != nil {
+			return 0, 0, err
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < r.cfg.QueryRepeats; rep++ {
+				for _, p := range patterns {
+					if _, err := proc.Detect(p); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	querySec = time.Since(start).Seconds()
+	return buildSec, querySec, firstErr
+}

@@ -55,12 +55,14 @@ type Stats struct {
 // Builders over the same Tables still race.
 type Builder struct {
 	mu     sync.Mutex // serializes Update / PruneTraces
-	tables *storage.Tables
+	tables storage.Backend
 	opts   Options
 }
 
-// NewBuilder returns a builder writing through the given tables.
-func NewBuilder(tables *storage.Tables, opts Options) (*Builder, error) {
+// NewBuilder returns a builder writing through the given tables —
+// single-store or sharded; the Backend routes each write to its owning
+// store either way.
+func NewBuilder(tables storage.Backend, opts Options) (*Builder, error) {
 	if opts.Policy != model.SC && opts.Policy != model.STNM {
 		return nil, fmt.Errorf("index: policy %v is not indexable", opts.Policy)
 	}
@@ -152,8 +154,9 @@ func (b *Builder) Update(events []model.Event) (Stats, error) {
 		return Stats{}, err
 	}
 
-	// Write phase: every pair key lives in exactly one shard, so shards
-	// can flush concurrently without write conflicts.
+	// Write phase, pairs first: every pair key lives in exactly one
+	// accumulator shard, so the index rows and watermarks flush
+	// concurrently without write conflicts.
 	var mu sync.Mutex
 	err = parallel.ForEach(numShards, b.opts.Workers, func(i int) error {
 		s := &shards[i]
@@ -168,16 +171,6 @@ func (b *Builder) Update(events []model.Event) (Stats, error) {
 			localPairs++
 			localOcc += len(acc.entries)
 		}
-		for a, acc := range s.counts {
-			if err := b.tables.MergeCounts(a, countDelta(acc)); err != nil {
-				return err
-			}
-		}
-		for a, acc := range s.rcounts {
-			if err := b.tables.MergeReverseCounts(a, countDelta(acc)); err != nil {
-				return err
-			}
-		}
 		mu.Lock()
 		stats.Pairs += localPairs
 		stats.Occurrences += localOcc
@@ -187,15 +180,80 @@ func (b *Builder) Update(events []model.Event) (Stats, error) {
 	if err != nil {
 		return Stats{}, err
 	}
+
+	// Count rows are keyed by activity, and one activity's pairs hash into
+	// several accumulator shards, so flushing counts shard-by-shard would
+	// issue concurrent read-modify-writes on the same row — a lost-update
+	// race. Regroup the deltas per (table, activity) and flush with one
+	// writer per row: keys are disjoint, so this fan-out is conflict-free.
+	jobs := gatherCountJobs(shards)
+	err = parallel.ForEach(len(jobs), b.opts.Workers, func(i int) error {
+		j := jobs[i]
+		if j.reverse {
+			return b.tables.MergeReverseCounts(j.key, countDelta(j.accs))
+		}
+		return b.tables.MergeCounts(j.key, countDelta(j.accs))
+	})
+	if err != nil {
+		return Stats{}, err
+	}
 	return stats, nil
 }
 
-func countDelta(acc countAccum) []storage.CountEntry {
-	out := make([]storage.CountEntry, 0, len(acc))
-	for _, e := range acc {
-		out = append(out, *e)
+// countJob is one Count or Reverse Count row flush: every accumulator
+// shard's delta for the row, merged at write time.
+type countJob struct {
+	key     model.ActivityID
+	reverse bool
+	accs    []countAccum
+}
+
+// gatherCountJobs regroups the per-shard count accumulators by destination
+// row, in deterministic (table, activity) order.
+func gatherCountJobs(shards []shard) []countJob {
+	fw := make(map[model.ActivityID][]countAccum)
+	rv := make(map[model.ActivityID][]countAccum)
+	for i := range shards {
+		for a, acc := range shards[i].counts {
+			fw[a] = append(fw[a], acc)
+		}
+		for a, acc := range shards[i].rcounts {
+			rv[a] = append(rv[a], acc)
+		}
 	}
-	// Deterministic order for reproducible rows.
+	jobs := make([]countJob, 0, len(fw)+len(rv))
+	for a, accs := range fw {
+		jobs = append(jobs, countJob{key: a, accs: accs})
+	}
+	for a, accs := range rv {
+		jobs = append(jobs, countJob{key: a, reverse: true, accs: accs})
+	}
+	sort.Slice(jobs, func(i, j int) bool {
+		if jobs[i].reverse != jobs[j].reverse {
+			return !jobs[i].reverse
+		}
+		return jobs[i].key < jobs[j].key
+	})
+	return jobs
+}
+
+// countDelta flattens one row's accumulators into a delta, summing entries
+// for the same successor and sorting for reproducible rows.
+func countDelta(accs []countAccum) []storage.CountEntry {
+	merged := make(map[model.ActivityID]storage.CountEntry)
+	for _, acc := range accs {
+		for o, e := range acc {
+			m := merged[o]
+			m.Other = o
+			m.SumDuration += e.SumDuration
+			m.Completions += e.Completions
+			merged[o] = m
+		}
+	}
+	out := make([]storage.CountEntry, 0, len(merged))
+	for _, e := range merged {
+		out = append(out, e)
+	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Other < out[j].Other })
 	return out
 }

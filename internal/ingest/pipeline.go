@@ -119,7 +119,7 @@ type Stats struct {
 // any number of goroutines; Flush, Close and Stats are also safe for
 // concurrent use.
 type Pipeline struct {
-	tables *storage.Tables
+	tables storage.Backend
 	opts   Options
 	batch  kvstore.BatchWriter // nil when the store has no atomic groups
 	flushH *metrics.Histogram  // committed-flush latency; nil-safe
@@ -151,7 +151,7 @@ type ingestShard struct {
 }
 
 // New returns a running pipeline writing through tables.
-func New(tables *storage.Tables, opts Options) (*Pipeline, error) {
+func New(tables storage.Backend, opts Options) (*Pipeline, error) {
 	if opts.Policy != model.SC && opts.Policy != model.STNM {
 		return nil, fmt.Errorf("ingest: policy %v is not indexable", opts.Policy)
 	}
@@ -180,9 +180,10 @@ func New(tables *storage.Tables, opts Options) (*Pipeline, error) {
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.flushH = opts.Metrics.Histogram("seqlog_ingest_flush_seconds")
-	if bw, ok := tables.Store().(kvstore.BatchWriter); ok {
-		p.batch = bw
-	}
+	// Batch is nil when the store(s) keep no WAL; on a sharded backend it
+	// is the fan-out group writer, so each flush commits atomically PER
+	// SHARD (one WAL group and one fsync per shard per flush).
+	p.batch = tables.Batch()
 	for i := range p.shards {
 		p.shards[i].sessions = make(map[model.TraceID]*session)
 	}

@@ -36,7 +36,7 @@ type session struct {
 // The extractor is always the State flavor regardless of the Builder method
 // configured for batch ingestion: all STNM flavors produce identical pair
 // sets (the property tests enforce it), and State is the only streaming one.
-func loadSession(tables *storage.Tables, id model.TraceID, policy model.Policy) (*session, error) {
+func loadSession(tables storage.Backend, id model.TraceID, policy model.Policy) (*session, error) {
 	old, _, err := tables.GetSeq(id)
 	if err != nil {
 		return nil, err

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"seqlog/internal/model"
+	"seqlog/internal/parallel"
 	"seqlog/internal/storage"
 )
 
@@ -115,8 +116,31 @@ func joinSorted(rows [][]storage.IndexEntry, within int64, candidates map[model.
 // sortedRows fetches the sorted index row of every consecutive pattern pair
 // through the postings cache. A nil result (with nil error) means some pair
 // never occurs, so the pattern has no completions.
+//
+// On a sharded backend the pattern's pairs live on different shards, so the
+// point reads scatter concurrently across the owning shards before the
+// join; rows land in pattern order either way, so the join input — and the
+// result — is independent of the fan-out. Single-store backends keep the
+// serial loop: its early exit on an absent pair is worth more there than
+// goroutine overlap on one cache.
 func (q *Processor) sortedRows(p model.Pattern) ([][]storage.IndexEntry, error) {
 	rows := make([][]storage.IndexEntry, len(p)-1)
+	if q.tables.NumShards() > 1 && len(rows) > 1 {
+		err := parallel.ForEach(len(rows), q.workers, func(i int) error {
+			entries, err := q.tables.GetIndexAllSorted(model.NewPairKey(p[i], p[i+1]))
+			rows[i] = entries
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range rows {
+			if len(row) == 0 {
+				return nil, nil
+			}
+		}
+		return rows, nil
+	}
 	for i := 0; i+1 < len(p); i++ {
 		entries, err := q.tables.GetIndexAllSorted(model.NewPairKey(p[i], p[i+1]))
 		if err != nil {

@@ -22,15 +22,17 @@ import (
 var ErrShortPattern = errors.New("query: pattern must contain at least two events")
 
 // Processor answers pattern queries against the tables built by the index
-// package. It holds no per-query state and is safe for concurrent use once
-// configured.
+// package — single-store (*storage.Tables) or sharded (shard.Tables); the
+// storage.Backend seam hides the difference, and every answer is identical
+// at any shard count. It holds no per-query state and is safe for
+// concurrent use once configured.
 type Processor struct {
-	tables  *storage.Tables
+	tables  storage.Backend
 	workers int // continuation fan-out; 0 ⇒ all cores, 1 ⇒ serial
 }
 
 // NewProcessor wraps the given tables.
-func NewProcessor(tables *storage.Tables) *Processor { return &Processor{tables: tables} }
+func NewProcessor(tables storage.Backend) *Processor { return &Processor{tables: tables} }
 
 // SetWorkers bounds the per-candidate fan-out of the continuation queries
 // (ExploreAccurate / ExploreInsertAccurate and the Hybrid re-check): 0 uses

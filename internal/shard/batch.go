@@ -1,0 +1,52 @@
+package shard
+
+import "seqlog/internal/kvstore"
+
+// groupWriter fans one logical flush group out to every shard's batch
+// writer. Atomicity is PER SHARD: BeginBatch opens a WAL group on each
+// shard, CommitBatch seals them shard by shard in shard order. A crash
+// between two shard commits leaves the earlier shards committed and the
+// later shards' groups unmarked — recovery rolls the unmarked groups back,
+// so every shard is individually consistent (never half a flush), even
+// though the shards may disagree about whether the flush happened. The
+// ingest watermark dedup makes replaying the flush idempotent, which is why
+// per-shard atomicity is the right (and cheapest) unit: cross-shard 2PC
+// would buy nothing the watermarks don't already guarantee.
+type groupWriter struct {
+	ws []kvstore.BatchWriter
+}
+
+// BeginBatch opens one crash-atomic group per shard. If a shard refuses,
+// the groups already opened are aborted so no shard is left inside a batch.
+func (g *groupWriter) BeginBatch() error {
+	for i, w := range g.ws {
+		if err := w.BeginBatch(); err != nil {
+			for j := 0; j < i; j++ {
+				g.ws[j].AbortBatch(err)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// CommitBatch seals every shard's group in shard order. A shard that fails
+// to commit does not stop the others — their groups are already durable
+// work that must not be thrown away — and the first error is returned so
+// the pipeline can poison itself.
+func (g *groupWriter) CommitBatch() error {
+	var first error
+	for _, w := range g.ws {
+		if err := w.CommitBatch(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// AbortBatch poisons every shard's open group with the same cause.
+func (g *groupWriter) AbortBatch(cause error) {
+	for _, w := range g.ws {
+		w.AbortBatch(cause)
+	}
+}

@@ -1,0 +1,37 @@
+package shard
+
+import (
+	"testing"
+
+	"seqlog/internal/model"
+)
+
+// FuzzShardRouting: for arbitrary keys and shard counts the routers must
+// stay in range, be pure (identical on repeated calls), agree between the
+// pair and trace flavors for the same raw key (the layout docs promise one
+// hash), and degenerate to shard 0 for n <= 1.
+func FuzzShardRouting(f *testing.F) {
+	f.Add(uint64(0), 1)
+	f.Add(uint64(1), 4)
+	f.Add(^uint64(0), 7)
+	f.Add(uint64(0xDEADBEEF), 1024)
+	f.Add(uint64(1)<<32, -3)
+	f.Fuzz(func(t *testing.T, key uint64, n int) {
+		p := PairShard(model.PairKey(key), n)
+		if n <= 1 {
+			if p != 0 {
+				t.Fatalf("PairShard(%#x, %d) = %d, want 0 for n<=1", key, n, p)
+			}
+			return
+		}
+		if p < 0 || p >= n {
+			t.Fatalf("PairShard(%#x, %d) = %d out of range", key, n, p)
+		}
+		if again := PairShard(model.PairKey(key), n); again != p {
+			t.Fatalf("PairShard(%#x, %d) not stable: %d then %d", key, n, p, again)
+		}
+		if tr := TraceShard(model.TraceID(key), n); tr != p {
+			t.Fatalf("TraceShard(%#x, %d) = %d, PairShard = %d: flavors diverged", key, n, tr, p)
+		}
+	})
+}

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"seqlog/internal/kvstore"
+	"seqlog/internal/metrics"
+	"seqlog/internal/model"
+)
+
+// Backend is the typed view of the indexing database that every storage
+// consumer — index.Builder, query.Processor, the ingest pipeline and the
+// engine — writes and reads through. Two implementations exist:
+//
+//   - *Tables (this package): all five tables in one kvstore.
+//   - *shard.Tables (internal/shard): the tables partitioned across N
+//     independent kvstore instances, with writes routed by shard key and
+//     reads scatter-gathered with a deterministic merge, so a sharded
+//     engine is observably identical to a single-store one (the
+//     shard-count-invariance oracle test asserts this byte for byte).
+//
+// The paper stores its tables in Cassandra and scales by partitioning work
+// per trace; Backend is the seam that lets this reproduction do the same
+// partitioning at the storage layer without the query or indexing code
+// knowing how many stores sit underneath.
+type Backend interface {
+	// Seq table: trace_id -> [(activity, ts), ...]
+	AppendSeq(id model.TraceID, events []model.TraceEvent) error
+	GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error)
+	DeleteSeq(id model.TraceID) error
+	ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error
+	NumTraces() (int, error)
+
+	// Index table: (ev_a, ev_b) -> [(trace, tsA, tsB), ...], optionally
+	// partitioned per period.
+	AppendIndex(period string, pair model.PairKey, entries []IndexEntry) error
+	GetIndex(period string, pair model.PairKey) ([]IndexEntry, error)
+	GetIndexAll(pair model.PairKey) ([]IndexEntry, error)
+	GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry, error)
+	GetIndexAllSorted(pair model.PairKey) ([]IndexEntry, error)
+	ScanIndex(period string, fn func(model.PairKey, []IndexEntry) error) error
+	NumIndexedPairs(period string) (int, error)
+	DropPeriod(period string) error
+	Periods() ([]string, error)
+
+	// Count / Reverse Count tables.
+	MergeCounts(first model.ActivityID, delta []CountEntry) error
+	MergeReverseCounts(second model.ActivityID, delta []CountEntry) error
+	GetCounts(first model.ActivityID) ([]CountEntry, error)
+	GetReverseCounts(second model.ActivityID) ([]CountEntry, error)
+	GetPairCount(a, b model.ActivityID) (CountEntry, bool, error)
+
+	// LastChecked table.
+	GetLastChecked(pair model.PairKey) (map[model.TraceID]model.Timestamp, error)
+	MergeLastChecked(pair model.PairKey, delta map[model.TraceID]model.Timestamp) error
+	PruneLastChecked(traces map[model.TraceID]bool) error
+
+	// Meta table.
+	PutMeta(key string, value []byte) error
+	GetMeta(key string) ([]byte, bool, error)
+
+	// Batch returns a writer grouping mutations into crash-atomic units, or
+	// nil when the underlying store(s) have no WAL. For a sharded backend
+	// the writer fans out to one group per shard: each shard's portion of a
+	// flush commits (and fsyncs) atomically on that shard.
+	Batch() kvstore.BatchWriter
+
+	// NumShards reports how many independent stores back this view (1 for
+	// *Tables). The query processor uses it to decide whether scatter
+	// fan-out is worth spawning goroutines for.
+	NumShards() int
+
+	// Observability and lifecycle.
+	CacheStats() CacheStats
+	SetCacheBudget(bytes int64)
+	SetMetrics(reg *metrics.Registry)
+	ReadRows() int64
+	Recovery() kvstore.RecoveryStats
+}
+
+// Batch returns the store's crash-atomic group writer, or nil when the
+// store keeps no WAL (MemStore).
+func (t *Tables) Batch() kvstore.BatchWriter {
+	if bw, ok := t.store.(kvstore.BatchWriter); ok {
+		return bw
+	}
+	return nil
+}
+
+// NumShards reports the single store backing this view.
+func (t *Tables) NumShards() int { return 1 }
+
+// MergeSortedIndexEntries k-way merges per-partition rows already sorted by
+// (Trace, TsA, TsB) into one sorted slice. Exported for the sharded backend,
+// which merges per-shard rows with the exact comparator GetIndexSorted uses,
+// so merge order is deterministic regardless of which shard served a row.
+func MergeSortedIndexEntries(rows [][]IndexEntry) []IndexEntry {
+	switch len(rows) {
+	case 0:
+		return nil
+	case 1:
+		return rows[0]
+	}
+	return mergeSortedEntries(rows)
+}

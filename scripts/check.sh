@@ -30,3 +30,14 @@ go test -race -run 'StreamEqualsSerialBuilder|StreamCrash' ./internal/ingest/
 go test -race ./internal/metrics/
 go test -race -run 'Metrics|Disconnect' ./internal/server/
 go test -run 'Metrics' ./internal/clitest/
+
+# Shards tier: the differential oracle (1 vs 4 vs 7 shards must be
+# byte-identical for every query family), the routing/codec fuzz targets on
+# their seed corpora plus a short live fuzz, and the concurrency gates — the
+# ingest+query+compaction hammer and the one-shard crash-isolation sweep —
+# under the race detector.
+go test -run 'TestShard' .
+go test ./internal/shard/ ./internal/storage/ -run Fuzz
+go test ./internal/shard/ -fuzz FuzzShardRouting -fuzztime 5s
+go test ./internal/storage/ -fuzz FuzzSeqCodec -fuzztime 5s
+go test -race -short -run 'ShardedConcurrentHammer|ShardCrashIsolation' ./internal/shard/

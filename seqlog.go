@@ -31,6 +31,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -43,6 +45,7 @@ import (
 	"seqlog/internal/model"
 	"seqlog/internal/pairs"
 	"seqlog/internal/query"
+	"seqlog/internal/shard"
 	"seqlog/internal/storage"
 )
 
@@ -60,6 +63,17 @@ type Config struct {
 	// Dir, when non-empty, stores the index durably in that directory
 	// (write-ahead log + snapshots). Empty means in-memory.
 	Dir string
+	// Shards splits the index tables across that many independent stores
+	// (each with its own WAL, snapshots and compaction): index rows route
+	// by pair key, traces by affinity hash, and reads scatter-gather with
+	// a deterministic merge, so results are identical at any shard count.
+	// 0 or 1 keeps the classic single store. The count is pinned in the
+	// store's metadata — reopening with a different value fails instead of
+	// silently re-routing keys.
+	Shards int
+	// ShardDir, when non-empty, overrides where a sharded engine keeps its
+	// shard-NNNN directories (default: Dir). Ignored when Shards <= 1.
+	ShardDir string
 	// Period names the index partition new batches are written to; see
 	// RotatePeriod.
 	Period string
@@ -185,10 +199,10 @@ type ExploreOptions struct {
 // Engine is the top-level handle combining the pre-processing component and
 // the query processor over one indexing database.
 type Engine struct {
-	mu       sync.Mutex // serialises ingestion and alphabet persistence
-	store    kvstore.Store
-	disk     *kvstore.DiskStore // nil for in-memory engines
-	tables   *storage.Tables
+	mu       sync.Mutex      // serialises ingestion and alphabet persistence
+	stores   []kvstore.Store // one per shard (length 1 unsharded)
+	disks    []*kvstore.DiskStore // empty for in-memory engines
+	tables   storage.Backend
 	builder  *index.Builder
 	proc     *query.Processor
 	alphabet *model.Alphabet
@@ -233,6 +247,7 @@ const (
 	metaPolicy   = "policy"
 	metaAlphabet = "alphabet"
 	metaPartial  = "partialorder"
+	metaShards   = "shards"
 )
 
 // Open creates or reopens an engine. Reopening a durable directory restores
@@ -258,21 +273,15 @@ func Open(cfg Config) (*Engine, error) {
 		reg = metrics.New()
 	}
 
-	var (
-		store kvstore.Store
-		disk  *kvstore.DiskStore
-	)
-	if cfg.Dir != "" {
-		d, err := kvstore.OpenDiskWith(cfg.Dir, kvstore.DiskOptions{Salvage: cfg.Salvage, Metrics: reg})
-		if err != nil {
-			return nil, err
-		}
-		store, disk = d, d
-	} else {
-		store = kvstore.NewMemStore()
+	stores, disks, tables, err := openStores(cfg, reg)
+	if err != nil {
+		return nil, err
 	}
-
-	tables := storage.NewTables(store)
+	closeStores := func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}
 	if cfg.CacheBytes != 0 {
 		tables.SetCacheBudget(cfg.CacheBytes)
 	}
@@ -281,15 +290,15 @@ func Open(cfg Config) (*Engine, error) {
 		PartialOrder: cfg.PartialOrder,
 	})
 	if err != nil {
-		store.Close()
+		closeStores()
 		return nil, err
 	}
 
 	proc := query.NewProcessor(tables)
 	proc.SetWorkers(cfg.QueryWorkers)
 	e := &Engine{
-		store:    store,
-		disk:     disk,
+		stores:   stores,
+		disks:    disks,
 		tables:   tables,
 		builder:  builder,
 		proc:     proc,
@@ -298,7 +307,7 @@ func Open(cfg Config) (*Engine, error) {
 		metrics:  reg,
 	}
 	if err := e.restoreMeta(policy); err != nil {
-		store.Close()
+		closeStores()
 		return nil, err
 	}
 	e.initMetrics()
@@ -312,6 +321,75 @@ func Open(cfg Config) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// openStores opens the engine's store(s): one kvstore for Shards <= 1, or
+// Shards independent stores — each a shard-NNNN subdirectory with its own
+// WAL/snapshot/compaction when durable — wrapped in the sharded backend.
+// Two layout guards fail fast instead of corrupting data: a sharded open of
+// a directory holding a legacy single-store index, and a single-store open
+// of a directory holding shard subdirectories.
+func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.DiskStore, storage.Backend, error) {
+	n := cfg.Shards
+	if n < 1 {
+		n = 1
+	}
+	if n == 1 {
+		if cfg.Dir == "" {
+			s := kvstore.NewMemStore()
+			return []kvstore.Store{s}, nil, storage.NewTables(s), nil
+		}
+		if _, err := os.Stat(filepath.Join(cfg.Dir, shardDirName(0))); err == nil {
+			return nil, nil, nil, fmt.Errorf("seqlog: %s holds a sharded index (found %s); set Config.Shards", cfg.Dir, shardDirName(0))
+		}
+		d, err := kvstore.OpenDiskWith(cfg.Dir, kvstore.DiskOptions{Salvage: cfg.Salvage, Metrics: reg})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return []kvstore.Store{d}, []*kvstore.DiskStore{d}, storage.NewTables(d), nil
+	}
+
+	base := cfg.ShardDir
+	if base == "" {
+		base = cfg.Dir
+	}
+	var (
+		stores []kvstore.Store
+		disks  []*kvstore.DiskStore
+	)
+	closeAll := func() {
+		for _, s := range stores {
+			s.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		if base == "" {
+			stores = append(stores, kvstore.NewMemStore())
+			continue
+		}
+		if i == 0 {
+			if _, err := os.Stat(filepath.Join(base, "WAL")); err == nil {
+				return nil, nil, nil, fmt.Errorf("seqlog: %s holds a single-store index; open it without Config.Shards", base)
+			}
+		}
+		d, err := kvstore.OpenDiskWith(filepath.Join(base, shardDirName(i)), kvstore.DiskOptions{Salvage: cfg.Salvage, Metrics: reg})
+		if err != nil {
+			closeAll()
+			return nil, nil, nil, err
+		}
+		stores = append(stores, d)
+		disks = append(disks, d)
+	}
+	st, err := shard.New(stores, shard.Options{Workers: cfg.QueryWorkers})
+	if err != nil {
+		closeAll()
+		return nil, nil, nil, err
+	}
+	return stores, disks, st, nil
+}
+
+// shardDirName names shard i's subdirectory. Zero-padding keeps directory
+// listings in shard order.
+func shardDirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
 
 // Metrics returns the engine's telemetry registry — per-family query latency
 // histograms, WAL/cache/ingest counters — or nil when Config.DisableMetrics
@@ -447,6 +525,22 @@ func (e *Engine) restoreMeta(policy model.Policy) error {
 	} else if err := e.tables.PutMeta(metaPartial, []byte(mode)); err != nil {
 		return err
 	}
+	// Pin the shard count: the routing hash is a pure function of (key,
+	// shards), so reopening with a different count would silently look up
+	// keys on the wrong shard. (Written on first open; legacy single-store
+	// directories without the key are adopted as 1.)
+	shards := strconv.Itoa(e.tables.NumShards())
+	raw, ok, err = e.tables.GetMeta(metaShards)
+	if err != nil {
+		return err
+	}
+	if ok {
+		if string(raw) != shards {
+			return fmt.Errorf("seqlog: store was created with %s shard(s), engine configured for %s", raw, shards)
+		}
+	} else if err := e.tables.PutMeta(metaShards, []byte(shards)); err != nil {
+		return err
+	}
 	raw, ok, err = e.tables.GetMeta(metaAlphabet)
 	if err != nil {
 		return err
@@ -507,12 +601,20 @@ func (e *Engine) Ingest(events []Event) (UpdateStats, error) {
 		}
 		e.persistedActs = e.alphabet.Len()
 	}
-	if e.disk != nil {
-		if err := e.disk.Sync(); err != nil {
-			return UpdateStats{}, err
-		}
+	if err := e.syncDisks(); err != nil {
+		return UpdateStats{}, err
 	}
 	return UpdateStats(st), nil
+}
+
+// syncDisks flushes and fsyncs every durable shard's WAL (no-op in memory).
+func (e *Engine) syncDisks() error {
+	for _, d := range e.disks {
+		if err := d.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // IngestXES reads an XES document and ingests all its events as one batch.
@@ -912,6 +1014,7 @@ type IndexInfo struct {
 	Traces     int            `json:"traces"`
 	Activities int            `json:"activities"`
 	Policy     string         `json:"policy"`
+	Shards     int            `json:"shards"`
 	Partitions map[string]int `json:"partitions"` // partition -> distinct pairs ("" = default)
 	Cache      CacheStats     `json:"cache"`
 	Recovery   RecoveryInfo   `json:"recovery"`
@@ -927,6 +1030,7 @@ func (e *Engine) Info() (IndexInfo, error) {
 	info := IndexInfo{
 		Activities: e.alphabet.Len(),
 		Policy:     e.builder.Options().Policy.String(),
+		Shards:     e.tables.NumShards(),
 		Partitions: make(map[string]int),
 		Cache:      e.CacheStats(),
 		Recovery:   e.Recovery(),
@@ -963,31 +1067,36 @@ func (e *Engine) Activities() []string { return e.alphabet.Names() }
 // NumTraces returns the number of live (unpruned) traces.
 func (e *Engine) NumTraces() (int, error) { return e.tables.NumTraces() }
 
-// Compact folds the durable store into a fresh snapshot (no-op in memory).
+// Compact folds every durable store into a fresh snapshot (no-op in
+// memory). On a sharded engine the shards compact independently, one after
+// the other, so at most one shard's write path is stalled at a time.
 func (e *Engine) Compact() error {
-	if e.disk == nil {
-		return nil
+	for _, d := range e.disks {
+		if err := d.Compact(); err != nil {
+			return err
+		}
 	}
-	return e.disk.Compact()
+	return nil
 }
 
-// Sync flushes and fsyncs the write-ahead log (no-op in memory). Ingest
+// Sync flushes and fsyncs the write-ahead log(s) (no-op in memory). Ingest
 // already syncs before acknowledging a batch; Sync exists for callers that
 // need a durability point outside ingestion, such as server shutdown.
-func (e *Engine) Sync() error {
-	if e.disk == nil {
-		return nil
-	}
-	return e.disk.Sync()
-}
+func (e *Engine) Sync() error { return e.syncDisks() }
 
 // Close releases the engine. An open ingestion stream is drained with a
 // final group commit first; durable engines then flush their write-ahead
-// log.
+// log. Every shard is closed even if one fails; the first error wins.
 func (e *Engine) Close() error {
 	perr := e.closePipeline()
-	if err := e.store.Close(); err != nil {
-		return err
+	var serr error
+	for _, s := range e.stores {
+		if err := s.Close(); err != nil && serr == nil {
+			serr = err
+		}
+	}
+	if serr != nil {
+		return serr
 	}
 	return perr
 }
