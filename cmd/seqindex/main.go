@@ -35,6 +35,7 @@ func main() {
 
 		shards   = flag.Int("shards", 0, "split the index across N independent stores (0/1 = single store; pinned at creation)")
 		shardDir = flag.String("shard-dir", "", "base directory for shard-NNNN stores (default: -dir)")
+		segments = flag.Bool("segments", false, "compact postings into immutable block-compressed segment files (requires -dir)")
 
 		stream        = flag.Bool("stream", false, "ingest through the streaming pipeline instead of serial batches")
 		ingestWorkers = flag.Int("ingest-workers", 0, "streaming shard workers (0 = all cores; implies -stream semantics only with -stream)")
@@ -51,7 +52,7 @@ func main() {
 	eng, err := seqlog.Open(seqlog.Config{
 		Policy: *policy, Method: *method, Workers: *workers, Dir: *dir, Period: *period,
 		PartialOrder: *partial,
-		Shards:       *shards, ShardDir: *shardDir,
+		Shards:       *shards, ShardDir: *shardDir, Segments: *segments,
 		IngestWorkers: *ingestWorkers, FlushEvents: *flushEvents, FlushInterval: *flushInterval,
 	})
 	if err != nil {

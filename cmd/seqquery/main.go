@@ -314,6 +314,10 @@ func printInfo(info seqlog.IndexInfo) {
 		fmt.Printf("ingest: queued=%d flushed=%d batches=%d syncs=%d stalls=%d sessions=%d\n",
 			st.Queued, st.Flushed, st.Batches, st.Syncs, st.Stalls, st.Sessions)
 	}
+	if sg := info.Segments; sg.Segments > 0 {
+		fmt.Printf("segments: files=%d rows=%d entries=%d bytes=%d freezes=%d\n",
+			sg.Segments, sg.Rows, sg.Entries, sg.Bytes, sg.Freezes)
+	}
 }
 
 // need exits with usage help when the pattern has fewer than min activities.

@@ -41,6 +41,7 @@ func main() {
 
 		shards   = flag.Int("shards", 0, "split the index across N independent stores (0/1 = single store; pinned at creation)")
 		shardDir = flag.String("shard-dir", "", "base directory for shard-NNNN stores (default: -dir)")
+		segments = flag.Bool("segments", false, "compact postings into immutable block-compressed segment files (requires -dir)")
 
 		ingestWorkers = flag.Int("ingest-workers", 0, "streaming-ingest shard workers (0 = all cores)")
 		flushEvents   = flag.Int("flush-events", 0, "streaming-ingest flush threshold in events (0 = default 1024)")
@@ -62,6 +63,7 @@ func main() {
 		Salvage:       *salvage,
 		Shards:        *shards,
 		ShardDir:      *shardDir,
+		Segments:      *segments,
 		IngestWorkers: *ingestWorkers,
 		FlushEvents:   *flushEvents,
 		FlushInterval: *flushInterval,

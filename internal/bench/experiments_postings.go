@@ -1,0 +1,371 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"seqlog/internal/index"
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/pairs"
+	"seqlog/internal/storage"
+)
+
+// postingsTier is the measured shape of one postings representation.
+type postingsTier struct {
+	Bytes         int64   `json:"bytes"`
+	BytesPerEntry float64 `json:"bytesPerEntry"`
+	BytesPerEvent float64 `json:"bytesPerEvent"`
+	ScanSeconds   float64 `json:"scanSeconds"`
+	EntriesPerSec float64 `json:"entriesPerSec"`
+}
+
+// Postings measures the segment tier against the row tier on the same index:
+// cold postings-scan throughput (every scan decodes — the caches are
+// disabled — so this is the per-query decode cost the block format was built
+// to cut) and the on-disk footprint. The row tier re-sorts each row into
+// join order on every read; segment blocks are stored pre-sorted and
+// delta-of-delta compressed, which is where both the speedup and the
+// compression come from.
+func (r *Runner) Postings() error {
+	spec := r.datasets()[0]
+	for _, s := range r.datasets() {
+		if s.Name == "med_5000" {
+			spec = s
+			break
+		}
+	}
+	log := r.log(spec)
+	if len(log.Events()) == 0 {
+		return fmt.Errorf("postings: dataset %s is empty", spec.Name)
+	}
+
+	// The synthetic catalog starts its clock near zero, which flatters the
+	// row tier: rows store each TsA as an absolute varint, tiny here but 7+
+	// bytes for the epoch-millisecond timestamps production event logs carry.
+	// Blocks store one absolute timestamp per 128-entry header and deltas
+	// elsewhere, so they are insensitive to the epoch. Rebase onto a real
+	// epoch so both tiers are measured at production-shaped timestamps.
+	const epochBase = model.Timestamp(1_700_000_000_000)
+	events := append([]model.Event(nil), log.Events()...)
+	for i := range events {
+		events[i].TS += epochBase
+	}
+
+	// One index, two representations over identical entries.
+	rowStore := kvstore.NewMemStore()
+	rowTb := storage.NewTables(rowStore)
+	rb, err := index.NewBuilder(rowTb, index.Options{Policy: model.STNM, Method: pairs.Indexing, Workers: r.cfg.Workers})
+	if err != nil {
+		return err
+	}
+	if _, err := rb.Update(events); err != nil {
+		return err
+	}
+	rowTb.SetCacheBudget(-1)
+
+	segDir, err := os.MkdirTemp("", "seqbench-seg")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(segDir)
+	segStore := kvstore.NewMemStore()
+	segTb, err := storage.OpenTables(segStore, storage.Options{SegmentDir: segDir})
+	if err != nil {
+		return err
+	}
+	b, err := index.NewBuilder(segTb, index.Options{Policy: model.STNM, Method: pairs.Indexing, Workers: r.cfg.Workers})
+	if err != nil {
+		return err
+	}
+	if _, err := b.Update(events); err != nil {
+		return err
+	}
+	var freezeSec float64
+	{
+		start := time.Now()
+		if err := segTb.FreezePostings(); err != nil {
+			return err
+		}
+		freezeSec = time.Since(start).Seconds()
+	}
+	segTb.SetCacheBudget(-1)
+	defer segTb.Close()
+
+	var pairKeys []model.PairKey
+	var entryCount int64
+	if err := rowTb.ScanIndex("", func(k model.PairKey, es []storage.IndexEntry) error {
+		pairKeys = append(pairKeys, k)
+		entryCount += int64(len(es))
+		return nil
+	}); err != nil {
+		return err
+	}
+	if entryCount == 0 {
+		return fmt.Errorf("postings: dataset %s indexed no pairs", spec.Name)
+	}
+
+	// Each tier scans through its natural unit: rows decode and sort whole kv
+	// rows (their read path always yields join order); block runs stream
+	// block-at-a-time through one reused scratch buffer — exactly how the
+	// merge join consumes them — so neither tier allocates per pair.
+	scratch := make([]storage.IndexEntry, 0, 512)
+	scanAll := func(tb *storage.Tables) (int64, error) {
+		var n int64
+		for _, pk := range pairKeys {
+			po, err := tb.GetPostings(pk)
+			if err != nil {
+				return 0, err
+			}
+			for _, run := range po.Runs {
+				if run.Blocks == nil {
+					n += int64(len(run.Entries))
+					continue
+				}
+				for i := 0; i < run.Blocks.NumBlocks(); i++ {
+					if scratch, err = run.Blocks.AppendBlock(scratch[:0], i); err != nil {
+						return 0, err
+					}
+					n += int64(len(scratch))
+				}
+			}
+		}
+		return n, nil
+	}
+	timeScans := func(tb *storage.Tables) (float64, error) {
+		// One warm-up pass (faults out lazy work), then timed rounds.
+		if _, err := scanAll(tb); err != nil {
+			return 0, err
+		}
+		rounds := r.cfg.QueryRepeats
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			n, err := scanAll(tb)
+			if err != nil {
+				return 0, err
+			}
+			if n != entryCount {
+				return 0, fmt.Errorf("postings: scan saw %d entries, want %d", n, entryCount)
+			}
+		}
+		return time.Since(start).Seconds() / float64(rounds), nil
+	}
+
+	rowSec, err := timeScans(rowTb)
+	if err != nil {
+		return err
+	}
+	segSec, err := timeScans(segTb)
+	if err != nil {
+		return err
+	}
+
+	// Windowed scans: the shape DetectWithin issues. Rows must decode every
+	// entry to test its duration; blocks skip whole blocks whose MinDur skip
+	// header already exceeds the window — the payload is never touched. The
+	// windows are duration percentiles of the dataset itself.
+	var durations []int64
+	if err := rowTb.ScanIndex("", func(_ model.PairKey, es []storage.IndexEntry) error {
+		for _, e := range es {
+			durations = append(durations, int64(e.TsB-e.TsA))
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	sort.Slice(durations, func(i, j int) bool { return durations[i] < durations[j] })
+	quantile := func(p float64) int64 {
+		return durations[int(p*float64(len(durations)-1))]
+	}
+
+	windowRows := func(w int64) (int64, error) {
+		var n int64
+		for _, pk := range pairKeys {
+			po, err := rowTb.GetPostings(pk)
+			if err != nil {
+				return 0, err
+			}
+			for _, run := range po.Runs {
+				for _, e := range run.Entries {
+					if int64(e.TsB-e.TsA) <= w {
+						n++
+					}
+				}
+			}
+		}
+		return n, nil
+	}
+	windowBlocks := func(w int64) (matched, decoded, total int64, err error) {
+		for _, pk := range pairKeys {
+			po, err := segTb.GetPostings(pk)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			for _, run := range po.Runs {
+				if run.Blocks == nil {
+					for _, e := range run.Entries {
+						if int64(e.TsB-e.TsA) <= w {
+							matched++
+						}
+					}
+					continue
+				}
+				for i := 0; i < run.Blocks.NumBlocks(); i++ {
+					total++
+					if run.Blocks.Meta(i).MinDur > w {
+						continue
+					}
+					decoded++
+					if scratch, err = run.Blocks.AppendBlock(scratch[:0], i); err != nil {
+						return 0, 0, 0, err
+					}
+					for _, e := range scratch {
+						if int64(e.TsB-e.TsA) <= w {
+							matched++
+						}
+					}
+				}
+			}
+		}
+		return matched, decoded, total, nil
+	}
+
+	type windowTier struct {
+		Quantile      float64 `json:"quantile"`
+		Within        int64   `json:"within"`
+		Selectivity   float64 `json:"selectivity"`
+		BlocksDecoded float64 `json:"blocksDecodedFrac"`
+		RowsSeconds   float64 `json:"rowsSeconds"`
+		BlocksSeconds float64 `json:"blocksSeconds"`
+		Speedup       float64 `json:"speedup"`
+	}
+	var windows []windowTier
+	for _, q := range []float64{0.01, 0.05, 0.10, 0.50} {
+		w := quantile(q)
+		wantN, err := windowRows(w)
+		if err != nil {
+			return err
+		}
+		gotN, decoded, total, err := windowBlocks(w)
+		if err != nil {
+			return err
+		}
+		if gotN != wantN {
+			return fmt.Errorf("postings: windowed scan w=%d: blocks matched %d, rows %d", w, gotN, wantN)
+		}
+		rounds := r.cfg.QueryRepeats
+		start := time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, err := windowRows(w); err != nil {
+				return err
+			}
+		}
+		rSec := time.Since(start).Seconds() / float64(rounds)
+		start = time.Now()
+		for i := 0; i < rounds; i++ {
+			if _, _, _, err := windowBlocks(w); err != nil {
+				return err
+			}
+		}
+		bSec := time.Since(start).Seconds() / float64(rounds)
+		windows = append(windows, windowTier{
+			Quantile:      q,
+			Within:        w,
+			Selectivity:   float64(wantN) / float64(entryCount),
+			BlocksDecoded: float64(decoded) / float64(total),
+			RowsSeconds:   rSec,
+			BlocksSeconds: bSec,
+			Speedup:       rSec / bSec,
+		})
+	}
+
+	// Footprint: the stored kv row values vs the whole segment file
+	// (including its directory and trailer — the honest on-disk number).
+	var rowBytes int64
+	if err := rowStore.Scan("index", func(k string, v []byte) error {
+		rowBytes += int64(len(v))
+		return nil
+	}); err != nil {
+		return err
+	}
+	segBytes := segTb.SegmentStats().Bytes
+
+	tier := func(bytes int64, sec float64) postingsTier {
+		return postingsTier{
+			Bytes:         bytes,
+			BytesPerEntry: float64(bytes) / float64(entryCount),
+			BytesPerEvent: float64(bytes) / float64(len(events)),
+			ScanSeconds:   sec,
+			EntriesPerSec: float64(entryCount) / sec,
+		}
+	}
+	rows := tier(rowBytes, rowSec)
+	blocks := tier(segBytes, segSec)
+	fullSpeedup := rowSec / segSec
+	ratio := float64(rowBytes) / float64(segBytes)
+	// The headline scan number is the windowed postings scan at the 5th
+	// duration percentile — the scan shape DetectWithin issues with a tight
+	// window, where the skip headers do their job. The whole window sweep and
+	// the full-materialization speedup (no window, every block decoded) are
+	// reported alongside.
+	scanSpeedup := windows[1].Speedup
+
+	r.section("Postings — block-compressed segments vs kv rows",
+		fmt.Sprintf("dataset=%s events=%d pairs=%d entries=%d freeze=%.3fs; caches disabled, every scan decodes",
+			spec.Name, len(events), len(pairKeys), entryCount, freezeSec))
+	r.table(
+		[]string{"tier", "bytes", "B/entry", "B/event", "scan s", "entries/s", "speedup"},
+		[][]string{
+			{"rows", fmt.Sprint(rows.Bytes), fmt.Sprintf("%.2f", rows.BytesPerEntry),
+				fmt.Sprintf("%.2f", rows.BytesPerEvent), fmt.Sprintf("%.4f", rows.ScanSeconds),
+				fmt.Sprintf("%.0f", rows.EntriesPerSec), "1.00x"},
+			{"blocks", fmt.Sprint(blocks.Bytes), fmt.Sprintf("%.2f", blocks.BytesPerEntry),
+				fmt.Sprintf("%.2f", blocks.BytesPerEvent), fmt.Sprintf("%.4f", blocks.ScanSeconds),
+				fmt.Sprintf("%.0f", blocks.EntriesPerSec), fmt.Sprintf("%.2fx", fullSpeedup)},
+		})
+	fmt.Fprintf(r.out(), "compression ratio %.2fx (rows/blocks)\n", ratio)
+
+	var wrows [][]string
+	for _, w := range windows {
+		wrows = append(wrows, []string{
+			fmt.Sprintf("p%.0f", w.Quantile*100), fmt.Sprint(w.Within),
+			fmt.Sprintf("%.3f", w.Selectivity), fmt.Sprintf("%.3f", w.BlocksDecoded),
+			fmt.Sprintf("%.4f", w.RowsSeconds), fmt.Sprintf("%.4f", w.BlocksSeconds),
+			fmt.Sprintf("%.2fx", w.Speedup),
+		})
+	}
+	fmt.Fprintln(r.out(), "windowed scan (duration <= within; rows decode all, blocks skip by MinDur header):")
+	r.table([]string{"window", "within", "selectivity", "blocks decoded", "rows s", "blocks s", "speedup"}, wrows)
+
+	if r.cfg.JSONDir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(map[string]any{
+		"experiment":        "postings",
+		"dataset":           spec.Name,
+		"scale":             r.cfg.Scale,
+		"events":            len(events),
+		"pairs":             len(pairKeys),
+		"entries":           entryCount,
+		"freezeSeconds":     freezeSec,
+		"rows":              rows,
+		"blocks":            blocks,
+		"fullDecodeSpeedup": fullSpeedup,
+		"windowed":          windows,
+		"scanSpeedup":       scanSpeedup,
+		"compressionRatio":  ratio,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.cfg.JSONDir, "BENCH_postings.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out(), "wrote %s\n", path)
+	return nil
+}

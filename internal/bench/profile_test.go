@@ -1,0 +1,27 @@
+package bench
+
+import (
+	"io"
+	"os"
+	"runtime/pprof"
+	"testing"
+)
+
+func TestPostingsProfile(t *testing.T) {
+	if os.Getenv("POSTPROF") == "" {
+		t.Skip("set POSTPROF=1")
+	}
+	r := NewRunner(Config{Scale: 1.0, Datasets: []string{"med_5000"}, QueryRepeats: 10, Out: io.Discard})
+	f, err := os.Create("/tmp/post.prof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := pprof.StartCPUProfile(f); err != nil {
+		t.Fatal(err)
+	}
+	defer pprof.StopCPUProfile()
+	if err := r.Postings(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -72,6 +72,14 @@ type DiskStore struct {
 	// automatic compaction. Zero disables auto-compaction.
 	CompactAt int64
 
+	// beforeCompact, when set, runs just before an automatic compaction
+	// (outside the store lock) — the storage layer hooks it to fold index
+	// rows into a postings segment so the snapshot shrinks to metadata.
+	// hookActive suppresses re-triggering while the hook itself writes and
+	// syncs: without it, the hook's own commit would recurse into it.
+	beforeCompact func() error
+	hookActive    bool
+
 	// Durability timings (nil-safe no-ops when DiskOptions.Metrics is unset):
 	// fsyncH observes each WAL flush+fsync, compactH each full compaction.
 	fsyncH   *metrics.Histogram
@@ -667,13 +675,37 @@ func (s *DiskStore) Sync() error {
 	}
 	s.fsyncH.Observe(time.Since(start))
 	// Never auto-compact inside an open batch: the snapshot would bake in
-	// records whose commit marker does not exist yet.
-	need := s.CompactAt > 0 && s.size > s.CompactAt && !s.inBatch
+	// records whose commit marker does not exist yet. hookActive means this
+	// Sync was issued by the before-compact hook itself — let it finish.
+	need := s.CompactAt > 0 && s.size > s.CompactAt && !s.inBatch && !s.hookActive
+	hook := s.beforeCompact
 	s.mu.Unlock()
-	if need {
-		return s.Compact()
+	if !need {
+		return nil
 	}
-	return nil
+	if hook != nil {
+		s.mu.Lock()
+		s.hookActive = true
+		s.mu.Unlock()
+		err := hook()
+		s.mu.Lock()
+		s.hookActive = false
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return s.Compact()
+}
+
+// SetBeforeCompact registers a hook that runs immediately before every
+// automatic compaction, outside the store lock, so it may read and write the
+// store. Sync issued from inside the hook never re-triggers it. Set it at
+// open time, before concurrent use.
+func (s *DiskStore) SetBeforeCompact(fn func() error) {
+	s.mu.Lock()
+	s.beforeCompact = fn
+	s.mu.Unlock()
 }
 
 // BeginBatch opens an atomic record group: every mutation until CommitBatch

@@ -52,55 +52,96 @@ type chain struct {
 	node  *chainNode
 }
 
-// joinSorted joins one sorted index row per consecutive pattern pair into
-// full matches. within > 0 prunes chains spanning more than the window
-// (sound because pair timestamps never decrease along a chain); candidates,
-// when non-nil, restricts seeding to those traces (the planner's
-// intersection). Returns nil when nothing matches.
-func joinSorted(rows [][]storage.IndexEntry, within int64, candidates map[model.TraceID]bool) []Match {
+// joinPostings joins one Postings (a set of disjoint sorted runs) per
+// consecutive pattern pair into full matches. within > 0 prunes chains
+// spanning more than the window (sound because pair timestamps never
+// decrease along a chain); candidates, when non-nil, restricts seeding to
+// those traces (the planner's intersection). Returns nil when nothing
+// matches.
+//
+// Runs are consumed independently — a chain seeds from and extends into each
+// run in turn — which is what keeps segment runs compressed: a block only
+// decodes when its skip header admits it (duration window at the seed, trace
+// range everywhere). The final sortMatches is a total order over matches, so
+// the result is byte-identical no matter how entries were distributed across
+// runs — the invariant the segment differential oracle pins.
+func joinPostings(pos []storage.Postings, within int64, candidates map[model.TraceID]bool) ([]Match, error) {
 	var arena nodeArena
-	chains := make([]chain, 0, len(rows[0]))
-	for i := range rows[0] {
-		e := &rows[0][i]
-		if candidates != nil && !candidates[e.Trace] {
-			continue
+	var candMin, candMax model.TraceID
+	if candidates != nil {
+		if len(candidates) == 0 {
+			return nil, nil
 		}
-		if within > 0 && int64(e.TsB-e.TsA) > within {
-			continue
+		first := true
+		for id := range candidates {
+			if first || id < candMin {
+				candMin = id
+			}
+			if first || id > candMax {
+				candMax = id
+			}
+			first = false
 		}
-		chains = append(chains, chain{
-			trace: e.Trace,
-			start: e.TsA,
-			node:  arena.new(e.TsB, arena.new(e.TsA, nil)),
-		})
 	}
-	for _, row := range rows[1:] {
+	chains := make([]chain, 0, pos[0].Total())
+	seed := func(entries []storage.IndexEntry) {
+		for i := range entries {
+			e := &entries[i]
+			if candidates != nil && !candidates[e.Trace] {
+				continue
+			}
+			if within > 0 && int64(e.TsB-e.TsA) > within {
+				continue
+			}
+			chains = append(chains, chain{
+				trace: e.Trace,
+				start: e.TsA,
+				node:  arena.new(e.TsB, arena.new(e.TsA, nil)),
+			})
+		}
+	}
+	for _, r := range pos[0].Runs {
+		if r.Blocks == nil {
+			seed(r.Entries)
+			continue
+		}
+		for bi, nb := 0, r.Blocks.NumBlocks(); bi < nb; bi++ {
+			m := r.Blocks.Meta(bi)
+			// Skip-entry pruning without decoding: every entry in the block
+			// outlasts the window, or the whole block lies outside the
+			// candidate trace range.
+			if within > 0 && m.MinDur > within {
+				continue
+			}
+			if candidates != nil && (m.LastTrace < candMin || m.FirstTrace > candMax) {
+				continue
+			}
+			blk, err := r.Blocks.Block(bi)
+			if err != nil {
+				return nil, err
+			}
+			seed(blk)
+		}
+	}
+	for _, po := range pos[1:] {
 		if len(chains) == 0 {
-			return nil
+			return nil, nil
 		}
 		next := make([]chain, 0, len(chains))
 		for _, c := range chains {
-			// The run of entries continuing this chain: same trace, tsA
-			// equal to the chain's last timestamp.
-			lo := sort.Search(len(row), func(j int) bool {
-				if row[j].Trace != c.trace {
-					return row[j].Trace > c.trace
+			for _, r := range po.Runs {
+				var err error
+				if next, err = extendRun(r, c, within, &arena, next); err != nil {
+					return nil, err
 				}
-				return row[j].TsA >= c.node.ts
-			})
-			for j := lo; j < len(row) && row[j].Trace == c.trace && row[j].TsA == c.node.ts; j++ {
-				if within > 0 && int64(row[j].TsB-c.start) > within {
-					continue
-				}
-				next = append(next, chain{trace: c.trace, start: c.start, node: arena.new(row[j].TsB, c.node)})
 			}
 		}
 		chains = next
 	}
 	if len(chains) == 0 {
-		return nil
+		return nil, nil
 	}
-	depth := len(rows) + 1
+	depth := len(pos) + 1
 	out := make([]Match, len(chains))
 	for i, c := range chains {
 		ts := make([]model.Timestamp, depth)
@@ -110,46 +151,101 @@ func joinSorted(rows [][]storage.IndexEntry, within int64, candidates map[model.
 		out[i] = Match{Trace: c.trace, Timestamps: ts}
 	}
 	sortMatches(out)
-	return out
+	return out, nil
 }
 
-// sortedRows fetches the sorted index row of every consecutive pattern pair
-// through the postings cache. A nil result (with nil error) means some pair
-// never occurs, so the pattern has no completions.
+// extendRun appends to next one extended chain per entry of r continuing c:
+// same trace, tsA equal to the chain's last timestamp. Plain runs
+// binary-search the slice; block runs binary-search the skip headers first
+// and decode only the block(s) the continuation run can live in.
+func extendRun(r storage.PostingsRun, c chain, within int64, arena *nodeArena, next []chain) ([]chain, error) {
+	ts := c.node.ts
+	scan := func(row []storage.IndexEntry) bool {
+		lo := sort.Search(len(row), func(j int) bool {
+			if row[j].Trace != c.trace {
+				return row[j].Trace > c.trace
+			}
+			return row[j].TsA >= ts
+		})
+		j := lo
+		for ; j < len(row) && row[j].Trace == c.trace && row[j].TsA == ts; j++ {
+			if within > 0 && int64(row[j].TsB-c.start) > within {
+				continue
+			}
+			next = append(next, chain{trace: c.trace, start: c.start, node: arena.new(row[j].TsB, c.node)})
+		}
+		return j == len(row) // the matching run reached the end of the slice
+	}
+	if r.Blocks == nil {
+		scan(r.Entries)
+		return next, nil
+	}
+	b := r.Blocks
+	nb := b.NumBlocks()
+	// First block whose last entry is >= (trace, ts): blocks before it end
+	// too early to hold the continuation run.
+	bi := sort.Search(nb, func(j int) bool {
+		m := b.Meta(j)
+		if m.LastTrace != c.trace {
+			return m.LastTrace > c.trace
+		}
+		return m.LastTsA >= ts
+	})
+	for ; bi < nb; bi++ {
+		m := b.Meta(bi)
+		if m.FirstTrace > c.trace || (m.FirstTrace == c.trace && m.FirstTsA > ts) {
+			break // the block starts past the run: no match here or later
+		}
+		blk, err := b.Block(bi)
+		if err != nil {
+			return nil, err
+		}
+		// Only a run still open at the block's end can continue into the
+		// next block.
+		if !scan(blk) || m.LastTrace != c.trace || m.LastTsA != ts {
+			break
+		}
+	}
+	return next, nil
+}
+
+// patternPostings fetches the postings of every consecutive pattern pair. A
+// nil result (with nil error) means some pair never occurs, so the pattern
+// has no completions.
 //
 // On a sharded backend the pattern's pairs live on different shards, so the
 // point reads scatter concurrently across the owning shards before the
-// join; rows land in pattern order either way, so the join input — and the
-// result — is independent of the fan-out. Single-store backends keep the
+// join; postings land in pattern order either way, so the join input — and
+// the result — is independent of the fan-out. Single-store backends keep the
 // serial loop: its early exit on an absent pair is worth more there than
 // goroutine overlap on one cache.
-func (q *Processor) sortedRows(p model.Pattern) ([][]storage.IndexEntry, error) {
-	rows := make([][]storage.IndexEntry, len(p)-1)
-	if q.tables.NumShards() > 1 && len(rows) > 1 {
-		err := parallel.ForEach(len(rows), q.workers, func(i int) error {
-			entries, err := q.tables.GetIndexAllSorted(model.NewPairKey(p[i], p[i+1]))
-			rows[i] = entries
+func (q *Processor) patternPostings(p model.Pattern) ([]storage.Postings, error) {
+	pos := make([]storage.Postings, len(p)-1)
+	if q.tables.NumShards() > 1 && len(pos) > 1 {
+		err := parallel.ForEach(len(pos), q.workers, func(i int) error {
+			po, err := q.tables.GetPostings(model.NewPairKey(p[i], p[i+1]))
+			pos[i] = po
 			return err
 		})
 		if err != nil {
 			return nil, err
 		}
-		for _, row := range rows {
-			if len(row) == 0 {
+		for _, po := range pos {
+			if po.Empty() {
 				return nil, nil
 			}
 		}
-		return rows, nil
+		return pos, nil
 	}
 	for i := 0; i+1 < len(p); i++ {
-		entries, err := q.tables.GetIndexAllSorted(model.NewPairKey(p[i], p[i+1]))
+		po, err := q.tables.GetPostings(model.NewPairKey(p[i], p[i+1]))
 		if err != nil {
 			return nil, err
 		}
-		if len(entries) == 0 {
+		if po.Empty() {
 			return nil, nil
 		}
-		rows[i] = entries
+		pos[i] = po
 	}
-	return rows, nil
+	return pos, nil
 }

@@ -1,7 +1,10 @@
 package query
 
 import (
+	"sort"
+
 	"seqlog/internal/model"
+	"seqlog/internal/storage"
 )
 
 // DetectPlanned is an optimisation of Algorithm 2 beyond the paper: the
@@ -18,34 +21,48 @@ func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	rows, err := q.sortedRows(p)
-	if err != nil || rows == nil {
+	pos, err := q.patternPostings(p)
+	if err != nil || pos == nil {
 		return nil, err
 	}
 
-	// Seed the candidate set from the most selective row, then shrink it
-	// with every other row, cheapest first.
-	order := make([]int, len(rows))
+	// Seed the candidate set from the most selective postings (by total
+	// entry count — free to read off the skip headers), then shrink it with
+	// every other one, cheapest first. Only the seed postings decode; the
+	// membership probes against the rest binary-search plain runs and skip
+	// headers, never touching block payloads. Block-run probes are an
+	// over-approximation (a trace inside a block's id range may be absent),
+	// which is sound: candidates only restrict seeding, the join itself is
+	// exact.
+	order := make([]int, len(pos))
 	for i := range order {
 		order[i] = i
 	}
 	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && len(rows[order[j]]) < len(rows[order[j-1]]); j-- {
+		for j := i; j > 0 && pos[order[j]].Total() < pos[order[j-1]].Total(); j-- {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
 	candidates := make(map[model.TraceID]bool)
-	for _, e := range rows[order[0]] {
-		candidates[e.Trace] = true
+	for _, r := range pos[order[0]].Runs {
+		entries := r.Entries
+		if r.Blocks != nil {
+			if entries, err = r.Blocks.All(); err != nil {
+				return nil, err
+			}
+		}
+		for i := range entries {
+			candidates[entries[i].Trace] = true
+		}
 	}
 	for _, ri := range order[1:] {
 		if len(candidates) == 0 {
 			return nil, nil
 		}
 		present := make(map[model.TraceID]bool, len(candidates))
-		for _, e := range rows[ri] {
-			if candidates[e.Trace] {
-				present[e.Trace] = true
+		for id := range candidates {
+			if postingsMayContain(pos[ri], id) {
+				present[id] = true
 			}
 		}
 		candidates = present
@@ -55,5 +72,29 @@ func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
 	}
 
 	// The standard merge join, seeded with the surviving traces only.
-	return joinSorted(rows, 0, candidates), nil
+	return joinPostings(pos, 0, candidates)
+}
+
+// postingsMayContain reports whether the pair's postings could hold entries
+// of the trace: exact binary search on plain runs, skip-header range check
+// on block runs (no payload decode). False negatives are impossible; false
+// positives only cost the join a fruitless seed probe.
+func postingsMayContain(po storage.Postings, id model.TraceID) bool {
+	for _, r := range po.Runs {
+		if r.Blocks == nil {
+			row := r.Entries
+			lo := sort.Search(len(row), func(j int) bool { return row[j].Trace >= id })
+			if lo < len(row) && row[lo].Trace == id {
+				return true
+			}
+			continue
+		}
+		b := r.Blocks
+		nb := b.NumBlocks()
+		bi := sort.Search(nb, func(j int) bool { return b.Meta(j).LastTrace >= id })
+		if bi < nb && b.Meta(bi).FirstTrace <= id {
+			return true
+		}
+	}
+	return false
 }

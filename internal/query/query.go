@@ -74,11 +74,11 @@ func (q *Processor) Detect(p model.Pattern) ([]Match, error) {
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	rows, err := q.sortedRows(p)
-	if err != nil || rows == nil {
+	pos, err := q.patternPostings(p)
+	if err != nil || pos == nil {
 		return nil, err
 	}
-	return joinSorted(rows, 0, nil), nil
+	return joinPostings(pos, 0, nil)
 }
 
 // DetectTraces returns the distinct traces containing the pattern — the

@@ -18,11 +18,11 @@ func (q *Processor) DetectWithin(p model.Pattern, within int64) ([]Match, error)
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	rows, err := q.sortedRows(p)
-	if err != nil || rows == nil {
+	pos, err := q.patternPostings(p)
+	if err != nil || pos == nil {
 		return nil, err
 	}
-	return joinSorted(rows, within, nil), nil
+	return joinPostings(pos, within, nil)
 }
 
 // StatsAllPairs is the refinement §3.2.1 sketches: "the number of

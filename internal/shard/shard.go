@@ -71,6 +71,15 @@ type Options struct {
 	// (counts, scans, statistics); 0 uses all cores. Results are identical
 	// at any worker count — merges are deterministic.
 	Workers int
+
+	// SegmentDirs, when non-empty, gives each shard its own segment
+	// directory (same length and order as the store slice), enabling the
+	// immutable postings tier per shard. Empty disables segments.
+	SegmentDirs []string
+
+	// FS abstracts segment-file access (fault-injection tests); nil uses
+	// the real filesystem.
+	FS kvstore.FS
 }
 
 // Tables is the sharded implementation of storage.Backend: one
@@ -92,13 +101,24 @@ func New(stores []kvstore.Store, opts Options) (*Tables, error) {
 	if len(stores) == 0 {
 		return nil, fmt.Errorf("shard: need at least one store")
 	}
+	if len(opts.SegmentDirs) != 0 && len(opts.SegmentDirs) != len(stores) {
+		return nil, fmt.Errorf("shard: %d segment dirs for %d stores", len(opts.SegmentDirs), len(stores))
+	}
 	t := &Tables{
 		shards:  make([]*storage.Tables, len(stores)),
 		stores:  append([]kvstore.Store(nil), stores...),
 		workers: opts.Workers,
 	}
 	for i, s := range t.stores {
-		t.shards[i] = storage.NewTables(s)
+		so := storage.Options{FS: opts.FS}
+		if len(opts.SegmentDirs) != 0 {
+			so.SegmentDir = opts.SegmentDirs[i]
+		}
+		tab, err := storage.OpenTables(s, so)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		t.shards[i] = tab
 	}
 	return t, nil
 }
@@ -204,6 +224,47 @@ func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]storage.In
 // byte-identical to the unsharded one.)
 func (t *Tables) GetIndexAllSorted(pair model.PairKey) ([]storage.IndexEntry, error) {
 	return t.pairTab(pair).GetIndexAllSorted(pair)
+}
+
+// GetPostings serves the pair's sorted runs from its owning shard — like
+// GetIndexAllSorted, a single-shard point read, but with segment blocks left
+// compressed until the join touches them.
+func (t *Tables) GetPostings(pair model.PairKey) (storage.Postings, error) {
+	return t.pairTab(pair).GetPostings(pair)
+}
+
+// FreezePostings folds every shard's memtable tier into its segment file.
+// Shards freeze independently; a failure on one leaves the others frozen,
+// which is safe (freezing is idempotent and each shard is self-contained).
+func (t *Tables) FreezePostings() error {
+	return t.each(func(_ int, s *storage.Tables) error {
+		return s.FreezePostings()
+	})
+}
+
+// SegmentStats sums the per-shard immutable-tier stats.
+func (t *Tables) SegmentStats() storage.SegmentStats {
+	var out storage.SegmentStats
+	for _, s := range t.shards {
+		st := s.SegmentStats()
+		out.Segments += st.Segments
+		out.Rows += st.Rows
+		out.Entries += st.Entries
+		out.Bytes += st.Bytes
+		out.Freezes += st.Freezes
+	}
+	return out
+}
+
+// Close releases every shard's segment mappings (stores stay open).
+func (t *Tables) Close() error {
+	var first error
+	for _, s := range t.shards {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // ScanIndex iterates one partition's pairs shard by shard in shard order.

@@ -41,6 +41,17 @@ type Backend interface {
 	DropPeriod(period string) error
 	Periods() ([]string, error)
 
+	// Block-postings view and segment lifecycle. GetPostings hands the
+	// pair's sorted runs out unmerged (segment blocks decode lazily through
+	// the skip headers); FreezePostings folds the memtable tier into an
+	// immutable segment file (ErrSegmentsDisabled when the backend was
+	// opened without segment directories); Close releases segment mappings
+	// without closing the underlying store(s).
+	GetPostings(pair model.PairKey) (Postings, error)
+	FreezePostings() error
+	SegmentStats() SegmentStats
+	Close() error
+
 	// Count / Reverse Count tables.
 	MergeCounts(first model.ActivityID, delta []CountEntry) error
 	MergeReverseCounts(second model.ActivityID, delta []CountEntry) error

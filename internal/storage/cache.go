@@ -46,9 +46,14 @@ const cacheShardCount = 16
 // 24 bytes per IndexEntry plus map/list bookkeeping.
 func cacheEntrySize(entries []IndexEntry) int64 { return int64(len(entries))*24 + 96 }
 
+// wholeRowBlock is the block index of a cached whole row (the sorted
+// memtable-tier row of a pair); indices >= 0 address decoded segment blocks.
+const wholeRowBlock = -1
+
 type cacheKey struct {
 	period string
 	pair   model.PairKey
+	block  int32
 }
 
 type cacheEntry struct {
@@ -93,7 +98,7 @@ func newPostingsCache(budget int64) *postingsCache {
 }
 
 func (c *postingsCache) shard(k cacheKey) *cacheShard {
-	h := uint64(k.pair) * 0x9E3779B97F4A7C15
+	h := (uint64(k.pair) ^ uint64(uint32(k.block))<<40) * 0x9E3779B97F4A7C15
 	for i := 0; i < len(k.period); i++ {
 		h = (h ^ uint64(k.period[i])) * 0x100000001B3
 	}
@@ -171,6 +176,22 @@ func (c *postingsCache) invalidate(k cacheKey) {
 		delete(s.items, k)
 	}
 	s.mu.Unlock()
+}
+
+// invalidateAll drops every resident entry and bumps the global epoch, so
+// in-flight decodes of any key are not cached. FreezePostings calls it when
+// the segment reference switches: every block index and merged row may now
+// name different bytes.
+func (c *postingsCache) invalidateAll() {
+	c.epoch.Add(1)
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		s.lru.Init()
+		s.items = make(map[cacheKey]*list.Element)
+		s.bytes = 0
+		s.mu.Unlock()
+	}
 }
 
 // invalidatePeriod sweeps every resident row of the period and bumps the

@@ -1,0 +1,11 @@
+//go:build !linux && !darwin && !freebsd && !netbsd && !openbsd
+
+package storage
+
+import "errors"
+
+// mmapFile is unavailable on this platform; openSegment falls back to
+// reading the file into the heap.
+func mmapFile(string) ([]byte, func(), error) {
+	return nil, nil, errors.New("storage: mmap not supported on this platform")
+}

@@ -1,0 +1,35 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package storage
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapFile maps a file read-only. The returned release func unmaps it; the
+// caller must guarantee no reader still holds the slice (segments keep
+// retired mappings alive until the tables close). Empty files return a nil
+// slice with a no-op release so callers fall back to ReadFile semantics.
+func mmapFile(path string) ([]byte, func(), error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 || int64(int(size)) != size {
+		f.Close()
+		return nil, func() {}, nil
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	f.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

@@ -60,6 +60,22 @@ type Tables struct {
 	pmu           sync.RWMutex
 	periods       []string
 	periodsLoaded bool
+
+	// Segment tier (nil/empty on stores opened without one). segMu orders
+	// readers against the freeze's reference switch: every public read takes
+	// it once (shared) around both the segment lookup and the memtable-tier
+	// fetch, so no read observes the new segment alongside the not-yet-dropped
+	// rows or vice versa. Retired segments keep their mappings until Close —
+	// a BlockRun handed out before a freeze stays readable after it.
+	segCfg  *segmentConfig
+	segMu   sync.RWMutex
+	seg     *segment
+	retired []*segment
+	segTomb map[string]bool // periods whose segment rows are dead (DropPeriod)
+
+	freezing atomic.Bool // reentrancy guard: commit's WAL sync can re-enter
+	freezeMu sync.Mutex  // serialises freezes
+	freezes  atomic.Int64
 }
 
 // NewTables wraps a store. The decoded-postings cache starts at
@@ -150,12 +166,25 @@ func (t *Tables) GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error) {
 	return events, true, nil
 }
 
+// countVarints returns the number of varints in a well-formed varint stream:
+// each varint ends with exactly one byte below 0x80. One pass over the raw
+// bytes buys exact pre-sizing for the decode loops below, which previously
+// grew their slices through reallocation on every hot read path.
+func countVarints(raw []byte) int {
+	n := 0
+	for _, b := range raw {
+		if b < 0x80 {
+			n++
+		}
+	}
+	return n
+}
+
 func decodeSeq(raw []byte) ([]model.TraceEvent, error) {
 	r := &reader{buf: raw}
-	// Activity and timestamp varints are at least one byte each plus the
-	// typical two-to-three-byte timestamp: /3 is the same growth hint
-	// decodeIndexEntries uses.
-	events := make([]model.TraceEvent, 0, len(raw)/3)
+	// Two varints per event; counting terminator bytes sizes the slice
+	// exactly, so the append loop never reallocates.
+	events := make([]model.TraceEvent, 0, countVarints(raw)/2)
 	for !r.done() {
 		a, err := r.uvarint()
 		if err != nil {
@@ -229,13 +258,43 @@ func (t *Tables) AppendIndex(period string, pair model.PairKey, entries []IndexE
 	// Invalidate after the append: a reader that decoded the pre-append row
 	// concurrently sees its generation snapshot go stale and drops it.
 	if t.cache != nil {
-		t.cache.invalidate(cacheKey{period: period, pair: pair})
+		t.cache.invalidate(cacheKey{period: period, pair: pair, block: wholeRowBlock})
 	}
 	return nil
 }
 
-// GetIndex returns the entries of pair in one period partition.
+// GetIndex returns the entries of pair in one period partition: the segment
+// run (sorted) followed by the memtable-tier row (append order).
 func (t *Tables) GetIndex(period string, pair model.PairKey) ([]IndexEntry, error) {
+	t.segMu.RLock()
+	defer t.segMu.RUnlock()
+	return t.getIndexLocked(period, pair)
+}
+
+func (t *Tables) getIndexLocked(period string, pair model.PairKey) ([]IndexEntry, error) {
+	var out []IndexEntry
+	if t.seg != nil && !t.segTomb[period] {
+		if i, ok := t.seg.byKey[segKey{period: period, pair: pair}]; ok {
+			seg, err := newBlockRun(t, t.seg, i).All()
+			if err != nil {
+				return nil, err
+			}
+			out = seg
+		}
+	}
+	tail, err := t.getTailLocked(period, pair)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return tail, nil
+	}
+	return append(out, tail...), nil
+}
+
+// getTailLocked reads the memtable-tier (kvstore) row of pair; segMu must be
+// held at least shared.
+func (t *Tables) getTailLocked(period string, pair model.PairKey) ([]IndexEntry, error) {
 	raw, ok, err := t.store.Get(indexTable(period), pairKeyString(pair))
 	if err != nil || !ok {
 		return nil, err
@@ -245,7 +304,8 @@ func (t *Tables) GetIndex(period string, pair model.PairKey) ([]IndexEntry, erro
 
 func decodeIndexEntries(raw []byte) ([]IndexEntry, error) {
 	r := &reader{buf: raw}
-	entries := make([]IndexEntry, 0, len(raw)/6)
+	// Three varints per entry (trace, tsA, duration): exact pre-size.
+	entries := make([]IndexEntry, 0, countVarints(raw)/3)
 	for !r.done() {
 		tr, err := r.uvarint()
 		if err != nil {
@@ -272,16 +332,18 @@ func decodeIndexEntries(raw []byte) ([]IndexEntry, error) {
 // every registered period, in period registration order — the cross-period
 // read the query processor performs when the index is partitioned (§3.1.3).
 func (t *Tables) GetIndexAll(pair model.PairKey) ([]IndexEntry, error) {
-	out, err := t.GetIndex("", pair)
-	if err != nil {
-		return nil, err
-	}
 	periods, err := t.periodsShared()
 	if err != nil {
 		return nil, err
 	}
+	t.segMu.RLock()
+	defer t.segMu.RUnlock()
+	out, err := t.getIndexLocked("", pair)
+	if err != nil {
+		return nil, err
+	}
 	for _, p := range periods {
-		more, err := t.GetIndex(p, pair)
+		more, err := t.getIndexLocked(p, pair)
 		if err != nil {
 			return nil, err
 		}
@@ -307,13 +369,46 @@ func sortIndexEntries(entries []IndexEntry) {
 }
 
 // GetIndexSorted returns the entries of pair in one partition, sorted by
-// (Trace, TsA, TsB). Rows are decoded and sorted at most once per index
-// update: they are served from the postings cache until AppendIndex or
-// DropPeriod touches them. The returned slice is shared with the cache —
-// callers must not modify it.
+// (Trace, TsA, TsB): the segment run merged with the sorted memtable-tier
+// row. The returned slice may be shared with the cache — callers must not
+// modify it. Query code prefers GetPostings, which hands the runs out
+// unmerged so segment blocks decode lazily.
 func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry, error) {
+	t.segMu.RLock()
+	defer t.segMu.RUnlock()
+	return t.getIndexSortedLocked(period, pair)
+}
+
+func (t *Tables) getIndexSortedLocked(period string, pair model.PairKey) ([]IndexEntry, error) {
+	var segRun []IndexEntry
+	if t.seg != nil && !t.segTomb[period] {
+		if i, ok := t.seg.byKey[segKey{period: period, pair: pair}]; ok {
+			var err error
+			if segRun, err = newBlockRun(t, t.seg, i).All(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	tail, err := t.getTailSortedLocked(period, pair)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case segRun == nil:
+		return tail, nil
+	case len(tail) == 0:
+		return segRun, nil
+	}
+	return mergeSortedEntries([][]IndexEntry{segRun, tail}), nil
+}
+
+// getTailSortedLocked returns the sorted memtable-tier row of pair, served
+// from the postings cache until AppendIndex or DropPeriod touches it. The
+// returned slice is shared with the cache — callers must not modify it.
+// segMu must be held at least shared.
+func (t *Tables) getTailSortedLocked(period string, pair model.PairKey) ([]IndexEntry, error) {
 	if t.cache == nil {
-		entries, err := t.GetIndex(period, pair)
+		entries, err := t.getTailLocked(period, pair)
 		if err != nil {
 			return nil, err
 		}
@@ -321,13 +416,13 @@ func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry
 		t.rows.Add(int64(len(entries)))
 		return entries, nil
 	}
-	k := cacheKey{period: period, pair: pair}
+	k := cacheKey{period: period, pair: pair, block: wholeRowBlock}
 	if entries, ok := t.cache.get(k); ok {
 		t.rows.Add(int64(len(entries)))
 		return entries, nil
 	}
 	gen, epoch := t.cache.begin(k)
-	entries, err := t.GetIndex(period, pair)
+	entries, err := t.getTailLocked(period, pair)
 	if err != nil {
 		return nil, err
 	}
@@ -348,8 +443,10 @@ func (t *Tables) GetIndexAllSorted(pair model.PairKey) ([]IndexEntry, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.segMu.RLock()
+	defer t.segMu.RUnlock()
 	rows := make([][]IndexEntry, 0, len(periods)+1)
-	row, err := t.GetIndexSorted("", pair)
+	row, err := t.getIndexSortedLocked("", pair)
 	if err != nil {
 		return nil, err
 	}
@@ -357,7 +454,7 @@ func (t *Tables) GetIndexAllSorted(pair model.PairKey) ([]IndexEntry, error) {
 		rows = append(rows, row)
 	}
 	for _, p := range periods {
-		if row, err = t.GetIndexSorted(p, pair); err != nil {
+		if row, err = t.getIndexSortedLocked(p, pair); err != nil {
 			return nil, err
 		}
 		if len(row) > 0 {
@@ -398,19 +495,64 @@ func mergeSortedEntries(rows [][]IndexEntry) []IndexEntry {
 	return out
 }
 
-// DropPeriod retires an entire period partition of the index.
+// DropPeriod retires an entire period partition of the index. When the
+// segment tier holds rows of the period, they are hidden behind a persisted
+// tombstone (the segment file is immutable) and physically discarded by the
+// next freeze; the drop and the tombstone commit in one crash-atomic batch
+// when the store has a WAL.
 func (t *Tables) DropPeriod(period string) error {
-	if period == "" {
-		if err := t.store.DropTable(tableIndex); err != nil {
+	// Committing below syncs the WAL, which can fire the store's auto-freeze
+	// hook on this goroutine while segMu is held; flag freezing so that call
+	// no-ops instead of self-deadlocking. (If another goroutine is mid-freeze
+	// the flag is already set, which serves the same purpose.)
+	if t.freezing.CompareAndSwap(false, true) {
+		defer t.freezing.Store(false)
+	}
+	t.segMu.Lock()
+	defer t.segMu.Unlock()
+	needTomb := t.seg != nil && t.seg.periods[period] > 0 && !t.segTomb[period]
+	bw := t.Batch()
+	if bw != nil {
+		if err := bw.BeginBatch(); err != nil {
 			return err
 		}
-	} else {
-		if err := t.store.Delete(tablePeriods, period); err != nil {
+	}
+	apply := func() error {
+		if period == "" {
+			if err := t.store.DropTable(tableIndex); err != nil {
+				return err
+			}
+		} else {
+			if err := t.store.Delete(tablePeriods, period); err != nil {
+				return err
+			}
+			if err := t.store.DropTable(indexTable(period)); err != nil {
+				return err
+			}
+		}
+		if needTomb {
+			return t.store.Put(tableMeta, metaSegDroppedKey, t.encodeTombstones(period))
+		}
+		return nil
+	}
+	if err := apply(); err != nil {
+		if bw != nil {
+			bw.AbortBatch(err)
+		}
+		return err
+	}
+	if bw != nil {
+		if err := bw.CommitBatch(); err != nil {
 			return err
 		}
-		if err := t.store.DropTable(indexTable(period)); err != nil {
-			return err
+	}
+	if needTomb {
+		if t.segTomb == nil {
+			t.segTomb = make(map[string]bool)
 		}
+		t.segTomb[period] = true
+	}
+	if period != "" {
 		t.pmu.Lock()
 		if t.periodsLoaded {
 			ps := make([]string, 0, len(t.periods))
@@ -495,14 +637,45 @@ func (t *Tables) Periods() ([]string, error) {
 	return append([]string(nil), ps...), nil
 }
 
-// NumIndexedPairs returns the number of distinct pairs in one partition.
+// NumIndexedPairs returns the number of distinct pairs in one partition,
+// counting pairs held only in the segment tier.
 func (t *Tables) NumIndexedPairs(period string) (int, error) {
-	return t.store.Len(indexTable(period))
+	t.segMu.RLock()
+	defer t.segMu.RUnlock()
+	n, err := t.store.Len(indexTable(period))
+	if err != nil {
+		return 0, err
+	}
+	if t.seg != nil && !t.segTomb[period] && t.seg.periods[period] > 0 {
+		for _, r := range t.seg.rows {
+			if r.period != period {
+				continue
+			}
+			_, inKV, err := t.store.Get(indexTable(period), pairKeyString(r.pair))
+			if err != nil {
+				return 0, err
+			}
+			if !inKV {
+				n++
+			}
+		}
+	}
+	return n, nil
 }
 
-// ScanIndex iterates over all pairs of one partition.
+// ScanIndex iterates over all pairs of one partition. Pairs present in both
+// tiers surface once, segment entries first; segment-only pairs follow the
+// kvstore scan in directory (pair) order.
 func (t *Tables) ScanIndex(period string, fn func(model.PairKey, []IndexEntry) error) error {
-	return t.store.Scan(indexTable(period), func(k string, v []byte) error {
+	t.segMu.RLock()
+	defer t.segMu.RUnlock()
+	seg := t.seg
+	useSeg := seg != nil && !t.segTomb[period] && seg.periods[period] > 0
+	var seen map[model.PairKey]bool
+	if useSeg {
+		seen = make(map[model.PairKey]bool, seg.periods[period])
+	}
+	err := t.store.Scan(indexTable(period), func(k string, v []byte) error {
 		pair, err := parsePairKey(k)
 		if err != nil {
 			return err
@@ -511,8 +684,34 @@ func (t *Tables) ScanIndex(period string, fn func(model.PairKey, []IndexEntry) e
 		if err != nil {
 			return err
 		}
+		if useSeg {
+			if i, ok := seg.byKey[segKey{period: period, pair: pair}]; ok {
+				seen[pair] = true
+				head, err := newBlockRun(t, seg, i).All()
+				if err != nil {
+					return err
+				}
+				entries = append(head, entries...)
+			}
+		}
 		return fn(pair, entries)
 	})
+	if err != nil || !useSeg {
+		return err
+	}
+	for i, r := range seg.rows {
+		if r.period != period || seen[r.pair] {
+			continue
+		}
+		entries, err := newBlockRun(t, seg, i).All()
+		if err != nil {
+			return err
+		}
+		if err := fn(r.pair, entries); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // ---- Count / Reverse Count tables ------------------------------------------

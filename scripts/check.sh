@@ -41,3 +41,15 @@ go test ./internal/shard/ ./internal/storage/ -run Fuzz
 go test ./internal/shard/ -fuzz FuzzShardRouting -fuzztime 5s
 go test ./internal/storage/ -fuzz FuzzSeqCodec -fuzztime 5s
 go test -race -short -run 'ShardedConcurrentHammer|ShardCrashIsolation' ./internal/shard/
+
+# Segments tier: the block codec and segment-file fuzz targets (seed corpora
+# plus a short live fuzz each), the segment differential oracle (row-backed,
+# segment-backed, sharded-segment and compacting engines must be
+# byte-identical for every query family, across freezes, reopen and drops),
+# and the freeze crash sweeps — a fault-injected filesystem cut at every
+# byte/op of two freezes, recovery must never lose committed data (torn
+# segment falls back to WAL replay).
+go test ./internal/storage/ -fuzz FuzzPostingsBlocks -fuzztime 5s
+go test ./internal/storage/ -fuzz FuzzSegmentFile -fuzztime 5s
+go test -run 'TestSegment' .
+go test -race -short -run 'FreezeCrash' ./internal/storage/

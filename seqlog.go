@@ -93,6 +93,15 @@ type Config struct {
 	// the default budget (64 MiB), a negative value disables caching.
 	// Results are identical either way; only latency changes.
 	CacheBytes int64
+	// Segments enables the immutable postings tier on durable engines:
+	// before each automatic compaction (and on Freeze), the inverted-index
+	// rows are folded into a block-compressed, mmap-served segment file per
+	// store, capping WAL replay and snapshot size as the index grows.
+	// Requires Dir. Query results are identical either way. A directory
+	// whose stores already reference segments reopens fine with Segments
+	// off — only the freeze triggers are disabled — but never downgrades:
+	// the on-disk format version is pinned once the first segment exists.
+	Segments bool
 	// QueryWorkers bounds the per-candidate fan-out of the continuation
 	// queries (Accurate verification and the Hybrid re-check): 0 uses all
 	// cores, 1 runs serially. Rankings are identical at any worker count.
@@ -333,6 +342,9 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 	if n < 1 {
 		n = 1
 	}
+	if cfg.Segments && cfg.Dir == "" && cfg.ShardDir == "" {
+		return nil, nil, nil, fmt.Errorf("seqlog: Config.Segments requires a durable directory (Config.Dir)")
+	}
 	if n == 1 {
 		if cfg.Dir == "" {
 			s := kvstore.NewMemStore()
@@ -345,7 +357,18 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 		if err != nil {
 			return nil, nil, nil, err
 		}
-		return []kvstore.Store{d}, []*kvstore.DiskStore{d}, storage.NewTables(d), nil
+		// The segment directory is always configured on durable opens — a
+		// store already referencing a segment must load it regardless of
+		// Config.Segments, which only controls the freeze triggers.
+		tab, err := storage.OpenTables(d, storage.Options{SegmentDir: filepath.Join(cfg.Dir, segmentsDirName)})
+		if err != nil {
+			d.Close()
+			return nil, nil, nil, err
+		}
+		if cfg.Segments {
+			d.SetBeforeCompact(tab.FreezePostings)
+		}
+		return []kvstore.Store{d}, []*kvstore.DiskStore{d}, tab, nil
 	}
 
 	base := cfg.ShardDir
@@ -361,6 +384,7 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 			s.Close()
 		}
 	}
+	var segDirs []string
 	for i := 0; i < n; i++ {
 		if base == "" {
 			stores = append(stores, kvstore.NewMemStore())
@@ -371,18 +395,25 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 				return nil, nil, nil, fmt.Errorf("seqlog: %s holds a single-store index; open it without Config.Shards", base)
 			}
 		}
-		d, err := kvstore.OpenDiskWith(filepath.Join(base, shardDirName(i)), kvstore.DiskOptions{Salvage: cfg.Salvage, Metrics: reg})
+		dir := filepath.Join(base, shardDirName(i))
+		d, err := kvstore.OpenDiskWith(dir, kvstore.DiskOptions{Salvage: cfg.Salvage, Metrics: reg})
 		if err != nil {
 			closeAll()
 			return nil, nil, nil, err
 		}
 		stores = append(stores, d)
 		disks = append(disks, d)
+		segDirs = append(segDirs, filepath.Join(dir, segmentsDirName))
 	}
-	st, err := shard.New(stores, shard.Options{Workers: cfg.QueryWorkers})
+	st, err := shard.New(stores, shard.Options{Workers: cfg.QueryWorkers, SegmentDirs: segDirs})
 	if err != nil {
 		closeAll()
 		return nil, nil, nil, err
+	}
+	if cfg.Segments {
+		for i, d := range disks {
+			d.SetBeforeCompact(st.Shard(i).FreezePostings)
+		}
 	}
 	return stores, disks, st, nil
 }
@@ -390,6 +421,10 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 // shardDirName names shard i's subdirectory. Zero-padding keeps directory
 // listings in shard order.
 func shardDirName(i int) string { return fmt.Sprintf("shard-%04d", i) }
+
+// segmentsDirName is the per-store subdirectory holding immutable postings
+// segment files.
+const segmentsDirName = "segments"
 
 // Metrics returns the engine's telemetry registry — per-family query latency
 // histograms, WAL/cache/ingest counters — or nil when Config.DisableMetrics
@@ -981,6 +1016,24 @@ func (e *Engine) CacheStats() CacheStats {
 	return CacheStats(e.tables.CacheStats())
 }
 
+// SegmentStats describes the immutable postings tier of a durable engine:
+// how many segment files are live (one per store once frozen), the runs,
+// entries and bytes they hold, and how many freezes produced a new segment
+// since open.
+type SegmentStats struct {
+	Segments int   `json:"segments"`
+	Rows     int64 `json:"rows"`
+	Entries  int64 `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	Freezes  int64 `json:"freezes"`
+}
+
+// SegmentStats reports the immutable-tier shape (all zero before the first
+// freeze or on in-memory engines).
+func (e *Engine) SegmentStats() SegmentStats {
+	return SegmentStats(e.tables.SegmentStats())
+}
+
 // RecoveryInfo describes what crash recovery found when a durable engine
 // was opened; the zero value means a clean start (or an in-memory engine).
 type RecoveryInfo struct {
@@ -1017,8 +1070,11 @@ type IndexInfo struct {
 	Shards     int            `json:"shards"`
 	Partitions map[string]int `json:"partitions"` // partition -> distinct pairs ("" = default)
 	Cache      CacheStats     `json:"cache"`
-	Recovery   RecoveryInfo   `json:"recovery"`
-	Degraded   bool           `json:"degraded"`
+	// Segments describes the immutable postings tier (all zero when no
+	// freeze has run).
+	Segments SegmentStats `json:"segments"`
+	Recovery RecoveryInfo `json:"recovery"`
+	Degraded bool         `json:"degraded"`
 	// Ingest reports the streaming-pipeline counters: live while a stream
 	// is open, the final snapshot after it drained, nil when streaming was
 	// never used.
@@ -1033,6 +1089,7 @@ func (e *Engine) Info() (IndexInfo, error) {
 		Shards:     e.tables.NumShards(),
 		Partitions: make(map[string]int),
 		Cache:      e.CacheStats(),
+		Segments:   SegmentStats(e.tables.SegmentStats()),
 		Recovery:   e.Recovery(),
 		Ingest:     e.ingestStats(),
 	}
@@ -1069,14 +1126,33 @@ func (e *Engine) NumTraces() (int, error) { return e.tables.NumTraces() }
 
 // Compact folds every durable store into a fresh snapshot (no-op in
 // memory). On a sharded engine the shards compact independently, one after
-// the other, so at most one shard's write path is stalled at a time.
+// the other, so at most one shard's write path is stalled at a time. With
+// Config.Segments, postings are frozen into segment files first, so the
+// snapshot shrinks to metadata and sequences.
 func (e *Engine) Compact() error {
+	if e.cfg.Segments {
+		if err := e.Freeze(); err != nil {
+			return err
+		}
+	}
 	for _, d := range e.disks {
 		if err := d.Compact(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Freeze folds the memtable postings tier of every store into an immutable
+// block-compressed segment file (see Config.Segments), atomically switching
+// each store's reference and dropping the folded rows from its WAL-backed
+// state. Queries are answered consistently throughout; a crash at any point
+// loses nothing. Returns storage.ErrSegmentsDisabled on engines without a
+// durable directory.
+func (e *Engine) Freeze() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.tables.FreezePostings()
 }
 
 // Sync flushes and fsyncs the write-ahead log(s) (no-op in memory). Ingest
@@ -1094,6 +1170,11 @@ func (e *Engine) Close() error {
 		if err := s.Close(); err != nil && serr == nil {
 			serr = err
 		}
+	}
+	// Release segment mappings last: queries are done once the stores are
+	// closed.
+	if err := e.tables.Close(); err != nil && serr == nil {
+		serr = err
 	}
 	if serr != nil {
 		return serr
