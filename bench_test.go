@@ -5,6 +5,8 @@
 package seqlog
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -179,7 +181,7 @@ func BenchmarkTable7(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("OurMethod/len%d", plen), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := q.Detect(ps[i%len(ps)]); err != nil {
+				if _, err := q.Detect(context.Background(), ps[i%len(ps)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -198,7 +200,7 @@ func BenchmarkFigure4(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("len%d", plen), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := q.Detect(ps[i%len(ps)]); err != nil {
+				if _, err := q.Detect(context.Background(), ps[i%len(ps)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -234,7 +236,7 @@ func BenchmarkTable8(b *testing.B) {
 		})
 		b.Run(fmt.Sprintf("OurMethod/len%d", plen), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := q.Detect(ps[i%len(ps)]); err != nil {
+				if _, err := q.Detect(context.Background(), ps[i%len(ps)]); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -253,14 +255,14 @@ func BenchmarkFigure5(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("Accurate/len%d", plen), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := q.ExploreAccurate(ps[i%len(ps)], query.ExploreOptions{}); err != nil {
+				if _, err := q.ExploreAccurate(context.Background(), ps[i%len(ps)], query.ExploreOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("Fast/len%d", plen), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := q.ExploreFast(ps[i%len(ps)], query.ExploreOptions{}); err != nil {
+				if _, err := q.ExploreFast(context.Background(), ps[i%len(ps)], query.ExploreOptions{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -279,7 +281,7 @@ func BenchmarkFigure6(b *testing.B) {
 	for _, k := range []int{0, 2, 8} {
 		b.Run(fmt.Sprintf("topK%d", k), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := q.ExploreHybrid(ps[i%len(ps)], query.ExploreOptions{TopK: k}); err != nil {
+				if _, err := q.ExploreHybrid(context.Background(), ps[i%len(ps)], query.ExploreOptions{TopK: k}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -300,10 +302,10 @@ func BenchmarkFigure7(b *testing.B) {
 	b.Run("groundTruthPlusHybrid", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			p := ps[i%len(ps)]
-			if _, err := q.ExploreAccurate(p, query.ExploreOptions{}); err != nil {
+			if _, err := q.ExploreAccurate(context.Background(), p, query.ExploreOptions{}); err != nil {
 				b.Fatal(err)
 			}
-			if _, err := q.ExploreHybrid(p, query.ExploreOptions{TopK: 4}); err != nil {
+			if _, err := q.ExploreHybrid(context.Background(), p, query.ExploreOptions{TopK: 4}); err != nil {
 				b.Fatal(err)
 			}
 		}

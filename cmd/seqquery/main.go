@@ -12,18 +12,26 @@
 //	seqquery -dir ./idx metrics
 //	seqquery -server http://host:8080 [-retries 3] detect search view cart
 //
+// Every query accepts the shared bounds -timeout-ms (cooperative deadline),
+// -budget-rows (row budget) and -partial-results (detect family: return the
+// matches found when the budget trips, marked truncated, instead of
+// failing). In server mode they ride in the request body and the server
+// clamps them against its own caps.
+//
 // Global flags (-dir, -server, -policy) come before the verb; verb flags
 // after it. In server mode idempotent GETs (the info verb) are retried with
 // exponential backoff; query POSTs are attempted once.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"seqlog"
 	"seqlog/internal/httpclient"
@@ -49,15 +57,20 @@ func main() {
 
 		shards   = flag.Int("shards", 0, "shard count the index was built with (0/1 = single store)")
 		shardDir = flag.String("shard-dir", "", "base directory of the shard-NNNN stores (default: -dir)")
+
+		timeoutMS  = flag.Int64("timeout-ms", 0, "per-query deadline in milliseconds; the query is aborted cooperatively (0 disables; server mode can only tighten the server's cap)")
+		budgetRows = flag.Int64("budget-rows", 0, "per-query row budget; exceeding it fails the query (0 disables)")
+		partialRes = flag.Bool("partial-results", false, "detect queries that trip the row budget print the matches found so far, marked truncated, instead of failing")
 	)
 	flag.Parse()
 	if (*dir == "") == (*srvURL == "") || flag.NArg() < 1 {
 		usage()
 	}
 	verb, rest := flag.Arg(0), flag.Args()[1:]
+	lim := limits{timeoutMS: *timeoutMS, budgetRows: *budgetRows, partial: *partialRes}
 
 	if *srvURL != "" {
-		runRemote(strings.TrimRight(*srvURL, "/"), *retries, verb, rest)
+		runRemote(strings.TrimRight(*srvURL, "/"), *retries, lim, verb, rest)
 		return
 	}
 
@@ -71,20 +84,26 @@ func main() {
 	}
 	defer eng.Close()
 
+	ctx, cancel := lim.context()
+	defer cancel()
+
 	switch verb {
 	case "detect":
 		scan, within, limit, pattern := detectFlags(rest)
 		var ms []seqlog.Match
 		switch {
 		case scan:
-			ms, err = eng.DetectScan(pattern)
+			ms, err = eng.DetectScanCtx(ctx, pattern)
 		case within > 0:
-			ms, err = eng.DetectWithin(pattern, within)
+			ms, err = eng.DetectWithinCtx(ctx, pattern, within)
 		default:
-			ms, err = eng.Detect(pattern)
+			ms, err = eng.DetectCtx(ctx, pattern)
 		}
-		if err != nil {
+		if err != nil && !seqlog.Truncated(err) {
 			fatal(err)
+		}
+		if seqlog.Truncated(err) {
+			fmt.Println("row budget exceeded; results are truncated")
 		}
 		printMatches(ms, limit)
 
@@ -92,9 +111,12 @@ func main() {
 		fs := flag.NewFlagSet("traces", flag.ExitOnError)
 		limit := fs.Int("limit", 20, "max rows to print")
 		fs.Parse(rest)
-		ids, err := eng.DetectTraces(need(fs.Args(), 2))
-		if err != nil {
+		ids, err := eng.DetectTracesCtx(ctx, need(fs.Args(), 2))
+		if err != nil && !seqlog.Truncated(err) {
 			fatal(err)
+		}
+		if seqlog.Truncated(err) {
+			fmt.Println("row budget exceeded; results are truncated")
 		}
 		printTraces(ids, *limit)
 
@@ -102,9 +124,9 @@ func main() {
 		allPairs, pattern := statsFlags(rest)
 		var st seqlog.PatternStats
 		if allPairs {
-			st, err = eng.StatsAllPairs(pattern)
+			st, err = eng.StatsAllPairsCtx(ctx, pattern)
 		} else {
-			st, err = eng.Stats(pattern)
+			st, err = eng.StatsCtx(ctx, pattern)
 		}
 		if err != nil {
 			fatal(err)
@@ -115,9 +137,9 @@ func main() {
 		mode, opts, pos, limit, pattern := exploreFlags(rest)
 		var props []seqlog.Proposal
 		if pos >= 0 {
-			props, err = eng.ExploreInsert(pattern, pos, mode, opts)
+			props, err = eng.ExploreInsertCtx(ctx, pattern, pos, mode, opts)
 		} else {
-			props, err = eng.Explore(pattern, mode, opts)
+			props, err = eng.ExploreCtx(ctx, pattern, mode, opts)
 		}
 		if err != nil {
 			fatal(err)
@@ -143,16 +165,50 @@ func main() {
 	}
 }
 
+// limits carries the shared query-bound flags into both modes.
+type limits struct {
+	timeoutMS  int64
+	budgetRows int64
+	partial    bool
+}
+
+// context builds the local-mode query context: a deadline plus row limits,
+// exactly what the server builds for its own handlers.
+func (l limits) context() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.Background(), context.CancelFunc(func() {})
+	if l.timeoutMS > 0 {
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(l.timeoutMS)*time.Millisecond)
+	}
+	if l.budgetRows > 0 || l.partial {
+		ctx = seqlog.WithLimits(ctx, seqlog.Limits{MaxRows: l.budgetRows, Partial: l.partial})
+	}
+	return ctx, cancel
+}
+
+// overrides maps the flags onto the per-request knobs of server mode (the
+// server clamps them against its own -query-* caps).
+func (l limits) overrides() server.QueryOverrides {
+	o := server.QueryOverrides{TimeoutMS: l.timeoutMS, BudgetRows: l.budgetRows}
+	if l.partial {
+		p := true
+		o.Partial = &p
+	}
+	return o
+}
+
 // runRemote answers the same verbs against a seqserver HTTP API.
-func runRemote(base string, retries int, verb string, rest []string) {
+func runRemote(base string, retries int, lim limits, verb string, rest []string) {
 	c := &httpclient.Client{Retries: retries}
 	switch verb {
 	case "detect":
 		scan, within, limit, pattern := detectFlags(rest)
 		var resp server.DetectResponse
-		req := server.DetectRequest{Pattern: pattern, Scan: scan, Within: within}
+		req := server.DetectRequest{Pattern: pattern, Scan: scan, Within: within, QueryOverrides: lim.overrides()}
 		if err := c.PostJSON(base+"/detect", req, &resp); err != nil {
 			fatal(err)
+		}
+		if resp.Truncated {
+			fmt.Println("row budget exceeded; results are truncated")
 		}
 		printMatches(resp.Matches, limit)
 
@@ -161,23 +217,26 @@ func runRemote(base string, retries int, verb string, rest []string) {
 		limit := fs.Int("limit", 20, "max rows to print")
 		fs.Parse(rest)
 		var resp server.DetectResponse
-		req := server.DetectRequest{Pattern: need(fs.Args(), 2), TracesOnly: true}
+		req := server.DetectRequest{Pattern: need(fs.Args(), 2), TracesOnly: true, QueryOverrides: lim.overrides()}
 		if err := c.PostJSON(base+"/detect", req, &resp); err != nil {
 			fatal(err)
+		}
+		if resp.Truncated {
+			fmt.Println("row budget exceeded; results are truncated")
 		}
 		printTraces(resp.Traces, *limit)
 
 	case "stats":
 		allPairs, pattern := statsFlags(rest)
 		var st seqlog.PatternStats
-		if err := c.PostJSON(base+"/stats", server.StatsRequest{Pattern: pattern, AllPairs: allPairs}, &st); err != nil {
+		if err := c.PostJSON(base+"/stats", server.StatsRequest{Pattern: pattern, AllPairs: allPairs, QueryOverrides: lim.overrides()}, &st); err != nil {
 			fatal(err)
 		}
 		printStats(st)
 
 	case "explore":
 		mode, opts, pos, limit, pattern := exploreFlags(rest)
-		req := server.ExploreRequest{Pattern: pattern, Mode: string(mode), TopK: opts.TopK, MaxAvgGap: opts.MaxAvgGap}
+		req := server.ExploreRequest{Pattern: pattern, Mode: string(mode), TopK: opts.TopK, MaxAvgGap: opts.MaxAvgGap, QueryOverrides: lim.overrides()}
 		if pos >= 0 {
 			req.Position = &pos
 		}

@@ -51,6 +51,10 @@ func main() {
 		maxBodyMB    = flag.Int("max-body-mb", 64, "maximum request body size in MiB (0 disables the cap)")
 		drainTimeout = flag.Duration("shutdown-timeout", 15*time.Second, "graceful-shutdown drain window for in-flight requests")
 
+		queryTimeoutMS  = flag.Int("query-timeout-ms", 0, "per-query deadline in milliseconds; the query is aborted cooperatively, not abandoned (0 disables; requests may only tighten it)")
+		queryBudgetRows = flag.Int64("query-budget-rows", 0, "per-query row budget; exceeding it fails the query with 503 (0 disables; requests may only tighten it)")
+		partialResults  = flag.Bool("partial-results", false, "detect queries that trip the row budget return the matches found so far with \"truncated\":true instead of failing")
+
 		metricsOn   = flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format)")
 		pprofOn     = flag.Bool("pprof", false, "mount the runtime profiler under GET /debug/pprof/")
 		slowQueryMS = flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds to stderr (0 disables)")
@@ -74,6 +78,9 @@ func main() {
 	opts := server.Options{
 		Pprof:                  *pprofOn,
 		DisableMetricsEndpoint: !*metricsOn,
+		QueryTimeout:           time.Duration(*queryTimeoutMS) * time.Millisecond,
+		QueryBudgetRows:        *queryBudgetRows,
+		PartialResults:         *partialResults,
 	}
 	if err := run(cfg, opts, *addr, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "seqserver:", err)

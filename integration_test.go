@@ -1,6 +1,7 @@
 package seqlog
 
 import (
+
 	"bytes"
 	"reflect"
 	"testing"

@@ -86,7 +86,7 @@ func Experiments() []string {
 		"table4", "figure2", "table5", "figure3", "table6", "table7",
 		"figure4", "table8", "figure5", "figure6", "figure7",
 		"recall", "incremental", "partitions", "baseline19", "joinorder",
-		"ingest", "metrics-overhead", "shards", "postings",
+		"ingest", "metrics-overhead", "shards", "postings", "cancel",
 	}
 }
 
@@ -133,6 +133,8 @@ func (r *Runner) Run(name string) error {
 		return r.Shards()
 	case "postings":
 		return r.Postings()
+	case "cancel":
+		return r.Cancel()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments())
 	}

@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"seqlog"
+)
+
+// Cancel measures what the cooperative cancellation checks cost on the query
+// hot path, and how fast an in-flight query actually honors a cancellation.
+//
+// Overhead: the same Detect workload runs against one in-memory engine under
+// two contexts — context.Background() (ctx.Done() == nil, so the processor
+// takes its nil-qstate fast path: the pre-cancellation hot path) and a
+// cancellable context that is never canceled (the amortized countdown runs
+// on every row). Rounds alternate so drift hits both; the reported figure is
+// the median-round overhead, bounded at 1% by the acceptance criterion.
+//
+// Latency: a batch of queries is started and canceled mid-flight; the time
+// from cancel() to the query returning is the cancellation latency the chaos
+// harness bounds. The checks fire every checkEvery rows, so the expected
+// figure is microseconds of in-memory join work.
+func (r *Runner) Cancel() error {
+	spec := r.datasets()[0]
+	log := r.log(spec)
+	names := log.Alphabet.Names()
+	events := make([]seqlog.Event, 0, log.NumEvents())
+	for _, tr := range log.Traces {
+		for _, ev := range tr.Events {
+			events = append(events, seqlog.Event{
+				Trace: int64(tr.ID), Activity: names[ev.Activity], Time: int64(ev.TS),
+			})
+		}
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("cancel: dataset %s is empty", spec.Name)
+	}
+	eng, err := seqlog.Open(seqlog.Config{DisableMetrics: true, Workers: r.cfg.Workers})
+	if err != nil {
+		return err
+	}
+	defer eng.Close()
+	if _, err := eng.Ingest(events); err != nil {
+		return err
+	}
+
+	patterns := samplePatterns(log, 3, 20, 42)
+	if len(patterns) == 0 {
+		patterns = samplePatterns(log, 2, 20, 42)
+	}
+	patNames := make([][]string, len(patterns))
+	for i, p := range patterns {
+		ns := make([]string, len(p))
+		for j, a := range p {
+			ns[j] = names[a]
+		}
+		patNames[i] = ns
+	}
+
+	pass := func(ctx context.Context) (time.Duration, error) {
+		start := time.Now()
+		for _, p := range patNames {
+			if _, err := eng.DetectCtx(ctx, p); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+	// The cancellable context is armed but never fired: its Done channel is
+	// non-nil, which is all the processor looks at when deciding to run the
+	// amortized checks.
+	armed, disarm := context.WithCancel(context.Background())
+	defer disarm()
+
+	rounds := r.cfg.QueryRepeats
+	if rounds < 5 {
+		rounds = 5
+	}
+	warm, err := pass(context.Background())
+	if err != nil {
+		return err
+	}
+	if _, err := pass(armed); err != nil {
+		return err
+	}
+	passes := 1
+	if warm > 0 && warm < 100*time.Millisecond {
+		passes = int(100*time.Millisecond/warm) + 1
+	}
+	round := func(ctx context.Context) (time.Duration, error) {
+		var total time.Duration
+		for i := 0; i < passes; i++ {
+			d, err := pass(ctx)
+			if err != nil {
+				return 0, err
+			}
+			total += d
+		}
+		return total, nil
+	}
+	baseSamples := make([]time.Duration, 0, rounds)
+	armedSamples := make([]time.Duration, 0, rounds)
+	for i := 0; i < rounds; i++ {
+		ctxs := []context.Context{context.Background(), armed}
+		sinks := []*[]time.Duration{&baseSamples, &armedSamples}
+		if i%2 == 1 {
+			ctxs[0], ctxs[1] = ctxs[1], ctxs[0]
+			sinks[0], sinks[1] = sinks[1], sinks[0]
+		}
+		for j, ctx := range ctxs {
+			d, err := round(ctx)
+			if err != nil {
+				return err
+			}
+			*sinks[j] = append(*sinks[j], d)
+		}
+	}
+	baseMed := medianDuration(baseSamples)
+	armedMed := medianDuration(armedSamples)
+	overheadPct := 100 * (armedMed.Seconds() - baseMed.Seconds()) / baseMed.Seconds()
+
+	// Cancellation latency: cancel queries mid-flight and time how long the
+	// join keeps running past the cancel.
+	const latencyRounds = 20
+	latencies := make([]time.Duration, 0, latencyRounds)
+	for i := 0; i < latencyRounds; i++ {
+		ctx, cancel := context.WithCancel(context.Background())
+		started := make(chan struct{})
+		returned := make(chan struct{})
+		go func() {
+			close(started)
+			for _, p := range patNames {
+				if _, err := eng.DetectCtx(ctx, p); err != nil {
+					break
+				}
+			}
+			close(returned)
+		}()
+		<-started
+		// Let the query get into the join before pulling the plug.
+		time.Sleep(time.Duration(i%5) * 200 * time.Microsecond)
+		t0 := time.Now()
+		cancel()
+		<-returned
+		latencies = append(latencies, time.Since(t0))
+	}
+	latMed := medianDuration(latencies)
+	var latMax time.Duration
+	for _, l := range latencies {
+		if l > latMax {
+			latMax = l
+		}
+	}
+
+	queriesPerRound := len(patNames) * passes
+	r.section("Cancellation — hot-path overhead and cancel latency",
+		fmt.Sprintf("dataset=%s patterns=%d queries/round=%d rounds=%d (alternating, median)",
+			spec.Name, len(patNames), queriesPerRound, rounds))
+	r.table(
+		[]string{"mode", "median round", "queries/sec", "overhead"},
+		[][]string{
+			{"baseline (Background ctx)", msecs(baseMed) + "ms",
+				fmt.Sprintf("%.0f", float64(queriesPerRound)/baseMed.Seconds()), "—"},
+			{"cancellable (armed, never fired)", msecs(armedMed) + "ms",
+				fmt.Sprintf("%.0f", float64(queriesPerRound)/armedMed.Seconds()),
+				fmt.Sprintf("%+.2f%%", overheadPct)},
+		})
+	r.table(
+		[]string{"cancel latency", "median", "max", "samples"},
+		[][]string{{"cancel() → query returned", latMed.String(), latMax.String(),
+			fmt.Sprintf("%d", len(latencies))}})
+
+	if r.cfg.JSONDir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(map[string]any{
+		"experiment":             "cancel",
+		"dataset":                spec.Name,
+		"patterns":               len(patNames),
+		"queriesPerRound":        queriesPerRound,
+		"rounds":                 rounds,
+		"baselineSeconds":        baseMed.Seconds(),
+		"cancellableSeconds":     armedMed.Seconds(),
+		"overheadPct":            overheadPct,
+		"budgetPct":              1.0,
+		"withinBudget":           overheadPct <= 1.0,
+		"cancelLatencyMedianSec": latMed.Seconds(),
+		"cancelLatencyMaxSec":    latMax.Seconds(),
+		"cancelLatencySamples":   len(latencies),
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.cfg.JSONDir, "BENCH_cancel.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out(), "wrote %s\n", path)
+	return nil
+}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"seqlog/internal/model"
@@ -34,10 +35,10 @@ func (r *Runner) Figure5() error {
 			continue
 		}
 		tAcc := r.timeQueries(ps, func(p model.Pattern) {
-			q.ExploreAccurate(p, query.ExploreOptions{})
+			q.ExploreAccurate(context.Background(), p, query.ExploreOptions{})
 		})
 		tFast := r.timeQueries(ps, func(p model.Pattern) {
-			q.ExploreFast(p, query.ExploreOptions{})
+			q.ExploreFast(context.Background(), p, query.ExploreOptions{})
 		})
 		rows = append(rows, []string{fmt.Sprint(plen), msecs(tAcc), msecs(tFast)})
 	}
@@ -65,14 +66,14 @@ func (r *Runner) Figure6() error {
 		ps = samplePatterns(log, 2, explorePatterns, 600)
 	}
 
-	tFast := r.timeQueries(ps, func(p model.Pattern) { q.ExploreFast(p, query.ExploreOptions{}) })
-	tAcc := r.timeQueries(ps, func(p model.Pattern) { q.ExploreAccurate(p, query.ExploreOptions{}) })
+	tFast := r.timeQueries(ps, func(p model.Pattern) { q.ExploreFast(context.Background(), p, query.ExploreOptions{}) })
+	tAcc := r.timeQueries(ps, func(p model.Pattern) { q.ExploreAccurate(context.Background(), p, query.ExploreOptions{}) })
 
 	header := []string{"topK", "Hybrid", "Fast (bound)", "Accurate (bound)"}
 	var rows [][]string
 	for _, k := range []int{0, 1, 2, 4, 8, 16, 32, 64, 128} {
 		tHyb := r.timeQueries(ps, func(p model.Pattern) {
-			q.ExploreHybrid(p, query.ExploreOptions{TopK: k})
+			q.ExploreHybrid(context.Background(), p, query.ExploreOptions{TopK: k})
 		})
 		rows = append(rows, []string{fmt.Sprint(k), msecs(tHyb), msecs(tFast), msecs(tAcc)})
 	}
@@ -106,7 +107,7 @@ func (r *Runner) Figure7() error {
 		var sum float64
 		var counted int
 		for _, p := range ps {
-			acc, err := q.ExploreAccurate(p, query.ExploreOptions{})
+			acc, err := q.ExploreAccurate(context.Background(), p, query.ExploreOptions{})
 			if err != nil {
 				return err
 			}
@@ -114,7 +115,7 @@ func (r *Runner) Figure7() error {
 			if len(truth) == 0 {
 				continue
 			}
-			hyb, err := q.ExploreHybrid(p, query.ExploreOptions{TopK: k})
+			hyb, err := q.ExploreHybrid(context.Background(), p, query.ExploreOptions{TopK: k})
 			if err != nil {
 				return err
 			}

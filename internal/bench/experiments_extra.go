@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -30,7 +31,7 @@ func (r *Runner) Recall() error {
 			ps := samplePatterns(log, plen, 30, int64(900+plen))
 			found, total := 0, 0
 			for _, p := range ps {
-				scan, err := q.DetectScan(p, model.STNM)
+				scan, err := q.DetectScan(context.Background(), p, model.STNM)
 				if err != nil {
 					return err
 				}
@@ -38,7 +39,7 @@ func (r *Runner) Recall() error {
 				for _, m := range scan {
 					scanTraces[m.Trace] = true
 				}
-				joined, err := q.DetectTraces(p)
+				joined, err := q.DetectTraces(context.Background(), p)
 				if err != nil {
 					return err
 				}
@@ -101,8 +102,8 @@ func (r *Runner) Incremental() error {
 		}
 		manyDur := time.Since(start)
 
-		onePairs, _ := oneTB.NumIndexedPairs("")
-		manyPairs, _ := manyTB.NumIndexedPairs("")
+		onePairs, _ := oneTB.NumIndexedPairs(context.Background(), "")
+		manyPairs, _ := manyTB.NumIndexedPairs(context.Background(), "")
 		oneOcc, manyOcc := countOccurrences(oneTB), countOccurrences(manyTB)
 
 		rows = append(rows, []string{
@@ -117,7 +118,7 @@ func (r *Runner) Incremental() error {
 
 func countOccurrences(tb *storage.Tables) int {
 	n := 0
-	tb.ScanIndex("", func(_ model.PairKey, es []storage.IndexEntry) error {
+	tb.ScanIndex(context.Background(), "", func(_ model.PairKey, es []storage.IndexEntry) error {
 		n += len(es)
 		return nil
 	})
@@ -162,7 +163,7 @@ func (r *Runner) Partitions() error {
 		}
 		build := time.Since(start)
 		q := proc(tb)
-		d := r.timeQueries(ps, func(p model.Pattern) { q.Detect(p) })
+		d := r.timeQueries(ps, func(p model.Pattern) { q.Detect(context.Background(), p) })
 		rows = append(rows, []string{fmt.Sprint(parts), secs(build), msecs(d)})
 	}
 	r.table(header, rows)
@@ -213,8 +214,8 @@ func (r *Runner) JoinOrder() error {
 			if len(ps) == 0 {
 				continue
 			}
-			plain := r.timeQueries(ps, func(p model.Pattern) { q.Detect(p) })
-			planned := r.timeQueries(ps, func(p model.Pattern) { q.DetectPlanned(p) })
+			plain := r.timeQueries(ps, func(p model.Pattern) { q.Detect(context.Background(), p) })
+			planned := r.timeQueries(ps, func(p model.Pattern) { q.DetectPlanned(context.Background(), p) })
 			rows = append(rows, []string{spec.Name, fmt.Sprint(plen), msecs(plain), msecs(planned)})
 		}
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -98,7 +99,7 @@ func (r *Runner) Postings() error {
 
 	var pairKeys []model.PairKey
 	var entryCount int64
-	if err := rowTb.ScanIndex("", func(k model.PairKey, es []storage.IndexEntry) error {
+	if err := rowTb.ScanIndex(context.Background(), "", func(k model.PairKey, es []storage.IndexEntry) error {
 		pairKeys = append(pairKeys, k)
 		entryCount += int64(len(es))
 		return nil
@@ -117,7 +118,7 @@ func (r *Runner) Postings() error {
 	scanAll := func(tb *storage.Tables) (int64, error) {
 		var n int64
 		for _, pk := range pairKeys {
-			po, err := tb.GetPostings(pk)
+			po, err := tb.GetPostings(context.Background(), pk)
 			if err != nil {
 				return 0, err
 			}
@@ -169,7 +170,7 @@ func (r *Runner) Postings() error {
 	// header already exceeds the window — the payload is never touched. The
 	// windows are duration percentiles of the dataset itself.
 	var durations []int64
-	if err := rowTb.ScanIndex("", func(_ model.PairKey, es []storage.IndexEntry) error {
+	if err := rowTb.ScanIndex(context.Background(), "", func(_ model.PairKey, es []storage.IndexEntry) error {
 		for _, e := range es {
 			durations = append(durations, int64(e.TsB-e.TsA))
 		}
@@ -185,7 +186,7 @@ func (r *Runner) Postings() error {
 	windowRows := func(w int64) (int64, error) {
 		var n int64
 		for _, pk := range pairKeys {
-			po, err := rowTb.GetPostings(pk)
+			po, err := rowTb.GetPostings(context.Background(), pk)
 			if err != nil {
 				return 0, err
 			}
@@ -201,7 +202,7 @@ func (r *Runner) Postings() error {
 	}
 	windowBlocks := func(w int64) (matched, decoded, total int64, err error) {
 		for _, pk := range pairKeys {
-			po, err := segTb.GetPostings(pk)
+			po, err := segTb.GetPostings(context.Background(), pk)
 			if err != nil {
 				return 0, 0, 0, err
 			}

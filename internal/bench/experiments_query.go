@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"seqlog/internal/loggen"
@@ -47,8 +48,8 @@ func (r *Runner) Table7() error {
 		}
 
 		tBase := r.timeQueries(p2, func(p model.Pattern) { baseline.Detect(p) })
-		t2 := r.timeQueries(p2, func(p model.Pattern) { q.Detect(p) })
-		t10 := r.timeQueries(p10, func(p model.Pattern) { q.Detect(p) })
+		t2 := r.timeQueries(p2, func(p model.Pattern) { q.Detect(context.Background(), p) })
+		t10 := r.timeQueries(p10, func(p model.Pattern) { q.Detect(context.Background(), p) })
 
 		rows = append(rows, []string{spec.Name, msecs(tBase), msecs(t2), msecs(t10)})
 	}
@@ -75,7 +76,7 @@ func (r *Runner) Figure4() error {
 		if len(ps) == 0 {
 			continue
 		}
-		d := r.timeQueries(ps, func(p model.Pattern) { q.Detect(p) })
+		d := r.timeQueries(ps, func(p model.Pattern) { q.Detect(context.Background(), p) })
 		rows = append(rows, []string{fmt.Sprint(plen), msecs(d)})
 	}
 	r.table(header, rows)
@@ -115,7 +116,7 @@ func (r *Runner) Table8() error {
 			tSASE := r.timeQueries(ps, func(p model.Pattern) {
 				engine.Evaluate(sase.Query{Pattern: p, Strategy: model.STNM})
 			})
-			tOurs := r.timeQueries(ps, func(p model.Pattern) { q.Detect(p) })
+			tOurs := r.timeQueries(ps, func(p model.Pattern) { q.Detect(context.Background(), p) })
 
 			rows = append(rows, []string{spec.Name, msecs(tES), msecs(tSASE), msecs(tOurs)})
 		}

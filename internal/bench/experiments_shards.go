@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -164,7 +165,7 @@ func (r *Runner) shardRun(n int, events []model.Event, patterns []model.Pattern,
 	proc := query.NewProcessor(backend)
 	// Warm the postings caches so every shard count is measured hot.
 	for _, p := range patterns {
-		if _, err := proc.Detect(p); err != nil {
+		if _, err := proc.Detect(context.Background(), p); err != nil {
 			return 0, 0, err
 		}
 	}
@@ -180,7 +181,7 @@ func (r *Runner) shardRun(n int, events []model.Event, patterns []model.Pattern,
 			defer wg.Done()
 			for rep := 0; rep < r.cfg.QueryRepeats; rep++ {
 				for _, p := range patterns {
-					if _, err := proc.Detect(p); err != nil {
+					if _, err := proc.Detect(context.Background(), p); err != nil {
 						errMu.Lock()
 						if firstErr == nil {
 							firstErr = err

@@ -1,6 +1,7 @@
 package eventlog
 
 import (
+
 	"bytes"
 	"strings"
 	"testing"

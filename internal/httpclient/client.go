@@ -6,6 +6,7 @@ package httpclient
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -133,12 +134,28 @@ func (c *Client) budget() time.Duration {
 	return 0
 }
 
-func (c *Client) sleep(d time.Duration) {
+// sleep waits d or until ctx is done, whichever comes first. The injected
+// test Sleep cannot observe ctx, so a done ctx skips it entirely.
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if c.Sleep != nil {
 		c.Sleep(d)
-		return
+		return ctx.Err()
 	}
-	time.Sleep(d)
+	if ctx.Done() == nil {
+		time.Sleep(d)
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // Get performs a GET with bounded retries on connection errors, 5xx
@@ -147,17 +164,31 @@ func (c *Client) sleep(d time.Duration) {
 // sleeps — never exceeds the retry budget (RetryBudget, defaulting to
 // HTTP.Timeout). Any returned response has its body intact and unconsumed.
 func (c *Client) Get(url string) (*http.Response, error) {
+	return c.GetCtx(context.Background(), url)
+}
+
+// GetCtx is Get under a caller context: the context travels on every
+// attempt, and a cancellation cuts the backoff sleeps and the RetryBudget
+// wait short immediately — a canceled caller never sleeps out the schedule.
+func (c *Client) GetCtx(ctx context.Context, url string) (*http.Response, error) {
 	var deadline time.Time
 	if b := c.budget(); b > 0 {
 		deadline = c.timeNow().Add(b)
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.http().Get(url)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.http().Do(req)
 		var wait time.Duration
 		var hasWait bool
 		switch {
 		case err != nil:
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("GET %s: %w (after %d attempts)", url, ctx.Err(), attempt+1)
+			}
 			lastErr = err
 		case retryable(resp.StatusCode):
 			lastErr = fmt.Errorf("server error: %s", resp.Status)
@@ -178,13 +209,20 @@ func (c *Client) Get(url string) (*http.Response, error) {
 			return nil, fmt.Errorf("GET %s: %w (retry budget exhausted after %d attempts)",
 				url, lastErr, attempt+1)
 		}
-		c.sleep(wait)
+		if err := c.sleep(ctx, wait); err != nil {
+			return nil, fmt.Errorf("GET %s: %w (after %d attempts)", url, err, attempt+1)
+		}
 	}
 }
 
 // GetJSON GETs a URL (with retries) and decodes the JSON response into out.
 func (c *Client) GetJSON(url string, out any) error {
-	resp, err := c.Get(url)
+	return c.GetJSONCtx(context.Background(), url, out)
+}
+
+// GetJSONCtx is GetJSON under a caller context (see GetCtx).
+func (c *Client) GetJSONCtx(ctx context.Context, url string, out any) error {
+	resp, err := c.GetCtx(ctx, url)
 	if err != nil {
 		return err
 	}
@@ -203,7 +241,18 @@ func (c *Client) GetJSON(url string, out any) error {
 // can pause and resume instead of failing; other non-200 statuses become
 // generic errors carrying the server's {"error": ...} body.
 func (c *Client) Post(url, contentType string, body io.Reader, out any) error {
-	resp, err := c.http().Post(url, contentType, body)
+	return c.PostCtx(context.Background(), url, contentType, body, out)
+}
+
+// PostCtx is Post under a caller context: the request aborts when ctx is
+// done (POSTs have no sleeps to cut — they are never retried).
+func (c *Client) PostCtx(ctx context.Context, url, contentType string, body io.Reader, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.http().Do(req)
 	if err != nil {
 		return err
 	}
@@ -225,11 +274,16 @@ func (c *Client) Post(url, contentType string, body io.Reader, out any) error {
 // PostJSON POSTs a JSON body via Post (same no-retry and backpressure
 // semantics) and decodes the JSON response into out (when non-nil).
 func (c *Client) PostJSON(url string, in, out any) error {
+	return c.PostJSONCtx(context.Background(), url, in, out)
+}
+
+// PostJSONCtx is PostJSON under a caller context (see PostCtx).
+func (c *Client) PostJSONCtx(ctx context.Context, url string, in, out any) error {
 	raw, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
-	return c.Post(url, "application/json", bytes.NewReader(raw), out)
+	return c.PostCtx(ctx, url, "application/json", bytes.NewReader(raw), out)
 }
 
 // apiError extracts the server's {"error": ...} body, falling back to the

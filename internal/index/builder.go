@@ -7,6 +7,7 @@
 package index
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -262,7 +263,7 @@ func countDelta(accs []countAccum) []storage.CountEntry {
 // prefix, extract pairs over the full sequence, keep the occurrences
 // completing after the boundary, and push them into the shared shards.
 func (b *Builder) updateTrace(id model.TraceID, newEvents []model.TraceEvent, shards []shard) error {
-	old, _, err := b.tables.GetSeq(id)
+	old, _, err := b.tables.GetSeq(context.Background(), id)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package index
 
 import (
+	"context"
+
 	"math/rand"
 	"reflect"
 	"sort"
@@ -35,7 +37,7 @@ func key(a, b byte) model.PairKey {
 func collectIndex(t *testing.T, tb *storage.Tables) map[model.PairKey][]storage.IndexEntry {
 	t.Helper()
 	out := make(map[model.PairKey][]storage.IndexEntry)
-	err := tb.ScanIndex("", func(k model.PairKey, es []storage.IndexEntry) error {
+	err := tb.ScanIndex(context.Background(), "", func(k model.PairKey, es []storage.IndexEntry) error {
 		cp := append([]storage.IndexEntry(nil), es...)
 		sort.Slice(cp, func(i, j int) bool {
 			if cp[i].Trace != cp[j].Trace {
@@ -88,12 +90,12 @@ func TestUpdateTable3Trace(t *testing.T) {
 	}
 
 	// Counts: (A,B) completed twice with durations 2 and 1.
-	cnt, ok, err := tb.GetPairCount(model.ActivityID('A'), model.ActivityID('B'))
+	cnt, ok, err := tb.GetPairCount(context.Background(), model.ActivityID('A'), model.ActivityID('B'))
 	if err != nil || !ok || cnt.Completions != 2 || cnt.SumDuration != 3 {
 		t.Fatalf("count(A,B) = %+v %v %v", cnt, ok, err)
 	}
 	// Reverse counts mirror by second event.
-	rev, err := tb.GetReverseCounts(model.ActivityID('B'))
+	rev, err := tb.GetReverseCounts(context.Background(), model.ActivityID('B'))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +109,7 @@ func TestUpdateTable3Trace(t *testing.T) {
 		t.Fatalf("reverse counts of B: %v", rev)
 	}
 	// LastChecked watermark is the last completion of the pair.
-	lc, err := tb.GetLastChecked(key('A', 'B'))
+	lc, err := tb.GetLastChecked(context.Background(), key('A', 'B'))
 	if err != nil || lc[1] != 5 {
 		t.Fatalf("lastchecked(A,B) = %v %v", lc, err)
 	}
@@ -168,8 +170,8 @@ func TestIncrementalEqualsBatch(t *testing.T) {
 
 			// Counts must agree too.
 			for a := byte('A'); a <= 'D'; a++ {
-				c1, _ := tbOne.GetCounts(model.ActivityID(a))
-				c2, _ := tbIncr.GetCounts(model.ActivityID(a))
+				c1, _ := tbOne.GetCounts(context.Background(), model.ActivityID(a))
+				c2, _ := tbIncr.GetCounts(context.Background(), model.ActivityID(a))
 				if !reflect.DeepEqual(c1, c2) {
 					t.Fatalf("policy=%v iter=%d: counts(%c) %v != %v", policy, iter, a, c2, c1)
 				}
@@ -210,7 +212,7 @@ func TestTimestampNormalisation(t *testing.T) {
 	if _, err := b.Update([]model.Event{ev(1, 'A', 5), ev(1, 'B', 5), ev(1, 'C', 4)}); err != nil {
 		t.Fatal(err)
 	}
-	seq, ok, err := tb.GetSeq(1)
+	seq, ok, err := tb.GetSeq(context.Background(), 1)
 	if err != nil || !ok {
 		t.Fatal(err)
 	}
@@ -240,11 +242,11 @@ func TestPeriodPartitionedUpdate(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	p1, err := tb.GetIndex("p1", key('A', 'B'))
+	p1, err := tb.GetIndex(context.Background(), "p1", key('A', 'B'))
 	if err != nil || len(p1) != 1 || p1[0].TsB != 2 {
 		t.Fatalf("p1 = %v %v", p1, err)
 	}
-	p2, err := tb.GetIndex("p2", key('A', 'B'))
+	p2, err := tb.GetIndex(context.Background(), "p2", key('A', 'B'))
 	if err != nil || len(p2) != 1 {
 		t.Fatalf("p2 = %v %v", p2, err)
 	}
@@ -254,7 +256,7 @@ func TestPeriodPartitionedUpdate(t *testing.T) {
 	if p2[0].TsA != 3 || p2[0].TsB != 4 {
 		t.Fatalf("p2 entry = %+v", p2[0])
 	}
-	all, err := tb.GetIndexAll(key('A', 'B'))
+	all, err := tb.GetIndexAll(context.Background(), key('A', 'B'))
 	if err != nil || len(all) != 2 {
 		t.Fatalf("all = %v %v", all, err)
 	}
@@ -268,13 +270,13 @@ func TestPruneTraces(t *testing.T) {
 	if err := b.PruneTraces([]model.TraceID{1}); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := tb.GetSeq(1); ok {
+	if _, ok, _ := tb.GetSeq(context.Background(), 1); ok {
 		t.Fatal("pruned trace still in Seq")
 	}
-	if _, ok, _ := tb.GetSeq(2); !ok {
+	if _, ok, _ := tb.GetSeq(context.Background(), 2); !ok {
 		t.Fatal("wrong trace pruned")
 	}
-	lc, _ := tb.GetLastChecked(key('A', 'B'))
+	lc, _ := tb.GetLastChecked(context.Background(), key('A', 'B'))
 	if _, ok := lc[1]; ok {
 		t.Fatal("pruned trace still in LastChecked")
 	}
@@ -282,7 +284,7 @@ func TestPruneTraces(t *testing.T) {
 		t.Fatal("wrong LastChecked entry pruned")
 	}
 	// The inverted index keeps historical occurrences.
-	es, _ := tb.GetIndex("", key('A', 'B'))
+	es, _ := tb.GetIndex(context.Background(), "", key('A', 'B'))
 	if len(es) != 2 {
 		t.Fatalf("index lost pruned trace history: %v", es)
 	}
@@ -348,7 +350,7 @@ func TestPartialOrderPreservesTies(t *testing.T) {
 		t.Fatalf("(A,C) = %v", es)
 	}
 	// The stored sequence keeps the tie.
-	seq, _, _ := tb.GetSeq(1)
+	seq, _, _ := tb.GetSeq(context.Background(), 1)
 	if seq[0].TS != seq[1].TS {
 		t.Fatalf("tie destroyed: %v", seq)
 	}
@@ -499,8 +501,8 @@ func TestCrossBatchDedupOracle(t *testing.T) {
 				t.Fatalf("%v/%v iter %d: tiny-batch index != big-batch index", c.policy, c.method, iter)
 			}
 			for a := byte('A'); a <= 'D'; a++ {
-				c1, _ := tbBig.GetCounts(model.ActivityID(a))
-				c2, _ := tbTiny.GetCounts(model.ActivityID(a))
+				c1, _ := tbBig.GetCounts(context.Background(), model.ActivityID(a))
+				c2, _ := tbTiny.GetCounts(context.Background(), model.ActivityID(a))
 				if !reflect.DeepEqual(c1, c2) {
 					t.Fatalf("%v/%v iter %d: counts(%c) diverged", c.policy, c.method, iter, a)
 				}

@@ -83,6 +83,9 @@ func (p *Pipeline) extractShard(sh *ingestShard, inbox []model.Event) (*shardDel
 	}
 	d := newShardDelta()
 	for _, id := range order {
+		if err := p.abortedErr(); err != nil {
+			return nil, err
+		}
 		sess := sh.sessions[id]
 		if sess == nil {
 			var err error
@@ -188,6 +191,11 @@ func (p *Pipeline) commit(d *shardDelta) (err error) {
 
 	sort.Slice(d.traces, func(i, j int) bool { return d.traces[i] < d.traces[j] })
 	for _, id := range d.traces {
+		// Abort poll between writes: returning the cause here unwinds into
+		// the AbortBatch defer above, so the whole group rolls back.
+		if err = p.abortedErr(); err != nil {
+			return err
+		}
 		if err = p.tables.AppendSeq(id, d.seqs[id]); err != nil {
 			return err
 		}
@@ -199,6 +207,9 @@ func (p *Pipeline) commit(d *shardDelta) (err error) {
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
+		if err = p.abortedErr(); err != nil {
+			return err
+		}
 		es := d.entries[k]
 		// Within a cycle a pair's entries come from many traces; keep a
 		// canonical order inside the appended chunk.
@@ -245,6 +256,9 @@ func (p *Pipeline) mergeCountTable(m map[model.ActivityID]map[model.ActivityID]*
 	}
 	sort.Slice(acts, func(i, j int) bool { return acts[i] < acts[j] })
 	for _, a := range acts {
+		if err := p.abortedErr(); err != nil {
+			return err
+		}
 		row := m[a]
 		delta := make([]storage.CountEntry, 0, len(row))
 		for _, e := range row {

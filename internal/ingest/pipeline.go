@@ -31,10 +31,12 @@
 package ingest
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"seqlog/internal/kvstore"
@@ -138,6 +140,14 @@ type Pipeline struct {
 	kick chan struct{}
 	done chan struct{}
 
+	// Abort state (CloseCtx): once set, the extraction and commit loops stop
+	// at their next poll — an in-flight WAL batch group rolls back via the
+	// commit's AbortBatch defer, exactly like any other commit error — and
+	// the pipeline poisons itself with the cause. Checked with a single
+	// atomic load between table writes, so the flush hot path is untouched.
+	aborted    atomic.Bool
+	abortCause atomic.Value // error
+
 	cycleMu sync.Mutex // serializes flush cycles with Forget
 }
 
@@ -205,13 +215,21 @@ func (p *Pipeline) shardFor(id model.TraceID) int {
 // Builder-equivalence contract to hold; out-of-order events are still
 // accepted and normalized forward, exactly as the serial path would.
 func (p *Pipeline) Append(events []model.Event) error {
+	return p.AppendCtx(context.Background(), events)
+}
+
+// AppendCtx is Append with a cancellable admission wait: a caller blocked on
+// backpressure credits (blocking mode, or an oversize batch) unblocks with
+// ctx.Err() when ctx is done. Chunks admitted before the cancellation stay
+// admitted — admission is all-or-nothing per chunk, never per batch.
+func (p *Pipeline) AppendCtx(ctx context.Context, events []model.Event) error {
 	oversize := len(events) > p.opts.QueueEvents
 	for len(events) > 0 {
 		n := len(events)
 		if n > p.opts.QueueEvents {
 			n = p.opts.QueueEvents
 		}
-		if err := p.admit(n, oversize); err != nil {
+		if err := p.admit(ctx, n, oversize); err != nil {
 			return err
 		}
 		p.enqueue(events[:n])
@@ -223,11 +241,18 @@ func (p *Pipeline) Append(events []model.Event) error {
 // admit takes n credits. oversize marks a chunk of a batch larger than the
 // queue, which must block regardless of mode (refusing would tear the
 // batch).
-func (p *Pipeline) admit(n int, oversize bool) error {
+func (p *Pipeline) admit(ctx context.Context, n int, oversize bool) error {
+	done := ctx.Done()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	stalled := false
+	var stopWatch func() bool
 	for {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		if p.closed {
 			return ErrClosed
 		}
@@ -247,6 +272,17 @@ func (p *Pipeline) admit(n int, oversize bool) error {
 			p.stats.Stalls++
 			p.kickFlusher()
 			return ErrOverloaded
+		}
+		if done != nil && stopWatch == nil {
+			// Registered lazily, only once a wait is actually needed: the
+			// watcher wakes the cond so a canceled waiter re-checks ctx
+			// instead of sleeping out the backpressure stall.
+			stopWatch = context.AfterFunc(ctx, func() {
+				p.mu.Lock()
+				p.cond.Broadcast()
+				p.mu.Unlock()
+			})
+			defer stopWatch()
 		}
 		stalled = true
 		p.kickFlusher()
@@ -290,9 +326,31 @@ func (p *Pipeline) kickFlusher() {
 // moment when the queue is empty, so it is a barrier primarily for
 // single-producer use — the HTTP handler's end-of-request ack.
 func (p *Pipeline) Flush() error {
+	return p.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush with a cancellable wait: when ctx is done the caller
+// unblocks with ctx.Err(). The flusher itself is unaffected — other
+// producers may be relying on the commit — only this caller stops waiting
+// for it.
+func (p *Pipeline) FlushCtx(ctx context.Context) error {
+	done := ctx.Done()
+	if done != nil {
+		stop := context.AfterFunc(ctx, func() {
+			p.mu.Lock()
+			p.cond.Broadcast()
+			p.mu.Unlock()
+		})
+		defer stop()
+	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for (p.queued > 0 || p.flushing) && p.failed == nil {
+		if done != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		p.kickFlusher()
 		p.cond.Wait()
 	}
@@ -316,6 +374,55 @@ func (p *Pipeline) Close() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.failed
+}
+
+// CloseCtx is Close with a bounded drain: when ctx is done before the drain
+// completes, the pipeline aborts — the in-flight flush stops at its next
+// cooperative poll, an open WAL batch group rolls back cleanly (no partial
+// flush ever commits), and the pipeline poisons itself with the cause.
+// Events admitted but not yet committed are lost, which is the crash
+// contract re-ingestion already tolerates (watermark dedup makes replays
+// idempotent).
+func (p *Pipeline) CloseCtx(ctx context.Context) error {
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			p.abort(context.Cause(ctx))
+		})
+		defer stop()
+	}
+	return p.Close()
+}
+
+// abortBox wraps the cause so abortCause always stores one concrete type
+// (atomic.Value requires it).
+type abortBox struct{ err error }
+
+// abort poisons the pipeline with cause and wakes every waiter. Only the
+// first cause sticks.
+func (p *Pipeline) abort(cause error) {
+	if cause == nil {
+		cause = context.Canceled
+	}
+	p.mu.Lock()
+	if !p.aborted.Load() {
+		p.abortCause.Store(abortBox{err: cause})
+		p.aborted.Store(true)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.kickFlusher()
+}
+
+// abortedErr returns the abort cause, or nil while the pipeline is live.
+// One atomic load on the fast path.
+func (p *Pipeline) abortedErr() error {
+	if !p.aborted.Load() {
+		return nil
+	}
+	if b, ok := p.abortCause.Load().(abortBox); ok && b.err != nil {
+		return b.err
+	}
+	return context.Canceled
 }
 
 // Stats returns a snapshot of the pipeline counters.

@@ -1,6 +1,8 @@
 package ingest
 
 import (
+	"context"
+
 	"errors"
 	"fmt"
 	"math/rand"
@@ -26,7 +28,7 @@ func dumpTables(t *testing.T, tb *storage.Tables, period string) string {
 	t.Helper()
 	var lines []string
 
-	err := tb.ScanSeq(func(id model.TraceID, evs []model.TraceEvent) error {
+	err := tb.ScanSeq(context.Background(), func(id model.TraceID, evs []model.TraceEvent) error {
 		lines = append(lines, fmt.Sprintf("seq %d %v", id, evs))
 		return nil
 	})
@@ -35,7 +37,7 @@ func dumpTables(t *testing.T, tb *storage.Tables, period string) string {
 	}
 
 	acts := map[model.ActivityID]bool{}
-	err = tb.ScanIndex(period, func(k model.PairKey, es []storage.IndexEntry) error {
+	err = tb.ScanIndex(context.Background(), period, func(k model.PairKey, es []storage.IndexEntry) error {
 		cp := append([]storage.IndexEntry(nil), es...)
 		sort.Slice(cp, func(i, j int) bool {
 			if cp[i].Trace != cp[j].Trace {
@@ -47,7 +49,7 @@ func dumpTables(t *testing.T, tb *storage.Tables, period string) string {
 			return cp[i].TsB < cp[j].TsB
 		})
 		lines = append(lines, fmt.Sprintf("idx %v %v", k, cp))
-		lc, err := tb.GetLastChecked(k)
+		lc, err := tb.GetLastChecked(context.Background(), k)
 		if err != nil {
 			return err
 		}
@@ -66,11 +68,11 @@ func dumpTables(t *testing.T, tb *storage.Tables, period string) string {
 	}
 
 	for a := range acts {
-		c, err := tb.GetCounts(a)
+		c, err := tb.GetCounts(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rc, err := tb.GetReverseCounts(a)
+		rc, err := tb.GetReverseCounts(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}

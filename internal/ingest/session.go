@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"context"
 	"sort"
 
 	"seqlog/internal/model"
@@ -37,7 +38,7 @@ type session struct {
 // configured for batch ingestion: all STNM flavors produce identical pair
 // sets (the property tests enforce it), and State is the only streaming one.
 func loadSession(tables storage.Backend, id model.TraceID, policy model.Policy) (*session, error) {
-	old, _, err := tables.GetSeq(id)
+	old, _, err := tables.GetSeq(context.Background(), id)
 	if err != nil {
 		return nil, err
 	}

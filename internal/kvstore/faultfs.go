@@ -4,6 +4,7 @@ import (
 	"errors"
 	"os"
 	"sync"
+	"time"
 )
 
 // ErrCrashed is returned by every FaultFS operation after a simulated crash:
@@ -19,7 +20,10 @@ var ErrCrashed = errors.New("kvstore: simulated crash")
 //     stream: the write that crosses the budget persists only its prefix
 //     (a short, torn write) and every later operation fails with ErrCrashed;
 //   - CrashAfterOps simulates a crash between two filesystem operations,
-//     covering the non-write crash points (rename, truncate, fsync).
+//     covering the non-write crash points (rename, truncate, fsync);
+//   - OpDelay injects per-operation latency (a slow or overloaded disk)
+//     without changing any outcome — the chaos harness uses it to prove
+//     cancellation latency stays bounded while storage crawls.
 //
 // All methods are safe for concurrent use.
 type FaultFS struct {
@@ -30,6 +34,13 @@ type FaultFS struct {
 	// "open", "close", ...) and the file path; a non-nil result is injected
 	// as that operation's error (the operation does not execute).
 	OpHook func(op, path string) error
+
+	// OpDelay, when non-nil, returns how long to stall each operation before
+	// it runs (same op/path vocabulary as OpHook; return 0 for no delay).
+	// The sleep happens outside the FaultFS mutex, so concurrent operations
+	// stall independently — exactly how a saturated disk behaves. Use a
+	// distribution (random, per-op, per-path) to model realistic latency.
+	OpDelay func(op, path string) time.Duration
 
 	mu        sync.Mutex
 	crashed   bool
@@ -104,8 +115,13 @@ func (f *FaultFS) begin(op, path string) error {
 		f.opsLeft--
 	}
 	f.ops++
-	hook := f.OpHook
+	hook, delay := f.OpHook, f.OpDelay
 	f.mu.Unlock()
+	if delay != nil {
+		if d := delay(op, path); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	if hook != nil {
 		if err := hook(op, path); err != nil {
 			return err
@@ -140,8 +156,13 @@ func (f *FaultFS) beginWrite(path string, n int) (allow int, err error) {
 		f.bytesLeft -= int64(n)
 	}
 	f.bytes += int64(allow)
-	hook := f.OpHook
+	hook, delay := f.OpHook, f.OpDelay
 	f.mu.Unlock()
+	if delay != nil {
+		if d := delay("write", path); d > 0 {
+			time.Sleep(d)
+		}
+	}
 	if hook != nil {
 		if err := hook("write", path); err != nil {
 			return 0, err

@@ -1,6 +1,7 @@
 package model
 
 import (
+
 	"testing"
 	"testing/quick"
 )

@@ -6,6 +6,7 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -24,6 +25,16 @@ func Workers(n int) int {
 // (0 ⇒ all cores). It returns the first error encountered; remaining items
 // are still consumed so goroutines never leak.
 func ForEach(n, workers int, fn func(i int) error) error {
+	return ForEachCtx(context.Background(), n, workers, fn)
+}
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done no
+// new items are dispatched, in-flight fn calls are allowed to finish (they
+// are expected to observe ctx themselves), and the workers are drained
+// before returning — a canceled ForEachCtx never leaks a goroutine. The
+// returned error is the first fn error, or ctx.Err() if cancellation struck
+// first.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -31,10 +42,16 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	done := ctx.Done() // nil for context.Background(): zero-cost legacy path
 	if workers == 1 {
 		// Fast path: no goroutines for the single-executor mode, so the
 		// 1-thread measurements are free of scheduling noise.
 		for i := 0; i < n; i++ {
+			if done != nil {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -49,6 +66,18 @@ func ForEach(n, workers int, fn func(i int) error) error {
 		first error
 	)
 	take := func() (int, bool) {
+		if done != nil {
+			select {
+			case <-done:
+				mu.Lock()
+				if first == nil {
+					first = ctx.Err()
+				}
+				mu.Unlock()
+				return 0, false
+			default:
+			}
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if next >= n || first != nil {
@@ -89,8 +118,14 @@ func ForEach(n, workers int, fn func(i int) error) error {
 // returns the results in input order. On error the partial results are
 // discarded.
 func Map[T, R any](in []T, workers int, fn func(T) (R, error)) ([]R, error) {
+	return MapCtx(context.Background(), in, workers, fn)
+}
+
+// MapCtx is Map with cooperative cancellation (see ForEachCtx): a done ctx
+// stops dispatch, drains the workers, and discards the partial results.
+func MapCtx[T, R any](ctx context.Context, in []T, workers int, fn func(T) (R, error)) ([]R, error) {
 	out := make([]R, len(in))
-	err := ForEach(len(in), workers, func(i int) error {
+	err := ForEachCtx(ctx, len(in), workers, func(i int) error {
 		r, err := fn(in[i])
 		if err != nil {
 			return err

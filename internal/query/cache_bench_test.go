@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -54,13 +56,13 @@ func BenchmarkQueryCache(b *testing.B) {
 			tb := benchTables(b, 200, 100, 16)
 			tb.SetCacheBudget(mode.budget)
 			q := NewProcessor(tb)
-			if _, err := q.Detect(pattern); err != nil {
+			if _, err := q.Detect(context.Background(), pattern); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := q.Detect(pattern); err != nil {
+				if _, err := q.Detect(context.Background(), pattern); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"math"
 	"reflect"
 	"testing"
@@ -27,11 +29,11 @@ func TestStatsEmptyTable(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			q, _ := buildLog(t, tc.policy, tc.traces...)
-			for name, stats := range map[string]func(model.Pattern) (PatternStats, error){
+			for name, stats := range map[string]func(context.Context, model.Pattern) (PatternStats, error){
 				"Stats":         q.Stats,
 				"StatsAllPairs": q.StatsAllPairs,
 			} {
-				st, err := stats(tc.p)
+				st, err := stats(context.Background(), tc.p)
 				if err != nil {
 					t.Fatalf("%s: %v", name, err)
 				}
@@ -65,11 +67,11 @@ func TestStatsEmptyTable(t *testing.T) {
 // TestDetectEmptyTable: detection over an empty index is a clean no-match.
 func TestDetectEmptyTable(t *testing.T) {
 	q, _ := buildLog(t, model.STNM)
-	ms, err := q.Detect(pattern("AB"))
+	ms, err := q.Detect(context.Background(), pattern("AB"))
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("Detect on empty index = %v, %v", ms, err)
 	}
-	ids, err := q.DetectTraces(pattern("AB"))
+	ids, err := q.DetectTraces(context.Background(), pattern("AB"))
 	if err != nil || len(ids) != 0 {
 		t.Fatalf("DetectTraces on empty index = %v, %v", ids, err)
 	}
@@ -80,19 +82,19 @@ func TestDetectEmptyTable(t *testing.T) {
 // everything; on an empty index every mode yields an empty ranking.
 func TestExploreHybridTopKEdgeCases(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABC", "ABD", "ABC")
-	fast, err := q.ExploreFast(pattern("AB"), ExploreOptions{})
+	fast, err := q.ExploreFast(context.Background(), pattern("AB"), ExploreOptions{})
 	if err != nil || len(fast) == 0 {
 		t.Fatalf("fast ranking = %v, %v", fast, err)
 	}
 	for _, topK := range []int{0, -1, -100} {
-		got, err := q.ExploreHybrid(pattern("AB"), ExploreOptions{TopK: topK})
+		got, err := q.ExploreHybrid(context.Background(), pattern("AB"), ExploreOptions{TopK: topK})
 		if err != nil {
 			t.Fatalf("TopK=%d: %v", topK, err)
 		}
 		if !reflect.DeepEqual(got, fast) {
 			t.Fatalf("TopK=%d: hybrid = %v, want the fast ranking %v", topK, got, fast)
 		}
-		ins, err := q.ExploreInsertHybrid(pattern("AB"), len(pattern("AB")), ExploreOptions{TopK: topK})
+		ins, err := q.ExploreInsertHybrid(context.Background(), pattern("AB"), len(pattern("AB")), ExploreOptions{TopK: topK})
 		if err != nil {
 			t.Fatalf("insert TopK=%d: %v", topK, err)
 		}
@@ -103,7 +105,7 @@ func TestExploreHybridTopKEdgeCases(t *testing.T) {
 		}
 	}
 	// TopK beyond the candidate count clamps, it does not over-verify.
-	got, err := q.ExploreHybrid(pattern("AB"), ExploreOptions{TopK: 1 << 20})
+	got, err := q.ExploreHybrid(context.Background(), pattern("AB"), ExploreOptions{TopK: 1 << 20})
 	if err != nil {
 		t.Fatalf("huge TopK: %v", err)
 	}
@@ -115,10 +117,10 @@ func TestExploreHybridTopKEdgeCases(t *testing.T) {
 
 	// Empty index: every strategy returns an empty, error-free ranking.
 	eq, _ := buildLog(t, model.STNM)
-	for _, mode := range []func(model.Pattern, ExploreOptions) ([]Proposal, error){
+	for _, mode := range []func(context.Context, model.Pattern, ExploreOptions) ([]Proposal, error){
 		eq.ExploreFast, eq.ExploreAccurate, eq.ExploreHybrid,
 	} {
-		props, err := mode(pattern("AB"), ExploreOptions{TopK: 3})
+		props, err := mode(context.Background(), pattern("AB"), ExploreOptions{TopK: 3})
 		if err != nil || len(props) != 0 {
 			t.Fatalf("explore on empty index = %v, %v", props, err)
 		}

@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"fmt"
 
 	"seqlog/internal/model"
@@ -26,13 +27,14 @@ var ErrBadPosition = fmt.Errorf("query: insertion position out of range")
 // given position (0 = before the first event, len(p) = append at the end,
 // which degenerates to ExploreAccurate). Every candidate is verified with a
 // full detection, so completions are exact.
-func (q *Processor) ExploreInsertAccurate(p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
-	candidates, err := q.insertCandidates(p, pos)
+func (q *Processor) ExploreInsertAccurate(ctx context.Context, p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
+	ctx = noPartial(ctx)
+	candidates, err := q.insertCandidates(ctx, p, pos)
 	if err != nil {
 		return nil, err
 	}
-	props, err := parallel.Map(candidates, q.workers, func(cand model.ActivityID) (*Proposal, error) {
-		return q.verifyInsert(p, pos, cand, opts)
+	props, err := parallel.MapCtx(ctx, candidates, q.workers, func(cand model.ActivityID) (*Proposal, error) {
+		return q.verifyInsert(ctx, p, pos, cand, opts)
 	})
 	if err != nil {
 		return nil, err
@@ -45,8 +47,8 @@ func (q *Processor) ExploreInsertAccurate(p model.Pattern, pos int, opts Explore
 // verifyInsert runs the full detection of the pattern with cand inserted at
 // pos and scores the candidate exactly; nil means the MaxAvgGap constraint
 // dropped it.
-func (q *Processor) verifyInsert(p model.Pattern, pos int, cand model.ActivityID, opts ExploreOptions) (*Proposal, error) {
-	matches, err := q.Detect(insertAt(p, pos, cand))
+func (q *Processor) verifyInsert(ctx context.Context, p model.Pattern, pos int, cand model.ActivityID, opts ExploreOptions) (*Proposal, error) {
+	matches, err := q.Detect(ctx, insertAt(p, pos, cand))
 	if err != nil {
 		return nil, err
 	}
@@ -73,21 +75,26 @@ func (q *Processor) verifyInsert(p model.Pattern, pos int, cand model.ActivityID
 // ExploreInsertFast ranks insertion candidates from precomputed statistics
 // only: a candidate's completions are bounded by the minimum of the
 // neighbouring pair counts and the pattern's own pair-count bound.
-func (q *Processor) ExploreInsertFast(p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
-	candidates, err := q.insertCandidates(p, pos)
+func (q *Processor) ExploreInsertFast(ctx context.Context, p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
+	ctx = noPartial(ctx)
+	qs := q.begin(ctx)
+	candidates, err := q.insertCandidates(ctx, p, pos)
 	if err != nil {
 		return nil, err
 	}
-	patternBound, err := q.patternBound(p)
+	patternBound, err := q.patternBound(ctx, p)
 	if err != nil {
 		return nil, err
 	}
 	var out []Proposal
 	for _, cand := range candidates {
+		if err := qs.step(1); err != nil {
+			return nil, err
+		}
 		bound := patternBound
 		var dur float64
 		if pos > 0 {
-			entry, ok, err := q.tables.GetPairCount(p[pos-1], cand)
+			entry, ok, err := q.tables.GetPairCount(ctx, p[pos-1], cand)
 			if err != nil {
 				return nil, err
 			}
@@ -100,7 +107,7 @@ func (q *Processor) ExploreInsertFast(p model.Pattern, pos int, opts ExploreOpti
 			dur += entry.AvgDuration()
 		}
 		if pos < len(p) {
-			entry, ok, err := q.tables.GetPairCount(cand, p[pos])
+			entry, ok, err := q.tables.GetPairCount(ctx, cand, p[pos])
 			if err != nil {
 				return nil, err
 			}
@@ -129,19 +136,20 @@ func (q *Processor) ExploreInsertFast(p model.Pattern, pos int, opts ExploreOpti
 // ExploreInsertHybrid mirrors Algorithm 5 for insertions: rank with the
 // fast flavor, re-check the topK candidates accurately, return the
 // re-ranked union.
-func (q *Processor) ExploreInsertHybrid(p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
-	fast, err := q.ExploreInsertFast(p, pos, opts)
+func (q *Processor) ExploreInsertHybrid(ctx context.Context, p model.Pattern, pos int, opts ExploreOptions) ([]Proposal, error) {
+	ctx = noPartial(ctx)
+	fast, err := q.ExploreInsertFast(ctx, p, pos, opts)
 	if err != nil {
 		return nil, err
 	}
-	return q.recheckTopK(fast, opts.TopK, func(event model.ActivityID) (*Proposal, error) {
-		return q.verifyInsert(p, pos, event, ExploreOptions{})
+	return q.recheckTopK(ctx, fast, opts.TopK, func(event model.ActivityID) (*Proposal, error) {
+		return q.verifyInsert(ctx, p, pos, event, ExploreOptions{})
 	})
 }
 
 // insertCandidates intersects the successor set of the event before the gap
 // with the predecessor set of the event after the gap.
-func (q *Processor) insertCandidates(p model.Pattern, pos int) ([]model.ActivityID, error) {
+func (q *Processor) insertCandidates(ctx context.Context, p model.Pattern, pos int) ([]model.ActivityID, error) {
 	if len(p) == 0 {
 		return nil, ErrShortPattern
 	}
@@ -150,7 +158,7 @@ func (q *Processor) insertCandidates(p model.Pattern, pos int) ([]model.Activity
 	}
 	var succ, pred map[model.ActivityID]bool
 	if pos > 0 {
-		entries, err := q.tables.GetCounts(p[pos-1])
+		entries, err := q.tables.GetCounts(ctx, p[pos-1])
 		if err != nil {
 			return nil, err
 		}
@@ -160,7 +168,7 @@ func (q *Processor) insertCandidates(p model.Pattern, pos int) ([]model.Activity
 		}
 	}
 	if pos < len(p) {
-		entries, err := q.tables.GetReverseCounts(p[pos])
+		entries, err := q.tables.GetReverseCounts(ctx, p[pos])
 		if err != nil {
 			return nil, err
 		}
@@ -197,10 +205,10 @@ func (q *Processor) insertCandidates(p model.Pattern, pos int) ([]model.Activity
 
 // patternBound is the Algorithm 4 upper bound: the minimum pair count along
 // the pattern.
-func (q *Processor) patternBound(p model.Pattern) (int64, error) {
+func (q *Processor) patternBound(ctx context.Context, p model.Pattern) (int64, error) {
 	bound := int64(1) << 62
 	for i := 0; i+1 < len(p); i++ {
-		entry, ok, err := q.tables.GetPairCount(p[i], p[i+1])
+		entry, ok, err := q.tables.GetPairCount(ctx, p[i], p[i+1])
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"errors"
 	"reflect"
 	"testing"
@@ -46,7 +48,7 @@ func TestInsertAt(t *testing.T) {
 func TestExploreInsertAccurateMiddle(t *testing.T) {
 	// Traces: A?C where ? is B twice and D once; plus noise.
 	q, _ := buildLog(t, model.STNM, "ABC", "ABC", "ADC", "AB", "DC")
-	props, err := q.ExploreInsertAccurate(pattern("AC"), 1, ExploreOptions{})
+	props, err := q.ExploreInsertAccurate(context.Background(), pattern("AC"), 1, ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +70,7 @@ func TestExploreInsertAccurateMiddle(t *testing.T) {
 func TestExploreInsertAtEdges(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "XAB", "XAB", "ABY")
 	// Position 0: what precedes A?
-	front, err := q.ExploreInsertAccurate(pattern("AB"), 0, ExploreOptions{})
+	front, err := q.ExploreInsertAccurate(context.Background(), pattern("AB"), 0, ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,11 +78,11 @@ func TestExploreInsertAtEdges(t *testing.T) {
 		t.Fatalf("front = %v", front)
 	}
 	// Position len(p): appending — must agree with ExploreAccurate.
-	end, err := q.ExploreInsertAccurate(pattern("AB"), 2, ExploreOptions{})
+	end, err := q.ExploreInsertAccurate(context.Background(), pattern("AB"), 2, ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	appendRes, err := q.ExploreAccurate(pattern("AB"), ExploreOptions{})
+	appendRes, err := q.ExploreAccurate(context.Background(), pattern("AB"), ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +98,7 @@ func TestExploreInsertAtEdges(t *testing.T) {
 
 func TestExploreInsertFast(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABC", "ABC", "ADC", "XBZ")
-	props, err := q.ExploreInsertFast(pattern("AC"), 1, ExploreOptions{})
+	props, err := q.ExploreInsertFast(context.Background(), pattern("AC"), 1, ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,13 +121,13 @@ func TestExploreInsertFast(t *testing.T) {
 
 func TestExploreInsertValidation(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "AB")
-	if _, err := q.ExploreInsertAccurate(nil, 0, ExploreOptions{}); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.ExploreInsertAccurate(context.Background(), nil, 0, ExploreOptions{}); !errors.Is(err, ErrShortPattern) {
 		t.Fatal("empty pattern accepted")
 	}
-	if _, err := q.ExploreInsertAccurate(pattern("AB"), 3, ExploreOptions{}); !errors.Is(err, ErrBadPosition) {
+	if _, err := q.ExploreInsertAccurate(context.Background(), pattern("AB"), 3, ExploreOptions{}); !errors.Is(err, ErrBadPosition) {
 		t.Fatal("bad position accepted")
 	}
-	if _, err := q.ExploreInsertFast(pattern("AB"), -1, ExploreOptions{}); !errors.Is(err, ErrBadPosition) {
+	if _, err := q.ExploreInsertFast(context.Background(), pattern("AB"), -1, ExploreOptions{}); !errors.Is(err, ErrBadPosition) {
 		t.Fatal("negative position accepted")
 	}
 }
@@ -134,7 +136,7 @@ func TestExploreInsertCandidateIntersection(t *testing.T) {
 	// Y follows A (trace AYX) but never precedes B; W precedes B (WB) but
 	// never follows A; only M does both (AMB).
 	q, _ := buildLog(t, model.STNM, "AYX", "WB", "AMB")
-	props, err := q.ExploreInsertAccurate(pattern("AB"), 1, ExploreOptions{})
+	props, err := q.ExploreInsertAccurate(context.Background(), pattern("AB"), 1, ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +151,7 @@ func TestExploreInsertTimeConstraint(t *testing.T) {
 		{Trace: 2, Activity: act('A'), TS: 1}, {Trace: 2, Activity: act('D'), TS: 500}, {Trace: 2, Activity: act('C'), TS: 1000},
 	})
 	q := NewProcessor(tb)
-	props, err := q.ExploreInsertAccurate(pattern("AC"), 1, ExploreOptions{MaxAvgGap: 10})
+	props, err := q.ExploreInsertAccurate(context.Background(), pattern("AC"), 1, ExploreOptions{MaxAvgGap: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,19 +163,19 @@ func TestExploreInsertTimeConstraint(t *testing.T) {
 func TestExploreInsertHybrid(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABC", "ABC", "ADC", "AEC", "AEC", "AEC")
 	// topK=0 degenerates to the fast flavor.
-	fast, _ := q.ExploreInsertFast(pattern("AC"), 1, ExploreOptions{})
-	hyb0, err := q.ExploreInsertHybrid(pattern("AC"), 1, ExploreOptions{TopK: 0})
+	fast, _ := q.ExploreInsertFast(context.Background(), pattern("AC"), 1, ExploreOptions{})
+	hyb0, err := q.ExploreInsertHybrid(context.Background(), pattern("AC"), 1, ExploreOptions{TopK: 0})
 	if err != nil || !reflect.DeepEqual(fast, hyb0) {
 		t.Fatalf("topK=0: %v vs %v (%v)", hyb0, fast, err)
 	}
 	// Large topK matches the accurate flavor.
-	acc, _ := q.ExploreInsertAccurate(pattern("AC"), 1, ExploreOptions{})
-	hybAll, err := q.ExploreInsertHybrid(pattern("AC"), 1, ExploreOptions{TopK: 100})
+	acc, _ := q.ExploreInsertAccurate(context.Background(), pattern("AC"), 1, ExploreOptions{})
+	hybAll, err := q.ExploreInsertHybrid(context.Background(), pattern("AC"), 1, ExploreOptions{TopK: 100})
 	if err != nil || !reflect.DeepEqual(acc, hybAll) {
 		t.Fatalf("topK=all:\nhyb %v\nacc %v (%v)", hybAll, acc, err)
 	}
 	// Intermediate topK: full ranking, exactly k exact entries.
-	hyb1, err := q.ExploreInsertHybrid(pattern("AC"), 1, ExploreOptions{TopK: 1})
+	hyb1, err := q.ExploreInsertHybrid(context.Background(), pattern("AC"), 1, ExploreOptions{TopK: 1})
 	if err != nil || len(hyb1) != len(fast) {
 		t.Fatalf("topK=1: %v %v", hyb1, err)
 	}

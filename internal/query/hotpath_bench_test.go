@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"math/rand"
 	"testing"
 
@@ -52,13 +54,13 @@ func BenchmarkDetectJoin(b *testing.B) {
 	} {
 		b.Run(tc.name, func(b *testing.B) {
 			q := benchProcessor(b, 200, 100, 16)
-			if _, err := q.Detect(tc.pattern); err != nil {
+			if _, err := q.Detect(context.Background(), tc.pattern); err != nil {
 				b.Fatal(err)
 			}
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := q.Detect(tc.pattern); err != nil {
+				if _, err := q.Detect(context.Background(), tc.pattern); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -71,13 +73,13 @@ func BenchmarkDetectJoin(b *testing.B) {
 func BenchmarkDetectPlannedJoin(b *testing.B) {
 	q := benchProcessor(b, 200, 100, 16)
 	p := model.Pattern{0, 1, 2, 3}
-	if _, err := q.DetectPlanned(p); err != nil {
+	if _, err := q.DetectPlanned(context.Background(), p); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := q.DetectPlanned(p); err != nil {
+		if _, err := q.DetectPlanned(context.Background(), p); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -88,7 +90,7 @@ func BenchmarkDetectPlannedJoin(b *testing.B) {
 func BenchmarkExploreAccurate(b *testing.B) {
 	q := benchProcessor(b, 200, 100, 16)
 	p := model.Pattern{0, 1}
-	props, err := q.ExploreAccurate(p, ExploreOptions{})
+	props, err := q.ExploreAccurate(context.Background(), p, ExploreOptions{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -98,7 +100,7 @@ func BenchmarkExploreAccurate(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := q.ExploreAccurate(p, ExploreOptions{}); err != nil {
+		if _, err := q.ExploreAccurate(context.Background(), p, ExploreOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -109,13 +111,13 @@ func BenchmarkExploreAccurate(b *testing.B) {
 func BenchmarkExploreHybrid(b *testing.B) {
 	q := benchProcessor(b, 200, 100, 16)
 	p := model.Pattern{0, 1}
-	if _, err := q.ExploreHybrid(p, ExploreOptions{TopK: 8}); err != nil {
+	if _, err := q.ExploreHybrid(context.Background(), p, ExploreOptions{TopK: 8}); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := q.ExploreHybrid(p, ExploreOptions{TopK: 8}); err != nil {
+		if _, err := q.ExploreHybrid(context.Background(), p, ExploreOptions{TopK: 8}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"math/rand"
 	"reflect"
 	"sync"
@@ -42,14 +44,14 @@ func TestDetectMatchesReference(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := q.Detect(p)
+				got, err := q.Detect(context.Background(), p)
 				if err != nil {
 					t.Fatal(err)
 				}
 				if !reflect.DeepEqual(got, want) {
 					t.Fatalf("policy=%v pattern=%s: merge join %v != reference %v", policy, ps, got, want)
 				}
-				planned, err := q.DetectPlanned(p)
+				planned, err := q.DetectPlanned(context.Background(), p)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -79,7 +81,7 @@ func TestDetectWithinMatchesFilteredReference(t *testing.T) {
 				want = append(want, m)
 			}
 		}
-		got, err := q.DetectWithin(p, within)
+		got, err := q.DetectWithin(context.Background(), p, within)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -95,7 +97,7 @@ func coldDetect(t *testing.T, tb *storage.Tables, p model.Pattern) []Match {
 	t.Helper()
 	fresh := storage.NewTables(tb.Store())
 	fresh.SetCacheBudget(-1)
-	ms, err := NewProcessor(fresh).Detect(p)
+	ms, err := NewProcessor(fresh).Detect(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +116,7 @@ func TestCachedDetectMatchesColdProcessor(t *testing.T) {
 
 	check := func(step string) {
 		t.Helper()
-		got, err := q.Detect(p)
+		got, err := q.Detect(context.Background(), p)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -184,7 +186,7 @@ func TestConcurrentDetectDuringIngest(t *testing.T) {
 					return
 				default:
 				}
-				if _, err := q.Detect(p); err != nil {
+				if _, err := q.Detect(context.Background(), p); err != nil {
 					t.Error(err)
 					return
 				}
@@ -234,7 +236,7 @@ func TestConcurrentDetectDuringIngest(t *testing.T) {
 	close(done)
 	wg.Wait()
 
-	got, err := q.Detect(p)
+	got, err := q.Detect(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,10 +259,10 @@ func TestExploreParallelMatchesSerial(t *testing.T) {
 	opts := ExploreOptions{TopK: 3}
 	type explore func(*Processor) ([]Proposal, error)
 	for name, fn := range map[string]explore{
-		"accurate":        func(q *Processor) ([]Proposal, error) { return q.ExploreAccurate(p, opts) },
-		"hybrid":          func(q *Processor) ([]Proposal, error) { return q.ExploreHybrid(p, opts) },
-		"insert-accurate": func(q *Processor) ([]Proposal, error) { return q.ExploreInsertAccurate(p, 1, opts) },
-		"insert-hybrid":   func(q *Processor) ([]Proposal, error) { return q.ExploreInsertHybrid(p, 1, opts) },
+		"accurate":        func(q *Processor) ([]Proposal, error) { return q.ExploreAccurate(context.Background(), p, opts) },
+		"hybrid":          func(q *Processor) ([]Proposal, error) { return q.ExploreHybrid(context.Background(), p, opts) },
+		"insert-accurate": func(q *Processor) ([]Proposal, error) { return q.ExploreInsertAccurate(context.Background(), p, 1, opts) },
+		"insert-hybrid":   func(q *Processor) ([]Proposal, error) { return q.ExploreInsertHybrid(context.Background(), p, 1, opts) },
 	} {
 		want, err := fn(serial)
 		if err != nil {
@@ -292,7 +294,7 @@ func TestRecheckTopKClampAndDedup(t *testing.T) {
 
 	// Negative and zero TopK return the fast ranking untouched.
 	for _, k := range []int{-3, 0} {
-		got, err := q.recheckTopK(fast, k, verify)
+		got, err := q.recheckTopK(context.Background(), fast, k, verify)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -302,7 +304,7 @@ func TestRecheckTopKClampAndDedup(t *testing.T) {
 	}
 
 	// TopK beyond len(fast) is clamped; every candidate comes back exact.
-	got, err := q.recheckTopK(fast, 100, verify)
+	got, err := q.recheckTopK(context.Background(), fast, 100, verify)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,7 +315,7 @@ func TestRecheckTopKClampAndDedup(t *testing.T) {
 	}
 
 	// TopK=1 verifies B exactly; the duplicate approximate B is dropped.
-	got, err = q.recheckTopK(fast, 1, verify)
+	got, err = q.recheckTopK(context.Background(), fast, 1, verify)
 	if err != nil {
 		t.Fatal(err)
 	}

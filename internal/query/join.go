@@ -1,6 +1,7 @@
 package query
 
 import (
+	"errors"
 	"sort"
 
 	"seqlog/internal/model"
@@ -65,7 +66,7 @@ type chain struct {
 // range everywhere). The final sortMatches is a total order over matches, so
 // the result is byte-identical no matter how entries were distributed across
 // runs — the invariant the segment differential oracle pins.
-func joinPostings(pos []storage.Postings, within int64, candidates map[model.TraceID]bool) ([]Match, error) {
+func joinPostings(qs *qstate, pos []storage.Postings, within int64, candidates map[model.TraceID]bool) ([]Match, error) {
 	var arena nodeArena
 	var candMin, candMax model.TraceID
 	if candidates != nil {
@@ -84,25 +85,47 @@ func joinPostings(pos []storage.Postings, within int64, candidates map[model.Tra
 		}
 	}
 	chains := make([]chain, 0, pos[0].Total())
-	seed := func(entries []storage.IndexEntry) {
-		for i := range entries {
-			e := &entries[i]
-			if candidates != nil && !candidates[e.Trace] {
-				continue
+	// seed examines entries in checkEvery-sized stripes so the cooperative
+	// checks fire inside large plain runs, not only between them; block runs
+	// hold ≤128 entries, so one step per block already amortizes. A
+	// truncation (partial mode) surfaces as errTruncated and simply stops
+	// seeding: fewer seeds can only shrink the result, never corrupt it.
+	seed := func(entries []storage.IndexEntry) error {
+		for len(entries) > 0 {
+			n := len(entries)
+			if qs != nil && n > checkEvery {
+				n = checkEvery
 			}
-			if within > 0 && int64(e.TsB-e.TsA) > within {
-				continue
+			for i := range entries[:n] {
+				e := &entries[i]
+				if candidates != nil && !candidates[e.Trace] {
+					continue
+				}
+				if within > 0 && int64(e.TsB-e.TsA) > within {
+					continue
+				}
+				chains = append(chains, chain{
+					trace: e.Trace,
+					start: e.TsA,
+					node:  arena.new(e.TsB, arena.new(e.TsA, nil)),
+				})
 			}
-			chains = append(chains, chain{
-				trace: e.Trace,
-				start: e.TsA,
-				node:  arena.new(e.TsB, arena.new(e.TsA, nil)),
-			})
+			entries = entries[n:]
+			if err := qs.step(n); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
+seeding:
 	for _, r := range pos[0].Runs {
 		if r.Blocks == nil {
-			seed(r.Entries)
+			if err := seed(r.Entries); err != nil {
+				if errors.Is(err, errTruncated) {
+					break seeding
+				}
+				return nil, err
+			}
 			continue
 		}
 		for bi, nb := 0, r.Blocks.NumBlocks(); bi < nb; bi++ {
@@ -120,7 +143,12 @@ func joinPostings(pos []storage.Postings, within int64, candidates map[model.Tra
 			if err != nil {
 				return nil, err
 			}
-			seed(blk)
+			if err := seed(blk); err != nil {
+				if errors.Is(err, errTruncated) {
+					break seeding
+				}
+				return nil, err
+			}
 		}
 	}
 	for _, po := range pos[1:] {
@@ -134,6 +162,17 @@ func joinPostings(pos []storage.Postings, within int64, candidates map[model.Tra
 				if next, err = extendRun(r, c, within, &arena, next); err != nil {
 					return nil, err
 				}
+			}
+			// One work unit per chain probe. On truncation the chains not
+			// yet probed for this pair are dropped — they were partial
+			// matches, so dropping them keeps every surviving chain a
+			// genuine one; the remaining pairs then extend the (small)
+			// surviving set to full matches.
+			if err := qs.step(1); err != nil {
+				if errors.Is(err, errTruncated) {
+					break
+				}
+				return nil, err
 			}
 		}
 		chains = next
@@ -219,11 +258,12 @@ func extendRun(r storage.PostingsRun, c chain, within int64, arena *nodeArena, n
 // the result — is independent of the fan-out. Single-store backends keep the
 // serial loop: its early exit on an absent pair is worth more there than
 // goroutine overlap on one cache.
-func (q *Processor) patternPostings(p model.Pattern) ([]storage.Postings, error) {
+func (q *Processor) patternPostings(qs *qstate, p model.Pattern) ([]storage.Postings, error) {
+	ctx := qs.context()
 	pos := make([]storage.Postings, len(p)-1)
 	if q.tables.NumShards() > 1 && len(pos) > 1 {
-		err := parallel.ForEach(len(pos), q.workers, func(i int) error {
-			po, err := q.tables.GetPostings(model.NewPairKey(p[i], p[i+1]))
+		err := parallel.ForEachCtx(ctx, len(pos), q.workers, func(i int) error {
+			po, err := q.tables.GetPostings(ctx, model.NewPairKey(p[i], p[i+1]))
 			pos[i] = po
 			return err
 		})
@@ -238,7 +278,7 @@ func (q *Processor) patternPostings(p model.Pattern) ([]storage.Postings, error)
 		return pos, nil
 	}
 	for i := 0; i+1 < len(p); i++ {
-		po, err := q.tables.GetPostings(model.NewPairKey(p[i], p[i+1]))
+		po, err := q.tables.GetPostings(ctx, model.NewPairKey(p[i], p[i+1]))
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+	"errors"
 	"sort"
 
 	"seqlog/internal/model"
@@ -17,11 +19,12 @@ import (
 // The result is exactly Detect's — the ablation experiment
 // `seqbench -exp joinorder` measures the speedup, which grows with pattern
 // length and with the skew between pair frequencies.
-func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
+func (q *Processor) DetectPlanned(ctx context.Context, p model.Pattern) ([]Match, error) {
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	pos, err := q.patternPostings(p)
+	qs := q.begin(ctx)
+	pos, err := q.patternPostings(qs, p)
 	if err != nil || pos == nil {
 		return nil, err
 	}
@@ -43,6 +46,11 @@ func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
 			order[j], order[j-1] = order[j-1], order[j]
 		}
 	}
+	// Cancellation/budget checks run per planning round (seed decode, then
+	// one membership sweep per remaining postings). A truncation in partial
+	// mode jumps straight to the join: an incomplete candidate set only
+	// restricts seeding further, so the partial result stays a subset of the
+	// full answer.
 	candidates := make(map[model.TraceID]bool)
 	for _, r := range pos[order[0]].Runs {
 		entries := r.Entries
@@ -55,7 +63,11 @@ func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
 			candidates[entries[i].Trace] = true
 		}
 	}
+	err = qs.step(len(candidates))
 	for _, ri := range order[1:] {
+		if err != nil {
+			break
+		}
 		if len(candidates) == 0 {
 			return nil, nil
 		}
@@ -66,13 +78,21 @@ func (q *Processor) DetectPlanned(p model.Pattern) ([]Match, error) {
 			}
 		}
 		candidates = present
+		err = qs.step(len(candidates))
+	}
+	if err != nil && !errors.Is(err, errTruncated) {
+		return nil, err
 	}
 	if len(candidates) == 0 {
 		return nil, nil
 	}
 
 	// The standard merge join, seeded with the surviving traces only.
-	return joinPostings(pos, 0, candidates)
+	ms, err := joinPostings(qs, pos, 0, candidates)
+	if err != nil {
+		return nil, err
+	}
+	return ms, qs.truncErr()
 }
 
 // postingsMayContain reports whether the pair's postings could hold entries

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"math/rand"
 	"reflect"
 	"testing"
@@ -29,11 +31,11 @@ func TestPlannedEqualsDetect(t *testing.T) {
 				for j := range p {
 					p[j] = act(byte('A' + rng.Intn(4)))
 				}
-				want, err := q.Detect(p)
+				want, err := q.Detect(context.Background(), p)
 				if err != nil {
 					t.Fatal(err)
 				}
-				got, err := q.DetectPlanned(p)
+				got, err := q.DetectPlanned(context.Background(), p)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -51,17 +53,17 @@ func TestPlannedEqualsDetect(t *testing.T) {
 func TestPlannedShortCircuits(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABC", "ABD")
 	// A pair that never occurs empties the result before any join work.
-	ms, err := q.DetectPlanned(pattern("AZ"))
+	ms, err := q.DetectPlanned(context.Background(), pattern("AZ"))
 	if err != nil || ms != nil {
 		t.Fatalf("absent pair: %v %v", ms, err)
 	}
 	// Disjoint trace sets across pairs: (C,D) never co-occurs with (A,B)
 	// in one trace... (B,C) in trace 1, (B,D) in trace 2.
-	ms, err = q.DetectPlanned(pattern("ACD"))
+	ms, err = q.DetectPlanned(context.Background(), pattern("ACD"))
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("disjoint traces: %v %v", ms, err)
 	}
-	if _, err := q.DetectPlanned(pattern("A")); err == nil {
+	if _, err := q.DetectPlanned(context.Background(), pattern("A")); err == nil {
 		t.Fatal("short pattern accepted")
 	}
 }
@@ -74,7 +76,7 @@ func TestPlannedSelectiveLatePair(t *testing.T) {
 		traces = append(traces, "ABC")
 	}
 	q, _ := buildLog(t, model.STNM, traces...)
-	ms, err := q.DetectPlanned(pattern("ABZ"))
+	ms, err := q.DetectPlanned(context.Background(), pattern("ABZ"))
 	if err != nil || len(ms) != 1 || ms[0].Trace != 1 {
 		t.Fatalf("selective pair: %v %v", ms, err)
 	}
@@ -98,12 +100,12 @@ func BenchmarkPlannerVsPlain(b *testing.B) {
 	p := pattern("ABCDEZ")
 	b.Run("plain", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			q.Detect(p)
+			q.Detect(context.Background(), p)
 		}
 	})
 	b.Run("planned", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			q.DetectPlanned(p)
+			q.DetectPlanned(context.Background(), p)
 		}
 	})
 }

@@ -6,6 +6,7 @@
 package query
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -70,23 +71,31 @@ func (m Match) Duration() int64 { return int64(m.End() - m.Start()) }
 // occurrences. Under STNM, chains of non-overlapping pairs are a subset of
 // the traces a direct skip-till-next-match scan would report (see DESIGN.md
 // and the recall experiment); use DetectScan for the scan-exact answer.
-func (q *Processor) Detect(p model.Pattern) ([]Match, error) {
+func (q *Processor) Detect(ctx context.Context, p model.Pattern) ([]Match, error) {
+	return q.detect(q.begin(ctx), p)
+}
+
+func (q *Processor) detect(qs *qstate, p model.Pattern) ([]Match, error) {
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	pos, err := q.patternPostings(p)
+	pos, err := q.patternPostings(qs, p)
 	if err != nil || pos == nil {
 		return nil, err
 	}
-	return joinPostings(pos, 0, nil)
+	ms, err := joinPostings(qs, pos, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ms, qs.truncErr()
 }
 
 // DetectTraces returns the distinct traces containing the pattern — the
 // headline answer of the Pattern Detection query ("return all traces that
 // contain the given pattern", §3.2.1).
-func (q *Processor) DetectTraces(p model.Pattern) ([]model.TraceID, error) {
-	matches, err := q.Detect(p)
-	if err != nil {
+func (q *Processor) DetectTraces(ctx context.Context, p model.Pattern) ([]model.TraceID, error) {
+	matches, err := q.Detect(ctx, p)
+	if !partialOK(err) {
 		return nil, err
 	}
 	seen := make(map[model.TraceID]bool)
@@ -98,50 +107,61 @@ func (q *Processor) DetectTraces(p model.Pattern) ([]model.TraceID, error) {
 		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out, nil
+	return out, err
 }
 
 // DetectScan answers the same query without the index by scanning the Seq
 // table and matching each trace directly (greedy skip-till-next-match or
 // sliding-window strict contiguity). It is the exact reference the recall
 // experiment compares against, and the fallback for single-event patterns.
-func (q *Processor) DetectScan(p model.Pattern, policy model.Policy) ([]Match, error) {
+func (q *Processor) DetectScan(ctx context.Context, p model.Pattern, policy model.Policy) ([]Match, error) {
 	if len(p) == 0 {
 		return nil, ErrShortPattern
 	}
+	qs := q.begin(ctx)
 	var out []Match
-	err := q.tables.ScanSeq(func(id model.TraceID, events []model.TraceEvent) error {
+	err := q.tables.ScanSeq(qs.context(), func(id model.TraceID, events []model.TraceEvent) error {
+		// Budget check before matching the trace: a truncated scan returns
+		// the matches of a prefix of the trace iteration, never a partially
+		// matched trace.
+		if err := qs.step(len(events)); err != nil {
+			return err
+		}
 		for _, ts := range MatchTrace(events, p, policy) {
 			out = append(out, Match{Trace: id, Timestamps: ts})
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, errTruncated) {
 		return nil, err
 	}
 	sortMatches(out)
-	return out, nil
+	return out, qs.truncErr()
 }
 
 // DetectScanPartial is DetectScan under partial order (§7): same-timestamp
 // events are concurrent and each pattern step must advance strictly in
 // time.
-func (q *Processor) DetectScanPartial(p model.Pattern) ([]Match, error) {
+func (q *Processor) DetectScanPartial(ctx context.Context, p model.Pattern) ([]Match, error) {
 	if len(p) == 0 {
 		return nil, ErrShortPattern
 	}
+	qs := q.begin(ctx)
 	var out []Match
-	err := q.tables.ScanSeq(func(id model.TraceID, events []model.TraceEvent) error {
+	err := q.tables.ScanSeq(qs.context(), func(id model.TraceID, events []model.TraceEvent) error {
+		if err := qs.step(len(events)); err != nil {
+			return err
+		}
 		for _, ts := range pairs.MatchTracePartial(events, p) {
 			out = append(out, Match{Trace: id, Timestamps: ts})
 		}
 		return nil
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, errTruncated) {
 		return nil, err
 	}
 	sortMatches(out)
-	return out, nil
+	return out, qs.truncErr()
 }
 
 // MatchTrace matches a pattern against one event sequence. For SC it
@@ -231,13 +251,14 @@ type PatternStats struct {
 
 // Stats implements the Statistics query for every pair of consecutive
 // pattern events, using only the Count and LastChecked tables.
-func (q *Processor) Stats(p model.Pattern) (PatternStats, error) {
+func (q *Processor) Stats(ctx context.Context, p model.Pattern) (PatternStats, error) {
 	if len(p) < 2 {
 		return PatternStats{}, ErrShortPattern
 	}
+	qs := q.begin(noPartial(ctx))
 	out := PatternStats{MaxCompletions: math.MaxInt64}
 	for i := 0; i+1 < len(p); i++ {
-		ps, err := q.pairStats(p[i], p[i+1])
+		ps, err := q.pairStats(qs, p[i], p[i+1])
 		if err != nil {
 			return PatternStats{}, err
 		}
@@ -250,9 +271,9 @@ func (q *Processor) Stats(p model.Pattern) (PatternStats, error) {
 	return out, nil
 }
 
-func (q *Processor) pairStats(a, b model.ActivityID) (PairStats, error) {
+func (q *Processor) pairStats(qs *qstate, a, b model.ActivityID) (PairStats, error) {
 	ps := PairStats{First: a, Second: b}
-	entry, ok, err := q.tables.GetPairCount(a, b)
+	entry, ok, err := q.tables.GetPairCount(qs.context(), a, b)
 	if err != nil {
 		return ps, err
 	}
@@ -260,8 +281,11 @@ func (q *Processor) pairStats(a, b model.ActivityID) (PairStats, error) {
 		ps.Completions = entry.Completions
 		ps.AvgDuration = entry.AvgDuration()
 	}
-	last, err := q.tables.GetLastChecked(model.NewPairKey(a, b))
+	last, err := q.tables.GetLastChecked(qs.context(), model.NewPairKey(a, b))
 	if err != nil {
+		return ps, err
+	}
+	if err := qs.step(1 + len(last)); err != nil {
 		return ps, err
 	}
 	for _, ts := range last {
@@ -312,16 +336,20 @@ type ExploreOptions struct {
 // per-candidate detections are independent, so they fan out over the
 // processor's worker pool (SetWorkers); candidate order — and therefore the
 // final ranking — is preserved at any worker count.
-func (q *Processor) ExploreAccurate(p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
+func (q *Processor) ExploreAccurate(ctx context.Context, p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
 	if len(p) == 0 {
 		return nil, ErrShortPattern
 	}
-	candidates, err := q.tables.GetCounts(p[len(p)-1])
+	ctx = noPartial(ctx)
+	candidates, err := q.tables.GetCounts(ctx, p[len(p)-1])
 	if err != nil {
 		return nil, err
 	}
-	props, err := parallel.Map(candidates, q.workers, func(cand storage.CountEntry) (*Proposal, error) {
-		return q.verifyAppend(p, cand.Other, opts)
+	// Each parallel verification builds its own per-query state from ctx,
+	// so cancellation reaches every worker and the row budget applies per
+	// candidate detection (the unit of work that can actually be large).
+	props, err := parallel.MapCtx(ctx, candidates, q.workers, func(cand storage.CountEntry) (*Proposal, error) {
+		return q.verifyAppend(ctx, p, cand.Other, opts)
 	})
 	if err != nil {
 		return nil, err
@@ -334,11 +362,11 @@ func (q *Processor) ExploreAccurate(p model.Pattern, opts ExploreOptions) ([]Pro
 // verifyAppend runs the full detection of the pattern with cand appended
 // and scores the candidate exactly (the per-candidate body of Algorithms 3
 // and 5). A nil proposal means the MaxAvgGap constraint dropped it.
-func (q *Processor) verifyAppend(p model.Pattern, cand model.ActivityID, opts ExploreOptions) (*Proposal, error) {
+func (q *Processor) verifyAppend(ctx context.Context, p model.Pattern, cand model.ActivityID, opts ExploreOptions) (*Proposal, error) {
 	ext := make(model.Pattern, len(p)+1)
 	copy(ext, p)
 	ext[len(p)] = cand
-	matches, err := q.Detect(ext)
+	matches, err := q.Detect(ctx, ext)
 	if err != nil {
 		return nil, err
 	}
@@ -379,14 +407,18 @@ func collectProposals(props []*Proposal) []Proposal {
 // completions is the minimum pair count along the pattern; each candidate's
 // completions are capped by it. Only precomputed statistics are read, so the
 // response time is independent of the log size.
-func (q *Processor) ExploreFast(p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
+func (q *Processor) ExploreFast(ctx context.Context, p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
 	if len(p) == 0 {
 		return nil, ErrShortPattern
 	}
+	qs := q.begin(noPartial(ctx))
 	maxCompletions := int64(math.MaxInt64)
 	for i := 0; i+1 < len(p); i++ {
-		entry, ok, err := q.tables.GetPairCount(p[i], p[i+1])
+		entry, ok, err := q.tables.GetPairCount(qs.context(), p[i], p[i+1])
 		if err != nil {
+			return nil, err
+		}
+		if err := qs.step(1); err != nil {
 			return nil, err
 		}
 		if !ok {
@@ -397,8 +429,11 @@ func (q *Processor) ExploreFast(p model.Pattern, opts ExploreOptions) ([]Proposa
 			maxCompletions = entry.Completions
 		}
 	}
-	candidates, err := q.tables.GetCounts(p[len(p)-1])
+	candidates, err := q.tables.GetCounts(qs.context(), p[len(p)-1])
 	if err != nil {
+		return nil, err
+	}
+	if err := qs.step(len(candidates)); err != nil {
 		return nil, err
 	}
 	var out []Proposal
@@ -427,16 +462,17 @@ func (q *Processor) ExploreFast(p model.Pattern, opts ExploreOptions) ([]Proposa
 // exact topK and the remaining approximate propositions (so the caller
 // always sees the full candidate ranking, with exactness marked per entry —
 // the behaviour behind the paper's Figure 7 accuracy curve).
-func (q *Processor) ExploreHybrid(p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
-	fast, err := q.ExploreFast(p, opts)
+func (q *Processor) ExploreHybrid(ctx context.Context, p model.Pattern, opts ExploreOptions) ([]Proposal, error) {
+	ctx = noPartial(ctx)
+	fast, err := q.ExploreFast(ctx, p, opts)
 	if err != nil {
 		return nil, err
 	}
-	return q.recheckTopK(fast, opts.TopK, func(event model.ActivityID) (*Proposal, error) {
+	return q.recheckTopK(ctx, fast, opts.TopK, func(event model.ActivityID) (*Proposal, error) {
 		// The re-check reports the exact figures unfiltered, like the
 		// original Algorithm 5 loop: MaxAvgGap already filtered the fast
 		// ranking the candidate came from.
-		return q.verifyAppend(p, event, ExploreOptions{})
+		return q.verifyAppend(ctx, p, event, ExploreOptions{})
 	})
 }
 
@@ -446,7 +482,7 @@ func (q *Processor) ExploreHybrid(p model.Pattern, opts ExploreOptions) ([]Propo
 // re-rank the union of the exact head and the approximate tail. A candidate
 // that appears in both halves keeps only its exact entry, so equal-score
 // duplicates cannot make the ranking drift between runs.
-func (q *Processor) recheckTopK(fast []Proposal, topK int, verify func(model.ActivityID) (*Proposal, error)) ([]Proposal, error) {
+func (q *Processor) recheckTopK(ctx context.Context, fast []Proposal, topK int, verify func(model.ActivityID) (*Proposal, error)) ([]Proposal, error) {
 	k := topK
 	if k < 0 {
 		k = 0
@@ -469,7 +505,7 @@ func (q *Processor) recheckTopK(fast []Proposal, topK int, verify func(model.Act
 		}
 		out = append(out, fp)
 	}
-	exact, err := parallel.Map(head, q.workers, func(fp Proposal) (*Proposal, error) {
+	exact, err := parallel.MapCtx(ctx, head, q.workers, func(fp Proposal) (*Proposal, error) {
 		return verify(fp.Event)
 	})
 	if err != nil {

@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"errors"
 	"math/rand"
 	"reflect"
@@ -50,17 +52,17 @@ func buildLog(t *testing.T, policy model.Policy, traces ...string) (*Processor, 
 
 func TestDetectRejectsShortPattern(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "AB")
-	if _, err := q.Detect(pattern("A")); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.Detect(context.Background(), pattern("A")); !errors.Is(err, ErrShortPattern) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := q.DetectScan(nil, model.STNM); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.DetectScan(context.Background(), nil, model.STNM); !errors.Is(err, ErrShortPattern) {
 		t.Fatalf("err = %v", err)
 	}
 }
 
 func TestDetectPairPattern(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "AABAB", "BBA")
-	ms, err := q.Detect(pattern("AB"))
+	ms, err := q.Detect(context.Background(), pattern("AB"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,7 +74,7 @@ func TestDetectPairPattern(t *testing.T) {
 	if !reflect.DeepEqual(ms, want) {
 		t.Fatalf("matches = %v", ms)
 	}
-	traces, err := q.DetectTraces(pattern("AB"))
+	traces, err := q.DetectTraces(context.Background(), pattern("AB"))
 	if err != nil || !reflect.DeepEqual(traces, []model.TraceID{1}) {
 		t.Fatalf("traces = %v %v", traces, err)
 	}
@@ -83,7 +85,7 @@ func TestDetectPaperIntroExample(t *testing.T) {
 	// (A,A)=(3,5) with (A,B)=(5,8) — one completion; the direct STNM scan
 	// finds (1,2,4) and (5,6,8). Both agree the trace matches.
 	q, _ := buildLog(t, model.STNM, "AAABAACB")
-	joined, err := q.Detect(pattern("AAB"))
+	joined, err := q.Detect(context.Background(), pattern("AAB"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +93,7 @@ func TestDetectPaperIntroExample(t *testing.T) {
 	if !reflect.DeepEqual(joined, want) {
 		t.Fatalf("join = %v", joined)
 	}
-	scanned, err := q.DetectScan(pattern("AAB"), model.STNM)
+	scanned, err := q.DetectScan(context.Background(), pattern("AAB"), model.STNM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,14 +111,14 @@ func TestDetectKnownFalseNegative(t *testing.T) {
 	// direct scan but not by joining non-overlapping pairs, because the
 	// index only holds (Y,Z)=(1,4).
 	q, _ := buildLog(t, model.STNM, "YAYZ")
-	joined, err := q.Detect(pattern("AYZ"))
+	joined, err := q.Detect(context.Background(), pattern("AYZ"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(joined) != 0 {
 		t.Fatalf("expected the documented miss, got %v", joined)
 	}
-	scanned, err := q.DetectScan(pattern("AYZ"), model.STNM)
+	scanned, err := q.DetectScan(context.Background(), pattern("AYZ"), model.STNM)
 	if err != nil || len(scanned) != 1 {
 		t.Fatalf("scan = %v %v", scanned, err)
 	}
@@ -140,11 +142,11 @@ func TestDetectSCExactOnRandomLogs(t *testing.T) {
 			for j := range p {
 				p[j] = act(byte('A' + rng.Intn(4)))
 			}
-			joined, err := q.Detect(p)
+			joined, err := q.Detect(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			scanned, err := q.DetectScan(p, model.SC)
+			scanned, err := q.DetectScan(context.Background(), p, model.SC)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -177,11 +179,11 @@ func TestDetectSTNMSubsetProperty(t *testing.T) {
 			for j := range p {
 				p[j] = act(byte('A' + rng.Intn(3)))
 			}
-			joinTraces, err := q.DetectTraces(p)
+			joinTraces, err := q.DetectTraces(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			scanned, err := q.DetectScan(p, model.STNM)
+			scanned, err := q.DetectScan(context.Background(), p, model.STNM)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -203,7 +205,7 @@ func TestDetectSTNMSubsetProperty(t *testing.T) {
 				}
 			}
 			// Every chain must be strictly increasing in time.
-			ms, _ := q.Detect(p)
+			ms, _ := q.Detect(context.Background(), p)
 			for _, m := range ms {
 				for i := 1; i < len(m.Timestamps); i++ {
 					if m.Timestamps[i] <= m.Timestamps[i-1] {
@@ -224,11 +226,11 @@ func TestDetectSTNMSubsetProperty(t *testing.T) {
 
 func TestDetectAbsentActivity(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABAB")
-	ms, err := q.Detect(pattern("AZ"))
+	ms, err := q.Detect(context.Background(), pattern("AZ"))
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("ms = %v %v", ms, err)
 	}
-	ms, err = q.Detect(pattern("ABZ"))
+	ms, err = q.Detect(context.Background(), pattern("ABZ"))
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("ms = %v %v", ms, err)
 	}
@@ -244,7 +246,7 @@ func TestMatchHelpers(t *testing.T) {
 func TestStats(t *testing.T) {
 	// Table 3 trace: AABABA.
 	q, _ := buildLog(t, model.STNM, "AABABA")
-	st, err := q.Stats(pattern("AB"))
+	st, err := q.Stats(context.Background(), pattern("AB"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +262,7 @@ func TestStats(t *testing.T) {
 		t.Fatalf("pattern stats = %+v", st)
 	}
 
-	st, err = q.Stats(pattern("ABA"))
+	st, err = q.Stats(context.Background(), pattern("ABA"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,11 +273,11 @@ func TestStats(t *testing.T) {
 	}
 
 	// A pair that never occurs bounds the pattern at zero.
-	st, err = q.Stats(pattern("AZ"))
+	st, err = q.Stats(context.Background(), pattern("AZ"))
 	if err != nil || st.MaxCompletions != 0 {
 		t.Fatalf("stats with absent pair: %+v %v", st, err)
 	}
-	if _, err := q.Stats(pattern("A")); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.Stats(context.Background(), pattern("A")); !errors.Is(err, ErrShortPattern) {
 		t.Fatal("short pattern accepted")
 	}
 }
@@ -283,7 +285,7 @@ func TestStats(t *testing.T) {
 func TestExploreAccurate(t *testing.T) {
 	// Traces designed so that after AB, C follows twice and D once.
 	q, _ := buildLog(t, model.STNM, "ABC", "ABC", "ABD")
-	props, err := q.ExploreAccurate(pattern("AB"), ExploreOptions{})
+	props, err := q.ExploreAccurate(context.Background(), pattern("AB"), ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -319,7 +321,7 @@ func TestExploreAccurateTimeConstraint(t *testing.T) {
 		t.Fatal(err)
 	}
 	q := NewProcessor(tb)
-	props, err := q.ExploreAccurate(pattern("AB"), ExploreOptions{MaxAvgGap: 10})
+	props, err := q.ExploreAccurate(context.Background(), pattern("AB"), ExploreOptions{MaxAvgGap: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +332,7 @@ func TestExploreAccurateTimeConstraint(t *testing.T) {
 
 func TestExploreFast(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABC", "ABC", "ABD", "XBD")
-	props, err := q.ExploreFast(pattern("AB"), ExploreOptions{})
+	props, err := q.ExploreFast(context.Background(), pattern("AB"), ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +353,7 @@ func TestExploreFastCapsAtPatternBound(t *testing.T) {
 	// (A,B) occurs once but (B,C) occurs three times; the candidate C must
 	// be capped at 1.
 	q, _ := buildLog(t, model.STNM, "ABC", "XBC", "YBC")
-	props, err := q.ExploreFast(pattern("AB"), ExploreOptions{})
+	props, err := q.ExploreFast(context.Background(), pattern("AB"), ExploreOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,20 +365,20 @@ func TestExploreFastCapsAtPatternBound(t *testing.T) {
 func TestExploreHybrid(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABC", "ABC", "ABD", "ABE", "ABE", "ABE")
 	// topK=0 degenerates to Fast.
-	fast, _ := q.ExploreFast(pattern("AB"), ExploreOptions{})
-	hyb0, err := q.ExploreHybrid(pattern("AB"), ExploreOptions{TopK: 0})
+	fast, _ := q.ExploreFast(context.Background(), pattern("AB"), ExploreOptions{})
+	hyb0, err := q.ExploreHybrid(context.Background(), pattern("AB"), ExploreOptions{TopK: 0})
 	if err != nil || !reflect.DeepEqual(fast, hyb0) {
 		t.Fatalf("topK=0: %v vs %v (%v)", hyb0, fast, err)
 	}
 	// Large topK matches Accurate.
-	acc, _ := q.ExploreAccurate(pattern("AB"), ExploreOptions{})
-	hybAll, err := q.ExploreHybrid(pattern("AB"), ExploreOptions{TopK: 100})
+	acc, _ := q.ExploreAccurate(context.Background(), pattern("AB"), ExploreOptions{})
+	hybAll, err := q.ExploreHybrid(context.Background(), pattern("AB"), ExploreOptions{TopK: 100})
 	if err != nil || !reflect.DeepEqual(acc, hybAll) {
 		t.Fatalf("topK=all:\nhyb %v\nacc %v (%v)", hybAll, acc, err)
 	}
 	// Intermediate topK returns the full candidate ranking with exactly
 	// k exact entries.
-	hyb2, err := q.ExploreHybrid(pattern("AB"), ExploreOptions{TopK: 2})
+	hyb2, err := q.ExploreHybrid(context.Background(), pattern("AB"), ExploreOptions{TopK: 2})
 	if err != nil || len(hyb2) != len(fast) {
 		t.Fatalf("topK=2: %v %v", hyb2, err)
 	}
@@ -394,14 +396,14 @@ func TestExploreHybrid(t *testing.T) {
 func TestExploreShortPattern(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABC")
 	// Single-event patterns are valid for continuation.
-	props, err := q.ExploreAccurate(pattern("A"), ExploreOptions{})
+	props, err := q.ExploreAccurate(context.Background(), pattern("A"), ExploreOptions{})
 	if err != nil || len(props) == 0 {
 		t.Fatalf("single-event explore: %v %v", props, err)
 	}
-	if _, err := q.ExploreAccurate(nil, ExploreOptions{}); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.ExploreAccurate(context.Background(), nil, ExploreOptions{}); !errors.Is(err, ErrShortPattern) {
 		t.Fatal("empty pattern accepted")
 	}
-	if _, err := q.ExploreFast(nil, ExploreOptions{}); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.ExploreFast(context.Background(), nil, ExploreOptions{}); !errors.Is(err, ErrShortPattern) {
 		t.Fatal("empty pattern accepted by fast")
 	}
 }

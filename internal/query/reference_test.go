@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"seqlog/internal/model"
 )
 
@@ -12,7 +14,7 @@ func detectReference(q *Processor, p model.Pattern) ([]Match, error) {
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	first, err := q.tables.GetIndexAll(model.NewPairKey(p[0], p[1]))
+	first, err := q.tables.GetIndexAll(context.Background(), model.NewPairKey(p[0], p[1]))
 	if err != nil {
 		return nil, err
 	}
@@ -24,7 +26,7 @@ func detectReference(q *Processor, p model.Pattern) ([]Match, error) {
 		if len(partials) == 0 {
 			return nil, nil
 		}
-		entries, err := q.tables.GetIndexAll(model.NewPairKey(p[i], p[i+1]))
+		entries, err := q.tables.GetIndexAll(context.Background(), model.NewPairKey(p[i], p[i+1]))
 		if err != nil {
 			return nil, err
 		}

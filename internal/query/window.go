@@ -1,6 +1,7 @@
 package query
 
 import (
+	"context"
 	"math"
 
 	"seqlog/internal/model"
@@ -11,18 +12,23 @@ import (
 // timestamp) is at most within are returned. Chains that already exceed the
 // window are pruned at every join step, so tight windows make the query
 // cheaper, not just smaller.
-func (q *Processor) DetectWithin(p model.Pattern, within int64) ([]Match, error) {
+func (q *Processor) DetectWithin(ctx context.Context, p model.Pattern, within int64) ([]Match, error) {
 	if within <= 0 {
-		return q.Detect(p)
+		return q.Detect(ctx, p)
 	}
 	if len(p) < 2 {
 		return nil, ErrShortPattern
 	}
-	pos, err := q.patternPostings(p)
+	qs := q.begin(ctx)
+	pos, err := q.patternPostings(qs, p)
 	if err != nil || pos == nil {
 		return nil, err
 	}
-	return joinPostings(pos, within, nil)
+	ms, err := joinPostings(qs, pos, within, nil)
+	if err != nil {
+		return nil, err
+	}
+	return ms, qs.truncErr()
 }
 
 // StatsAllPairs is the refinement §3.2.1 sketches: "the number of
@@ -41,14 +47,15 @@ func (q *Processor) DetectWithin(p model.Pattern, within int64) ([]Match, error)
 // the greedy (A,C) count is one. The consecutive-only bound of Stats is
 // sound for both, because every chain consumes a distinct occurrence of
 // each consecutive pair.
-func (q *Processor) StatsAllPairs(p model.Pattern) (PatternStats, error) {
+func (q *Processor) StatsAllPairs(ctx context.Context, p model.Pattern) (PatternStats, error) {
 	if len(p) < 2 {
 		return PatternStats{}, ErrShortPattern
 	}
+	qs := q.begin(noPartial(ctx))
 	out := PatternStats{MaxCompletions: math.MaxInt64}
 	for i := 0; i < len(p); i++ {
 		for j := i + 1; j < len(p); j++ {
-			ps, err := q.pairStats(p[i], p[j])
+			ps, err := q.pairStats(qs, p[i], p[j])
 			if err != nil {
 				return PatternStats{}, err
 			}

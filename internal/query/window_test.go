@@ -1,6 +1,8 @@
 package query
 
 import (
+	"context"
+
 	"errors"
 	"math/rand"
 	"reflect"
@@ -15,7 +17,7 @@ func TestDetectWithinFiltersBySpan(t *testing.T) {
 		{Trace: 2, Activity: act('A'), TS: 1}, {Trace: 2, Activity: act('B'), TS: 100}, {Trace: 2, Activity: act('C'), TS: 200},
 	})
 	q := NewProcessor(tb)
-	ms, err := q.DetectWithin(pattern("ABC"), 10)
+	ms, err := q.DetectWithin(context.Background(), pattern("ABC"), 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -24,11 +26,11 @@ func TestDetectWithinFiltersBySpan(t *testing.T) {
 		t.Fatalf("windowed = %v", ms)
 	}
 	// Zero window means unconstrained.
-	ms, err = q.DetectWithin(pattern("ABC"), 0)
+	ms, err = q.DetectWithin(context.Background(), pattern("ABC"), 0)
 	if err != nil || len(ms) != 2 {
 		t.Fatalf("unconstrained = %v %v", ms, err)
 	}
-	if _, err := q.DetectWithin(pattern("A"), 5); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.DetectWithin(context.Background(), pattern("A"), 5); !errors.Is(err, ErrShortPattern) {
 		t.Fatal("short pattern accepted")
 	}
 }
@@ -38,7 +40,7 @@ func TestDetectWithinPrunesFirstPair(t *testing.T) {
 		{Trace: 1, Activity: act('A'), TS: 1}, {Trace: 1, Activity: act('B'), TS: 500},
 	})
 	q := NewProcessor(tb)
-	ms, err := q.DetectWithin(pattern("AB"), 10)
+	ms, err := q.DetectWithin(context.Background(), pattern("AB"), 10)
 	if err != nil || len(ms) != 0 {
 		t.Fatalf("first-pair pruning failed: %v %v", ms, err)
 	}
@@ -69,11 +71,11 @@ func TestDetectWithinEqualsPostFilter(t *testing.T) {
 				p[i] = act(byte('A' + rng.Intn(3)))
 			}
 			within := int64(10 + rng.Int63n(100))
-			got, err := q.DetectWithin(p, within)
+			got, err := q.DetectWithin(context.Background(), p, within)
 			if err != nil {
 				t.Fatal(err)
 			}
-			all, err := q.Detect(p)
+			all, err := q.Detect(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -99,11 +101,11 @@ func TestStatsAllPairsTightensBound(t *testing.T) {
 	// (A,C) never completes within the STNM pairs even though (A,B) and
 	// (B,C) both do: A B in one trace, B C in another.
 	q, _ := buildLog(t, model.STNM, "AB", "BC")
-	consec, err := q.Stats(pattern("ABC"))
+	consec, err := q.Stats(context.Background(), pattern("ABC"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	full, err := q.StatsAllPairs(pattern("ABC"))
+	full, err := q.StatsAllPairs(context.Background(), pattern("ABC"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +123,7 @@ func TestStatsAllPairsTightensBound(t *testing.T) {
 	if full.EstimatedDuration != consec.EstimatedDuration {
 		t.Fatalf("durations diverged: %v vs %v", full.EstimatedDuration, consec.EstimatedDuration)
 	}
-	if _, err := q.StatsAllPairs(pattern("A")); !errors.Is(err, ErrShortPattern) {
+	if _, err := q.StatsAllPairs(context.Background(), pattern("A")); !errors.Is(err, ErrShortPattern) {
 		t.Fatal("short pattern accepted")
 	}
 }
@@ -132,21 +134,21 @@ func TestStatsAllPairsTightensBound(t *testing.T) {
 // non-overlapping completions (the scan count), not chains.
 func TestStatsAllPairsChainCounterexample(t *testing.T) {
 	q, _ := buildLog(t, model.STNM, "ABACBC")
-	chains, err := q.Detect(pattern("ABC"))
+	chains, err := q.Detect(context.Background(), pattern("ABC"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(chains) != 2 {
 		t.Fatalf("chains = %v, counter-example broke", chains)
 	}
-	full, err := q.StatsAllPairs(pattern("ABC"))
+	full, err := q.StatsAllPairs(context.Background(), pattern("ABC"))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if full.MaxCompletions != 1 {
 		t.Fatalf("all-pairs bound = %d, counter-example broke", full.MaxCompletions)
 	}
-	scan, err := q.DetectScan(pattern("ABC"), model.STNM)
+	scan, err := q.DetectScan(context.Background(), pattern("ABC"), model.STNM)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +156,7 @@ func TestStatsAllPairsChainCounterexample(t *testing.T) {
 		t.Fatalf("scan count %d exceeds all-pairs bound %d", len(scan), full.MaxCompletions)
 	}
 	// The consecutive-only bound remains sound for chains.
-	consec, err := q.Stats(pattern("ABC"))
+	consec, err := q.Stats(context.Background(), pattern("ABC"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,25 +186,25 @@ func TestStatsAllPairsNeverLooser(t *testing.T) {
 			for j := range p {
 				p[j] = act(byte('A' + rng.Intn(4)))
 			}
-			consec, err := q.Stats(p)
+			consec, err := q.Stats(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
-			full, err := q.StatsAllPairs(p)
+			full, err := q.StatsAllPairs(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if full.MaxCompletions > consec.MaxCompletions {
 				t.Fatalf("all-pairs bound looser: %d > %d", full.MaxCompletions, consec.MaxCompletions)
 			}
-			scan, err := q.DetectScan(p, model.STNM)
+			scan, err := q.DetectScan(context.Background(), p, model.STNM)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if int64(len(scan)) > full.MaxCompletions {
 				t.Fatalf("scan bound violated: %d completions > %d", len(scan), full.MaxCompletions)
 			}
-			chains, err := q.Detect(p)
+			chains, err := q.Detect(context.Background(), p)
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,115 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"seqlog"
+)
+
+// TestTimedOutDetectAborted: with a server-side query timeout the engine
+// actually observes the expired deadline — the outcome lands in the
+// per-family metrics as "deadline", proving the query was cut cooperatively
+// rather than abandoned to run on (the old TimeoutHandler wrote the 503 and
+// left the worker goroutine computing for nobody).
+func TestTimedOutDetectAborted(t *testing.T) {
+	eng, err := seqlog.Open(seqlog.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(NewWith(eng, Options{QueryTimeout: time.Nanosecond}))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	ingestSample(t, srv.URL)
+
+	raw, _ := json.Marshal(DetectRequest{Pattern: []string{"a", "b"}})
+	resp, err := http.Post(srv.URL+"/detect", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("timed-out detect: status %d, want 503", resp.StatusCode)
+	}
+
+	text := scrape(t, srv.URL)
+	if !strings.Contains(text, `seqlog_query_outcomes_total{family="detect",outcome="deadline"}`) {
+		t.Fatalf("no deadline outcome recorded for detect; scrape:\n%s", text)
+	}
+}
+
+// TestDisconnectedDetectStopsWorkers is the zombie-work regression test:
+// clients that give up on in-flight /detect requests must not leave worker
+// goroutines behind — after a burst of aborted requests the process
+// goroutine count settles back to its pre-burst baseline.
+func TestDisconnectedDetectStopsWorkers(t *testing.T) {
+	eng, err := seqlog.Open(seqlog.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(eng))
+	t.Cleanup(func() {
+		srv.Close()
+		eng.Close()
+	})
+	var events []seqlog.Event
+	acts := []string{"a", "b", "c", "d"}
+	for tr := int64(1); tr <= 50; tr++ {
+		for i := 0; i < 40; i++ {
+			events = append(events, seqlog.Event{
+				Trace: tr, Activity: acts[(int(tr)+i*3)%len(acts)], Time: int64(i + 1),
+			})
+		}
+	}
+	if _, err := eng.Ingest(events); err != nil {
+		t.Fatal(err)
+	}
+
+	client := &http.Client{}
+	baseline := runtime.NumGoroutine()
+
+	raw, _ := json.Marshal(DetectRequest{Pattern: []string{"a", "b", "c", "d"}})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Clients hang up at staggered points: some before the handler
+			// runs, some mid-query.
+			ctx, cancel := context.WithTimeout(context.Background(),
+				time.Duration(i)*500*time.Microsecond)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+				srv.URL+"/detect", bytes.NewReader(raw))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := client.Do(req)
+			if err == nil {
+				resp.Body.Close() // fast query won the race; that's fine
+			}
+		}(i)
+	}
+	wg.Wait()
+	client.CloseIdleConnections()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		t.Errorf("goroutines leaked after disconnected requests: %d running, baseline was %d", g, baseline)
+	}
+}

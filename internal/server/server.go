@@ -5,6 +5,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -20,9 +21,27 @@ import (
 
 // Options harden the HTTP API against abusive or stuck requests.
 type Options struct {
-	// RequestTimeout bounds the total handling time of every request; slow
-	// requests are cut off with 503. Zero disables the limit.
+	// RequestTimeout bounds the total handling time of every request: the
+	// request context carries the deadline, so a slow query is actually
+	// aborted at its next cooperative check (not merely answered 503 while
+	// the work keeps running, the old TimeoutHandler failure mode) and the
+	// client sees 503 {"error":"request timed out"}. Zero disables the
+	// limit. Client disconnects cancel the work the same way at any time.
 	RequestTimeout time.Duration
+	// QueryTimeout bounds the query endpoints (/detect, /stats, /explore)
+	// specifically, on top of RequestTimeout; per-request timeoutMS fields
+	// may tighten it further but never loosen it. Zero disables it.
+	QueryTimeout time.Duration
+	// QueryBudgetRows caps the rows one query may examine (seqlog
+	// Limits.MaxRows); queries over budget answer 503 — or a 200 with
+	// "truncated":true under PartialResults. Per-request budgetRows fields
+	// may tighten the cap but never loosen it. Zero disables it.
+	QueryBudgetRows int64
+	// PartialResults turns budget exhaustion on the detect family into
+	// graceful degradation: the matches found so far are returned with a
+	// truncated marker instead of an error. Per-request partial fields
+	// override it either way.
+	PartialResults bool
 	// MaxBodyBytes caps request body sizes (ingestion batches, query
 	// payloads); larger bodies are rejected with 413. Zero disables the cap.
 	MaxBodyBytes int64
@@ -43,8 +62,8 @@ type Handler struct {
 	mux    *http.ServeMux
 	inner  http.Handler
 	// ops serves /metrics and /debug/pprof outside the request timeout: a
-	// 30s CPU profile must not be cut off by TimeoutHandler (which would
-	// also buffer the streamed profile). Nil when neither is enabled.
+	// 30s CPU profile must not be cut off by the request deadline. Nil when
+	// neither is enabled.
 	ops  *http.ServeMux
 	reg  *metrics.Registry // engine registry; nil disables HTTP telemetry
 	opts Options
@@ -69,10 +88,6 @@ func NewWith(engine *seqlog.Engine, opts Options) *Handler {
 	h.route("POST /prune", "prune", h.prune)
 	h.route("POST /periods/rotate", "rotate", h.rotate)
 	h.inner = h.mux
-	if opts.RequestTimeout > 0 {
-		h.inner = http.TimeoutHandler(h.mux, opts.RequestTimeout,
-			`{"error":"request timed out"}`)
-	}
 	if h.reg != nil && !opts.DisableMetricsEndpoint {
 		h.opsMux().HandleFunc("GET /metrics", h.metricsText)
 	}
@@ -137,8 +152,15 @@ func (h *Handler) metricsText(w http.ResponseWriter, _ *http.Request) {
 	h.reg.WritePrometheus(w)
 }
 
-// ServeHTTP implements http.Handler: body limits, the request timeout, and a
-// panic barrier so one bad request cannot take the whole server down.
+// ServeHTTP implements http.Handler: body limits, the request deadline, and
+// a panic barrier so one bad request cannot take the whole server down.
+//
+// The deadline is request-scoped cancellation, not http.TimeoutHandler: the
+// context expires, every engine call on the request aborts at its next
+// cooperative check, and the worker goroutines actually stop — under heavy
+// traffic abandoned queries no longer pile up behind 503s. The same context
+// is canceled by the HTTP server when the client disconnects, so a hung-up
+// client aborts its query too.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	defer func() {
 		if rec := recover(); rec != nil {
@@ -157,7 +179,75 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	if h.opts.MaxBodyBytes > 0 && r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, h.opts.MaxBodyBytes)
 	}
-	h.inner.ServeHTTP(w, r)
+	if h.opts.RequestTimeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), h.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	h.inner.ServeHTTP(sw, r)
+	// A handler that observed the deadline and returned without answering
+	// still owes the client the timeout status.
+	if sw.status == 0 && r.Context().Err() != nil {
+		writeErr(sw, http.StatusServiceUnavailable, errors.New("request timed out"))
+	}
+}
+
+// QueryOverrides are the per-request knobs every query endpoint accepts.
+// They only ever tighten the server-configured limits: a request may ask for
+// a shorter timeout or a smaller row budget, never a longer leash.
+type QueryOverrides struct {
+	// TimeoutMS bounds this query in milliseconds (min with QueryTimeout).
+	TimeoutMS int64 `json:"timeoutMS,omitempty"`
+	// BudgetRows caps the rows this query may examine (min with
+	// QueryBudgetRows).
+	BudgetRows int64 `json:"budgetRows,omitempty"`
+	// Partial overrides the server's PartialResults default for this query.
+	Partial *bool `json:"partial,omitempty"`
+}
+
+// queryCtx derives the context one query runs under: the request context
+// (deadline + client disconnect), tightened by the query timeout and row
+// budget. The returned cancel must run when the handler is done.
+func (h *Handler) queryCtx(r *http.Request, o QueryOverrides) (context.Context, context.CancelFunc) {
+	ctx, cancel := r.Context(), context.CancelFunc(func() {})
+	timeout := h.opts.QueryTimeout
+	if o.TimeoutMS > 0 {
+		if t := time.Duration(o.TimeoutMS) * time.Millisecond; timeout <= 0 || t < timeout {
+			timeout = t
+		}
+	}
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	l := seqlog.Limits{MaxRows: h.opts.QueryBudgetRows, Partial: h.opts.PartialResults}
+	if o.BudgetRows > 0 && (l.MaxRows <= 0 || o.BudgetRows < l.MaxRows) {
+		l.MaxRows = o.BudgetRows
+	}
+	if o.Partial != nil {
+		l.Partial = *o.Partial
+	}
+	if l.MaxRows > 0 || l.Partial {
+		ctx = seqlog.WithLimits(ctx, l)
+	}
+	return ctx, cancel
+}
+
+// writeQueryErr maps a query failure onto its status: 503 for the overload
+// outcomes (deadline, cancellation, budget), 400 for everything else (bad
+// patterns and other caller mistakes).
+func writeQueryErr(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeErr(w, http.StatusServiceUnavailable, errors.New("request timed out"))
+	case errors.Is(err, context.Canceled):
+		// The client is usually gone; the status is for logs and metrics.
+		writeErr(w, http.StatusServiceUnavailable, errors.New("request canceled"))
+	case errors.Is(err, seqlog.ErrBudgetExceeded):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
 }
 
 type errorBody struct {
@@ -270,8 +360,12 @@ func (h *Handler) ingest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("no events"))
 		return
 	}
-	st, err := h.engine.Ingest(req.Events)
+	st, err := h.engine.IngestCtx(r.Context(), req.Events)
 	if err != nil {
+		if r.Context().Err() != nil {
+			writeQueryErr(w, r.Context().Err())
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
@@ -288,12 +382,16 @@ type DetectRequest struct {
 	// Within, when positive, keeps only completions spanning at most this
 	// many milliseconds.
 	Within int64 `json:"within,omitempty"`
+	QueryOverrides
 }
 
-// DetectResponse is the answer of POST /detect.
+// DetectResponse is the answer of POST /detect. Truncated marks a
+// partial-results answer: the query hit its row budget and the matches are
+// a valid subset of the full answer.
 type DetectResponse struct {
-	Matches []seqlog.Match `json:"matches,omitempty"`
-	Traces  []int64        `json:"traces,omitempty"`
+	Matches   []seqlog.Match `json:"matches,omitempty"`
+	Traces    []int64        `json:"traces,omitempty"`
+	Truncated bool           `json:"truncated,omitempty"`
 }
 
 func (h *Handler) detect(w http.ResponseWriter, r *http.Request) {
@@ -302,22 +400,25 @@ func (h *Handler) detect(w http.ResponseWriter, r *http.Request) {
 		writeDecodeErr(w, err)
 		return
 	}
+	ctx, cancel := h.queryCtx(r, req.QueryOverrides)
+	defer cancel()
 	var resp DetectResponse
 	var err error
 	switch {
 	case req.TracesOnly:
-		resp.Traces, err = h.engine.DetectTraces(req.Pattern)
+		resp.Traces, err = h.engine.DetectTracesCtx(ctx, req.Pattern)
 	case req.Scan:
-		resp.Matches, err = h.engine.DetectScan(req.Pattern)
+		resp.Matches, err = h.engine.DetectScanCtx(ctx, req.Pattern)
 	case req.Within > 0:
-		resp.Matches, err = h.engine.DetectWithin(req.Pattern, req.Within)
+		resp.Matches, err = h.engine.DetectWithinCtx(ctx, req.Pattern, req.Within)
 	default:
-		resp.Matches, err = h.engine.Detect(req.Pattern)
+		resp.Matches, err = h.engine.DetectCtx(ctx, req.Pattern)
 	}
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	if err != nil && !seqlog.Truncated(err) {
+		writeQueryErr(w, err)
 		return
 	}
+	resp.Truncated = err != nil
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -326,6 +427,7 @@ type StatsRequest struct {
 	Pattern []string `json:"pattern"`
 	// AllPairs switches to the tighter all-ordered-pairs bound.
 	AllPairs bool `json:"allPairs,omitempty"`
+	QueryOverrides
 }
 
 func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
@@ -334,15 +436,17 @@ func (h *Handler) stats(w http.ResponseWriter, r *http.Request) {
 		writeDecodeErr(w, err)
 		return
 	}
+	ctx, cancel := h.queryCtx(r, req.QueryOverrides)
+	defer cancel()
 	var st seqlog.PatternStats
 	var err error
 	if req.AllPairs {
-		st, err = h.engine.StatsAllPairs(req.Pattern)
+		st, err = h.engine.StatsAllPairsCtx(ctx, req.Pattern)
 	} else {
-		st, err = h.engine.Stats(req.Pattern)
+		st, err = h.engine.StatsCtx(ctx, req.Pattern)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -356,6 +460,7 @@ type ExploreRequest struct {
 	TopK      int      `json:"topK,omitempty"`
 	MaxAvgGap float64  `json:"maxAvgGap,omitempty"`
 	Position  *int     `json:"position,omitempty"`
+	QueryOverrides
 }
 
 func (h *Handler) explore(w http.ResponseWriter, r *http.Request) {
@@ -367,16 +472,18 @@ func (h *Handler) explore(w http.ResponseWriter, r *http.Request) {
 	if req.Mode == "" {
 		req.Mode = string(seqlog.Hybrid)
 	}
+	ctx, cancel := h.queryCtx(r, req.QueryOverrides)
+	defer cancel()
 	opts := seqlog.ExploreOptions{TopK: req.TopK, MaxAvgGap: req.MaxAvgGap}
 	var props []seqlog.Proposal
 	var err error
 	if req.Position != nil {
-		props, err = h.engine.ExploreInsert(req.Pattern, *req.Position, seqlog.ExploreMode(req.Mode), opts)
+		props, err = h.engine.ExploreInsertCtx(ctx, req.Pattern, *req.Position, seqlog.ExploreMode(req.Mode), opts)
 	} else {
-		props, err = h.engine.Explore(req.Pattern, seqlog.ExploreMode(req.Mode), opts)
+		props, err = h.engine.ExploreCtx(ctx, req.Pattern, seqlog.ExploreMode(req.Mode), opts)
 	}
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+		writeQueryErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"proposals": props})

@@ -1,6 +1,7 @@
 package server
 
 import (
+
 	"bytes"
 	"encoding/json"
 	"net/http"

@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -36,7 +38,7 @@ const (
 func dumpBackend(t *testing.T, tb storage.Backend) string {
 	t.Helper()
 	var lines []string
-	err := tb.ScanSeq(func(id model.TraceID, evs []model.TraceEvent) error {
+	err := tb.ScanSeq(context.Background(), func(id model.TraceID, evs []model.TraceEvent) error {
 		lines = append(lines, fmt.Sprintf("seq %d %v", id, evs))
 		return nil
 	})
@@ -44,7 +46,7 @@ func dumpBackend(t *testing.T, tb storage.Backend) string {
 		t.Fatal(err)
 	}
 	acts := map[model.ActivityID]bool{}
-	err = tb.ScanIndex("", func(k model.PairKey, es []storage.IndexEntry) error {
+	err = tb.ScanIndex(context.Background(), "", func(k model.PairKey, es []storage.IndexEntry) error {
 		cp := append([]storage.IndexEntry(nil), es...)
 		sort.Slice(cp, func(i, j int) bool {
 			if cp[i].Trace != cp[j].Trace {
@@ -56,7 +58,7 @@ func dumpBackend(t *testing.T, tb storage.Backend) string {
 			return cp[i].TsB < cp[j].TsB
 		})
 		lines = append(lines, fmt.Sprintf("idx %v %v", k, cp))
-		lc, err := tb.GetLastChecked(k)
+		lc, err := tb.GetLastChecked(context.Background(), k)
 		if err != nil {
 			return err
 		}
@@ -74,11 +76,11 @@ func dumpBackend(t *testing.T, tb storage.Backend) string {
 		t.Fatal(err)
 	}
 	for a := range acts {
-		c, err := tb.GetCounts(a)
+		c, err := tb.GetCounts(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}
-		rc, err := tb.GetReverseCounts(a)
+		rc, err := tb.GetReverseCounts(context.Background(), a)
 		if err != nil {
 			t.Fatal(err)
 		}

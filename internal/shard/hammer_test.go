@@ -1,6 +1,8 @@
 package shard
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"path/filepath"
@@ -116,7 +118,7 @@ func TestShardedConcurrentHammer(t *testing.T) {
 				}
 				// Mid-ingest results are unspecified; they must only be
 				// delivered without error and without data races.
-				if _, err := proc.Detect(patterns[(r+i)%len(patterns)]); err != nil {
+				if _, err := proc.Detect(context.Background(), patterns[(r+i)%len(patterns)]); err != nil {
 					t.Errorf("reader %d: %v", r, err)
 					return
 				}
@@ -167,11 +169,11 @@ func TestShardedConcurrentHammer(t *testing.T) {
 	}
 	oproc := query.NewProcessor(oracle)
 	for _, pat := range patterns {
-		want, err := oproc.Detect(pat)
+		want, err := oproc.Detect(context.Background(), pat)
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := proc.Detect(pat)
+		got, err := proc.Detect(context.Background(), pat)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -29,6 +29,7 @@
 package shard
 
 import (
+	"context"
 	"fmt"
 
 	"seqlog/internal/kvstore"
@@ -140,9 +141,11 @@ func (t *Tables) traceTab(id model.TraceID) *storage.Tables {
 	return t.shards[TraceShard(id, len(t.shards))]
 }
 
-// each runs fn once per shard on the scatter-gather worker pool.
-func (t *Tables) each(fn func(i int, s *storage.Tables) error) error {
-	return parallel.ForEach(len(t.shards), t.workers, func(i int) error {
+// each runs fn once per shard on the scatter-gather worker pool. The first
+// shard error or a done ctx stops dispatch to sibling shards; in-flight
+// shard calls are drained before each returns.
+func (t *Tables) each(ctx context.Context, fn func(i int, s *storage.Tables) error) error {
+	return parallel.ForEachCtx(ctx, len(t.shards), t.workers, func(i int) error {
 		return fn(i, t.shards[i])
 	})
 }
@@ -155,8 +158,8 @@ func (t *Tables) AppendSeq(id model.TraceID, events []model.TraceEvent) error {
 }
 
 // GetSeq reads the trace's stored sequence from its affinity shard.
-func (t *Tables) GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error) {
-	return t.traceTab(id).GetSeq(id)
+func (t *Tables) GetSeq(ctx context.Context, id model.TraceID) ([]model.TraceEvent, bool, error) {
+	return t.traceTab(id).GetSeq(ctx, id)
 }
 
 // DeleteSeq prunes the trace from its affinity shard.
@@ -167,9 +170,9 @@ func (t *Tables) DeleteSeq(id model.TraceID) error {
 // ScanSeq iterates over all traces, shard by shard in shard order. Like the
 // single-store scan, per-shard key order is unspecified; callers that need
 // an order sort, exactly as they already must.
-func (t *Tables) ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error {
+func (t *Tables) ScanSeq(ctx context.Context, fn func(model.TraceID, []model.TraceEvent) error) error {
 	for _, s := range t.shards {
-		if err := s.ScanSeq(fn); err != nil {
+		if err := s.ScanSeq(ctx, fn); err != nil {
 			return err
 		}
 	}
@@ -178,10 +181,10 @@ func (t *Tables) ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error
 
 // NumTraces sums the per-shard trace counts (trace routing never duplicates
 // a trace across shards).
-func (t *Tables) NumTraces() (int, error) {
+func (t *Tables) NumTraces(ctx context.Context) (int, error) {
 	counts := make([]int, len(t.shards))
-	err := t.each(func(i int, s *storage.Tables) error {
-		n, err := s.NumTraces()
+	err := t.each(ctx, func(i int, s *storage.Tables) error {
+		n, err := s.NumTraces(ctx)
 		counts[i] = n
 		return err
 	})
@@ -202,19 +205,19 @@ func (t *Tables) AppendIndex(period string, pair model.PairKey, entries []storag
 }
 
 // GetIndex reads one pair row from its owning shard.
-func (t *Tables) GetIndex(period string, pair model.PairKey) ([]storage.IndexEntry, error) {
-	return t.pairTab(pair).GetIndex(period, pair)
+func (t *Tables) GetIndex(ctx context.Context, period string, pair model.PairKey) ([]storage.IndexEntry, error) {
+	return t.pairTab(pair).GetIndex(ctx, period, pair)
 }
 
 // GetIndexAll reads the pair's rows across all periods from its owning shard.
-func (t *Tables) GetIndexAll(pair model.PairKey) ([]storage.IndexEntry, error) {
-	return t.pairTab(pair).GetIndexAll(pair)
+func (t *Tables) GetIndexAll(ctx context.Context, pair model.PairKey) ([]storage.IndexEntry, error) {
+	return t.pairTab(pair).GetIndexAll(ctx, pair)
 }
 
 // GetIndexSorted serves the pair's sorted row from its owning shard's
 // postings cache.
-func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]storage.IndexEntry, error) {
-	return t.pairTab(pair).GetIndexSorted(period, pair)
+func (t *Tables) GetIndexSorted(ctx context.Context, period string, pair model.PairKey) ([]storage.IndexEntry, error) {
+	return t.pairTab(pair).GetIndexSorted(ctx, period, pair)
 }
 
 // GetIndexAllSorted serves the pair's cross-period sorted row from its
@@ -222,22 +225,22 @@ func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]storage.In
 // payoff of pair-key routing. (The merge across partitions happens inside
 // the shard with the same comparator every shard uses, so the row is
 // byte-identical to the unsharded one.)
-func (t *Tables) GetIndexAllSorted(pair model.PairKey) ([]storage.IndexEntry, error) {
-	return t.pairTab(pair).GetIndexAllSorted(pair)
+func (t *Tables) GetIndexAllSorted(ctx context.Context, pair model.PairKey) ([]storage.IndexEntry, error) {
+	return t.pairTab(pair).GetIndexAllSorted(ctx, pair)
 }
 
 // GetPostings serves the pair's sorted runs from its owning shard — like
 // GetIndexAllSorted, a single-shard point read, but with segment blocks left
 // compressed until the join touches them.
-func (t *Tables) GetPostings(pair model.PairKey) (storage.Postings, error) {
-	return t.pairTab(pair).GetPostings(pair)
+func (t *Tables) GetPostings(ctx context.Context, pair model.PairKey) (storage.Postings, error) {
+	return t.pairTab(pair).GetPostings(ctx, pair)
 }
 
 // FreezePostings folds every shard's memtable tier into its segment file.
 // Shards freeze independently; a failure on one leaves the others frozen,
 // which is safe (freezing is idempotent and each shard is self-contained).
 func (t *Tables) FreezePostings() error {
-	return t.each(func(_ int, s *storage.Tables) error {
+	return t.each(context.Background(), func(_ int, s *storage.Tables) error {
 		return s.FreezePostings()
 	})
 }
@@ -268,9 +271,9 @@ func (t *Tables) Close() error {
 }
 
 // ScanIndex iterates one partition's pairs shard by shard in shard order.
-func (t *Tables) ScanIndex(period string, fn func(model.PairKey, []storage.IndexEntry) error) error {
+func (t *Tables) ScanIndex(ctx context.Context, period string, fn func(model.PairKey, []storage.IndexEntry) error) error {
 	for _, s := range t.shards {
-		if err := s.ScanIndex(period, fn); err != nil {
+		if err := s.ScanIndex(ctx, period, fn); err != nil {
 			return err
 		}
 	}
@@ -279,10 +282,10 @@ func (t *Tables) ScanIndex(period string, fn func(model.PairKey, []storage.Index
 
 // NumIndexedPairs sums the per-shard distinct-pair counts of one partition
 // (pair routing never duplicates a pair across shards).
-func (t *Tables) NumIndexedPairs(period string) (int, error) {
+func (t *Tables) NumIndexedPairs(ctx context.Context, period string) (int, error) {
 	counts := make([]int, len(t.shards))
-	err := t.each(func(i int, s *storage.Tables) error {
-		n, err := s.NumIndexedPairs(period)
+	err := t.each(ctx, func(i int, s *storage.Tables) error {
+		n, err := s.NumIndexedPairs(ctx, period)
 		counts[i] = n
 		return err
 	})
@@ -295,16 +298,16 @@ func (t *Tables) NumIndexedPairs(period string) (int, error) {
 
 // DropPeriod retires the partition on every shard.
 func (t *Tables) DropPeriod(period string) error {
-	return t.each(func(_ int, s *storage.Tables) error {
+	return t.each(context.Background(), func(_ int, s *storage.Tables) error {
 		return s.DropPeriod(period)
 	})
 }
 
 // Periods returns the sorted union of every shard's registered periods.
-func (t *Tables) Periods() ([]string, error) {
+func (t *Tables) Periods(ctx context.Context) ([]string, error) {
 	per := make([][]string, len(t.shards))
-	err := t.each(func(i int, s *storage.Tables) error {
-		ps, err := s.Periods()
+	err := t.each(ctx, func(i int, s *storage.Tables) error {
+		ps, err := s.Periods(ctx)
 		per[i] = ps
 		return err
 	})
@@ -370,22 +373,22 @@ func (t *Tables) splitCounts(delta []storage.CountEntry, key func(storage.CountE
 // GetCounts scatter-gathers the partial Count rows of `first` from every
 // shard and merges them — summing per successor, ordered by successor id —
 // into the exact row a single store would hold.
-func (t *Tables) GetCounts(first model.ActivityID) ([]storage.CountEntry, error) {
-	return t.gatherCounts(func(s *storage.Tables) ([]storage.CountEntry, error) {
-		return s.GetCounts(first)
+func (t *Tables) GetCounts(ctx context.Context, first model.ActivityID) ([]storage.CountEntry, error) {
+	return t.gatherCounts(ctx, func(s *storage.Tables) ([]storage.CountEntry, error) {
+		return s.GetCounts(ctx, first)
 	})
 }
 
 // GetReverseCounts is GetCounts over the Reverse Count table.
-func (t *Tables) GetReverseCounts(second model.ActivityID) ([]storage.CountEntry, error) {
-	return t.gatherCounts(func(s *storage.Tables) ([]storage.CountEntry, error) {
-		return s.GetReverseCounts(second)
+func (t *Tables) GetReverseCounts(ctx context.Context, second model.ActivityID) ([]storage.CountEntry, error) {
+	return t.gatherCounts(ctx, func(s *storage.Tables) ([]storage.CountEntry, error) {
+		return s.GetReverseCounts(ctx, second)
 	})
 }
 
-func (t *Tables) gatherCounts(get func(*storage.Tables) ([]storage.CountEntry, error)) ([]storage.CountEntry, error) {
+func (t *Tables) gatherCounts(ctx context.Context, get func(*storage.Tables) ([]storage.CountEntry, error)) ([]storage.CountEntry, error) {
 	rows := make([][]storage.CountEntry, len(t.shards))
-	err := t.each(func(i int, s *storage.Tables) error {
+	err := t.each(ctx, func(i int, s *storage.Tables) error {
 		es, err := get(s)
 		rows[i] = es
 		return err
@@ -400,11 +403,11 @@ func (t *Tables) gatherCounts(get func(*storage.Tables) ([]storage.CountEntry, e
 // routing puts all of it on one shard, but summing over all partial rows is
 // correct regardless and keeps the statistics path honest about partial
 // counts ("aggregate, don't assume").
-func (t *Tables) GetPairCount(a, b model.ActivityID) (storage.CountEntry, bool, error) {
+func (t *Tables) GetPairCount(ctx context.Context, a, b model.ActivityID) (storage.CountEntry, bool, error) {
 	found := make([]bool, len(t.shards))
 	parts := make([]storage.CountEntry, len(t.shards))
-	err := t.each(func(i int, s *storage.Tables) error {
-		e, ok, err := s.GetPairCount(a, b)
+	err := t.each(ctx, func(i int, s *storage.Tables) error {
+		e, ok, err := s.GetPairCount(ctx, a, b)
 		parts[i], found[i] = e, ok
 		return err
 	})
@@ -472,10 +475,10 @@ func (t *Tables) MergeLastChecked(pair model.PairKey, delta map[model.TraceID]mo
 // GetLastChecked gathers the pair's watermark row, max-merging across shards
 // (one shard owns the row under the current routing; merging stays correct
 // if rows ever split).
-func (t *Tables) GetLastChecked(pair model.PairKey) (map[model.TraceID]model.Timestamp, error) {
+func (t *Tables) GetLastChecked(ctx context.Context, pair model.PairKey) (map[model.TraceID]model.Timestamp, error) {
 	maps := make([]map[model.TraceID]model.Timestamp, len(t.shards))
-	err := t.each(func(i int, s *storage.Tables) error {
-		m, err := s.GetLastChecked(pair)
+	err := t.each(ctx, func(i int, s *storage.Tables) error {
+		m, err := s.GetLastChecked(ctx, pair)
 		maps[i] = m
 		return err
 	})
@@ -496,7 +499,7 @@ func (t *Tables) GetLastChecked(pair model.PairKey) (map[model.TraceID]model.Tim
 // PruneLastChecked removes the traces' watermarks on every shard (a pair
 // row can reference any trace, so every shard participates).
 func (t *Tables) PruneLastChecked(traces map[model.TraceID]bool) error {
-	return t.each(func(_ int, s *storage.Tables) error {
+	return t.each(context.Background(), func(_ int, s *storage.Tables) error {
 		return s.PruneLastChecked(traces)
 	})
 }

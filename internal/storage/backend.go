@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"seqlog/internal/kvstore"
 	"seqlog/internal/metrics"
 	"seqlog/internal/model"
@@ -21,25 +23,32 @@ import (
 // per trace; Backend is the seam that lets this reproduction do the same
 // partitioning at the storage layer without the query or indexing code
 // knowing how many stores sit underneath.
+//
+// Every read method takes a context.Context first: the local backends only
+// poll it at coarse boundaries (per scanned trace, per scattered shard), but
+// the seam carries it so a future network shard backend can attach real
+// deadlines to its RPCs. Writes stay context-free — a WAL batch group either
+// commits or rolls back as a unit, and the ingest pipeline polls its own
+// abort flag between table writes instead.
 type Backend interface {
 	// Seq table: trace_id -> [(activity, ts), ...]
 	AppendSeq(id model.TraceID, events []model.TraceEvent) error
-	GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error)
+	GetSeq(ctx context.Context, id model.TraceID) ([]model.TraceEvent, bool, error)
 	DeleteSeq(id model.TraceID) error
-	ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error
-	NumTraces() (int, error)
+	ScanSeq(ctx context.Context, fn func(model.TraceID, []model.TraceEvent) error) error
+	NumTraces(ctx context.Context) (int, error)
 
 	// Index table: (ev_a, ev_b) -> [(trace, tsA, tsB), ...], optionally
 	// partitioned per period.
 	AppendIndex(period string, pair model.PairKey, entries []IndexEntry) error
-	GetIndex(period string, pair model.PairKey) ([]IndexEntry, error)
-	GetIndexAll(pair model.PairKey) ([]IndexEntry, error)
-	GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry, error)
-	GetIndexAllSorted(pair model.PairKey) ([]IndexEntry, error)
-	ScanIndex(period string, fn func(model.PairKey, []IndexEntry) error) error
-	NumIndexedPairs(period string) (int, error)
+	GetIndex(ctx context.Context, period string, pair model.PairKey) ([]IndexEntry, error)
+	GetIndexAll(ctx context.Context, pair model.PairKey) ([]IndexEntry, error)
+	GetIndexSorted(ctx context.Context, period string, pair model.PairKey) ([]IndexEntry, error)
+	GetIndexAllSorted(ctx context.Context, pair model.PairKey) ([]IndexEntry, error)
+	ScanIndex(ctx context.Context, period string, fn func(model.PairKey, []IndexEntry) error) error
+	NumIndexedPairs(ctx context.Context, period string) (int, error)
 	DropPeriod(period string) error
-	Periods() ([]string, error)
+	Periods(ctx context.Context) ([]string, error)
 
 	// Block-postings view and segment lifecycle. GetPostings hands the
 	// pair's sorted runs out unmerged (segment blocks decode lazily through
@@ -47,7 +56,7 @@ type Backend interface {
 	// immutable segment file (ErrSegmentsDisabled when the backend was
 	// opened without segment directories); Close releases segment mappings
 	// without closing the underlying store(s).
-	GetPostings(pair model.PairKey) (Postings, error)
+	GetPostings(ctx context.Context, pair model.PairKey) (Postings, error)
 	FreezePostings() error
 	SegmentStats() SegmentStats
 	Close() error
@@ -55,12 +64,12 @@ type Backend interface {
 	// Count / Reverse Count tables.
 	MergeCounts(first model.ActivityID, delta []CountEntry) error
 	MergeReverseCounts(second model.ActivityID, delta []CountEntry) error
-	GetCounts(first model.ActivityID) ([]CountEntry, error)
-	GetReverseCounts(second model.ActivityID) ([]CountEntry, error)
-	GetPairCount(a, b model.ActivityID) (CountEntry, bool, error)
+	GetCounts(ctx context.Context, first model.ActivityID) ([]CountEntry, error)
+	GetReverseCounts(ctx context.Context, second model.ActivityID) ([]CountEntry, error)
+	GetPairCount(ctx context.Context, a, b model.ActivityID) (CountEntry, bool, error)
 
 	// LastChecked table.
-	GetLastChecked(pair model.PairKey) (map[model.TraceID]model.Timestamp, error)
+	GetLastChecked(ctx context.Context, pair model.PairKey) (map[model.TraceID]model.Timestamp, error)
 	MergeLastChecked(pair model.PairKey, delta map[model.TraceID]model.Timestamp) error
 	PruneLastChecked(traces map[model.TraceID]bool) error
 

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"fmt"
 	"reflect"
 	"sort"
@@ -42,7 +44,7 @@ func TestGetIndexSortedCachesAndInvalidates(t *testing.T) {
 	if err := tb.AppendIndex("", pair, in); err != nil {
 		t.Fatal(err)
 	}
-	got, err := tb.GetIndexSorted("", pair)
+	got, err := tb.GetIndexSorted(context.Background(), "", pair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,7 +59,7 @@ func TestGetIndexSortedCachesAndInvalidates(t *testing.T) {
 	if st := tb.CacheStats(); st.Misses != 1 || st.Hits != 0 || st.Entries != 1 {
 		t.Fatalf("after first read: %+v", st)
 	}
-	if _, err := tb.GetIndexSorted("", pair); err != nil {
+	if _, err := tb.GetIndexSorted(context.Background(), "", pair); err != nil {
 		t.Fatal(err)
 	}
 	if st := tb.CacheStats(); st.Hits != 1 {
@@ -68,7 +70,7 @@ func TestGetIndexSortedCachesAndInvalidates(t *testing.T) {
 	if err := tb.AppendIndex("", pair, []IndexEntry{{Trace: 2, TsA: 2, TsB: 3}}); err != nil {
 		t.Fatal(err)
 	}
-	got, err = tb.GetIndexSorted("", pair)
+	got, err = tb.GetIndexSorted(context.Background(), "", pair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +92,11 @@ func TestGetIndexAllSortedMergesPeriods(t *testing.T) {
 	tb.AppendIndex("2026-01", pair, []IndexEntry{{Trace: 1, TsA: 1, TsB: 3}, {Trace: 7, TsA: 2, TsB: 4}})
 	tb.AppendIndex("2026-02", pair, []IndexEntry{{Trace: 3, TsA: 4, TsB: 5}})
 
-	got, err := tb.GetIndexAllSorted(pair)
+	got, err := tb.GetIndexAllSorted(context.Background(), pair)
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := tb.GetIndexAll(pair)
+	want, err := tb.GetIndexAll(context.Background(), pair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +112,7 @@ func TestGetIndexAllSortedMergesPeriods(t *testing.T) {
 	if err := tb.DropPeriod("2026-01"); err != nil {
 		t.Fatal(err)
 	}
-	got, err = tb.GetIndexAllSorted(pair)
+	got, err = tb.GetIndexAllSorted(context.Background(), pair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestCacheEvictionUnderBudget(t *testing.T) {
 		if err := tb.AppendIndex("", pair, []IndexEntry{{Trace: 1, TsA: 1, TsB: 2}}); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := tb.GetIndexSorted("", pair); err != nil {
+		if _, err := tb.GetIndexSorted(context.Background(), "", pair); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -150,7 +152,7 @@ func TestCacheDisabled(t *testing.T) {
 	tb.SetCacheBudget(-1)
 	pair := model.NewPairKey(1, 2)
 	tb.AppendIndex("", pair, []IndexEntry{{Trace: 2, TsA: 1, TsB: 2}, {Trace: 1, TsA: 1, TsB: 2}})
-	got, err := tb.GetIndexSorted("", pair)
+	got, err := tb.GetIndexSorted(context.Background(), "", pair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,16 +172,16 @@ func TestPeriodsCachedAndMaintained(t *testing.T) {
 	tb.AppendIndex("2026-02", pair, entry)
 	tb.AppendIndex("2026-01", pair, entry)
 
-	ps, err := tb.Periods()
+	ps, err := tb.Periods(context.Background())
 	if err != nil || !reflect.DeepEqual(ps, []string{"2026-01", "2026-02"}) {
 		t.Fatalf("periods = %v, %v", ps, err)
 	}
 	scans := cs.scans.Load()
 	for i := 0; i < 10; i++ {
-		if _, err := tb.Periods(); err != nil {
+		if _, err := tb.Periods(context.Background()); err != nil {
 			t.Fatal(err)
 		}
-		if _, err := tb.GetIndexAllSorted(pair); err != nil {
+		if _, err := tb.GetIndexAllSorted(context.Background(), pair); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -197,13 +199,13 @@ func TestPeriodsCachedAndMaintained(t *testing.T) {
 	if err := tb.DropPeriod("2026-01"); err != nil {
 		t.Fatal(err)
 	}
-	ps, err = tb.Periods()
+	ps, err = tb.Periods(context.Background())
 	if err != nil || !reflect.DeepEqual(ps, []string{"2026-02"}) {
 		t.Fatalf("periods after drop = %v, %v", ps, err)
 	}
 
 	// A fresh Tables over the same store sees the persisted list.
-	ps, err = NewTables(cs).Periods()
+	ps, err = NewTables(cs).Periods(context.Background())
 	if err != nil || !reflect.DeepEqual(ps, []string{"2026-02"}) {
 		t.Fatalf("reopened periods = %v, %v", ps, err)
 	}
@@ -232,7 +234,7 @@ func TestCacheConcurrentReadersAndWriters(t *testing.T) {
 				default:
 				}
 				for _, pair := range pairs {
-					if _, err := tb.GetIndexAllSorted(pair); err != nil {
+					if _, err := tb.GetIndexAllSorted(context.Background(), pair); err != nil {
 						t.Error(err)
 						return
 					}
@@ -270,11 +272,11 @@ func TestCacheConcurrentReadersAndWriters(t *testing.T) {
 	cold := NewTables(tb.Store())
 	cold.SetCacheBudget(-1)
 	for _, pair := range pairs {
-		warm, err := tb.GetIndexAllSorted(pair)
+		warm, err := tb.GetIndexAllSorted(context.Background(), pair)
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := cold.GetIndexAllSorted(pair)
+		want, err := cold.GetIndexAllSorted(context.Background(), pair)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"fmt"
 
 	"seqlog/internal/model"
@@ -178,7 +179,7 @@ func (r *BlockRun) All() ([]IndexEntry, error) {
 // one exists) and the memtable-tier row. Runs are disjoint and individually
 // sorted; their concatenation is NOT globally sorted — use GetIndexAllSorted
 // for a single merged slice.
-func (t *Tables) GetPostings(pair model.PairKey) (Postings, error) {
+func (t *Tables) GetPostings(_ context.Context, pair model.PairKey) (Postings, error) {
 	periods, err := t.periodsShared()
 	if err != nil {
 		return Postings{}, err

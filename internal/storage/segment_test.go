@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"errors"
 	"math/rand"
 	"os"
@@ -53,7 +55,7 @@ func segFixture(t *testing.T, tb *Tables) map[segKey][]IndexEntry {
 func checkSegReads(t *testing.T, tb *Tables, want map[segKey][]IndexEntry) {
 	t.Helper()
 	for k, entries := range want {
-		got, err := tb.GetIndexSorted(k.period, k.pair)
+		got, err := tb.GetIndexSorted(context.Background(), k.period, k.pair)
 		if err != nil {
 			t.Fatalf("GetIndexSorted(%q, %v): %v", k.period, k.pair, err)
 		}
@@ -63,7 +65,7 @@ func checkSegReads(t *testing.T, tb *Tables, want map[segKey][]IndexEntry) {
 	}
 	// GetPostings must expose every entry through its runs.
 	for _, pair := range []model.PairKey{model.NewPairKey(1, 2), model.NewPairKey(2, 3)} {
-		po, err := tb.GetPostings(pair)
+		po, err := tb.GetPostings(context.Background(), pair)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,10 +111,10 @@ func TestFreezeRoundTrip(t *testing.T) {
 	if st.Segments != 1 || st.Rows != 3 || st.Entries != 900 || st.Freezes != 1 || st.Bytes == 0 {
 		t.Fatalf("SegmentStats = %+v", st)
 	}
-	if n, err := tb.NumIndexedPairs(""); err != nil || n != 2 {
+	if n, err := tb.NumIndexedPairs(context.Background(), ""); err != nil || n != 2 {
 		t.Fatalf("NumIndexedPairs = %d %v", n, err)
 	}
-	periods, err := tb.Periods()
+	periods, err := tb.Periods(context.Background())
 	if err != nil || !reflect.DeepEqual(periods, []string{"2026-01"}) {
 		t.Fatalf("Periods = %v %v", periods, err)
 	}
@@ -252,7 +254,7 @@ func TestDropPeriodTombstonesSegment(t *testing.T) {
 	delete(want, segKey{period: "2026-01", pair: model.NewPairKey(1, 2)})
 
 	// Dropped immediately ...
-	all, err := tb.GetIndexAllSorted(model.NewPairKey(1, 2))
+	all, err := tb.GetIndexAllSorted(context.Background(), model.NewPairKey(1, 2))
 	if err != nil || len(all) != 300 {
 		t.Fatalf("after drop: %d entries, %v", len(all), err)
 	}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"context"
 	"encoding/binary"
 	"sort"
 	"sync"
@@ -153,7 +154,7 @@ func (t *Tables) AppendSeq(id model.TraceID, events []model.TraceEvent) error {
 }
 
 // GetSeq returns the stored sequence of the trace.
-func (t *Tables) GetSeq(id model.TraceID) ([]model.TraceEvent, bool, error) {
+func (t *Tables) GetSeq(_ context.Context, id model.TraceID) ([]model.TraceEvent, bool, error) {
 	raw, ok, err := t.store.Get(tableSeq, traceKeyString(id))
 	if err != nil || !ok {
 		return nil, false, err
@@ -204,9 +205,17 @@ func (t *Tables) DeleteSeq(id model.TraceID) error {
 	return t.store.Delete(tableSeq, traceKeyString(id))
 }
 
-// ScanSeq iterates over all stored traces.
-func (t *Tables) ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error {
+// ScanSeq iterates over all stored traces, polling ctx once per trace.
+func (t *Tables) ScanSeq(ctx context.Context, fn func(model.TraceID, []model.TraceEvent) error) error {
+	done := ctx.Done()
 	return t.store.Scan(tableSeq, func(k string, v []byte) error {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		id, err := parseTraceKey(k)
 		if err != nil {
 			return err
@@ -221,7 +230,7 @@ func (t *Tables) ScanSeq(fn func(model.TraceID, []model.TraceEvent) error) error
 }
 
 // NumTraces returns the number of traces in the Seq table.
-func (t *Tables) NumTraces() (int, error) { return t.store.Len(tableSeq) }
+func (t *Tables) NumTraces(_ context.Context) (int, error) { return t.store.Len(tableSeq) }
 
 // ---- Index table: (ev_a, ev_b) -> [(trace, tsA, tsB), ...] ----------------
 
@@ -265,7 +274,7 @@ func (t *Tables) AppendIndex(period string, pair model.PairKey, entries []IndexE
 
 // GetIndex returns the entries of pair in one period partition: the segment
 // run (sorted) followed by the memtable-tier row (append order).
-func (t *Tables) GetIndex(period string, pair model.PairKey) ([]IndexEntry, error) {
+func (t *Tables) GetIndex(_ context.Context, period string, pair model.PairKey) ([]IndexEntry, error) {
 	t.segMu.RLock()
 	defer t.segMu.RUnlock()
 	return t.getIndexLocked(period, pair)
@@ -331,7 +340,7 @@ func decodeIndexEntries(raw []byte) ([]IndexEntry, error) {
 // GetIndexAll returns the entries of pair across the default partition and
 // every registered period, in period registration order — the cross-period
 // read the query processor performs when the index is partitioned (§3.1.3).
-func (t *Tables) GetIndexAll(pair model.PairKey) ([]IndexEntry, error) {
+func (t *Tables) GetIndexAll(_ context.Context, pair model.PairKey) ([]IndexEntry, error) {
 	periods, err := t.periodsShared()
 	if err != nil {
 		return nil, err
@@ -373,7 +382,7 @@ func sortIndexEntries(entries []IndexEntry) {
 // row. The returned slice may be shared with the cache — callers must not
 // modify it. Query code prefers GetPostings, which hands the runs out
 // unmerged so segment blocks decode lazily.
-func (t *Tables) GetIndexSorted(period string, pair model.PairKey) ([]IndexEntry, error) {
+func (t *Tables) GetIndexSorted(_ context.Context, period string, pair model.PairKey) ([]IndexEntry, error) {
 	t.segMu.RLock()
 	defer t.segMu.RUnlock()
 	return t.getIndexSortedLocked(period, pair)
@@ -438,7 +447,7 @@ func (t *Tables) getTailSortedLocked(period string, pair model.PairKey) ([]Index
 // cached slice is returned directly, otherwise the sorted rows are merged
 // into a fresh slice. The returned slice is shared — callers must not
 // modify it.
-func (t *Tables) GetIndexAllSorted(pair model.PairKey) ([]IndexEntry, error) {
+func (t *Tables) GetIndexAllSorted(_ context.Context, pair model.PairKey) ([]IndexEntry, error) {
 	periods, err := t.periodsShared()
 	if err != nil {
 		return nil, err
@@ -629,7 +638,7 @@ func (t *Tables) periodsShared() ([]string, error) {
 }
 
 // Periods lists the registered period partitions in sorted order.
-func (t *Tables) Periods() ([]string, error) {
+func (t *Tables) Periods(_ context.Context) ([]string, error) {
 	ps, err := t.periodsShared()
 	if err != nil || len(ps) == 0 {
 		return nil, err
@@ -639,7 +648,7 @@ func (t *Tables) Periods() ([]string, error) {
 
 // NumIndexedPairs returns the number of distinct pairs in one partition,
 // counting pairs held only in the segment tier.
-func (t *Tables) NumIndexedPairs(period string) (int, error) {
+func (t *Tables) NumIndexedPairs(_ context.Context, period string) (int, error) {
 	t.segMu.RLock()
 	defer t.segMu.RUnlock()
 	n, err := t.store.Len(indexTable(period))
@@ -666,9 +675,10 @@ func (t *Tables) NumIndexedPairs(period string) (int, error) {
 // ScanIndex iterates over all pairs of one partition. Pairs present in both
 // tiers surface once, segment entries first; segment-only pairs follow the
 // kvstore scan in directory (pair) order.
-func (t *Tables) ScanIndex(period string, fn func(model.PairKey, []IndexEntry) error) error {
+func (t *Tables) ScanIndex(ctx context.Context, period string, fn func(model.PairKey, []IndexEntry) error) error {
 	t.segMu.RLock()
 	defer t.segMu.RUnlock()
+	done := ctx.Done()
 	seg := t.seg
 	useSeg := seg != nil && !t.segTomb[period] && seg.periods[period] > 0
 	var seen map[model.PairKey]bool
@@ -676,6 +686,13 @@ func (t *Tables) ScanIndex(period string, fn func(model.PairKey, []IndexEntry) e
 		seen = make(map[model.PairKey]bool, seg.periods[period])
 	}
 	err := t.store.Scan(indexTable(period), func(k string, v []byte) error {
+		if done != nil {
+			select {
+			case <-done:
+				return ctx.Err()
+			default:
+			}
+		}
 		pair, err := parsePairKey(k)
 		if err != nil {
 			return err
@@ -795,7 +812,7 @@ func (t *Tables) MergeReverseCounts(second model.ActivityID, delta []CountEntry)
 }
 
 // GetCounts returns the Count row of first: one entry per successor event.
-func (t *Tables) GetCounts(first model.ActivityID) ([]CountEntry, error) {
+func (t *Tables) GetCounts(_ context.Context, first model.ActivityID) ([]CountEntry, error) {
 	raw, _, err := t.store.Get(tableCount, activityKeyString(first))
 	if err != nil {
 		return nil, err
@@ -807,7 +824,7 @@ func (t *Tables) GetCounts(first model.ActivityID) ([]CountEntry, error) {
 
 // GetReverseCounts returns the Reverse Count row of second: one entry per
 // predecessor event.
-func (t *Tables) GetReverseCounts(second model.ActivityID) ([]CountEntry, error) {
+func (t *Tables) GetReverseCounts(_ context.Context, second model.ActivityID) ([]CountEntry, error) {
 	raw, _, err := t.store.Get(tableRCount, activityKeyString(second))
 	if err != nil {
 		return nil, err
@@ -818,8 +835,8 @@ func (t *Tables) GetReverseCounts(second model.ActivityID) ([]CountEntry, error)
 }
 
 // GetPairCount returns the Count entry of the exact pair (a, b).
-func (t *Tables) GetPairCount(a, b model.ActivityID) (CountEntry, bool, error) {
-	entries, err := t.GetCounts(a)
+func (t *Tables) GetPairCount(ctx context.Context, a, b model.ActivityID) (CountEntry, bool, error) {
+	entries, err := t.GetCounts(ctx, a)
 	if err != nil {
 		return CountEntry{}, false, err
 	}
@@ -866,7 +883,7 @@ func decodeLastChecked(raw []byte) (map[model.TraceID]model.Timestamp, error) {
 
 // GetLastChecked returns, for one pair, the last completion timestamp per
 // trace — the dedup watermarks of Algorithm 1.
-func (t *Tables) GetLastChecked(pair model.PairKey) (map[model.TraceID]model.Timestamp, error) {
+func (t *Tables) GetLastChecked(_ context.Context, pair model.PairKey) (map[model.TraceID]model.Timestamp, error) {
 	raw, _, err := t.store.Get(tableLast, pairKeyString(pair))
 	if err != nil {
 		return nil, err
@@ -882,7 +899,7 @@ func (t *Tables) MergeLastChecked(pair model.PairKey, delta map[model.TraceID]mo
 	if len(delta) == 0 {
 		return nil
 	}
-	existing, err := t.GetLastChecked(pair)
+	existing, err := t.GetLastChecked(context.Background(), pair)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"context"
+
 	"math/rand"
 	"reflect"
 	"testing"
@@ -21,7 +23,7 @@ func TestSeqRoundTrip(t *testing.T) {
 	if err := tb.AppendSeq(5, evs); err != nil {
 		t.Fatal(err)
 	}
-	got, ok, err := tb.GetSeq(5)
+	got, ok, err := tb.GetSeq(context.Background(), 5)
 	if err != nil || !ok || !reflect.DeepEqual(got, evs) {
 		t.Fatalf("GetSeq = %v %v %v", got, ok, err)
 	}
@@ -29,20 +31,20 @@ func TestSeqRoundTrip(t *testing.T) {
 	if err := tb.AppendSeq(5, []model.TraceEvent{{Activity: 3, TS: 30}}); err != nil {
 		t.Fatal(err)
 	}
-	got, _, _ = tb.GetSeq(5)
+	got, _, _ = tb.GetSeq(context.Background(), 5)
 	if len(got) != 3 || got[2].Activity != 3 {
 		t.Fatalf("after append: %v", got)
 	}
-	if _, ok, _ := tb.GetSeq(99); ok {
+	if _, ok, _ := tb.GetSeq(context.Background(), 99); ok {
 		t.Fatal("missing trace reported present")
 	}
-	if n, _ := tb.NumTraces(); n != 1 {
+	if n, _ := tb.NumTraces(context.Background()); n != 1 {
 		t.Fatalf("NumTraces = %d", n)
 	}
 	if err := tb.DeleteSeq(5); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := tb.GetSeq(5); ok {
+	if _, ok, _ := tb.GetSeq(context.Background(), 5); ok {
 		t.Fatal("DeleteSeq left trace")
 	}
 }
@@ -52,7 +54,7 @@ func TestSeqEmptyAppendIsNoop(t *testing.T) {
 	if err := tb.AppendSeq(1, nil); err != nil {
 		t.Fatal(err)
 	}
-	if _, ok, _ := tb.GetSeq(1); ok {
+	if _, ok, _ := tb.GetSeq(context.Background(), 1); ok {
 		t.Fatal("empty append created a row")
 	}
 }
@@ -62,7 +64,7 @@ func TestSeqScan(t *testing.T) {
 	tb.AppendSeq(1, []model.TraceEvent{{Activity: 1, TS: 1}})
 	tb.AppendSeq(2, []model.TraceEvent{{Activity: 2, TS: 2}})
 	seen := map[model.TraceID]int{}
-	err := tb.ScanSeq(func(id model.TraceID, evs []model.TraceEvent) error {
+	err := tb.ScanSeq(context.Background(), func(id model.TraceID, evs []model.TraceEvent) error {
 		seen[id] = len(evs)
 		return nil
 	})
@@ -78,7 +80,7 @@ func TestIndexRoundTrip(t *testing.T) {
 	if err := tb.AppendIndex("", pair, in); err != nil {
 		t.Fatal(err)
 	}
-	got, err := tb.GetIndex("", pair)
+	got, err := tb.GetIndex(context.Background(), "", pair)
 	if err != nil || !reflect.DeepEqual(got, in) {
 		t.Fatalf("GetIndex = %v %v", got, err)
 	}
@@ -86,14 +88,14 @@ func TestIndexRoundTrip(t *testing.T) {
 	if err := tb.AppendIndex("", pair, []IndexEntry{{Trace: 7, TsA: 200, TsB: 210}}); err != nil {
 		t.Fatal(err)
 	}
-	got, _ = tb.GetIndex("", pair)
+	got, _ = tb.GetIndex(context.Background(), "", pair)
 	if len(got) != 3 || got[2].TsA != 200 {
 		t.Fatalf("after append: %v", got)
 	}
-	if got, err := tb.GetIndex("", model.NewPairKey(3, 4)); err != nil || got != nil {
+	if got, err := tb.GetIndex(context.Background(), "", model.NewPairKey(3, 4)); err != nil || got != nil {
 		t.Fatalf("missing pair: %v %v", got, err)
 	}
-	if n, _ := tb.NumIndexedPairs(""); n != 1 {
+	if n, _ := tb.NumIndexedPairs(context.Background(), ""); n != 1 {
 		t.Fatalf("NumIndexedPairs = %d", n)
 	}
 }
@@ -105,11 +107,11 @@ func TestIndexPeriods(t *testing.T) {
 	tb.AppendIndex("2026-01", pair, []IndexEntry{{Trace: 2, TsA: 3, TsB: 4}})
 	tb.AppendIndex("2026-02", pair, []IndexEntry{{Trace: 3, TsA: 5, TsB: 6}})
 
-	periods, err := tb.Periods()
+	periods, err := tb.Periods(context.Background())
 	if err != nil || !reflect.DeepEqual(periods, []string{"2026-01", "2026-02"}) {
 		t.Fatalf("Periods = %v %v", periods, err)
 	}
-	all, err := tb.GetIndexAll(pair)
+	all, err := tb.GetIndexAll(context.Background(), pair)
 	if err != nil || len(all) != 3 {
 		t.Fatalf("GetIndexAll = %v %v", all, err)
 	}
@@ -119,11 +121,11 @@ func TestIndexPeriods(t *testing.T) {
 	if err := tb.DropPeriod("2026-01"); err != nil {
 		t.Fatal(err)
 	}
-	all, _ = tb.GetIndexAll(pair)
+	all, _ = tb.GetIndexAll(context.Background(), pair)
 	if len(all) != 2 {
 		t.Fatalf("after DropPeriod: %v", all)
 	}
-	periods, _ = tb.Periods()
+	periods, _ = tb.Periods(context.Background())
 	if !reflect.DeepEqual(periods, []string{"2026-02"}) {
 		t.Fatalf("Periods after drop = %v", periods)
 	}
@@ -134,7 +136,7 @@ func TestIndexScan(t *testing.T) {
 	tb.AppendIndex("", model.NewPairKey(1, 2), []IndexEntry{{Trace: 1, TsA: 1, TsB: 2}})
 	tb.AppendIndex("", model.NewPairKey(3, 4), []IndexEntry{{Trace: 1, TsA: 2, TsB: 3}})
 	n := 0
-	err := tb.ScanIndex("", func(k model.PairKey, es []IndexEntry) error {
+	err := tb.ScanIndex(context.Background(), "", func(k model.PairKey, es []IndexEntry) error {
 		n += len(es)
 		return nil
 	})
@@ -155,7 +157,7 @@ func TestCountsMerge(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := tb.GetCounts(a)
+	got, err := tb.GetCounts(context.Background(), a)
 	if err != nil || len(got) != 2 {
 		t.Fatalf("GetCounts = %v %v", got, err)
 	}
@@ -169,13 +171,13 @@ func TestCountsMerge(t *testing.T) {
 	if e := byOther[3]; e.SumDuration != 7 || e.Completions != 1 {
 		t.Fatalf("new entry: %+v", e)
 	}
-	if e, ok, _ := tb.GetPairCount(a, 2); !ok || e.Completions != 3 {
+	if e, ok, _ := tb.GetPairCount(context.Background(), a, 2); !ok || e.Completions != 3 {
 		t.Fatalf("GetPairCount = %+v %v", e, ok)
 	}
-	if _, ok, _ := tb.GetPairCount(a, 9); ok {
+	if _, ok, _ := tb.GetPairCount(context.Background(), a, 9); ok {
 		t.Fatal("GetPairCount found absent pair")
 	}
-	if got, _ := tb.GetCounts(99); got != nil {
+	if got, _ := tb.GetCounts(context.Background(), 99); got != nil {
 		t.Fatalf("counts of unknown activity: %v", got)
 	}
 }
@@ -184,13 +186,13 @@ func TestReverseCountsIndependent(t *testing.T) {
 	tb := newTables(t)
 	tb.MergeCounts(1, []CountEntry{{Other: 2, SumDuration: 1, Completions: 1}})
 	tb.MergeReverseCounts(2, []CountEntry{{Other: 1, SumDuration: 1, Completions: 1}})
-	fw, _ := tb.GetCounts(1)
-	rv, _ := tb.GetReverseCounts(2)
+	fw, _ := tb.GetCounts(context.Background(), 1)
+	rv, _ := tb.GetReverseCounts(context.Background(), 2)
 	if len(fw) != 1 || len(rv) != 1 || fw[0].Other != 2 || rv[0].Other != 1 {
 		t.Fatalf("fw=%v rv=%v", fw, rv)
 	}
 	// The two tables must not alias.
-	if got, _ := tb.GetReverseCounts(1); got != nil {
+	if got, _ := tb.GetReverseCounts(context.Background(), 1); got != nil {
 		t.Fatalf("reverse row leaked from forward write: %v", got)
 	}
 }
@@ -215,7 +217,7 @@ func TestLastChecked(t *testing.T) {
 	if err := tb.MergeLastChecked(pair, map[model.TraceID]model.Timestamp{1: 5, 3: 30}); err != nil {
 		t.Fatal(err)
 	}
-	got, err := tb.GetLastChecked(pair)
+	got, err := tb.GetLastChecked(context.Background(), pair)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -238,12 +240,12 @@ func TestPruneLastChecked(t *testing.T) {
 	if err := tb.PruneLastChecked(map[model.TraceID]bool{2: true}); err != nil {
 		t.Fatal(err)
 	}
-	got1, _ := tb.GetLastChecked(p1)
+	got1, _ := tb.GetLastChecked(context.Background(), p1)
 	if !reflect.DeepEqual(got1, map[model.TraceID]model.Timestamp{1: 10}) {
 		t.Fatalf("p1 after prune: %v", got1)
 	}
 	// p2's row became empty and must be deleted outright.
-	got2, _ := tb.GetLastChecked(p2)
+	got2, _ := tb.GetLastChecked(context.Background(), p2)
 	if len(got2) != 0 {
 		t.Fatalf("p2 after prune: %v", got2)
 	}
@@ -324,24 +326,24 @@ func TestCorruptRowsSurfaceErrors(t *testing.T) {
 	tb := NewTables(store)
 	// A value that is not a valid varint stream (0x80 = unterminated).
 	store.Put("seq", traceKeyString(1), []byte{0x80})
-	if _, _, err := tb.GetSeq(1); err == nil {
+	if _, _, err := tb.GetSeq(context.Background(), 1); err == nil {
 		t.Fatal("corrupt seq row not detected")
 	}
 	store.Put("index", pairKeyString(model.NewPairKey(1, 2)), []byte{0x80})
-	if _, err := tb.GetIndex("", model.NewPairKey(1, 2)); err == nil {
+	if _, err := tb.GetIndex(context.Background(), "", model.NewPairKey(1, 2)); err == nil {
 		t.Fatal("corrupt index row not detected")
 	}
 	store.Put("count", activityKeyString(1), []byte{0x80})
-	if _, err := tb.GetCounts(1); err == nil {
+	if _, err := tb.GetCounts(context.Background(), 1); err == nil {
 		t.Fatal("corrupt count row not detected")
 	}
 	store.Put("lastchecked", pairKeyString(model.NewPairKey(1, 2)), []byte{0x80})
-	if _, err := tb.GetLastChecked(model.NewPairKey(1, 2)); err == nil {
+	if _, err := tb.GetLastChecked(context.Background(), model.NewPairKey(1, 2)); err == nil {
 		t.Fatal("corrupt lastchecked row not detected")
 	}
 	// Malformed keys are detected on scans.
 	store.Put("seq", "short", nil)
-	if err := tb.ScanSeq(func(model.TraceID, []model.TraceEvent) error { return nil }); err == nil {
+	if err := tb.ScanSeq(context.Background(), func(model.TraceID, []model.TraceEvent) error { return nil }); err == nil {
 		t.Fatal("corrupt seq key not detected")
 	}
 }
@@ -391,7 +393,7 @@ func TestLargeIndexRow(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	got, err := tb.GetIndex("", pair)
+	got, err := tb.GetIndex(context.Background(), "", pair)
 	if err != nil || !reflect.DeepEqual(got, want) {
 		t.Fatalf("large row mismatch: %d entries, err=%v", len(got), err)
 	}

@@ -1,6 +1,7 @@
 package subtree
 
 import (
+
 	"math/rand"
 	"reflect"
 	"testing"

@@ -53,3 +53,15 @@ go test ./internal/storage/ -fuzz FuzzPostingsBlocks -fuzztime 5s
 go test ./internal/storage/ -fuzz FuzzSegmentFile -fuzztime 5s
 go test -run 'TestSegment' .
 go test -race -short -run 'FreezeCrash' ./internal/storage/
+
+# Cancellation tier: the cooperative-cancellation paths under the race
+# detector — partial-results subset property, the slow-disk chaos harness
+# (bounded cancel latency + zero leaked goroutines), the random-cancellation
+# hammer racing flushes/freezes/compactions, and the server zombie-work
+# regression (timed-out and disconnected requests stop their workers).
+# ctxguard rejects new exported query-path functions without a leading ctx.
+go test -race -run 'Partial|Budget|Cancel' ./internal/query/
+go test -race -run 'CancellationBoundedUnderSlowDisk' ./internal/ingest/
+go test -race -run 'CancelHammer' ./internal/shard/
+go test -race -run 'TimedOutDetectAborted|DisconnectedDetectStopsWorkers' ./internal/server/
+sh scripts/ctxguard.sh

@@ -1,6 +1,8 @@
 package seqlog
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 )
@@ -132,7 +134,7 @@ func TestSegmentEngineInvariance(t *testing.T) {
 					if err != nil || !ok {
 						return nil, err
 					}
-					return e.proc.DetectPlanned(mp)
+					return e.proc.DetectPlanned(context.Background(), mp)
 				})
 				assertSegAgree(t, engines, fmt.Sprintf("detectScan[%d]", pi), func(e *Engine) (any, error) {
 					return e.DetectScan(p)

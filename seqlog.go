@@ -26,6 +26,7 @@
 package seqlog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -205,6 +206,37 @@ type ExploreOptions struct {
 	MaxAvgGap float64
 }
 
+// Limits bounds the work of one query: MaxRows caps the rows it may examine,
+// Partial turns budget exhaustion into graceful degradation (partial results
+// plus a truncation marker) for the detect family. Attach with WithLimits;
+// the zero value is unbounded. It is the engine-level alias of
+// internal/query's limits, so servers and library callers share one type.
+type Limits = query.Limits
+
+// WithLimits attaches per-query work limits to ctx; pass the result to any
+// ...Ctx query method.
+func WithLimits(ctx context.Context, l Limits) context.Context {
+	return query.WithLimits(ctx, l)
+}
+
+// ErrBudgetExceeded matches (errors.Is) every budget exhaustion; the error
+// is a *BudgetError carrying the rows examined and elapsed time.
+var ErrBudgetExceeded = query.ErrBudgetExceeded
+
+// BudgetError is the typed budget-exhaustion error. Its Partial flag marks
+// the graceful variant: results returned alongside it are a valid subset of
+// the full answer.
+type BudgetError = query.BudgetError
+
+// Truncated reports whether err marks a gracefully truncated query — the
+// accompanying results are valid partial results (a subset of the full
+// answer), not garbage. It is the one error a ...Ctx method can return
+// together with non-nil results.
+func Truncated(err error) bool {
+	var be *BudgetError
+	return errors.As(err, &be) && be.Partial
+}
+
 // Engine is the top-level handle combining the pre-processing component and
 // the query processor over one indexing database.
 type Engine struct {
@@ -234,6 +266,7 @@ type Engine struct {
 	metrics    *metrics.Registry
 	qdur       map[string]*metrics.Histogram
 	qerr       map[string]*metrics.Counter
+	qout       map[string]map[string]*metrics.Counter
 	slowThresh time.Duration
 	slowLog    *log.Logger
 }
@@ -250,6 +283,40 @@ const (
 
 func queryFamilies() []string {
 	return []string{famDetect, famStats, famExplore, famInsert}
+}
+
+// Query outcomes, the label values of seqlog_query_outcomes_total: ok,
+// generic error, context cancellation, deadline expiry, a hard budget trip,
+// and a graceful (partial-results) truncation.
+const (
+	outOK        = "ok"
+	outError     = "error"
+	outCanceled  = "canceled"
+	outDeadline  = "deadline"
+	outBudget    = "budget"
+	outTruncated = "truncated"
+)
+
+func queryOutcomes() []string {
+	return []string{outOK, outError, outCanceled, outDeadline, outBudget, outTruncated}
+}
+
+// classifyOutcome maps a query error to its outcome label.
+func classifyOutcome(err error) string {
+	switch {
+	case err == nil:
+		return outOK
+	case Truncated(err):
+		return outTruncated
+	case errors.Is(err, ErrBudgetExceeded):
+		return outBudget
+	case errors.Is(err, context.Canceled):
+		return outCanceled
+	case errors.Is(err, context.DeadlineExceeded):
+		return outDeadline
+	default:
+		return outError
+	}
 }
 
 const (
@@ -440,17 +507,24 @@ func (e *Engine) initMetrics() {
 	}
 	e.qdur = make(map[string]*metrics.Histogram, 4)
 	e.qerr = make(map[string]*metrics.Counter, 4)
+	e.qout = make(map[string]map[string]*metrics.Counter, 4)
 	for _, fam := range queryFamilies() {
 		l := metrics.Label{Key: "family", Value: fam}
 		e.qdur[fam] = e.metrics.Histogram("seqlog_query_duration_seconds", l)
 		e.qerr[fam] = e.metrics.Counter("seqlog_query_errors_total", l)
+		outs := make(map[string]*metrics.Counter, 6)
+		for _, out := range queryOutcomes() {
+			outs[out] = e.metrics.Counter("seqlog_query_outcomes_total",
+				l, metrics.Label{Key: "outcome", Value: out})
+		}
+		e.qout[fam] = outs
 	}
 	e.tables.SetMetrics(e.metrics)
 	e.metrics.GaugeFunc("seqlog_activities", func() int64 {
 		return int64(e.alphabet.Len())
 	})
 	e.metrics.GaugeFunc("seqlog_traces", func() int64 {
-		n, err := e.tables.NumTraces()
+		n, err := e.tables.NumTraces(context.Background())
 		if err != nil {
 			return -1
 		}
@@ -500,7 +574,13 @@ func (e *Engine) track(family string, arity int) func(*error) {
 	return func(errp *error) {
 		d := time.Since(start)
 		e.qdur[family].Observe(d) // nil when metrics are off: a safe no-op
-		if *errp != nil {
+		out := classifyOutcome(*errp)
+		if c := e.qout[family][out]; c != nil {
+			c.Add(1)
+		}
+		// Graceful truncation returned valid results; only real failures
+		// count as errors.
+		if *errp != nil && out != outTruncated {
 			e.qerr[family].Add(1)
 		}
 		if e.slowLog != nil && d >= e.slowThresh {
@@ -602,17 +682,28 @@ func (e *Engine) persistAlphabet() error {
 // acknowledged after a full flush, preserving the durability contract. On
 // that path only the Events counter of the returned stats is populated.
 func (e *Engine) Ingest(events []Event) (UpdateStats, error) {
+	return e.IngestCtx(context.Background(), events)
+}
+
+// IngestCtx is Ingest with a caller context. On the streaming path the
+// admission wait and the flush wait are cancellable; on the batch path the
+// context is only checked up front — a started batch update always commits
+// or fails whole, never half.
+func (e *Engine) IngestCtx(ctx context.Context, events []Event) (UpdateStats, error) {
 	e.pipeMu.Lock()
 	p := e.pipeline
 	e.pipeMu.Unlock()
 	if p != nil {
-		if err := p.Append(e.intern(events)); err != nil {
+		if err := p.AppendCtx(ctx, e.intern(events)); err != nil {
 			return UpdateStats{}, err
 		}
-		if err := p.Flush(); err != nil {
+		if err := p.FlushCtx(ctx); err != nil {
 			return UpdateStats{}, err
 		}
 		return UpdateStats{Events: len(events)}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return UpdateStats{}, err
 	}
 
 	e.mu.Lock()
@@ -694,7 +785,16 @@ func (e *Engine) pattern(names []string) (model.Pattern, bool, error) {
 
 // Detect returns every completion of the pattern in the indexed log
 // (Algorithm 2). The pattern needs at least two activities.
-func (e *Engine) Detect(patternNames []string) (_ []Match, err error) {
+func (e *Engine) Detect(patternNames []string) ([]Match, error) {
+	return e.DetectCtx(context.Background(), patternNames)
+}
+
+// DetectCtx is Detect with a caller context: cancellation and deadlines
+// abort the join at its next cooperative check, and limits attached with
+// WithLimits bound its work. Under Limits.Partial a tripped budget returns
+// the matches found so far together with a *BudgetError for which
+// Truncated(err) is true.
+func (e *Engine) DetectCtx(ctx context.Context, patternNames []string) (_ []Match, err error) {
 	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -705,18 +805,23 @@ func (e *Engine) Detect(patternNames []string) (_ []Match, err error) {
 	}
 	var ms []query.Match
 	if e.cfg.Planner {
-		ms, err = e.proc.DetectPlanned(p)
+		ms, err = e.proc.DetectPlanned(ctx, p)
 	} else {
-		ms, err = e.proc.Detect(p)
+		ms, err = e.proc.Detect(ctx, p)
 	}
-	if err != nil {
+	if err != nil && !Truncated(err) {
 		return nil, err
 	}
-	return convertMatches(ms), nil
+	return convertMatches(ms), err
 }
 
 // DetectTraces returns the distinct trace ids containing the pattern.
-func (e *Engine) DetectTraces(patternNames []string) (_ []int64, err error) {
+func (e *Engine) DetectTraces(patternNames []string) ([]int64, error) {
+	return e.DetectTracesCtx(context.Background(), patternNames)
+}
+
+// DetectTracesCtx is DetectTraces with a caller context (see DetectCtx).
+func (e *Engine) DetectTracesCtx(ctx context.Context, patternNames []string) (_ []int64, err error) {
 	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -725,21 +830,26 @@ func (e *Engine) DetectTraces(patternNames []string) (_ []int64, err error) {
 	if !ok {
 		return nil, nil
 	}
-	ids, err := e.proc.DetectTraces(p)
-	if err != nil {
+	ids, err := e.proc.DetectTraces(ctx, p)
+	if err != nil && !Truncated(err) {
 		return nil, err
 	}
 	out := make([]int64, len(ids))
 	for i, id := range ids {
 		out[i] = int64(id)
 	}
-	return out, nil
+	return out, err
 }
 
 // DetectWithin is Detect constrained to completions whose total span does
 // not exceed withinMS milliseconds (the WITHIN clause of CEP languages);
 // over-window chains are pruned during the join.
-func (e *Engine) DetectWithin(patternNames []string, withinMS int64) (_ []Match, err error) {
+func (e *Engine) DetectWithin(patternNames []string, withinMS int64) ([]Match, error) {
+	return e.DetectWithinCtx(context.Background(), patternNames, withinMS)
+}
+
+// DetectWithinCtx is DetectWithin with a caller context (see DetectCtx).
+func (e *Engine) DetectWithinCtx(ctx context.Context, patternNames []string, withinMS int64) (_ []Match, err error) {
 	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -748,17 +858,24 @@ func (e *Engine) DetectWithin(patternNames []string, withinMS int64) (_ []Match,
 	if !ok {
 		return nil, nil
 	}
-	ms, err := e.proc.DetectWithin(p, withinMS)
-	if err != nil {
+	ms, err := e.proc.DetectWithin(ctx, p, withinMS)
+	if err != nil && !Truncated(err) {
 		return nil, err
 	}
-	return convertMatches(ms), nil
+	return convertMatches(ms), err
 }
 
 // DetectScan answers the detection query by scanning stored traces instead
 // of joining index rows: exact for both policies, slower on large logs. The
 // policy is the engine's configured one.
-func (e *Engine) DetectScan(patternNames []string) (_ []Match, err error) {
+func (e *Engine) DetectScan(patternNames []string) ([]Match, error) {
+	return e.DetectScanCtx(context.Background(), patternNames)
+}
+
+// DetectScanCtx is DetectScan with a caller context (see DetectCtx). Under
+// Limits.Partial a tripped budget returns the matches of a prefix of the
+// trace scan plus a Truncated error.
+func (e *Engine) DetectScanCtx(ctx context.Context, patternNames []string) (_ []Match, err error) {
 	defer e.track(famDetect, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -769,14 +886,14 @@ func (e *Engine) DetectScan(patternNames []string) (_ []Match, err error) {
 	}
 	var ms []query.Match
 	if e.cfg.PartialOrder {
-		ms, err = e.proc.DetectScanPartial(p)
+		ms, err = e.proc.DetectScanPartial(ctx, p)
 	} else {
-		ms, err = e.proc.DetectScan(p, e.builder.Options().Policy)
+		ms, err = e.proc.DetectScan(ctx, p, e.builder.Options().Policy)
 	}
-	if err != nil {
+	if err != nil && !Truncated(err) {
 		return nil, err
 	}
-	return convertMatches(ms), nil
+	return convertMatches(ms), err
 }
 
 func convertMatches(ms []query.Match) []Match {
@@ -792,7 +909,14 @@ func convertMatches(ms []query.Match) []Match {
 }
 
 // Stats answers the Statistics query for the pattern.
-func (e *Engine) Stats(patternNames []string) (_ PatternStats, err error) {
+func (e *Engine) Stats(patternNames []string) (PatternStats, error) {
+	return e.StatsCtx(context.Background(), patternNames)
+}
+
+// StatsCtx is Stats with a caller context. Aggregates cannot be soundly
+// truncated, so under a budget this family always errors — Limits.Partial
+// is ignored here.
+func (e *Engine) StatsCtx(ctx context.Context, patternNames []string) (_ PatternStats, err error) {
 	defer e.track(famStats, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -802,7 +926,7 @@ func (e *Engine) Stats(patternNames []string) (_ PatternStats, err error) {
 		// Unknown activities: the pattern provably has zero completions.
 		return PatternStats{}, nil
 	}
-	st, err := e.proc.Stats(p)
+	st, err := e.proc.Stats(ctx, p)
 	if err != nil {
 		return PatternStats{}, err
 	}
@@ -830,7 +954,12 @@ func (e *Engine) convertStats(st query.PatternStats) PatternStats {
 // the consecutive ones only: a tighter (never looser) bound on the number
 // of non-overlapping pattern completions, at quadratically more row reads
 // (§3.2.1's accuracy/running-time trade-off).
-func (e *Engine) StatsAllPairs(patternNames []string) (_ PatternStats, err error) {
+func (e *Engine) StatsAllPairs(patternNames []string) (PatternStats, error) {
+	return e.StatsAllPairsCtx(context.Background(), patternNames)
+}
+
+// StatsAllPairsCtx is StatsAllPairs with a caller context (see StatsCtx).
+func (e *Engine) StatsAllPairsCtx(ctx context.Context, patternNames []string) (_ PatternStats, err error) {
 	defer e.track(famStats, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -839,7 +968,7 @@ func (e *Engine) StatsAllPairs(patternNames []string) (_ PatternStats, err error
 	if !ok {
 		return PatternStats{}, nil
 	}
-	st, err := e.proc.StatsAllPairs(p)
+	st, err := e.proc.StatsAllPairs(ctx, p)
 	if err != nil {
 		return PatternStats{}, err
 	}
@@ -847,7 +976,15 @@ func (e *Engine) StatsAllPairs(patternNames []string) (_ PatternStats, err error
 }
 
 // Explore answers the pattern-continuation query with the chosen strategy.
-func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOptions) (_ []Proposal, err error) {
+func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOptions) ([]Proposal, error) {
+	return e.ExploreCtx(context.Background(), patternNames, mode, opts)
+}
+
+// ExploreCtx is Explore with a caller context. Rankings cannot be soundly
+// truncated, so under a budget this family always errors — the budget
+// applies to each candidate verification (see StatsCtx for the aggregate
+// rationale).
+func (e *Engine) ExploreCtx(ctx context.Context, patternNames []string, mode ExploreMode, opts ExploreOptions) (_ []Proposal, err error) {
 	defer e.track(famExplore, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -860,11 +997,11 @@ func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOp
 	var props []query.Proposal
 	switch mode {
 	case Accurate:
-		props, err = e.proc.ExploreAccurate(p, qopts)
+		props, err = e.proc.ExploreAccurate(ctx, p, qopts)
 	case Fast:
-		props, err = e.proc.ExploreFast(p, qopts)
+		props, err = e.proc.ExploreFast(ctx, p, qopts)
 	case Hybrid:
-		props, err = e.proc.ExploreHybrid(p, qopts)
+		props, err = e.proc.ExploreHybrid(ctx, p, qopts)
 	default:
 		return nil, fmt.Errorf("seqlog: unknown explore mode %q", mode)
 	}
@@ -887,7 +1024,12 @@ func (e *Engine) Explore(patternNames []string, mode ExploreMode, opts ExploreOp
 // ExploreInsert proposes events to insert into the pattern at the given
 // position (0 = before the first event, len(pattern) = append) — the §7
 // extension of the paper for completing patterns at arbitrary places.
-func (e *Engine) ExploreInsert(patternNames []string, pos int, mode ExploreMode, opts ExploreOptions) (_ []Proposal, err error) {
+func (e *Engine) ExploreInsert(patternNames []string, pos int, mode ExploreMode, opts ExploreOptions) ([]Proposal, error) {
+	return e.ExploreInsertCtx(context.Background(), patternNames, pos, mode, opts)
+}
+
+// ExploreInsertCtx is ExploreInsert with a caller context (see ExploreCtx).
+func (e *Engine) ExploreInsertCtx(ctx context.Context, patternNames []string, pos int, mode ExploreMode, opts ExploreOptions) (_ []Proposal, err error) {
 	defer e.track(famInsert, len(patternNames))(&err)
 	p, ok, err := e.pattern(patternNames)
 	if err != nil {
@@ -900,11 +1042,11 @@ func (e *Engine) ExploreInsert(patternNames []string, pos int, mode ExploreMode,
 	var props []query.Proposal
 	switch mode {
 	case Accurate:
-		props, err = e.proc.ExploreInsertAccurate(p, pos, qopts)
+		props, err = e.proc.ExploreInsertAccurate(ctx, p, pos, qopts)
 	case Fast:
-		props, err = e.proc.ExploreInsertFast(p, pos, qopts)
+		props, err = e.proc.ExploreInsertFast(ctx, p, pos, qopts)
 	case Hybrid:
-		props, err = e.proc.ExploreInsertHybrid(p, pos, qopts)
+		props, err = e.proc.ExploreInsertHybrid(ctx, p, pos, qopts)
 	default:
 		return nil, fmt.Errorf("seqlog: unknown explore mode %q", mode)
 	}
@@ -986,11 +1128,11 @@ func (e *Engine) DropPeriod(period string) error {
 }
 
 // Periods lists the named index partitions.
-func (e *Engine) Periods() ([]string, error) { return e.tables.Periods() }
+func (e *Engine) Periods() ([]string, error) { return e.tables.Periods(context.Background()) }
 
 // TraceEvents returns the stored (unpruned) event sequence of a trace.
 func (e *Engine) TraceEvents(id int64) ([]Event, bool, error) {
-	events, ok, err := e.tables.GetSeq(model.TraceID(id))
+	events, ok, err := e.tables.GetSeq(context.Background(), model.TraceID(id))
 	if err != nil || !ok {
 		return nil, false, err
 	}
@@ -1094,23 +1236,24 @@ func (e *Engine) Info() (IndexInfo, error) {
 		Ingest:     e.ingestStats(),
 	}
 	info.Degraded = info.Recovery.Degraded()
+	ctx := context.Background()
 	var err error
-	if info.Traces, err = e.tables.NumTraces(); err != nil {
+	if info.Traces, err = e.tables.NumTraces(ctx); err != nil {
 		return IndexInfo{}, err
 	}
-	n, err := e.tables.NumIndexedPairs("")
+	n, err := e.tables.NumIndexedPairs(ctx, "")
 	if err != nil {
 		return IndexInfo{}, err
 	}
 	if n > 0 {
 		info.Partitions[""] = n
 	}
-	periods, err := e.tables.Periods()
+	periods, err := e.tables.Periods(ctx)
 	if err != nil {
 		return IndexInfo{}, err
 	}
 	for _, p := range periods {
-		if n, err = e.tables.NumIndexedPairs(p); err != nil {
+		if n, err = e.tables.NumIndexedPairs(ctx, p); err != nil {
 			return IndexInfo{}, err
 		}
 		info.Partitions[p] = n
@@ -1122,7 +1265,7 @@ func (e *Engine) Info() (IndexInfo, error) {
 func (e *Engine) Activities() []string { return e.alphabet.Names() }
 
 // NumTraces returns the number of live (unpruned) traces.
-func (e *Engine) NumTraces() (int, error) { return e.tables.NumTraces() }
+func (e *Engine) NumTraces() (int, error) { return e.tables.NumTraces(context.Background()) }
 
 // Compact folds every durable store into a fresh snapshot (no-op in
 // memory). On a sharded engine the shards compact independently, one after

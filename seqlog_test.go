@@ -1,6 +1,7 @@
 package seqlog
 
 import (
+
 	"errors"
 	"os"
 	"path/filepath"

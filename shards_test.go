@@ -1,6 +1,8 @@
 package seqlog
 
 import (
+	"context"
+
 	"encoding/json"
 	"fmt"
 	"math/rand"
@@ -182,7 +184,7 @@ func TestShardCountInvariance(t *testing.T) {
 					if err != nil || !ok {
 						return nil, err
 					}
-					return e.proc.DetectPlanned(mp)
+					return e.proc.DetectPlanned(context.Background(), mp)
 				})
 				assertAgree(t, engines, fmt.Sprintf("detectWithin[%d]", pi), func(e *Engine) (any, error) {
 					return e.DetectWithin(p, 40)

@@ -1,6 +1,7 @@
 package seqlog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -128,22 +129,36 @@ func (e *Engine) intern(events []Event) []model.Event {
 // Append admits events into the stream. In non-blocking mode a full queue
 // returns ErrOverloaded and admits nothing.
 func (a *Appender) Append(events []Event) error {
+	return a.AppendCtx(context.Background(), events)
+}
+
+// AppendCtx is Append with a cancellable admission wait: a caller blocked on
+// backpressure unblocks with ctx.Err() when ctx is done. Chunks admitted
+// before the cancellation stay admitted.
+func (a *Appender) AppendCtx(ctx context.Context, events []Event) error {
 	if a.closed {
 		return ingest.ErrClosed
 	}
 	if len(events) == 0 {
 		return nil
 	}
-	return a.e.pipeline.Append(a.e.intern(events))
+	return a.e.pipeline.AppendCtx(ctx, a.e.intern(events))
 }
 
 // Flush commits everything this appender admitted and blocks until the
 // commit is durable (fsynced on disk-backed engines).
 func (a *Appender) Flush() error {
+	return a.FlushCtx(context.Background())
+}
+
+// FlushCtx is Flush with a cancellable wait: when ctx is done the caller
+// unblocks with ctx.Err() while the flush itself keeps running (other
+// appenders may be relying on it).
+func (a *Appender) FlushCtx(ctx context.Context) error {
 	if a.closed {
 		return ingest.ErrClosed
 	}
-	return a.e.pipeline.Flush()
+	return a.e.pipeline.FlushCtx(ctx)
 }
 
 // Stats snapshots the shared pipeline counters.

@@ -1,6 +1,7 @@
 package seqlog
 
 import (
+
 	"errors"
 	"path/filepath"
 	"reflect"
