@@ -224,6 +224,13 @@ func (f *FaultFS) Stat(name string) (os.FileInfo, error) {
 	return f.base.Stat(name)
 }
 
+func (f *FaultFS) ReadDir(name string) ([]os.DirEntry, error) {
+	if err := f.begin("readdir", name); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(name)
+}
+
 func (f *FaultFS) SyncDir(dir string) error {
 	if err := f.begin("syncdir", dir); err != nil {
 		return err

@@ -32,6 +32,9 @@ type FS interface {
 	// Stat describes a file like os.Stat.
 	Stat(name string) (os.FileInfo, error)
 
+	// ReadDir lists a directory like os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+
 	// SyncDir fsyncs the directory itself, making completed renames and
 	// file creations inside it durable across a power failure.
 	SyncDir(dir string) error
@@ -73,6 +76,8 @@ func (osFS) Remove(name string) error { return os.Remove(name) }
 func (osFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }
 
 func (osFS) Stat(name string) (os.FileInfo, error) { return os.Stat(name) }
+
+func (osFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
 
 func (osFS) SyncDir(dir string) error {
 	if dir == "" {

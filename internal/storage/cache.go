@@ -53,7 +53,13 @@ const wholeRowBlock = -1
 type cacheKey struct {
 	period string
 	pair   model.PairKey
-	block  int32
+	// seq is the segment sequence a block key addresses, so block i of one
+	// segment can never collide with block i of its successor after a freeze
+	// switches the reference (a BlockRun handed out pre-freeze must not hit
+	// entries a post-freeze reader inserted for the same pair and index).
+	// Whole-row (memtable-tier) keys use 0; segment sequences start at 1.
+	seq   uint64
+	block int32
 }
 
 type cacheEntry struct {
@@ -98,7 +104,7 @@ func newPostingsCache(budget int64) *postingsCache {
 }
 
 func (c *postingsCache) shard(k cacheKey) *cacheShard {
-	h := (uint64(k.pair) ^ uint64(uint32(k.block))<<40) * 0x9E3779B97F4A7C15
+	h := (uint64(k.pair) ^ uint64(uint32(k.block))<<40 ^ k.seq<<16) * 0x9E3779B97F4A7C15
 	for i := 0; i < len(k.period); i++ {
 		h = (h ^ uint64(k.period[i])) * 0x100000001B3
 	}

@@ -70,7 +70,7 @@ func OpenTables(store kvstore.Store, opts Options) (*Tables, error) {
 		if t.seg != nil {
 			keep = t.seg.name
 		}
-		cleanSegmentDir(t.segCfg.dir, keep)
+		cleanSegmentDir(t.segCfg.fs, t.segCfg.dir, keep)
 	}
 	raw, ok, err = store.Get(tableMeta, metaSegDroppedKey)
 	if err != nil {

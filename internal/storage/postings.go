@@ -51,12 +51,15 @@ func (p Postings) Empty() bool { return p.Total() == 0 }
 // headers without decoding; Block decodes (through the postings cache) only
 // when called. A BlockRun stays valid after the segment it reads from is
 // retired by a freeze: retired segments keep their mappings until the tables
-// close, and the cache-epoch snapshot taken at construction keeps stale
-// decodes out of the cache.
+// close, cache keys carry the segment sequence so the run can never hit
+// blocks a post-freeze reader cached for the successor segment, and the
+// cache-epoch snapshot taken at construction keeps stale decodes from being
+// inserted.
 type BlockRun struct {
 	t      *Tables // nil in unit tests: decode without cache or counters
 	period string
 	pair   model.PairKey
+	seq    uint64 // segment sequence, part of the cache key
 	blob   []byte
 	metas  []BlockMeta
 	total  int
@@ -74,6 +77,7 @@ func newBlockRun(t *Tables, seg *segment, ri int) *BlockRun {
 		t:      t,
 		period: row.period,
 		pair:   row.pair,
+		seq:    seg.seq,
 		blob:   seg.blob(row),
 		metas:  metas,
 		total:  total,
@@ -102,7 +106,7 @@ func (r *BlockRun) Block(i int) ([]IndexEntry, error) {
 		c = r.t.cache
 	}
 	if c != nil {
-		k := cacheKey{period: r.period, pair: r.pair, block: int32(i)}
+		k := cacheKey{period: r.period, pair: r.pair, seq: r.seq, block: int32(i)}
 		if entries, ok := c.get(k); ok {
 			r.t.rows.Add(int64(len(entries)))
 			return entries, nil
@@ -112,8 +116,10 @@ func (r *BlockRun) Block(i int) ([]IndexEntry, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: block %d of pair %d: %w", ErrCorruptSegment, i, r.pair, err)
 		}
-		// The epoch snapshot is the one taken when the run was handed out:
-		// if a freeze switched segments since, the insert is refused.
+		// The key carries the run's segment seq, so a hit can only be this
+		// segment's bytes. The epoch snapshot is the one taken when the run
+		// was handed out: if a freeze switched segments since, the insert is
+		// refused so retired-segment blocks don't re-enter the cache.
 		c.put(k, gen, r.epoch, entries)
 		r.t.rows.Add(int64(len(entries)))
 		return entries, nil
@@ -159,7 +165,7 @@ func (r *BlockRun) All() ([]IndexEntry, error) {
 	var err error
 	for i, m := range r.metas {
 		if c != nil {
-			if entries, ok := c.get(cacheKey{period: r.period, pair: r.pair, block: int32(i)}); ok {
+			if entries, ok := c.get(cacheKey{period: r.period, pair: r.pair, seq: r.seq, block: int32(i)}); ok {
 				out = append(out, entries...)
 				continue
 			}

@@ -181,7 +181,10 @@ func (s *segment) parse() error {
 	}
 	dirOff := binary.BigEndian.Uint64(tr[0:8])
 	dirLen := binary.BigEndian.Uint64(tr[8:16])
-	if dirOff < uint64(len(segMagic)) || dirOff+dirLen != uint64(len(d)-segTrailer) {
+	// Bound each field before summing: values near 2^64 would wrap dirOff+dirLen
+	// into range and send a negative int into the slice below.
+	dirEnd := uint64(len(d) - segTrailer)
+	if dirOff < uint64(len(segMagic)) || dirOff > dirEnd || dirLen != dirEnd-dirOff {
 		return fmt.Errorf("%w: %s: bad directory bounds", ErrCorruptSegment, s.name)
 	}
 	if crc32.ChecksumIEEE(d[:dirOff+dirLen]) != binary.BigEndian.Uint32(tr[16:20]) {
@@ -219,7 +222,7 @@ func (s *segment) parse() error {
 		if err != nil {
 			return fmt.Errorf("%w: %s: bad directory", ErrCorruptSegment, s.name)
 		}
-		if off < uint64(len(segMagic)) || off+blen > dirOff {
+		if off < uint64(len(segMagic)) || off > dirOff || blen > dirOff-off {
 			return fmt.Errorf("%w: %s: blob out of bounds", ErrCorruptSegment, s.name)
 		}
 		row := segRow{period: period, pair: pair, off: int(off), blen: int(blen), entries: int(cnt)}
@@ -346,9 +349,10 @@ func writeSegmentFile(fs kvstore.FS, dir, name string, rows []segRowData) error 
 
 // cleanSegmentDir removes stray segment files — leftovers of a freeze that
 // crashed before committing its reference switch. Best effort: the strays are
-// unreferenced, so failing to remove them is harmless.
-func cleanSegmentDir(dir string, keep string) {
-	ents, err := os.ReadDir(dir)
+// unreferenced, so failing to remove them is harmless. Goes through the
+// injected FS so fault-injection tests observe and exercise the cleanup.
+func cleanSegmentDir(fs kvstore.FS, dir string, keep string) {
+	ents, err := fs.ReadDir(dir)
 	if err != nil {
 		return
 	}
@@ -358,7 +362,7 @@ func cleanSegmentDir(dir string, keep string) {
 			continue
 		}
 		if _, ok := parseSegName(name); ok || strings.HasSuffix(name, ".tmp") {
-			os.Remove(filepath.Join(dir, name))
+			fs.Remove(filepath.Join(dir, name))
 		}
 	}
 }

@@ -2,8 +2,9 @@ package storage
 
 import (
 	"context"
-
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -328,6 +329,128 @@ func TestCorruptSegmentRefused(t *testing.T) {
 	}
 	if _, err := OpenTables(store, Options{SegmentDir: dir}); !errors.Is(err, ErrCorruptSegment) {
 		t.Fatalf("corrupt segment open: %v", err)
+	}
+}
+
+// TestSegmentBoundsOverflowRejected pins the overflow-safe directory checks:
+// offsets near 2^64 whose sums wrap back into range must fail parse as
+// ErrCorruptSegment instead of sending a negative int into a slice expression.
+// Both crafted files carry a correct CRC — the wrap is only caught by the
+// bounds checks themselves.
+func TestSegmentBoundsOverflowRejected(t *testing.T) {
+	writeSeg := func(t *testing.T, buf []byte, dirOff, dirLen uint64) string {
+		t.Helper()
+		crc := crc32.ChecksumIEEE(buf)
+		var tr [segTrailer]byte
+		binary.BigEndian.PutUint64(tr[0:8], dirOff)
+		binary.BigEndian.PutUint64(tr[8:16], dirLen)
+		binary.BigEndian.PutUint32(tr[16:20], crc)
+		copy(tr[20:24], segTailMagic)
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, segName(1)), append(buf, tr[:]...), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+
+	t.Run("trailer", func(t *testing.T) {
+		// dirOff near 2^64 with dirLen chosen so the sum wraps to exactly
+		// len(d)-segTrailer: the old equality check passed and the CRC region
+		// d[:dirOff+dirLen] still covered the true bytes, so the first failure
+		// was the negative-int directory slice.
+		buf := append([]byte(segMagic), encodePostingsBlocks(nil, []IndexEntry{{Trace: 1, TsA: 1, TsB: 2}})...)
+		end := uint64(len(buf))
+		const wrap = uint64(1) << 63
+		dir := writeSeg(t, buf, ^uint64(0)-wrap+1, end+wrap)
+		if _, err := openSegment(kvstore.OSFS, dir, segName(1)); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("wrapped trailer bounds: %v", err)
+		}
+	})
+
+	t.Run("row", func(t *testing.T) {
+		// A directory row whose blob off is near 2^64: off+blen wraps below
+		// dirOff, so the old check passed and int(off) went negative.
+		buf := append([]byte(segMagic), encodePostingsBlocks(nil, []IndexEntry{{Trace: 1, TsA: 1, TsB: 2}})...)
+		dirOff := uint64(len(buf))
+		buf = binary.AppendUvarint(buf, 1) // rowCount
+		buf = binary.AppendUvarint(buf, 0) // len(period)
+		var pk [8]byte
+		binary.BigEndian.PutUint64(pk[:], 42)
+		buf = append(buf, pk[:]...)
+		buf = binary.AppendUvarint(buf, ^uint64(0)-2) // off
+		buf = binary.AppendUvarint(buf, 5)            // blen: off+blen wraps below dirOff
+		buf = binary.AppendUvarint(buf, 1)            // entry count
+		dir := writeSeg(t, buf, dirOff, uint64(len(buf))-dirOff)
+		if _, err := openSegment(kvstore.OSFS, dir, segName(1)); !errors.Is(err, ErrCorruptSegment) {
+			t.Fatalf("wrapped row bounds: %v", err)
+		}
+	})
+}
+
+// TestBlockRunCacheIsolatedAcrossFreeze pins the segment identity carried in
+// postings-cache keys: a BlockRun handed out before a freeze must keep
+// serving its own segment's blocks even after a post-freeze reader has cached
+// the successor segment's block for the same (period, pair, index) — the
+// successor's block 0 holds merged bytes the old run's skip headers know
+// nothing about.
+func TestBlockRunCacheIsolatedAcrossFreeze(t *testing.T) {
+	tb := openSegTables(t, t.TempDir())
+	defer tb.Close()
+	pair := model.NewPairKey(1, 2)
+	rng := rand.New(rand.NewSource(7))
+	if err := tb.AppendIndex("", pair, randomSortedRun(rng, 3*postingsBlockSize)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.FreezePostings(); err != nil {
+		t.Fatal(err)
+	}
+	po, err := tb.GetPostings(context.Background(), pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(po.Runs) != 1 || po.Runs[0].Blocks == nil {
+		t.Fatalf("postings after freeze: %d runs", len(po.Runs))
+	}
+	oldRun := po.Runs[0].Blocks
+	// AppendBlock bypasses the cache in both directions: the reference decode.
+	wantOld, err := oldRun.AppendBlock(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze a merged successor whose block 0 differs (the new entries sort
+	// before everything already frozen), then cache its block 0 the way a
+	// post-freeze query would.
+	head := []IndexEntry{{Trace: 0, TsA: 1, TsB: 2}, {Trace: 0, TsA: 3, TsB: 4}}
+	if err := tb.AppendIndex("", pair, head); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.FreezePostings(); err != nil {
+		t.Fatal(err)
+	}
+	po2, err := tb.GetPostings(context.Background(), pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(po2.Runs) != 1 || po2.Runs[0].Blocks == nil {
+		t.Fatalf("postings after second freeze: %d runs", len(po2.Runs))
+	}
+	newBlock, err := po2.Runs[0].Blocks.Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(newBlock, wantOld) {
+		t.Fatal("fixture broken: successor block 0 equals the old segment's block 0")
+	}
+
+	// The pre-freeze run must decode its own bytes, not hit the successor's
+	// freshly cached block under a colliding key.
+	got, err := oldRun.Block(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, wantOld) {
+		t.Fatal("pre-freeze BlockRun served the successor segment's cached block")
 	}
 }
 
