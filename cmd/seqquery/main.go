@@ -355,8 +355,19 @@ func printInfo(info seqlog.IndexInfo) {
 	if info.Degraded {
 		status = "degraded (salvaged recovery)"
 	}
-	fmt.Printf("traces=%d activities=%d policy=%s status=%s\n",
-		info.Traces, info.Activities, info.Policy, status)
+	role := info.Role
+	if role == "" {
+		role = "primary"
+	}
+	fmt.Printf("traces=%d activities=%d policy=%s status=%s role=%s\n",
+		info.Traces, info.Activities, info.Policy, status, role)
+	if r := info.Replication; r != nil {
+		fmt.Printf("replication: primary=%s state=%s epoch=%d offset=%d lag=%dB applied=%d resyncs=%d\n",
+			r.Primary, r.State, r.Epoch, r.Offset, r.LagBytes, r.AppliedGroups, r.Resyncs)
+		if r.LastError != "" {
+			fmt.Printf("replication last error: %s\n", r.LastError)
+		}
+	}
 	parts := make([]string, 0, len(info.Partitions))
 	for p := range info.Partitions {
 		parts = append(parts, p)

@@ -1,0 +1,127 @@
+// Command seqrouter is the query coordinator of a replicated seqlog fleet:
+// one writable primary plus any number of read replicas started with
+// `seqserver -follow`. It probes every backend's GET /health/ready on an
+// interval, balances read traffic round-robin across caught-up replicas
+// (falling back to the primary), pins writes (/ingest, /ingest/stream,
+// /prune, /periods/rotate) to the primary, and fails a read over to the next
+// backend when a replica goes dark or answers overloaded (502/503/504).
+//
+// Usage:
+//
+//	seqrouter -listen :8090 -primary http://localhost:8080 \
+//	    -replica http://localhost:8081 -replica http://localhost:8082
+//
+// The router adds two endpoints of its own: GET /router/status (the probed
+// backend table: role, readiness, replication lag) and GET /router/health.
+// Every proxied response carries X-Seqrouter-Backend naming the backend that
+// answered. GET /metrics serves the router's own registry, including
+// seqrouter_backend_requests_total{backend,outcome}.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"seqlog/internal/metrics"
+	"seqlog/internal/replica"
+)
+
+// replicaList collects repeated -replica flags (comma-separated values work
+// too).
+type replicaList []string
+
+func (r *replicaList) String() string { return strings.Join(*r, ",") }
+
+func (r *replicaList) Set(v string) error {
+	for _, u := range strings.Split(v, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			*r = append(*r, u)
+		}
+	}
+	return nil
+}
+
+func main() {
+	var replicas replicaList
+	var (
+		listen    = flag.String("listen", ":8090", "router listen address")
+		primary   = flag.String("primary", "", "primary seqserver base URL (required)")
+		probe     = flag.Duration("probe-interval", 2*time.Second, "backend readiness probe interval")
+		maxLagMB  = flag.Int64("max-lag-mb", 64, "drain replicas reporting more replication lag than this (negative disables)")
+		metricsOn = flag.Bool("metrics", true, "expose GET /metrics")
+	)
+	flag.Var(&replicas, "replica", "read replica base URL (repeatable, or comma-separated)")
+	flag.Parse()
+	if *primary == "" {
+		fmt.Fprintln(os.Stderr, "seqrouter: -primary is required")
+		os.Exit(2)
+	}
+	if err := run(*listen, *primary, replicas, *probe, *maxLagMB, *metricsOn); err != nil {
+		fmt.Fprintln(os.Stderr, "seqrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func run(listen, primary string, replicas []string, probe time.Duration, maxLagMB int64, metricsOn bool) error {
+	reg := metrics.New()
+	maxLag := maxLagMB << 20
+	if maxLagMB < 0 {
+		maxLag = -1
+	}
+	router, err := replica.NewRouter(replica.RouterOptions{
+		Primary:       primary,
+		Replicas:      replicas,
+		ProbeInterval: probe,
+		MaxLagBytes:   maxLag,
+		Metrics:       reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer router.Close()
+
+	mux := http.NewServeMux()
+	if metricsOn {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			reg.WritePrometheus(w)
+		})
+	}
+	mux.Handle("/", router)
+
+	srv := &http.Server{Addr: listen, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("seqrouter listening on %s (primary=%s replicas=%d)", listen, primary, len(replicas))
+		serveErr <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("seqrouter: drain incomplete: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("seqrouter stopped cleanly")
+	return nil
+}

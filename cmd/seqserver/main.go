@@ -9,6 +9,12 @@
 // Usage:
 //
 //	seqserver -dir ./idx -addr :8080 [-policy STNM]
+//	seqserver -dir ./replica -addr :8081 -follow http://primary:8080
+//
+// With -follow the server opens read-only and replicates the primary's
+// write-ahead log into its own store (see DESIGN.md §12); writes answer 403
+// and GET /health/ready reports 503 while catching up, so a router or load
+// balancer can drain it.
 package main
 
 import (
@@ -24,6 +30,7 @@ import (
 	"time"
 
 	"seqlog"
+	"seqlog/internal/replica"
 	"seqlog/internal/server"
 )
 
@@ -55,6 +62,11 @@ func main() {
 		queryBudgetRows = flag.Int64("query-budget-rows", 0, "per-query row budget; exceeding it fails the query with 503 (0 disables; requests may only tighten it)")
 		partialResults  = flag.Bool("partial-results", false, "detect queries that trip the row budget return the matches found so far with \"truncated\":true instead of failing")
 
+		follow     = flag.String("follow", "", "primary base URL to replicate from (e.g. http://primary:8080); implies -read-only")
+		readOnly   = flag.Bool("read-only", false, "reject writes with 403 (set automatically by -follow)")
+		readyLagMB = flag.Int64("ready-max-lag-mb", 0, "replication lag beyond which /health/ready answers 503 (0 = default 32, negative disables)")
+		readyStale = flag.Duration("ready-max-stale", 0, "mark a follower not-ready when the primary has been unreachable this long (0 disables)")
+
 		metricsOn   = flag.Bool("metrics", true, "expose GET /metrics (Prometheus text format)")
 		pprofOn     = flag.Bool("pprof", false, "mount the runtime profiler under GET /debug/pprof/")
 		slowQueryMS = flag.Int("slow-query-ms", 0, "log queries slower than this many milliseconds to stderr (0 disables)")
@@ -75,20 +87,34 @@ func main() {
 	if *slowQueryMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond
 	}
+	if *follow != "" {
+		*readOnly = true
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "seqserver: -follow requires -dir (the replica's own durable store)")
+			os.Exit(2)
+		}
+		if *shards > 1 {
+			fmt.Fprintln(os.Stderr, "seqserver: -follow supports single-store engines only (drop -shards)")
+			os.Exit(2)
+		}
+	}
+	cfg.ReadOnly = *readOnly
 	opts := server.Options{
 		Pprof:                  *pprofOn,
 		DisableMetricsEndpoint: !*metricsOn,
 		QueryTimeout:           time.Duration(*queryTimeoutMS) * time.Millisecond,
 		QueryBudgetRows:        *queryBudgetRows,
 		PartialResults:         *partialResults,
+		ReadyMaxLagBytes:       lagBytes(*readyLagMB),
+		ReadyMaxStale:          *readyStale,
 	}
-	if err := run(cfg, opts, *addr, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
+	if err := run(cfg, opts, *addr, *follow, *reqTimeout, *maxBodyMB, *drainTimeout); err != nil {
 		fmt.Fprintln(os.Stderr, "seqserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(cfg seqlog.Config, opts server.Options, addr string, reqTimeout time.Duration, maxBodyMB int, drainTimeout time.Duration) error {
+func run(cfg seqlog.Config, opts server.Options, addr, follow string, reqTimeout time.Duration, maxBodyMB int, drainTimeout time.Duration) error {
 	eng, err := seqlog.Open(cfg)
 	if err != nil {
 		return err
@@ -96,6 +122,13 @@ func run(cfg seqlog.Config, opts server.Options, addr string, reqTimeout time.Du
 	if rec := eng.Recovery(); rec.Degraded() {
 		log.Printf("WARNING: store salvaged at startup: %d corrupt regions (%d bytes) quarantined; /health reports degraded",
 			rec.DroppedRegions, rec.DroppedBytes)
+	}
+	if follow != "" {
+		if err := eng.StartFollower(follow, replica.Options{}); err != nil {
+			eng.Close()
+			return err
+		}
+		log.Printf("seqserver replicating from %s (read-only)", follow)
 	}
 
 	opts.RequestTimeout = reqTimeout
@@ -154,4 +187,12 @@ func cacheBytes(mb int) int64 {
 		return -1
 	}
 	return int64(mb) << 20
+}
+
+// lagBytes maps -ready-max-lag-mb onto Options.ReadyMaxLagBytes semantics.
+func lagBytes(mb int64) int64 {
+	if mb < 0 {
+		return -1
+	}
+	return mb << 20
 }

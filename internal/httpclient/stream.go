@@ -1,0 +1,113 @@
+package httpclient
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+)
+
+// GetStream opens a resumable streaming GET: the returned reader delivers the
+// response body, and when the connection drops mid-body it reconnects —
+// through the same retry/backoff machinery as GetCtx — with the offset query
+// parameter set to the number of bytes already delivered, so the server
+// resumes the stream instead of restarting it from zero. The follower's log
+// tailing and seqquery's bulk reads use it to survive primary restarts.
+//
+// rawurl is the endpoint; offsetParam is the query-parameter name carrying
+// the resume offset (e.g. "from"); start seeds it. The server must interpret
+// the parameter as an absolute position in the same byte stream across
+// requests. A clean end of body (the server finished the response) ends the
+// stream with io.EOF; only mid-body transport errors trigger resumption.
+// Consecutive failed reconnects are bounded by Retries; any successfully
+// delivered byte resets that allowance.
+func (c *Client) GetStream(ctx context.Context, rawurl, offsetParam string, start int64) (io.ReadCloser, error) {
+	u, err := url.Parse(rawurl)
+	if err != nil {
+		return nil, err
+	}
+	s := &streamReader{c: c, ctx: ctx, u: u, param: offsetParam, off: start}
+	if err := s.connect(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+type streamReader struct {
+	c     *Client
+	ctx   context.Context
+	u     *url.URL
+	param string
+	off   int64 // absolute stream position = bytes delivered to the caller
+	body  io.ReadCloser
+	gaps  int // consecutive reconnect attempts without progress
+}
+
+// connect issues one GET at the current offset. GetCtx already retries
+// connection errors and retryable statuses with backoff.
+func (s *streamReader) connect() error {
+	q := s.u.Query()
+	q.Set(s.param, strconv.FormatInt(s.off, 10))
+	u := *s.u
+	u.RawQuery = q.Encode()
+	resp, err := s.c.GetCtx(s.ctx, u.String())
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return apiError(resp)
+	}
+	s.body = resp.Body
+	return nil
+}
+
+func (s *streamReader) Read(p []byte) (int, error) {
+	for {
+		if s.body == nil {
+			if err := s.connect(); err != nil {
+				return 0, err
+			}
+		}
+		n, err := s.body.Read(p)
+		s.off += int64(n)
+		if n > 0 {
+			s.gaps = 0
+		}
+		switch {
+		case err == nil:
+			return n, nil
+		case err == io.EOF:
+			// The server finished the response cleanly: end of stream.
+			return n, io.EOF
+		case s.ctx.Err() != nil:
+			return n, s.ctx.Err()
+		}
+		// Mid-body transport failure: drop the connection and resume at the
+		// current offset on the next read, with backoff between consecutive
+		// fruitless tries.
+		s.body.Close()
+		s.body = nil
+		if n > 0 {
+			return n, nil // deliver what we have; the next Read reconnects
+		}
+		if s.gaps >= s.c.Retries {
+			return 0, fmt.Errorf("GET %s: stream broken at offset %d: %w", s.u, s.off, err)
+		}
+		if serr := s.c.sleep(s.ctx, s.c.backoff(s.gaps)); serr != nil {
+			return 0, serr
+		}
+		s.gaps++
+	}
+}
+
+func (s *streamReader) Close() error {
+	if s.body == nil {
+		return nil
+	}
+	err := s.body.Close()
+	s.body = nil
+	return err
+}

@@ -1,0 +1,148 @@
+package httpclient
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyStreamServer serves payload from the "from" offset but aborts the
+// connection after at most cut bytes per request, forcing the client to
+// resume. A zero cut serves to the end.
+func flakyStreamServer(t *testing.T, payload []byte, cut int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		from, err := strconv.ParseInt(r.URL.Query().Get("from"), 10, 64)
+		if err != nil || from < 0 || from > int64(len(payload)) {
+			http.Error(w, "bad offset", http.StatusBadRequest)
+			return
+		}
+		rest := payload[from:]
+		if cut > 0 && len(rest) > cut {
+			// Send a prefix, flush it past the client, then kill the
+			// connection mid-body.
+			w.Header().Set("Content-Length", strconv.Itoa(len(rest)))
+			w.Write(rest[:cut])
+			w.(http.Flusher).Flush()
+			panic(http.ErrAbortHandler)
+		}
+		w.Write(rest)
+	}))
+	return srv, &requests
+}
+
+func TestGetStreamResumesFromOffset(t *testing.T) {
+	payload := bytes.Repeat([]byte("0123456789abcdef"), 64) // 1 KiB
+	srv, requests := flakyStreamServer(t, payload, 100)
+	defer srv.Close()
+
+	c := &Client{Retries: 3, Sleep: func(time.Duration) {}}
+	rc, err := c.GetStream(context.Background(), srv.URL+"/replicate/wal?epoch=1", "from", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("stream delivered %d bytes, want %d (content mismatch=%v)",
+			len(got), len(payload), !bytes.Equal(got, payload))
+	}
+	if n := requests.Load(); n < 10 {
+		t.Fatalf("expected many resumed requests, saw %d", n)
+	}
+}
+
+func TestGetStreamStartsMidStream(t *testing.T) {
+	payload := []byte("abcdefghij")
+	srv, _ := flakyStreamServer(t, payload, 0)
+	defer srv.Close()
+
+	c := &Client{}
+	rc, err := c.GetStream(context.Background(), srv.URL, "from", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	got, err := io.ReadAll(rc)
+	if err != nil || string(got) != "efghij" {
+		t.Fatalf("got %q, %v", got, err)
+	}
+}
+
+func TestGetStreamGivesUpWithoutProgress(t *testing.T) {
+	// Every request dies before a single body byte reaches the client.
+	var requests atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Add(1)
+		w.Header().Set("Content-Length", "100")
+		w.(http.Flusher).Flush()
+		panic(http.ErrAbortHandler)
+	}))
+	defer srv.Close()
+
+	c := &Client{Retries: 2, Sleep: func(time.Duration) {}}
+	rc, err := c.GetStream(context.Background(), srv.URL, "from", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	if _, err := io.ReadAll(rc); err == nil {
+		t.Fatal("expected a stream-broken error")
+	}
+	// First connect + 2 allowed gap retries = 3 requests.
+	if n := requests.Load(); n != 3 {
+		t.Fatalf("saw %d requests, want 3", n)
+	}
+}
+
+func TestGetStreamSurfacesHTTPErrors(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"stale epoch"}`, http.StatusConflict)
+	}))
+	defer srv.Close()
+
+	c := &Client{}
+	if _, err := c.GetStream(context.Background(), srv.URL, "from", 0); err == nil {
+		t.Fatal("expected the 409 to surface as an error")
+	}
+}
+
+func TestGetStreamHonoursContext(t *testing.T) {
+	payload := bytes.Repeat([]byte("x"), 512)
+	srv, _ := flakyStreamServer(t, payload, 64)
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	c := &Client{Retries: 100, Sleep: func(time.Duration) {}}
+	rc, err := c.GetStream(ctx, srv.URL, "from", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rc.Close()
+	buf := make([]byte, 32)
+	if _, err := rc.Read(buf); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	var rerr error
+	for i := 0; i < 100; i++ {
+		if _, rerr = rc.Read(buf); rerr != nil {
+			break
+		}
+	}
+	if !errors.Is(rerr, context.Canceled) {
+		t.Fatalf("read after cancel: %v", rerr)
+	}
+}

@@ -64,6 +64,13 @@ type DiskStore struct {
 	legacy  bool   // WAL has no header (pre-epoch format); healed by Compact
 	inBatch bool   // an atomic record group is open (BeginBatch without CommitBatch)
 
+	// Log-shipping watermarks (replsource.go): durable is the byte offset up
+	// to which the WAL is fsynced — the only prefix replication may serve —
+	// and walStart is where records begin (walHeaderLen, or 0 on a legacy
+	// header-less log).
+	durable  int64
+	walStart int64
+
 	salvage bool
 	stats   RecoveryStats
 	failed  error // sticky write-path error; poisons all later mutations
@@ -195,6 +202,7 @@ func OpenDiskWith(dir string, opts DiskOptions) (*DiskStore, error) {
 	}
 	s.wal = f
 	s.size = st.Size()
+	s.durable = s.size // everything that survived recovery is on disk
 	s.bw = bufio.NewWriterSize(f, 1<<20)
 	if s.stats.Salvaged {
 		// Re-establish a clean on-disk state: the WAL still contains the
@@ -542,11 +550,13 @@ func (s *DiskStore) replayWAL() error {
 		s.legacy = false
 		return s.resetWAL()
 	}
+	s.walStart = int64(start)
 	return nil
 }
 
 // resetWAL truncates the WAL and stamps it with the current epoch.
 func (s *DiskStore) resetWAL() error {
+	s.walStart = int64(walHeaderLen)
 	f, err := s.fs.OpenFile(s.path(walName), os.O_CREATE|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("kvstore: reset wal: %w", err)
@@ -674,6 +684,7 @@ func (s *DiskStore) Sync() error {
 		return err
 	}
 	s.fsyncH.Observe(time.Since(start))
+	s.durable = s.size
 	// Never auto-compact inside an open batch: the snapshot would bake in
 	// records whose commit marker does not exist yet. hookActive means this
 	// Sync was issued by the before-compact hook itself — let it finish.
@@ -832,6 +843,8 @@ func (s *DiskStore) Compact() error {
 	}
 	s.bw.Reset(s.wal)
 	s.size = int64(walHeaderLen)
+	s.durable = s.size
+	s.walStart = int64(walHeaderLen)
 	s.legacy = false
 	s.compactH.Observe(time.Since(start))
 	return nil

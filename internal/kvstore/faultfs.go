@@ -251,6 +251,13 @@ func (f *faultFile) Read(p []byte) (int, error) {
 	return f.base.Read(p)
 }
 
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.fs.begin("read", f.path); err != nil {
+		return 0, err
+	}
+	return f.base.ReadAt(p, off)
+}
+
 func (f *faultFile) Write(p []byte) (int, error) {
 	allow, err := f.fs.beginWrite(f.path, len(p))
 	if err != nil {

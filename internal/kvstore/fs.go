@@ -46,6 +46,11 @@ type File interface {
 	io.Writer
 	io.Closer
 
+	// ReadAt reads at an absolute offset like os.File.ReadAt; the log
+	// shipping path uses it to serve committed WAL and snapshot ranges
+	// without disturbing the append position.
+	io.ReaderAt
+
 	// Sync fsyncs the file contents.
 	Sync() error
 

@@ -1,0 +1,234 @@
+package kvstore
+
+// Log shipping: a primary's DiskStore exposes its committed WAL (and the
+// snapshot behind it) as offset-addressed byte ranges, so a follower can
+// replicate by replaying exactly the bytes the primary itself would replay
+// after a crash. Offsets are (epoch, byte offset) pairs: compaction bumps the
+// epoch and truncates the WAL, so an offset is only meaningful within its
+// epoch, and a follower holding a stale epoch must fall back to a snapshot
+// resync. Only the fsynced prefix of the WAL (the durable watermark) is ever
+// served — bytes still in the write buffer could be lost by a crash, and a
+// follower must never get ahead of what the primary can recover.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+)
+
+// RecordOp identifies one log record operation in the shipped byte stream.
+// The numeric values are the on-disk WAL op codes.
+type RecordOp byte
+
+const (
+	OpPut       RecordOp = RecordOp(opPut)
+	OpAppend    RecordOp = RecordOp(opAppend)
+	OpDelete    RecordOp = RecordOp(opDelete)
+	OpDropTable RecordOp = RecordOp(opDropTable)
+	// OpBatchBegin and OpBatchCommit bracket an atomic record group: a
+	// follower must buffer the records between them and apply the group only
+	// when the commit marker arrives, exactly as crash recovery does.
+	OpBatchBegin  RecordOp = RecordOp(opBatchBegin)
+	OpBatchCommit RecordOp = RecordOp(opBatchCommit)
+)
+
+// Record is one decoded log record from a shipped byte range.
+type Record struct {
+	Op    RecordOp
+	Table string
+	Key   string
+	// Value aliases the buffer passed to ParseRecord; copy it before the
+	// buffer is reused.
+	Value []byte
+}
+
+var (
+	// ErrShortRecord reports that data ends before the record does — the
+	// consumer needs more bytes, nothing is wrong.
+	ErrShortRecord = errors.New("kvstore: short record, need more bytes")
+
+	// ErrBadRecord reports a complete record frame that fails its checksum or
+	// does not decode: the stream is corrupt, more bytes will not help.
+	ErrBadRecord = errors.New("kvstore: bad record in replication stream")
+
+	// ErrLogTruncated reports that the requested (epoch, offset) range is not
+	// available: the epoch is stale (the log was compacted away) or the
+	// offset lies outside the durable region. The consumer must refetch the
+	// source state and, on an epoch change, resync from the snapshot.
+	ErrLogTruncated = errors.New("kvstore: replication offset out of range")
+)
+
+// ParseRecord decodes the record starting at data[off:] and returns it with
+// the offset just past it. ErrShortRecord means the tail of data holds only a
+// record prefix (fetch more and retry at the same offset); ErrBadRecord means
+// the bytes are corrupt.
+func ParseRecord(data []byte, off int) (Record, int, error) {
+	if off+8 > len(data) {
+		return Record{}, off, ErrShortRecord
+	}
+	n := binary.LittleEndian.Uint32(data[off+4 : off+8])
+	if n > 1<<30 {
+		// The encoder never writes gigabyte records; this length is garbage.
+		return Record{}, off, ErrBadRecord
+	}
+	if off+8+int(n) > len(data) {
+		return Record{}, off, ErrShortRecord
+	}
+	op, table, key, value, next, err := decodeRecordAt(data, off)
+	if err != nil {
+		// The whole frame is present, so failure to decode is corruption.
+		return Record{}, off, ErrBadRecord
+	}
+	return Record{Op: RecordOp(op), Table: table, Key: key, Value: value}, next, nil
+}
+
+// ReplState describes the shippable state of a primary at one instant.
+type ReplState struct {
+	// Epoch is the current snapshot/WAL generation. Offsets from a different
+	// epoch are invalid.
+	Epoch uint64 `json:"epoch"`
+	// WALStart is the byte offset of the first record in the WAL (just past
+	// the header; 0 on a legacy header-less log). A snapshot resync tails the
+	// WAL from here.
+	WALStart int64 `json:"walStart"`
+	// WALDurable is the fsynced frontier of the WAL: ReadLogAt serves
+	// [WALStart, WALDurable) and a follower's lag is WALDurable minus its
+	// applied offset.
+	WALDurable int64 `json:"walDurable"`
+	// SnapshotSize is the byte length of the snapshot's record region
+	// (header excluded); 0 when no snapshot exists. ReadSnapshotAt addresses
+	// [0, SnapshotSize).
+	SnapshotSize int64 `json:"snapshotSize"`
+}
+
+// ReplState reports the current epoch, WAL watermarks and snapshot extent.
+func (s *DiskStore) ReplState() (ReplState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ReplState{}, ErrClosed
+	}
+	st := ReplState{Epoch: s.epoch, WALStart: s.walStart, WALDurable: s.durable}
+	_, region, err := s.snapshotRegion()
+	if err != nil {
+		return ReplState{}, err
+	}
+	st.SnapshotSize = region
+	return st, nil
+}
+
+// snapshotRegion returns the header length and record-region length of the
+// current snapshot file (0, 0 when none exists). Callers hold s.mu, which
+// excludes a concurrent compaction renaming the file.
+func (s *DiskStore) snapshotRegion() (hdr, region int64, err error) {
+	f, err := s.fs.OpenFile(s.path(snapshotName), os.O_RDONLY, 0)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("kvstore: open snapshot: %w", err)
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, 0, err
+	}
+	var h [snapHeaderLen]byte
+	n, rerr := f.ReadAt(h[:], 0)
+	switch {
+	case n >= snapHeaderLen && string(h[:len(magic)]) == magic:
+		hdr = int64(snapHeaderLen)
+	case n >= len(magicV1) && string(h[:len(magicV1)]) == magicV1:
+		hdr = int64(len(magicV1))
+	default:
+		if rerr != nil && !errors.Is(rerr, io.EOF) {
+			return 0, 0, rerr
+		}
+		return 0, 0, fmt.Errorf("%w: bad header", ErrCorruptSnapshot)
+	}
+	region = fi.Size() - hdr
+	if region < 0 {
+		region = 0
+	}
+	return hdr, region, nil
+}
+
+// ReadLogAt copies WAL bytes from [off, off+len(p)) into p, clamped to the
+// durable watermark, and returns how many were read (0 when the follower is
+// caught up). It fails with ErrLogTruncated when epoch is not the current one
+// or off lies outside [WALStart, WALDurable] — the caller must refetch
+// ReplState and resync.
+func (s *DiskStore) ReadLogAt(epoch uint64, off int64, p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if epoch != s.epoch {
+		return 0, fmt.Errorf("%w: epoch %d, log is at %d", ErrLogTruncated, epoch, s.epoch)
+	}
+	if off < s.walStart || off > s.durable {
+		return 0, fmt.Errorf("%w: offset %d outside [%d,%d]", ErrLogTruncated, off, s.walStart, s.durable)
+	}
+	n := int64(len(p))
+	if off+n > s.durable {
+		n = s.durable - off
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	// The durable watermark only advances after a flush+fsync, so the file
+	// holds every byte below it; read through a separate handle to leave the
+	// append position alone.
+	f, err := s.fs.OpenFile(s.path(walName), os.O_RDONLY, 0)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: open wal for shipping: %w", err)
+	}
+	defer f.Close()
+	rn, err := f.ReadAt(p[:n], off)
+	if err != nil && !(errors.Is(err, io.EOF) && int64(rn) == n) {
+		return rn, fmt.Errorf("kvstore: read wal at %d: %w", off, err)
+	}
+	return rn, nil
+}
+
+// ReadSnapshotAt copies snapshot record-region bytes from [off, off+len(p))
+// into p. Offsets are relative to the record region ([0, SnapshotSize));
+// reaching the end returns (0, io.EOF), as does any offset when no snapshot
+// exists. A stale epoch fails with ErrLogTruncated.
+func (s *DiskStore) ReadSnapshotAt(epoch uint64, off int64, p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, ErrClosed
+	}
+	if epoch != s.epoch {
+		return 0, fmt.Errorf("%w: epoch %d, log is at %d", ErrLogTruncated, epoch, s.epoch)
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%w: negative snapshot offset %d", ErrLogTruncated, off)
+	}
+	hdr, region, err := s.snapshotRegion()
+	if err != nil {
+		return 0, err
+	}
+	if off >= region {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	if off+n > region {
+		n = region - off
+	}
+	f, err := s.fs.OpenFile(s.path(snapshotName), os.O_RDONLY, 0)
+	if err != nil {
+		return 0, fmt.Errorf("kvstore: open snapshot for shipping: %w", err)
+	}
+	defer f.Close()
+	rn, err := f.ReadAt(p[:n], hdr+off)
+	if err != nil && !(errors.Is(err, io.EOF) && int64(rn) == n) {
+		return rn, fmt.Errorf("kvstore: read snapshot at %d: %w", off, err)
+	}
+	return rn, nil
+}

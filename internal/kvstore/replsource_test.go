@@ -1,0 +1,344 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+// replayShipped parses a shipped byte range and applies it to dst with the
+// same batch-group semantics a follower uses: records between OpBatchBegin
+// and OpBatchCommit apply only when the commit marker arrives.
+func replayShipped(t *testing.T, dst Store, data []byte) {
+	t.Helper()
+	off := 0
+	var batch []Record
+	inBatch := false
+	apply := func(r Record) {
+		var err error
+		switch r.Op {
+		case OpPut:
+			err = dst.Put(r.Table, r.Key, r.Value)
+		case OpAppend:
+			err = dst.Append(r.Table, r.Key, r.Value)
+		case OpDelete:
+			err = dst.Delete(r.Table, r.Key)
+		case OpDropTable:
+			err = dst.DropTable(r.Table)
+		default:
+			t.Fatalf("unexpected op %d", r.Op)
+		}
+		if err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+	}
+	for off < len(data) {
+		rec, next, err := ParseRecord(data, off)
+		if err != nil {
+			t.Fatalf("ParseRecord at %d: %v", off, err)
+		}
+		switch rec.Op {
+		case OpBatchBegin:
+			inBatch, batch = true, batch[:0]
+		case OpBatchCommit:
+			for _, r := range batch {
+				apply(r)
+			}
+			inBatch, batch = false, batch[:0]
+		default:
+			if inBatch {
+				rec.Value = append([]byte(nil), rec.Value...)
+				batch = append(batch, rec)
+			} else {
+				apply(rec)
+			}
+		}
+		off = next
+	}
+	if inBatch {
+		t.Fatal("shipped range ended inside an open batch group")
+	}
+}
+
+func sameContent(t *testing.T, a, b Store) {
+	t.Helper()
+	at, _ := a.Tables()
+	bt, _ := b.Tables()
+	if fmt.Sprint(at) != fmt.Sprint(bt) {
+		t.Fatalf("table sets differ: %v vs %v", at, bt)
+	}
+	for _, tb := range at {
+		err := a.Scan(tb, func(k string, v []byte) error {
+			got, ok, _ := b.Get(tb, k)
+			if !ok || !bytes.Equal(got, v) {
+				return fmt.Errorf("key %s/%s: %q vs %q (ok=%v)", tb, k, v, got, ok)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReplShipWALToFollower(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	for i := 0; i < 20; i++ {
+		if err := s.Put("tab", fmt.Sprintf("k%02d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.BeginBatch(); err != nil {
+		t.Fatal(err)
+	}
+	s.Put("tab", "batched", []byte("yes"))
+	s.Delete("tab", "k03")
+	if err := s.CommitBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := s.ReplState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 0 || st.WALStart != int64(walHeaderLen) || st.SnapshotSize != 0 {
+		t.Fatalf("unexpected state: %+v", st)
+	}
+	if st.WALDurable <= st.WALStart {
+		t.Fatalf("durable watermark did not advance: %+v", st)
+	}
+
+	// Ship the whole committed range in small chunks, like a follower would.
+	var shipped []byte
+	off := st.WALStart
+	for {
+		buf := make([]byte, 37) // deliberately not record-aligned
+		n, err := s.ReadLogAt(st.Epoch, off, buf)
+		if err != nil {
+			t.Fatalf("ReadLogAt(%d): %v", off, err)
+		}
+		if n == 0 {
+			break
+		}
+		shipped = append(shipped, buf[:n]...)
+		off += int64(n)
+	}
+	if off != st.WALDurable {
+		t.Fatalf("shipped to %d, durable is %d", off, st.WALDurable)
+	}
+
+	follower := NewMemStore()
+	defer follower.Close()
+	replayShipped(t, follower, shipped)
+	sameContent(t, s, follower)
+	if _, ok, _ := follower.Get("tab", "k03"); ok {
+		t.Fatal("batched delete did not replicate")
+	}
+}
+
+func TestReplDurableExcludesBufferedWrites(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put("t", "a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st1, _ := s.ReplState()
+
+	// A write that is buffered but not fsynced must not move the watermark
+	// and must not be served.
+	if err := s.Put("t", "b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	st2, _ := s.ReplState()
+	if st2.WALDurable != st1.WALDurable {
+		t.Fatalf("durable advanced without fsync: %d -> %d", st1.WALDurable, st2.WALDurable)
+	}
+	if n, err := s.ReadLogAt(st2.Epoch, st2.WALDurable, make([]byte, 64)); err != nil || n != 0 {
+		t.Fatalf("read past durable: n=%d err=%v", n, err)
+	}
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	st3, _ := s.ReplState()
+	if st3.WALDurable <= st2.WALDurable {
+		t.Fatal("Sync did not advance the durable watermark")
+	}
+}
+
+func TestReplReadLogAtRejectsStaleCoordinates(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Put("t", "a", []byte("1"))
+	s.Sync()
+	st, _ := s.ReplState()
+
+	if _, err := s.ReadLogAt(st.Epoch+1, st.WALStart, make([]byte, 8)); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("wrong epoch: %v", err)
+	}
+	if _, err := s.ReadLogAt(st.Epoch, st.WALDurable+1, make([]byte, 8)); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("offset past durable: %v", err)
+	}
+	if _, err := s.ReadLogAt(st.Epoch, st.WALStart-1, make([]byte, 8)); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("offset inside header: %v", err)
+	}
+
+	// Compaction bumps the epoch; the old coordinates must turn invalid.
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReadLogAt(st.Epoch, st.WALStart, make([]byte, 8)); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("post-compaction epoch: %v", err)
+	}
+}
+
+func TestReplSnapshotResync(t *testing.T) {
+	s, err := OpenDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 50; i++ {
+		s.Put("tab", fmt.Sprintf("k%02d", i), bytes.Repeat([]byte{byte(i)}, 100))
+	}
+	s.Sync()
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// More records after the compaction land in the new WAL generation.
+	s.Put("tab", "after", []byte("compact"))
+	s.Sync()
+
+	st, err := s.ReplState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Epoch != 1 || st.SnapshotSize == 0 {
+		t.Fatalf("unexpected state after compaction: %+v", st)
+	}
+
+	// Full resync: snapshot region first, then the WAL tail.
+	var data []byte
+	var off int64
+	for {
+		buf := make([]byte, 113)
+		n, err := s.ReadSnapshotAt(st.Epoch, off, buf)
+		if n > 0 {
+			data = append(data, buf[:n]...)
+			off += int64(n)
+		}
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadSnapshotAt(%d): %v", off, err)
+		}
+	}
+	if int64(len(data)) != st.SnapshotSize {
+		t.Fatalf("snapshot region: read %d bytes, state says %d", len(data), st.SnapshotSize)
+	}
+	off = st.WALStart
+	for {
+		buf := make([]byte, 113)
+		n, err := s.ReadLogAt(st.Epoch, off, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		data = append(data, buf[:n]...)
+		off += int64(n)
+	}
+
+	follower := NewMemStore()
+	defer follower.Close()
+	replayShipped(t, follower, data)
+	sameContent(t, s, follower)
+
+	// Stale epoch on the snapshot path is rejected too.
+	if _, err := s.ReadSnapshotAt(st.Epoch-1, 0, make([]byte, 8)); !errors.Is(err, ErrLogTruncated) {
+		t.Fatalf("stale snapshot epoch: %v", err)
+	}
+	// Past the end of the region: clean EOF.
+	if _, err := s.ReadSnapshotAt(st.Epoch, st.SnapshotSize, make([]byte, 8)); !errors.Is(err, io.EOF) {
+		t.Fatalf("read past snapshot end: %v", err)
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	rec := encodeRecord(nil, opPut, "tab", "key", []byte("value"))
+
+	// Every strict prefix is short, not bad.
+	for cut := 0; cut < len(rec); cut++ {
+		if _, _, err := ParseRecord(rec[:cut], 0); !errors.Is(err, ErrShortRecord) {
+			t.Fatalf("prefix of %d bytes: got %v, want ErrShortRecord", cut, err)
+		}
+	}
+	r, next, err := ParseRecord(rec, 0)
+	if err != nil || next != len(rec) {
+		t.Fatalf("whole record: %v next=%d", err, next)
+	}
+	if r.Op != OpPut || r.Table != "tab" || r.Key != "key" || string(r.Value) != "value" {
+		t.Fatalf("decoded %+v", r)
+	}
+
+	// A complete frame with a flipped payload byte is corruption.
+	bad := append([]byte(nil), rec...)
+	bad[len(bad)-1] ^= 0xff
+	if _, _, err := ParseRecord(bad, 0); !errors.Is(err, ErrBadRecord) {
+		t.Fatalf("corrupt frame: got %v, want ErrBadRecord", err)
+	}
+}
+
+func TestReplSurvivesPrimaryRestart(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("t", "a", []byte("1"))
+	s.Sync()
+	st1, _ := s.ReplState()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: same epoch, durable covers at least what was durable before,
+	// and old offsets still resolve to the same bytes.
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st2, _ := s2.ReplState()
+	if st2.Epoch != st1.Epoch || st2.WALDurable < st1.WALDurable {
+		t.Fatalf("restart lost durable ground: %+v then %+v", st1, st2)
+	}
+	buf := make([]byte, st1.WALDurable-st1.WALStart)
+	if _, err := s2.ReadLogAt(st1.Epoch, st1.WALStart, buf); err != nil {
+		t.Fatal(err)
+	}
+	follower := NewMemStore()
+	defer follower.Close()
+	replayShipped(t, follower, buf)
+	sameContent(t, s2, follower)
+}

@@ -1,0 +1,465 @@
+package replica
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"seqlog/internal/httpclient"
+	"seqlog/internal/kvstore"
+	"seqlog/internal/metrics"
+	"seqlog/internal/storage"
+)
+
+// Options tune a follower. The zero value is usable.
+type Options struct {
+	// Client performs the HTTP fetches; nil uses a default retrying client.
+	Client *httpclient.Client
+	// PollInterval is the sleep between fetches when the follower is caught
+	// up and the primary's long poll returned empty (default 200ms).
+	PollInterval time.Duration
+	// WaitMS is the long-poll budget forwarded to the primary on caught-up
+	// fetches (default 1500).
+	WaitMS int
+	// ChunkBytes bounds one WAL or snapshot fetch (default 1 MiB).
+	ChunkBytes int
+	// OnApply, when set, observes every applied record group after its
+	// commit — the engine uses it to refresh in-memory state (the interned
+	// alphabet) that shipped meta records invalidate.
+	OnApply func([]kvstore.Record)
+	// Metrics, when set, receives seqlog_replica_lag_bytes,
+	// seqlog_replica_applied_groups_total and seqlog_replica_resyncs_total.
+	Metrics *metrics.Registry
+}
+
+// Stats is a point-in-time snapshot of a follower's replication position,
+// exposed through /health and seqquery info.
+type Stats struct {
+	Primary       string    `json:"primary"`
+	State         string    `json:"state"`           // connecting | resync | tailing | stopped
+	Phase         string    `json:"phase,omitempty"` // wal | snap
+	Epoch         uint64    `json:"epoch"`
+	Offset        int64     `json:"offset"`  // applied byte offset within the phase
+	Durable       int64     `json:"durable"` // primary's durable watermark, last seen
+	LagBytes      int64     `json:"lagBytes"`
+	AppliedGroups int64     `json:"appliedGroups"`
+	Resyncs       int64     `json:"resyncs"`
+	LastContact   time.Time `json:"lastContact,omitempty"`
+	LastError     string    `json:"lastError,omitempty"`
+}
+
+// Follower tails a primary's log and applies it to the local tables. One
+// goroutine owns the loop; Stop cancels it and waits.
+type Follower struct {
+	primary string
+	tb      *storage.Tables
+	opt     Options
+	client  *httpclient.Client
+
+	mu sync.Mutex
+	st Stats
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	appliedC *metrics.Counter
+	resyncC  *metrics.Counter
+}
+
+// errStale reports that the primary rejected our coordinates (it compacted
+// past them, or restarted into a different epoch): time for a state refetch
+// and possibly a full resync.
+var errStale = errors.New("replica: coordinates stale on primary")
+
+// Start launches a follower replicating primary into tb. It returns
+// immediately; replication state is observable through Stats.
+func Start(primary string, tb *storage.Tables, opt Options) *Follower {
+	if opt.Client == nil {
+		opt.Client = &httpclient.Client{Retries: 3}
+	}
+	if opt.PollInterval <= 0 {
+		opt.PollInterval = 200 * time.Millisecond
+	}
+	if opt.WaitMS <= 0 {
+		opt.WaitMS = 1500
+	}
+	if opt.ChunkBytes <= 0 {
+		opt.ChunkBytes = 1 << 20
+	}
+	f := &Follower{
+		primary: primary,
+		tb:      tb,
+		opt:     opt,
+		client:  opt.Client,
+		st:      Stats{Primary: primary, State: "connecting"},
+		done:    make(chan struct{}),
+	}
+	if reg := opt.Metrics; reg != nil {
+		reg.GaugeFunc("seqlog_replica_lag_bytes", func() int64 { return f.Stats().LagBytes })
+		f.appliedC = reg.Counter("seqlog_replica_applied_groups_total")
+		f.resyncC = reg.Counter("seqlog_replica_resyncs_total")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	f.cancel = cancel
+	go f.run(ctx)
+	return f
+}
+
+// Stop cancels the replication loop and waits for it to exit.
+func (f *Follower) Stop() {
+	f.cancel()
+	<-f.done
+}
+
+// Stats returns the current replication position.
+func (f *Follower) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+func (f *Follower) update(fn func(*Stats)) {
+	f.mu.Lock()
+	fn(&f.st)
+	f.mu.Unlock()
+}
+
+// run is the replication loop: sync until an error, back off, retry. Every
+// exit path of sync that isn't ctx cancellation is transient by construction
+// (network failure, primary restart, compaction race), so the loop never
+// gives up — a dark primary just means lag grows until it returns.
+func (f *Follower) run(ctx context.Context) {
+	defer close(f.done)
+	defer f.update(func(s *Stats) { s.State = "stopped" })
+	backoff := 100 * time.Millisecond
+	for ctx.Err() == nil {
+		err := f.sync(ctx)
+		if ctx.Err() != nil {
+			return
+		}
+		f.update(func(s *Stats) {
+			s.State = "connecting"
+			if err != nil {
+				s.LastError = err.Error()
+			}
+		})
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
+
+// sync performs one full replication attempt: fetch the primary's state,
+// reconcile the local cursor against it (resync if needed), then tail the
+// log until an error or cancellation.
+func (f *Follower) sync(ctx context.Context) error {
+	st, err := f.fetchState(ctx)
+	if err != nil {
+		return err
+	}
+	f.update(func(s *Stats) { s.LastContact = time.Now(); s.Epoch = st.Epoch })
+
+	raw, ok, err := f.tb.ReplicaCursor()
+	if err != nil {
+		return err
+	}
+	var cur Cursor
+	if ok {
+		if cur, err = DecodeCursor(raw); err != nil {
+			return err
+		}
+	}
+	switch {
+	case !ok && st.SnapshotSize == 0:
+		// Fresh follower, primary never compacted: the WAL is the whole
+		// history.
+		cur = Cursor{Phase: PhaseWAL, Epoch: st.Epoch, Off: st.WALStart}
+	case !ok, cur.Epoch != st.Epoch:
+		// Fresh follower against a compacted primary, or the primary's
+		// epoch moved past our cursor: full resync from the snapshot.
+		if cur, err = f.resync(ctx, st, 0, true); err != nil {
+			return err
+		}
+	case cur.Phase == PhaseSnap:
+		// A resync was interrupted; the cursor says how far it got.
+		if cur, err = f.resync(ctx, st, cur.Off, false); err != nil {
+			return err
+		}
+	}
+	return f.tail(ctx, cur)
+}
+
+// resync replaces the follower's contents with the primary's snapshot region,
+// chunk by chunk, each chunk committing atomically with a snap-phase cursor —
+// so an interrupted resync resumes where it stopped instead of starting over.
+// When drop is true the local tables are cleared first (atomically with the
+// zero cursor). Returns the WAL-phase cursor for the subsequent tail.
+func (f *Follower) resync(ctx context.Context, st State, from int64, drop bool) (Cursor, error) {
+	f.update(func(s *Stats) { s.State = "resync"; s.Phase = PhaseSnap; s.Offset = from })
+	if drop {
+		if f.resyncC != nil {
+			f.resyncC.Add(1)
+		}
+		f.update(func(s *Stats) { s.Resyncs++ })
+		if err := f.tb.DropAllForResync(Cursor{Phase: PhaseSnap, Epoch: st.Epoch}.Encode()); err != nil {
+			return Cursor{}, err
+		}
+	}
+	var pending []byte
+	off := from // absolute snapshot offset of pending[0]
+	for off+int64(len(pending)) < st.SnapshotSize {
+		chunk, err := f.fetchRange(ctx, "/replicate/snapshot", st.Epoch, off+int64(len(pending)))
+		if err != nil {
+			return Cursor{}, err
+		}
+		if len(chunk) == 0 {
+			return Cursor{}, fmt.Errorf("replica: snapshot stream ended at %d, state says %d", off+int64(len(pending)), st.SnapshotSize)
+		}
+		f.update(func(s *Stats) { s.LastContact = time.Now() })
+		pending = append(pending, chunk...)
+		recs, n, err := parseAll(pending)
+		if err != nil {
+			return Cursor{}, err
+		}
+		if n == 0 {
+			continue
+		}
+		if err := f.apply(ctx, recs, Cursor{Phase: PhaseSnap, Epoch: st.Epoch, Off: off + int64(n)}); err != nil {
+			return Cursor{}, err
+		}
+		pending = pending[n:]
+		off += int64(n)
+		f.update(func(s *Stats) { s.Offset = off; s.LagBytes = st.SnapshotSize - off })
+	}
+	if len(pending) > 0 {
+		return Cursor{}, fmt.Errorf("replica: snapshot region ends inside a record (%d trailing bytes)", len(pending))
+	}
+	// Region done: switch the cursor to the WAL phase durably before tailing.
+	cur := Cursor{Phase: PhaseWAL, Epoch: st.Epoch, Off: st.WALStart}
+	if err := f.apply(ctx, nil, cur); err != nil {
+		return Cursor{}, err
+	}
+	return cur, nil
+}
+
+// tail streams committed WAL bytes from the cursor, applying every complete
+// batch group (or bare record) atomically as it arrives. Incomplete group
+// tails stay buffered until the commit marker shows up in a later fetch.
+func (f *Follower) tail(ctx context.Context, cur Cursor) error {
+	f.update(func(s *Stats) { s.State = "tailing"; s.Phase = PhaseWAL; s.Offset = cur.Off })
+	var pending []byte
+	base := cur.Off // absolute WAL offset of pending[0]
+	for ctx.Err() == nil {
+		chunk, durable, err := f.fetchWAL(ctx, cur.Epoch, base+int64(len(pending)))
+		if err != nil {
+			return err
+		}
+		applied := base
+		f.update(func(s *Stats) {
+			s.LastContact = time.Now()
+			s.Durable = durable
+			s.LagBytes = durable - applied
+		})
+		pending = append(pending, chunk...)
+		for {
+			recs, n, err := nextGroup(pending)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			base += int64(n)
+			if err := f.apply(ctx, recs, Cursor{Phase: PhaseWAL, Epoch: cur.Epoch, Off: base}); err != nil {
+				return err
+			}
+			pending = pending[n:]
+			applied = base
+			f.update(func(s *Stats) { s.Offset = applied; s.LagBytes = durable - applied })
+		}
+		if len(chunk) == 0 {
+			// Caught up and the long poll expired: breathe before the next
+			// poll so a quiet primary isn't hammered.
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(f.opt.PollInterval):
+			}
+		}
+	}
+	return ctx.Err()
+}
+
+// apply stages any segment files the group references, then applies it with
+// its cursor as one crash-atomic batch.
+func (f *Follower) apply(ctx context.Context, recs []kvstore.Record, cur Cursor) error {
+	for _, r := range recs {
+		if r.Op == kvstore.OpPut && r.Table == storage.MetaTable && r.Key == storage.MetaSegmentKey {
+			if err := f.fetchSegment(ctx, string(r.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := f.tb.ApplyReplicated(recs, cur.Encode()); err != nil {
+		return err
+	}
+	if len(recs) > 0 {
+		if f.appliedC != nil {
+			f.appliedC.Add(1)
+		}
+		f.update(func(s *Stats) { s.AppliedGroups++ })
+		if f.opt.OnApply != nil {
+			f.opt.OnApply(recs)
+		}
+	}
+	return nil
+}
+
+// parseAll decodes every complete record in buf (snapshot streams carry no
+// batch markers), copying values out of the shared buffer. n is the bytes
+// consumed; a trailing partial record is left for the next chunk.
+func parseAll(buf []byte) (recs []kvstore.Record, n int, err error) {
+	for n < len(buf) {
+		rec, next, perr := kvstore.ParseRecord(buf, n)
+		if errors.Is(perr, kvstore.ErrShortRecord) {
+			break
+		}
+		if perr != nil {
+			return nil, 0, perr
+		}
+		rec.Value = append([]byte(nil), rec.Value...)
+		recs = append(recs, rec)
+		n = next
+	}
+	return recs, n, nil
+}
+
+// nextGroup extracts the next complete apply unit from buf: a bare record, or
+// a whole begin..commit batch group with the markers stripped. n = 0 means
+// the unit is still incomplete. Values are copied out of the shared buffer.
+func nextGroup(buf []byte) (recs []kvstore.Record, n int, err error) {
+	off := 0
+	inBatch := false
+	for off < len(buf) {
+		rec, next, perr := kvstore.ParseRecord(buf, off)
+		if errors.Is(perr, kvstore.ErrShortRecord) {
+			return nil, 0, nil
+		}
+		if perr != nil {
+			return nil, 0, perr
+		}
+		switch rec.Op {
+		case kvstore.OpBatchBegin:
+			if inBatch {
+				return nil, 0, fmt.Errorf("replica: nested batch group at offset %d", off)
+			}
+			inBatch, recs = true, recs[:0]
+		case kvstore.OpBatchCommit:
+			if !inBatch {
+				return nil, 0, fmt.Errorf("replica: commit marker outside a group at offset %d", off)
+			}
+			return recs, next, nil
+		default:
+			rec.Value = append([]byte(nil), rec.Value...)
+			recs = append(recs, rec)
+			if !inBatch {
+				return recs, next, nil
+			}
+		}
+		off = next
+	}
+	return nil, 0, nil
+}
+
+// --- HTTP fetches ---
+
+func (f *Follower) fetchState(ctx context.Context) (State, error) {
+	resp, err := f.client.GetCtx(ctx, f.primary+"/replicate/state")
+	if err != nil {
+		return State{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return State{}, fmt.Errorf("replica: state fetch: status %d", resp.StatusCode)
+	}
+	var st State
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return State{}, fmt.Errorf("replica: bad state body: %v", err)
+	}
+	return st, nil
+}
+
+// fetchWAL reads one committed range, long-polling when caught up. The
+// primary's durable watermark rides back on a header so lag is observable
+// even when no bytes flow.
+func (f *Follower) fetchWAL(ctx context.Context, epoch uint64, from int64) ([]byte, int64, error) {
+	body, hdr, err := f.get(ctx, "/replicate/wal", url.Values{
+		"epoch":   {strconv.FormatUint(epoch, 10)},
+		"from":    {strconv.FormatInt(from, 10)},
+		"max":     {strconv.Itoa(f.opt.ChunkBytes)},
+		"wait_ms": {strconv.Itoa(f.opt.WaitMS)},
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	durable, _ := strconv.ParseInt(hdr.Get("X-Seqlog-Durable"), 10, 64)
+	return body, durable, nil
+}
+
+func (f *Follower) fetchRange(ctx context.Context, path string, epoch uint64, from int64) ([]byte, error) {
+	body, _, err := f.get(ctx, path, url.Values{
+		"epoch": {strconv.FormatUint(epoch, 10)},
+		"from":  {strconv.FormatInt(from, 10)},
+		"max":   {strconv.Itoa(f.opt.ChunkBytes)},
+	})
+	return body, err
+}
+
+func (f *Follower) get(ctx context.Context, path string, q url.Values) ([]byte, http.Header, error) {
+	resp, err := f.client.GetCtx(ctx, f.primary+path+"?"+q.Encode())
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusConflict:
+		io.Copy(io.Discard, resp.Body)
+		return nil, nil, errStale
+	default:
+		return nil, nil, fmt.Errorf("replica: GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return body, resp.Header, nil
+}
+
+// fetchSegment stages one immutable segment file via the resumable streaming
+// GET, so a connection drop mid-transfer resumes instead of restarting a
+// multi-megabyte download. Already-staged segments are skipped (files are
+// immutable and content-addressed by name).
+func (f *Follower) fetchSegment(ctx context.Context, name string) error {
+	if f.tb.HasSegment(name) {
+		return nil
+	}
+	rc, err := f.client.GetStream(ctx, f.primary+"/replicate/segment?name="+url.QueryEscape(name), "from", 0)
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	return f.tb.StageSegment(name, rc)
+}

@@ -1,0 +1,114 @@
+// Package replica crosses the process boundary: it turns one writable
+// seqserver (the primary) into a horizontally scalable read fleet. The
+// replication unit is the primary's own write-ahead log — committed batch
+// groups addressed by (epoch, byte offset) and served only up to the fsync
+// watermark — so a follower that applies whole groups atomically observes
+// exactly the states the primary's queries observed, never a partial flush.
+//
+// Three actors live here:
+//
+//   - Source wraps the primary's store and tables for the /replicate
+//     endpoints: log state, committed WAL ranges, snapshot ranges for full
+//     resyncs, and immutable segment files.
+//   - Follower runs on a read replica: it tails the primary's log from a
+//     durable cursor (persisted inside the same crash-atomic batch as each
+//     applied group), falls back to a snapshot resync when the primary
+//     compacted past its cursor, and tracks applied offset, lag and contact
+//     freshness.
+//   - Router is the query coordinator (cmd/seqrouter): it probes the fleet's
+//     readiness, balances read traffic across caught-up followers with the
+//     primary as fallback, pins writes to the primary, and fails over when a
+//     follower goes stale or dark.
+package replica
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"seqlog/internal/kvstore"
+	"seqlog/internal/storage"
+)
+
+// Cursor is a follower's durable position in the primary's log. Phase "wal"
+// addresses the live log of the given epoch; phase "snap" means a snapshot
+// resync is in flight and Off counts applied snapshot-region bytes. The
+// cursor commits atomically with the data it acknowledges (see
+// storage.ApplyReplicated), so replay from the cursor is idempotent.
+type Cursor struct {
+	Phase string `json:"phase"` // "wal" | "snap"
+	Epoch uint64 `json:"epoch"`
+	Off   int64  `json:"off"`
+}
+
+// PhaseWAL and PhaseSnap are the two cursor phases.
+const (
+	PhaseWAL  = "wal"
+	PhaseSnap = "snap"
+)
+
+// Encode serialises the cursor for ApplyReplicated.
+func (c Cursor) Encode() []byte {
+	b, _ := json.Marshal(c)
+	return b
+}
+
+// DecodeCursor parses a persisted cursor.
+func DecodeCursor(raw []byte) (Cursor, error) {
+	var c Cursor
+	if err := json.Unmarshal(raw, &c); err != nil {
+		return Cursor{}, fmt.Errorf("replica: bad cursor %q: %v", raw, err)
+	}
+	if c.Phase != PhaseWAL && c.Phase != PhaseSnap {
+		return Cursor{}, fmt.Errorf("replica: bad cursor phase %q", c.Phase)
+	}
+	return c, nil
+}
+
+// State is the primary's replication coordinates plus the name of its
+// installed segment file (which a resyncing follower must stage before it can
+// apply the reference).
+type State struct {
+	kvstore.ReplState
+	Segment string `json:"segment,omitempty"`
+}
+
+// Source serves a primary's (or chained follower's) log to downstream
+// replicas. It is a thin, stateless view over the store and tables; the
+// HTTP layer in internal/server mounts it under /replicate.
+type Source struct {
+	Store  *kvstore.DiskStore
+	Tables *storage.Tables
+}
+
+// State reports the current replication coordinates.
+func (s *Source) State() (State, error) {
+	st, err := s.Store.ReplState()
+	if err != nil {
+		return State{}, err
+	}
+	return State{ReplState: st, Segment: s.Tables.CurrentSegmentName()}, nil
+}
+
+// ReadWAL copies committed log bytes from (epoch, off) into p; 0 bytes means
+// the follower is caught up. Stale coordinates return
+// kvstore.ErrLogTruncated.
+func (s *Source) ReadWAL(epoch uint64, off int64, p []byte) (int, error) {
+	return s.Store.ReadLogAt(epoch, off, p)
+}
+
+// ReadSnapshot copies snapshot-region bytes from off into p; io.EOF marks the
+// end of the region.
+func (s *Source) ReadSnapshot(epoch uint64, off int64, p []byte) (int, error) {
+	return s.Store.ReadSnapshotAt(epoch, off, p)
+}
+
+// SegmentSize returns the byte size of a named segment file.
+func (s *Source) SegmentSize(name string) (int64, error) {
+	return s.Tables.SegmentFileSize(name)
+}
+
+// ReadSegment copies bytes of a named segment file, with File.ReadAt
+// semantics.
+func (s *Source) ReadSegment(name string, off int64, p []byte) (int, error) {
+	return s.Tables.ReadSegmentAt(name, off, p)
+}

@@ -1,0 +1,365 @@
+package replica
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"seqlog/internal/metrics"
+)
+
+// RouterOptions configure the query coordinator.
+type RouterOptions struct {
+	// Primary is the writable seqserver's base URL (required).
+	Primary string
+	// Replicas are the read replicas' base URLs.
+	Replicas []string
+	// ProbeInterval is how often every backend's readiness is probed
+	// (default 2s).
+	ProbeInterval time.Duration
+	// MaxLagBytes drains replicas reporting more replication lag than this,
+	// on top of their own not-ready signal (default 64 MiB; negative
+	// disables the router-side check).
+	MaxLagBytes int64
+	// HTTP performs probes and proxied requests; nil uses a plain client
+	// (proxied requests must not carry a client-side timeout — the inbound
+	// request's context already bounds them).
+	HTTP *http.Client
+	// Metrics, when set, receives seqrouter_backend_requests_total and the
+	// probe gauges.
+	Metrics *metrics.Registry
+}
+
+// backend is one probed endpoint.
+type backend struct {
+	url     string
+	primary bool
+
+	mu       sync.Mutex
+	ready    bool
+	lag      int64
+	lastErr  string
+	lastSeen time.Time
+}
+
+// BackendStatus is one row of GET /router/status.
+type BackendStatus struct {
+	URL      string    `json:"url"`
+	Role     string    `json:"role"` // primary | replica
+	Ready    bool      `json:"ready"`
+	LagBytes int64     `json:"lagBytes"`
+	LastSeen time.Time `json:"lastSeen,omitempty"`
+	LastErr  string    `json:"lastErr,omitempty"`
+}
+
+// Router balances query traffic across a primary and its read replicas:
+// reads go to caught-up replicas round-robin (primary as fallback), writes
+// pin to the primary, and a replica that fails mid-request is retried on the
+// next candidate — safe because reads are idempotent. It is an http.Handler;
+// cmd/seqrouter serves it.
+type Router struct {
+	primary  *backend
+	replicas []*backend
+	opt      RouterOptions
+	client   *http.Client
+	rr       atomic.Uint64
+
+	cancel chan struct{}
+	done   chan struct{}
+}
+
+// NewRouter validates the endpoint list and starts the probe loop.
+func NewRouter(opt RouterOptions) (*Router, error) {
+	if opt.Primary == "" {
+		return nil, fmt.Errorf("replica: router needs a primary URL")
+	}
+	for _, u := range append([]string{opt.Primary}, opt.Replicas...) {
+		if _, err := url.Parse(u); err != nil || !strings.Contains(u, "://") {
+			return nil, fmt.Errorf("replica: bad backend URL %q", u)
+		}
+	}
+	if opt.ProbeInterval <= 0 {
+		opt.ProbeInterval = 2 * time.Second
+	}
+	if opt.MaxLagBytes == 0 {
+		opt.MaxLagBytes = 64 << 20
+	}
+	r := &Router{
+		primary: &backend{url: strings.TrimRight(opt.Primary, "/"), primary: true},
+		opt:     opt,
+		client:  opt.HTTP,
+		cancel:  make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	if r.client == nil {
+		r.client = &http.Client{}
+	}
+	for _, u := range opt.Replicas {
+		r.replicas = append(r.replicas, &backend{url: strings.TrimRight(u, "/")})
+	}
+	r.probeAll() // synchronous first probe so the router starts informed
+	go r.probeLoop()
+	return r, nil
+}
+
+// Close stops the probe loop.
+func (r *Router) Close() {
+	close(r.cancel)
+	<-r.done
+}
+
+func (r *Router) probeLoop() {
+	defer close(r.done)
+	t := time.NewTicker(r.opt.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-r.cancel:
+			return
+		case <-t.C:
+			r.probeAll()
+		}
+	}
+}
+
+// probeAll refreshes every backend's readiness from its /health/ready
+// endpoint: 200 means ready, anything else (including unreachable) drains
+// it. Replication lag rides back in the JSON body.
+func (r *Router) probeAll() {
+	for _, b := range append([]*backend{r.primary}, r.replicas...) {
+		ready, lag, err := r.probe(b.url)
+		b.mu.Lock()
+		b.ready, b.lag = ready, lag
+		if err != nil {
+			b.lastErr = err.Error()
+		} else {
+			b.lastErr = ""
+			b.lastSeen = time.Now()
+		}
+		b.mu.Unlock()
+	}
+}
+
+func (r *Router) probe(base string) (ready bool, lag int64, err error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/health/ready", nil)
+	if err != nil {
+		return false, 0, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.opt.ProbeInterval)
+	defer cancel()
+	resp, err := r.client.Do(req.WithContext(ctx))
+	if err != nil {
+		return false, 0, err
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Replication *Stats `json:"replication"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&body)
+	if body.Replication != nil {
+		lag = body.Replication.LagBytes
+	}
+	ready = resp.StatusCode == http.StatusOK
+	if ready && r.opt.MaxLagBytes > 0 && lag > r.opt.MaxLagBytes {
+		ready = false
+	}
+	return ready, lag, nil
+}
+
+// Status reports every backend for GET /router/status.
+func (r *Router) Status() []BackendStatus {
+	out := make([]BackendStatus, 0, 1+len(r.replicas))
+	for _, b := range append([]*backend{r.primary}, r.replicas...) {
+		b.mu.Lock()
+		role := "replica"
+		if b.primary {
+			role = "primary"
+		}
+		out = append(out, BackendStatus{
+			URL: b.url, Role: role, Ready: b.ready, LagBytes: b.lag,
+			LastSeen: b.lastSeen, LastErr: b.lastErr,
+		})
+		b.mu.Unlock()
+	}
+	return out
+}
+
+// writePaths are the endpoints that must reach the primary. Everything else
+// is a read and may be served by any caught-up replica.
+var writePaths = map[string]bool{
+	"/ingest":         true,
+	"/ingest/stream":  true,
+	"/prune":          true,
+	"/periods/rotate": true,
+}
+
+func (r *Router) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	switch req.URL.Path {
+	case "/router/status":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"backends": r.Status()})
+		return
+	case "/router/health":
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+		return
+	}
+	if writePaths[req.URL.Path] {
+		// Writes pin to the primary and never retry (ingestion is not
+		// idempotent); the body streams straight through.
+		r.forward(w, req, r.primary, req.Body)
+		return
+	}
+	r.serveRead(w, req)
+}
+
+// serveRead tries each eligible replica once (round-robin rotation), then
+// the primary. The body is buffered so a failed attempt can be replayed
+// against the next candidate; query bodies are small JSON documents.
+func (r *Router) serveRead(w http.ResponseWriter, req *http.Request) {
+	var body []byte
+	if req.Body != nil {
+		var err error
+		if body, err = io.ReadAll(io.LimitReader(req.Body, 16<<20)); err != nil {
+			http.Error(w, `{"error":"bad request body"}`, http.StatusBadRequest)
+			return
+		}
+	}
+	candidates := r.readOrder()
+	var lastErr error
+	for _, b := range candidates {
+		sent, err := r.tryForward(w, req, b, body)
+		if sent {
+			return
+		}
+		lastErr = err
+	}
+	msg := "no backend available"
+	if lastErr != nil {
+		msg = lastErr.Error()
+	}
+	writeRouterErr(w, http.StatusServiceUnavailable, msg)
+}
+
+// readOrder returns the candidates for one read: ready replicas rotated
+// round-robin, then the primary as the fallback of last resort (it serves
+// reads correctly even when its readiness probe is stale).
+func (r *Router) readOrder() []*backend {
+	var ready []*backend
+	for _, b := range r.replicas {
+		b.mu.Lock()
+		ok := b.ready
+		b.mu.Unlock()
+		if ok {
+			ready = append(ready, b)
+		}
+	}
+	if len(ready) > 1 {
+		rot := int(r.rr.Add(1)) % len(ready)
+		ready = append(ready[rot:], ready[:rot]...)
+	}
+	return append(ready, r.primary)
+}
+
+// tryForward attempts one backend. sent=true means a response (success or a
+// deterministic error) reached the client; sent=false means the backend was
+// unreachable or overloaded and the caller should fail over.
+func (r *Router) tryForward(w http.ResponseWriter, req *http.Request, b *backend, body []byte) (sent bool, err error) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.url+req.URL.RequestURI(), bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	copyHeaders(out.Header, req.Header)
+	resp, err := r.client.Do(out)
+	if err != nil {
+		r.outcome(b, "error")
+		r.markDown(b, err)
+		return false, err
+	}
+	defer resp.Body.Close()
+	// 502/503/504 from a replica are overload/drain conditions another
+	// backend may not share; deterministic statuses (200, 4xx, 500) are the
+	// real answer and pass through. The primary is the last candidate, so
+	// its overload answer reaches the client.
+	if !b.primary && retryableStatus(resp.StatusCode) {
+		r.outcome(b, "overloaded")
+		io.Copy(io.Discard, resp.Body)
+		return false, fmt.Errorf("%s answered %d", b.url, resp.StatusCode)
+	}
+	r.outcome(b, "ok")
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Seqrouter-Backend", b.url)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true, nil
+}
+
+// forward proxies one request with no retry (the write path).
+func (r *Router) forward(w http.ResponseWriter, req *http.Request, b *backend, body io.Reader) {
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, b.url+req.URL.RequestURI(), body)
+	if err != nil {
+		writeRouterErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	copyHeaders(out.Header, req.Header)
+	resp, err := r.client.Do(out)
+	if err != nil {
+		r.outcome(b, "error")
+		r.markDown(b, err)
+		writeRouterErr(w, http.StatusBadGateway, err.Error())
+		return
+	}
+	defer resp.Body.Close()
+	r.outcome(b, "ok")
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Seqrouter-Backend", b.url)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// markDown drains a backend immediately on a transport failure instead of
+// waiting for the next probe tick.
+func (r *Router) markDown(b *backend, err error) {
+	b.mu.Lock()
+	b.ready = false
+	b.lastErr = err.Error()
+	b.mu.Unlock()
+}
+
+func (r *Router) outcome(b *backend, what string) {
+	if r.opt.Metrics == nil {
+		return
+	}
+	r.opt.Metrics.Counter("seqrouter_backend_requests_total",
+		metrics.Label{Key: "backend", Value: b.url},
+		metrics.Label{Key: "outcome", Value: what}).Add(1)
+}
+
+func writeRouterErr(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func retryableStatus(code int) bool {
+	return code == http.StatusBadGateway || code == http.StatusServiceUnavailable || code == http.StatusGatewayTimeout
+}
+
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		if k == "Connection" || k == "X-Seqrouter-Backend" {
+			continue
+		}
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}

@@ -53,6 +53,14 @@ type Options struct {
 	// still recorded into the engine registry (unless the engine itself has
 	// metrics disabled).
 	DisableMetricsEndpoint bool
+	// ReadyMaxLagBytes is the replication lag beyond which a follower's
+	// GET /health/ready answers 503 (drain me). 0 uses the default
+	// (32 MiB); negative disables the lag check.
+	ReadyMaxLagBytes int64
+	// ReadyMaxStale, when positive, additionally marks a follower
+	// not-ready when it has not heard from its primary for this long —
+	// lag can't be trusted when the primary is unreachable.
+	ReadyMaxStale time.Duration
 }
 
 // Handler is the HTTP API. Create it with New and mount it as an
@@ -87,6 +95,9 @@ func NewWith(engine *seqlog.Engine, opts Options) *Handler {
 	h.route("POST /explore", "explore", h.explore)
 	h.route("POST /prune", "prune", h.prune)
 	h.route("POST /periods/rotate", "rotate", h.rotate)
+	h.route("GET /health/live", "health_live", h.healthLive)
+	h.route("GET /health/ready", "health_ready", h.healthReady)
+	h.replicateRoutes()
 	h.inner = h.mux
 	if h.reg != nil && !opts.DisableMetricsEndpoint {
 		h.opsMux().HandleFunc("GET /metrics", h.metricsText)
@@ -144,6 +155,17 @@ func (w *statusWriter) WriteHeader(code int) {
 		w.status = code
 	}
 	w.ResponseWriter.WriteHeader(code)
+}
+
+// Write records the implicit 200 of a body written without WriteHeader, so
+// the post-handler timeout check and the status-code metrics see that a
+// response already went out (raw-byte endpoints like /replicate/wal answer
+// this way).
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
 }
 
 // metricsText is GET /metrics: the registry in Prometheus text exposition.
@@ -301,6 +323,10 @@ func (h *Handler) health(w http.ResponseWriter, _ *http.Request) {
 	if st := h.engine.IngestInfo(); st != nil {
 		body["ingest"] = st
 	}
+	body["role"] = h.engine.Role()
+	if st := h.engine.Replication(); st != nil {
+		body["replication"] = st
+	}
 	body["status"] = status
 	writeJSON(w, http.StatusOK, body)
 }
@@ -366,7 +392,7 @@ func (h *Handler) ingest(w http.ResponseWriter, r *http.Request) {
 			writeQueryErr(w, r.Context().Err())
 			return
 		}
-		writeErr(w, http.StatusInternalServerError, err)
+		writeMutationErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
@@ -501,7 +527,7 @@ func (h *Handler) prune(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := h.engine.PruneTraces(req.Traces); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeMutationErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"pruned": len(req.Traces)})
@@ -523,7 +549,7 @@ func (h *Handler) rotate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := h.engine.RotatePeriod(req.Period); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeMutationErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"period": req.Period})

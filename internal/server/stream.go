@@ -45,6 +45,10 @@ type StreamResponse struct {
 func (h *Handler) ingestStream(w http.ResponseWriter, r *http.Request) {
 	app, err := h.engine.OpenStream(seqlog.StreamOptions{})
 	if err != nil {
+		if errors.Is(err, seqlog.ErrReadOnly) {
+			writeErr(w, http.StatusForbidden, err)
+			return
+		}
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}

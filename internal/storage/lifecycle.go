@@ -346,4 +346,3 @@ func (t *Tables) encodeTombstones(period string) []byte {
 	enc, _ := json.Marshal(list) // a []string cannot fail to marshal
 	return enc
 }
-

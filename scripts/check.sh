@@ -65,3 +65,14 @@ go test -race -run 'CancellationBoundedUnderSlowDisk' ./internal/ingest/
 go test -race -run 'CancelHammer' ./internal/shard/
 go test -race -run 'TimedOutDetectAborted|DisconnectedDetectStopsWorkers' ./internal/server/
 sh scripts/ctxguard.sh
+
+# Replica tier: the replication subsystem end-to-end under the race
+# detector — follower-side atomic apply + crash idempotence (FaultFS sweep),
+# the catch-up differential oracle (a caught-up follower answers every query
+# family byte-identically to its primary), segment shipping + epoch-bump
+# resync, the disconnect/reconnect chaos harness with the goroutine-leak
+# gate, router read balancing / write pinning / mid-request failover, and
+# the read-only guard (engine ErrReadOnly, HTTP 403, /health/ready 503).
+go test -race -run 'Replica|Resync' ./internal/storage/
+go test -race ./internal/replica/
+go test -race -run 'GetStream' ./internal/httpclient/

@@ -46,6 +46,7 @@ import (
 	"seqlog/internal/model"
 	"seqlog/internal/pairs"
 	"seqlog/internal/query"
+	"seqlog/internal/replica"
 	"seqlog/internal/shard"
 	"seqlog/internal/storage"
 )
@@ -128,6 +129,13 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives slow-query lines; nil means os.Stderr.
 	SlowQueryLog io.Writer
+	// ReadOnly rejects every local mutation (Ingest, PruneTraces,
+	// RotatePeriod, DropPeriod, Freeze, OpenStream) with ErrReadOnly and
+	// disables the segment-freeze compaction trigger. It is how a read
+	// replica opens its store: the replication applier (StartFollower) is
+	// then the store's only writer, so replicated and local writes can
+	// never interleave. Queries are unaffected.
+	ReadOnly bool
 	// DisableMetrics turns the metrics registry off entirely: Metrics
 	// returns nil and no layer records telemetry. It exists for the
 	// metrics-overhead benchmark's uninstrumented baseline; production
@@ -263,6 +271,10 @@ type Engine struct {
 	// nil when Config.DisableMetrics is set; qdur/qerr hold the per-family
 	// query histograms and error counters so the hot path never takes the
 	// registry lock.
+	// follower is non-nil once StartFollower wired this engine to a
+	// primary; Close stops it before the stores shut down.
+	follower *replica.Follower
+
 	metrics    *metrics.Registry
 	qdur       map[string]*metrics.Histogram
 	qerr       map[string]*metrics.Counter
@@ -432,7 +444,10 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 			d.Close()
 			return nil, nil, nil, err
 		}
-		if cfg.Segments {
+		if cfg.Segments && !cfg.ReadOnly {
+			// A read-only replica must not freeze locally — its segment
+			// files are shipped from the primary, and a divergent local
+			// freeze would fork the two stores' contents.
 			d.SetBeforeCompact(tab.FreezePostings)
 		}
 		return []kvstore.Store{d}, []*kvstore.DiskStore{d}, tab, nil
@@ -477,7 +492,7 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 		closeAll()
 		return nil, nil, nil, err
 	}
-	if cfg.Segments {
+	if cfg.Segments && !cfg.ReadOnly {
 		for i, d := range disks {
 			d.SetBeforeCompact(st.Shard(i).FreezePostings)
 		}
@@ -585,12 +600,19 @@ func (e *Engine) track(family string, arity int) func(*error) {
 		}
 		if e.slowLog != nil && d >= e.slowThresh {
 			rows := e.tables.ReadRows() - rows0
+			// On a replica the replication position contextualises the
+			// line: a slow query during a resync or far behind the primary
+			// reads differently from one on a caught-up follower.
+			repl := ""
+			if st := e.Replication(); st != nil {
+				repl = fmt.Sprintf(" role=follower repl_state=%s repl_lag=%d", st.State, st.LagBytes)
+			}
 			if *errp != nil {
-				e.slowLog.Printf("slow-query family=%s arity=%d rows=%d duration=%s err=%q",
-					family, arity, rows, d, (*errp).Error())
+				e.slowLog.Printf("slow-query family=%s arity=%d rows=%d duration=%s%s err=%q",
+					family, arity, rows, d, repl, (*errp).Error())
 			} else {
-				e.slowLog.Printf("slow-query family=%s arity=%d rows=%d duration=%s",
-					family, arity, rows, d)
+				e.slowLog.Printf("slow-query family=%s arity=%d rows=%d duration=%s%s",
+					family, arity, rows, d, repl)
 			}
 		}
 	}
@@ -690,6 +712,9 @@ func (e *Engine) Ingest(events []Event) (UpdateStats, error) {
 // context is only checked up front — a started batch update always commits
 // or fails whole, never half.
 func (e *Engine) IngestCtx(ctx context.Context, events []Event) (UpdateStats, error) {
+	if err := e.readOnlyErr(); err != nil {
+		return UpdateStats{}, err
+	}
 	e.pipeMu.Lock()
 	p := e.pipeline
 	e.pipeMu.Unlock()
@@ -1069,6 +1094,9 @@ func (e *Engine) ExploreInsertCtx(ctx context.Context, patternNames []string, po
 // PruneTraces forgets the mutable state of completed traces (their Seq rows
 // and LastChecked watermarks); their history stays queryable in the index.
 func (e *Engine) PruneTraces(ids []int64) error {
+	if err := e.readOnlyErr(); err != nil {
+		return err
+	}
 	conv := make([]model.TraceID, len(ids))
 	for i, id := range ids {
 		conv[i] = model.TraceID(id)
@@ -1097,6 +1125,9 @@ func (e *Engine) PruneTraces(ids []int64) error {
 // (§3.1.3 suggests e.g. one per month); queries keep spanning all
 // partitions.
 func (e *Engine) RotatePeriod(period string) error {
+	if err := e.readOnlyErr(); err != nil {
+		return err
+	}
 	e.pipeMu.Lock()
 	streaming := e.pipeline != nil
 	e.pipeMu.Unlock()
@@ -1122,6 +1153,9 @@ func (e *Engine) RotatePeriod(period string) error {
 
 // DropPeriod retires a whole index partition.
 func (e *Engine) DropPeriod(period string) error {
+	if err := e.readOnlyErr(); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.tables.DropPeriod(period)
@@ -1221,6 +1255,11 @@ type IndexInfo struct {
 	// is open, the final snapshot after it drained, nil when streaming was
 	// never used.
 	Ingest *IngestStats `json:"ingest,omitempty"`
+	// Role is this engine's replication role: "follower" while tailing a
+	// primary, "primary" otherwise.
+	Role string `json:"role"`
+	// Replication is the follower's position (nil on a primary).
+	Replication *replica.Stats `json:"replication,omitempty"`
 }
 
 // Info reports the current index shape.
@@ -1232,8 +1271,10 @@ func (e *Engine) Info() (IndexInfo, error) {
 		Partitions: make(map[string]int),
 		Cache:      e.CacheStats(),
 		Segments:   SegmentStats(e.tables.SegmentStats()),
-		Recovery:   e.Recovery(),
-		Ingest:     e.ingestStats(),
+		Recovery:    e.Recovery(),
+		Ingest:      e.ingestStats(),
+		Role:        e.Role(),
+		Replication: e.Replication(),
 	}
 	info.Degraded = info.Recovery.Degraded()
 	ctx := context.Background()
@@ -1273,7 +1314,10 @@ func (e *Engine) NumTraces() (int, error) { return e.tables.NumTraces(context.Ba
 // Config.Segments, postings are frozen into segment files first, so the
 // snapshot shrinks to metadata and sequences.
 func (e *Engine) Compact() error {
-	if e.cfg.Segments {
+	if e.cfg.Segments && !e.cfg.ReadOnly {
+		// A read replica never freezes locally: its segment files must stay
+		// byte-identical to the primary's, and the store-level compaction
+		// below is local housekeeping that does not change contents.
 		if err := e.Freeze(); err != nil {
 			return err
 		}
@@ -1293,6 +1337,9 @@ func (e *Engine) Compact() error {
 // loses nothing. Returns storage.ErrSegmentsDisabled on engines without a
 // durable directory.
 func (e *Engine) Freeze() error {
+	if err := e.readOnlyErr(); err != nil {
+		return err
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.tables.FreezePostings()
@@ -1307,6 +1354,11 @@ func (e *Engine) Sync() error { return e.syncDisks() }
 // final group commit first; durable engines then flush their write-ahead
 // log. Every shard is closed even if one fails; the first error wins.
 func (e *Engine) Close() error {
+	// Stop pulling from the primary first: the applier must not race the
+	// store shutdown below.
+	if e.follower != nil {
+		e.follower.Stop()
+	}
 	perr := e.closePipeline()
 	var serr error
 	for _, s := range e.stores {

@@ -60,6 +60,9 @@ type Appender struct {
 // durable on disk-backed engines: each flush commits as one atomic WAL
 // group with a single fsync.
 func (e *Engine) OpenStream(opts StreamOptions) (*Appender, error) {
+	if err := e.readOnlyErr(); err != nil {
+		return nil, err
+	}
 	if e.cfg.PartialOrder {
 		return nil, errors.New("seqlog: streaming ingestion requires a total order (the partial-order extractor is batch-only)")
 	}
