@@ -41,6 +41,8 @@ func main() {
 		ingestWorkers = flag.Int("ingest-workers", 0, "streaming shard workers (0 = all cores; implies -stream semantics only with -stream)")
 		flushEvents   = flag.Int("flush-events", 0, "streaming flush threshold in events (0 = default 1024)")
 		flushInterval = flag.Duration("flush-interval", 0, "streaming flush age bound (0 = default 50ms)")
+		flushInflight = flag.Int("flush-inflight", 0, "streaming flush cycles allowed past extraction at once (1 = serial commits, 0 = default 2: extraction overlaps fsync)")
+		flushQueue    = flag.Int("flush-queue", 0, "streaming admission queue in events (0 = default 4x flush-events)")
 	)
 	flag.Parse()
 	if *dir == "" || flag.NArg() == 0 {
@@ -54,6 +56,7 @@ func main() {
 		PartialOrder: *partial,
 		Shards:       *shards, ShardDir: *shardDir, Segments: *segments,
 		IngestWorkers: *ingestWorkers, FlushEvents: *flushEvents, FlushInterval: *flushInterval,
+		IngestInflight: *flushInflight, IngestQueue: *flushQueue,
 	})
 	if err != nil {
 		fatal(err)

@@ -53,6 +53,8 @@ func main() {
 		ingestWorkers = flag.Int("ingest-workers", 0, "streaming-ingest shard workers (0 = all cores)")
 		flushEvents   = flag.Int("flush-events", 0, "streaming-ingest flush threshold in events (0 = default 1024)")
 		flushInterval = flag.Duration("flush-interval", 0, "streaming-ingest flush age bound (0 = default 50ms)")
+		flushInflight = flag.Int("flush-inflight", 0, "streaming flush cycles allowed past extraction at once (1 = serial commits, 0 = default 2: extraction overlaps fsync)")
+		flushQueue    = flag.Int("flush-queue", 0, "streaming-ingest admission queue in events (0 = default 4x flush-events)")
 
 		reqTimeout   = flag.Duration("request-timeout", 30*time.Second, "per-request handling timeout (0 disables)")
 		maxBodyMB    = flag.Int("max-body-mb", 64, "maximum request body size in MiB (0 disables the cap)")
@@ -76,13 +78,15 @@ func main() {
 		Dir: *dir, Policy: *policy, Method: *method,
 		PartialOrder: *partial, Planner: *planner,
 		CacheBytes: cacheBytes(*cacheMB), QueryWorkers: *workers,
-		Salvage:       *salvage,
-		Shards:        *shards,
-		ShardDir:      *shardDir,
-		Segments:      *segments,
-		IngestWorkers: *ingestWorkers,
-		FlushEvents:   *flushEvents,
-		FlushInterval: *flushInterval,
+		Salvage:        *salvage,
+		Shards:         *shards,
+		ShardDir:       *shardDir,
+		Segments:       *segments,
+		IngestWorkers:  *ingestWorkers,
+		FlushEvents:    *flushEvents,
+		FlushInterval:  *flushInterval,
+		IngestInflight: *flushInflight,
+		IngestQueue:    *flushQueue,
 	}
 	if *slowQueryMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond

@@ -3,8 +3,10 @@ package ingest
 import (
 	"sort"
 
+	"seqlog/internal/kvstore"
 	"seqlog/internal/model"
 	"seqlog/internal/pairs"
+	"seqlog/internal/parallel"
 	"seqlog/internal/storage"
 )
 
@@ -12,6 +14,7 @@ import (
 // normalized new events per trace, new index entries and watermarks per
 // pair, and count increments per leading/trailing activity. Shapes mirror
 // the Builder's accumulators so the committed rows are encoded identically.
+// The same shape doubles as the per-STORE partition the reducer produces.
 type shardDelta struct {
 	traces  []model.TraceID // first-appearance order, for determinism
 	seqs    map[model.TraceID][]model.TraceEvent
@@ -29,6 +32,11 @@ func newShardDelta() *shardDelta {
 		counts:  make(map[model.ActivityID]map[model.ActivityID]*storage.CountEntry),
 		rcounts: make(map[model.ActivityID]map[model.ActivityID]*storage.CountEntry),
 	}
+}
+
+func (d *shardDelta) empty() bool {
+	return len(d.seqs) == 0 && len(d.entries) == 0 &&
+		len(d.counts) == 0 && len(d.rcounts) == 0
 }
 
 func (d *shardDelta) bumpCount(m map[model.ActivityID]map[model.ActivityID]*storage.CountEntry,
@@ -70,8 +78,8 @@ func (d *shardDelta) add(id model.TraceID, evs []model.TraceEvent, occs []pairs.
 
 // extractShard runs one shard's part of a flush cycle: group the inbox by
 // trace (arrival order preserved — the inbox is per-shard FIFO), feed each
-// trace's resident session, and collect the delta. Only the flusher calls
-// this, so sessions need no locking.
+// trace's resident session, and collect the delta. Only the coordinator's
+// extraction pass calls this (under cycleMu), so sessions need no locking.
 func (p *Pipeline) extractShard(sh *ingestShard, inbox []model.Event) (*shardDelta, error) {
 	byTrace := make(map[model.TraceID][]model.Event)
 	var order []model.TraceID
@@ -160,39 +168,220 @@ func (d *shardDelta) bumpCountBy(m map[model.ActivityID]map[model.ActivityID]*st
 	e.Completions += by.Completions
 }
 
-// commit writes one merged delta through the tables as a single atomic
-// group: BeginBatch … CommitBatch on stores with a WAL (one fsync for the
-// whole flush — the group commit), a plain write sequence followed by the
-// optional Sync hook otherwise. Iteration orders are sorted so committed
-// rows are reproducible run to run.
-func (p *Pipeline) commit(d *shardDelta) (err error) {
-	if len(d.seqs) == 0 {
-		return nil
+// partitionDeltas is the cross-shard reducer: it re-keys the per-AFFINITY
+// deltas into per-STORE partitions, using the backend's own routing so every
+// row of partition i is guaranteed to land inside store i's open WAL group
+// when written through the ordinary Backend methods. With a single store it
+// degenerates to the old full merge. The outer loop runs in affinity-delta
+// order, so per-pair appends stay deterministic (and the commit re-sorts
+// entries within the cycle anyway).
+func (p *Pipeline) partitionDeltas(deltas []*shardDelta) []*shardDelta {
+	if len(p.stores) == 1 {
+		return []*shardDelta{mergeDeltas(deltas)}
 	}
+	parts := make([]*shardDelta, len(p.stores))
+	part := func(i int) *shardDelta {
+		if parts[i] == nil {
+			parts[i] = newShardDelta()
+		}
+		return parts[i]
+	}
+	for _, d := range deltas {
+		if d == nil {
+			continue
+		}
+		for _, id := range d.traces {
+			t := part(p.route.ShardForTrace(id))
+			if _, seen := t.seqs[id]; !seen {
+				t.traces = append(t.traces, id)
+			}
+			t.seqs[id] = append(t.seqs[id], d.seqs[id]...)
+		}
+		for k, es := range d.entries {
+			t := part(p.route.ShardForPair(k))
+			t.entries[k] = append(t.entries[k], es...)
+		}
+		for k, lw := range d.last {
+			t := part(p.route.ShardForPair(k))
+			olw := t.last[k]
+			if olw == nil {
+				olw = make(map[model.TraceID]model.Timestamp, len(lw))
+				t.last[k] = olw
+			}
+			for id, ts := range lw {
+				if ts > olw[id] {
+					olw[id] = ts
+				}
+			}
+		}
+		// Count partials route where their underlying pair routes: a counts
+		// row keyed (first=a, other=b) belongs to pair (a,b); an rcounts row
+		// keyed (second=a, other=b) belongs to pair (b,a). This mirrors the
+		// sharded backend's own MergeCounts / MergeReverseCounts splitting,
+		// so the partition is exactly the rows store i would keep.
+		for a, row := range d.counts {
+			for b, e := range row {
+				t := part(p.route.ShardForPair(model.NewPairKey(a, b)))
+				t.bumpCountBy(t.counts, a, b, e)
+			}
+		}
+		for a, row := range d.rcounts {
+			for b, e := range row {
+				t := part(p.route.ShardForPair(model.NewPairKey(b, a)))
+				t.bumpCountBy(t.rcounts, a, b, e)
+			}
+		}
+	}
+	return parts
+}
+
+// commitJob writes one cycle's per-store partitions through the tables, one
+// crash-atomic WAL group per touched store, written in parallel and sealed
+// without waiting for fsync (the durability handles travel on the job to the
+// acker). Atomicity is per store, exactly as it was for the fan-out group
+// writer: a crash between two stores' seals leaves individually-consistent
+// stores that may disagree about the flush, and watermark dedup makes the
+// replay idempotent. One cross-store ordering is enforced: when the
+// BeforeCommit hook reports alphabet growth, store 0's group (which carries
+// the meta row) is sealed and made durable before any other store's group
+// seals, so recovery can never see data rows whose activities the durable
+// alphabet doesn't know.
+func (p *Pipeline) commitJob(job *flushJob) error {
 	if p.opts.CommitLock != nil {
 		p.opts.CommitLock.Lock()
 		defer p.opts.CommitLock.Unlock()
 	}
-	if p.batch != nil {
-		if err := p.batch.BeginBatch(); err != nil {
+
+	open := make([]bool, len(p.stores))
+	abortOpen := func(cause error) {
+		for i, b := range open {
+			if b {
+				p.stores[i].batch.AbortBatch(cause)
+				open[i] = false
+			}
+		}
+	}
+	hasBatch := false
+	for i := range p.stores {
+		needs := job.parts[i] != nil && !job.parts[i].empty()
+		if i == 0 && p.opts.BeforeCommit != nil {
+			// The hook may write the meta row even when store 0 got no data
+			// this cycle; its group must be open to keep that write atomic.
+			needs = true
+		}
+		if !needs || p.stores[i].batch == nil {
+			continue
+		}
+		if err := p.stores[i].batch.BeginBatch(); err != nil {
+			abortOpen(err)
 			return err
 		}
-		defer func() {
-			if err != nil {
-				p.batch.AbortBatch(err)
-				return
-			}
-			err = p.batch.CommitBatch()
-			if err == nil {
-				p.countSync()
-			}
-		}()
+		open[i] = true
+		hasBatch = true
 	}
 
+	// Table writes for all touched stores run concurrently: each partition's
+	// rows route to exactly one store, so the writers never contend on a
+	// store's batch state.
+	writers := 0
+	for i := range p.stores {
+		if job.parts[i] != nil && !job.parts[i].empty() {
+			writers++
+		}
+	}
+	if writers > 0 {
+		err := parallel.ForEach(len(p.stores), writers, func(i int) error {
+			d := job.parts[i]
+			if d == nil || d.empty() {
+				return nil
+			}
+			return p.writeDelta(d)
+		})
+		if err != nil {
+			abortOpen(err)
+			return err
+		}
+	}
+
+	metaGrew := false
+	if p.opts.BeforeCommit != nil {
+		grew, err := p.opts.BeforeCommit()
+		if err != nil {
+			abortOpen(err)
+			return err
+		}
+		metaGrew = grew
+	}
+
+	job.waits = make([]kvstore.Durability, len(p.stores))
+	seal := func(i int) error {
+		open[i] = false
+		if gc, ok := p.stores[i].batch.(kvstore.GroupCommitter); ok {
+			d, err := gc.SealBatch()
+			if err != nil {
+				return err
+			}
+			job.waits[i] = d
+		} else if err := p.stores[i].batch.CommitBatch(); err != nil {
+			return err
+		}
+		p.stores[i].flushes.Add(1)
+		return nil
+	}
+
+	if metaGrew && open[0] && len(p.stores) > 1 {
+		// Alphabet grew: store 0 must be durable before any other store's
+		// group seals (see the function comment).
+		if err := seal(0); err != nil {
+			abortOpen(err)
+			return err
+		}
+		if job.waits[0] != nil {
+			if err := job.waits[0].Wait(); err != nil {
+				abortOpen(err)
+				return err
+			}
+			job.waits[0] = nil
+		}
+	}
+
+	// Seal the remaining open groups. Keep-going on error: a store that
+	// fails to seal must not throw away the sealed work of the others, so
+	// every store gets its seal attempt and the first error poisons the
+	// pipeline afterwards.
+	var first error
+	for i := range p.stores {
+		if !open[i] {
+			continue
+		}
+		if err := seal(i); err != nil && first == nil {
+			first = err
+		}
+	}
+	if first != nil {
+		return first
+	}
+
+	if hasBatch {
+		job.syncs = 1
+	} else if p.opts.Sync != nil {
+		if err := p.opts.Sync(); err != nil {
+			return err
+		}
+		job.syncs = 1
+	}
+	return nil
+}
+
+// writeDelta streams one store partition through the tables in sorted,
+// reproducible order. The caller has already opened the target store's WAL
+// group (when it has one); routing determinism guarantees every write here
+// lands inside it.
+func (p *Pipeline) writeDelta(d *shardDelta) (err error) {
 	sort.Slice(d.traces, func(i, j int) bool { return d.traces[i] < d.traces[j] })
 	for _, id := range d.traces {
 		// Abort poll between writes: returning the cause here unwinds into
-		// the AbortBatch defer above, so the whole group rolls back.
+		// the caller's AbortBatch path, so the whole group rolls back.
 		if err = p.abortedErr(); err != nil {
 			return err
 		}
@@ -233,18 +422,6 @@ func (p *Pipeline) commit(d *shardDelta) (err error) {
 	if err = p.mergeCountTable(d.rcounts, p.tables.MergeReverseCounts); err != nil {
 		return err
 	}
-
-	if p.opts.BeforeCommit != nil {
-		if err = p.opts.BeforeCommit(); err != nil {
-			return err
-		}
-	}
-	if p.batch == nil && p.opts.Sync != nil {
-		if err = p.opts.Sync(); err != nil {
-			return err
-		}
-		p.countSync()
-	}
 	return nil
 }
 
@@ -270,10 +447,4 @@ func (p *Pipeline) mergeCountTable(m map[model.ActivityID]map[model.ActivityID]*
 		}
 	}
 	return nil
-}
-
-func (p *Pipeline) countSync() {
-	p.mu.Lock()
-	p.stats.Syncs++
-	p.mu.Unlock()
 }

@@ -12,14 +12,22 @@
 //     (or last-event cell under SC) per live trace, fed across micro-batches
 //     instead of re-deriving pairs from the stored prefix every flush the
 //     way the batch Builder must.
-//   - A single flusher goroutine swaps the shard inboxes when a flush
+//   - The coordinator goroutine swaps the shard inboxes when a flush
 //     trigger fires (size or age), extracts deltas on all shards in
-//     parallel, merges them, and commits the merged delta through
-//     storage.Tables as ONE atomic group — BeginBatch … CommitBatch on a
-//     durable store, which is one WAL fsync per flush. An acknowledged
-//     flush therefore still means "fsynced", matching the serial path.
+//     parallel, and partitions them per independent STORE of the backend
+//     (the cross-shard reducer). The committer goroutine writes each store's
+//     partition concurrently — one flusher and one WAL group per store —
+//     and seals the groups without waiting for their fsyncs; the acker
+//     releases credits only once every store reports its group durable.
+//     Extraction of cycle N+1 therefore proceeds while cycle N is inside
+//     fsync (double buffering), and consecutive groups on one store share
+//     fsyncs (kvstore's leader/follower coalescing). An acknowledged flush
+//     still means "fsynced on every store it touched", matching the serial
+//     path.
 //   - A bounded credit pool applies backpressure: Append either blocks or
-//     fails fast with ErrOverloaded when the queue is full.
+//     fails fast with ErrOverloaded when the queue is full. Admission is
+//     all-or-nothing per batch — a batch larger than the queue reserves the
+//     whole pool and overdraws it rather than being admitted in chunks.
 //
 // Equivalence contract, enforced by the oracle tests: when each trace's
 // events are appended in timestamp order (any interleaving across traces,
@@ -81,6 +89,14 @@ type Options struct {
 	// 4×FlushEvents.
 	QueueEvents int
 
+	// MaxInflight caps how many flush cycles may be past extraction at
+	// once: with 1 every commit runs to durability before the next cycle's
+	// handoff (the pre-pipelining behavior); with 2 (the default) the
+	// coordinator extracts and the committer writes cycle N+1 while cycle
+	// N's groups are inside fsync. Higher values deepen the fsync-
+	// coalescing window at the cost of more unacked cycles in flight.
+	MaxInflight int
+
 	// Block selects the backpressure style of Append: true blocks the
 	// caller until the queue drains, false fails fast with ErrOverloaded.
 	Block bool
@@ -89,20 +105,28 @@ type Options struct {
 	// embedding engine can serialize flushes against its readers.
 	CommitLock sync.Locker
 
-	// BeforeCommit, when set, runs inside the commit (under CommitLock
-	// and inside the atomic batch group, before the group fsync). The
-	// engine uses it to persist alphabet growth in the same crash-atomic
-	// unit as the events that introduced the new activities.
-	BeforeCommit func() error
+	// BeforeCommit, when set, runs inside the commit (under CommitLock and
+	// inside every open batch group, before the groups seal). The engine
+	// uses it to persist alphabet growth in the same crash-atomic unit as
+	// the events that introduced the new activities; it reports whether it
+	// wrote, because growth forces store 0's group durable before any other
+	// store's group may seal (the meta-freshness recovery invariant).
+	BeforeCommit func() (bool, error)
 
 	// Sync, when set, is called after a commit on stores that do not
 	// implement kvstore.BatchWriter (group commit subsumes it otherwise).
 	Sync func() error
 
-	// Metrics, when set, receives a seqlog_ingest_flush_seconds histogram
-	// observing each committed flush cycle (swap + extract + group commit).
-	// The counters of Stats are exposed by the embedding engine instead, so
-	// they stay monotone across pipeline restarts.
+	// Metrics, when set, receives the pipeline telemetry: the
+	// seqlog_ingest_flush_seconds histogram observing each committed flush
+	// cycle (swap + extract + commit + fsync), the
+	// seqlog_ingest_commit_wait_seconds histogram observing how long
+	// extraction blocked handing a cycle to the committer (zero when the
+	// write path keeps up — the "extraction stalled behind fsync" signal),
+	// and per-store seqlog_ingest_shard_commit_seconds /
+	// seqlog_ingest_shard_flushes_total series. The counters of Stats are
+	// exposed by the embedding engine instead, so they stay monotone across
+	// pipeline restarts.
 	Metrics *metrics.Registry
 }
 
@@ -112,9 +136,32 @@ type Stats struct {
 	Accepted int64 `json:"accepted"`           // events admitted in total
 	Flushed  int64 `json:"flushed"`            // events committed to tables
 	Batches  int64 `json:"batches"`            // committed flush cycles
-	Syncs    int64 `json:"syncs"`              // group commits / fsyncs issued
+	Syncs    int64 `json:"syncs"`              // durably committed cycles
 	Stalls   int64 `json:"stalls"`             // Appends that blocked or were refused
 	Sessions int64 `json:"sessions,omitempty"` // resident trace sessions
+}
+
+// storeWriter is the commit seam of one independent store of the backend:
+// its crash-atomic group writer (nil when the store keeps no WAL) and its
+// per-shard flush telemetry. Rows are written through the top-level Backend
+// — the partitioning guarantees every row of partition i routes to store i,
+// so the ordinary write methods land inside store i's open group.
+type storeWriter struct {
+	batch   kvstore.BatchWriter
+	commitH *metrics.Histogram // durability wait per flushed group
+	flushes *metrics.Counter   // groups sealed on this store
+}
+
+// flushJob is one extracted cycle moving through the commit stages.
+type flushJob struct {
+	parts    []*shardDelta // per store, aligned with Pipeline.stores
+	total    int           // events in the cycle
+	sessions int64         // resident sessions after extraction
+	start    time.Time     // cycle start (inbox swap)
+	waits    []kvstore.Durability
+	waited   bool
+	syncs    int64
+	err      error
 }
 
 // Pipeline is the streaming ingestion subsystem. Append may be called from
@@ -123,37 +170,58 @@ type Stats struct {
 type Pipeline struct {
 	tables storage.Backend
 	opts   Options
-	batch  kvstore.BatchWriter // nil when the store has no atomic groups
-	flushH *metrics.Histogram  // committed-flush latency; nil-safe
+
+	flushH      *metrics.Histogram // committed-flush latency; nil-safe
+	commitWaitH *metrics.Histogram // extraction blocked on the commit handoff
+
+	// stores/route are the per-store commit seam: one writer per
+	// independent store, and the backend's routing functions for
+	// partitioning deltas onto them (route is unused with one store).
+	stores []storeWriter
+	route  storage.ShardedCommits
 
 	shards []ingestShard
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	free     int   // admission credits left
-	queued   int64 // events admitted, not yet committed
-	closed   bool
-	failed   error // first commit error; poisons the pipeline
-	flushing bool
-	stats    Stats
+	mu        sync.Mutex
+	cond      *sync.Cond
+	free      int   // admission credits left (negative while an oversize batch drains)
+	reserving int   // oversize admissions waiting to reserve the whole pool
+	queued    int64 // events admitted, not yet acknowledged durable
+	buffered  int64 // events admitted, not yet extracted (subset of queued)
+	closed    bool
+	failed    error // first commit error; poisons the pipeline
+	stats     Stats
 
-	kick chan struct{}
-	done chan struct{}
+	kick    chan struct{}
+	jobs    chan *flushJob // coordinator -> committer, unbuffered
+	acks    chan *flushJob // committer -> acker, cap MaxInflight-1
+	ackDone chan struct{}
+	done    chan struct{}
+
+	// spuriousWakes counts timer ticks that arrive sooner after the last
+	// re-arm than the flush interval allows. With correct stop-and-drain
+	// timer hygiene this is impossible — a tick always follows a full
+	// interval — so the regression test asserts it stays exactly zero under
+	// kick-heavy load. (A mishandled timer.Reset used to leave the expiry
+	// of a raced kick in the channel: the coordinator woke again
+	// immediately and flushed a premature, often empty, tiny cycle.)
+	spuriousWakes atomic.Int64
 
 	// Abort state (CloseCtx): once set, the extraction and commit loops stop
-	// at their next poll — an in-flight WAL batch group rolls back via the
-	// commit's AbortBatch defer, exactly like any other commit error — and
+	// at their next poll — in-flight WAL batch groups roll back via the
+	// commit's AbortBatch path, exactly like any other commit error — and
 	// the pipeline poisons itself with the cause. Checked with a single
 	// atomic load between table writes, so the flush hot path is untouched.
 	aborted    atomic.Bool
 	abortCause atomic.Value // error
 
-	cycleMu sync.Mutex // serializes flush cycles with Forget
+	cycleMu sync.Mutex // serializes extraction cycles with Forget
 }
 
 // ingestShard owns the inbox and the resident sessions of the traces
 // assigned to it. The inbox is touched by producers under mu; sessions are
-// touched only by the flusher's extraction pass, which is serialized.
+// touched only by the coordinator's extraction pass, which is serialized
+// under cycleMu.
 type ingestShard struct {
 	mu       sync.Mutex
 	inbox    []model.Event
@@ -180,23 +248,45 @@ func New(tables storage.Backend, opts Options) (*Pipeline, error) {
 	if opts.QueueEvents < 2*opts.FlushEvents {
 		opts.QueueEvents = 2 * opts.FlushEvents
 	}
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 2
+	}
 	p := &Pipeline{
-		tables: tables,
-		opts:   opts,
-		shards: make([]ingestShard, opts.Workers),
-		free:   opts.QueueEvents,
-		kick:   make(chan struct{}, 1),
-		done:   make(chan struct{}),
+		tables:  tables,
+		opts:    opts,
+		shards:  make([]ingestShard, opts.Workers),
+		free:    opts.QueueEvents,
+		kick:    make(chan struct{}, 1),
+		jobs:    make(chan *flushJob),
+		acks:    make(chan *flushJob, opts.MaxInflight-1),
+		ackDone: make(chan struct{}),
+		done:    make(chan struct{}),
 	}
 	p.cond = sync.NewCond(&p.mu)
 	p.flushH = opts.Metrics.Histogram("seqlog_ingest_flush_seconds")
-	// Batch is nil when the store(s) keep no WAL; on a sharded backend it
-	// is the fan-out group writer, so each flush commits atomically PER
-	// SHARD (one WAL group and one fsync per shard per flush).
-	p.batch = tables.Batch()
+	p.commitWaitH = opts.Metrics.Histogram("seqlog_ingest_commit_wait_seconds")
+	if sc, ok := tables.(storage.ShardedCommits); ok {
+		p.route = sc
+		p.stores = make([]storeWriter, tables.NumShards())
+		for i := range p.stores {
+			p.stores[i].batch = sc.ShardBatch(i)
+		}
+	} else {
+		// A backend without the per-store seam commits through its fan-out
+		// Batch() writer as one unit (still pipelined when the writer can
+		// seal).
+		p.stores = []storeWriter{{batch: tables.Batch()}}
+	}
+	for i := range p.stores {
+		l := metrics.Label{Key: "shard", Value: fmt.Sprintf("%d", i)}
+		p.stores[i].commitH = opts.Metrics.Histogram("seqlog_ingest_shard_commit_seconds", l)
+		p.stores[i].flushes = opts.Metrics.Counter("seqlog_ingest_shard_flushes_total", l)
+	}
 	for i := range p.shards {
 		p.shards[i].sessions = make(map[model.TraceID]*session)
 	}
+	go p.committer()
+	go p.acker()
 	go p.run()
 	return p, nil
 }
@@ -208,10 +298,11 @@ func (p *Pipeline) shardFor(id model.TraceID) int {
 }
 
 // Append admits a batch of events into the pipeline. Admission is
-// all-or-nothing per chunk: in non-blocking mode a full queue refuses the
-// whole batch with ErrOverloaded; in blocking mode the call waits for
-// credits (large batches are admitted in queue-sized chunks, preserving
-// order). Events of one trace must be appended in timestamp order for the
+// all-or-nothing per batch: in non-blocking mode a full queue refuses the
+// whole batch with ErrOverloaded and nothing is enqueued; a batch larger
+// than the queue itself waits for the pool to drain completely and then
+// overdraws it, so even oversize batches are admitted in one piece. Events
+// of one trace must be appended in timestamp order for the
 // Builder-equivalence contract to hold; out-of-order events are still
 // accepted and normalized forward, exactly as the serial path would.
 func (p *Pipeline) Append(events []model.Event) error {
@@ -219,32 +310,38 @@ func (p *Pipeline) Append(events []model.Event) error {
 }
 
 // AppendCtx is Append with a cancellable admission wait: a caller blocked on
-// backpressure credits (blocking mode, or an oversize batch) unblocks with
-// ctx.Err() when ctx is done. Chunks admitted before the cancellation stay
-// admitted — admission is all-or-nothing per chunk, never per batch.
+// backpressure credits unblocks with ctx.Err() when ctx is done, and in that
+// case nothing of the batch was admitted — cancellation cannot tear a batch.
 func (p *Pipeline) AppendCtx(ctx context.Context, events []model.Event) error {
-	oversize := len(events) > p.opts.QueueEvents
-	for len(events) > 0 {
-		n := len(events)
-		if n > p.opts.QueueEvents {
-			n = p.opts.QueueEvents
-		}
-		if err := p.admit(ctx, n, oversize); err != nil {
-			return err
-		}
-		p.enqueue(events[:n])
-		events = events[n:]
+	if len(events) == 0 {
+		return nil
 	}
+	if err := p.admit(ctx, len(events)); err != nil {
+		return err
+	}
+	p.enqueue(events)
 	return nil
 }
 
-// admit takes n credits. oversize marks a chunk of a batch larger than the
-// queue, which must block regardless of mode (refusing would tear the
-// batch).
-func (p *Pipeline) admit(ctx context.Context, n int, oversize bool) error {
+// admit reserves n credits in one piece. A batch larger than the whole pool
+// (oversize) registers as a reservation, waits until every credit is home,
+// and then overdraws the pool — blocking even in non-blocking mode, since
+// refusing it could never succeed and admitting it chunk-wise would tear the
+// batch on a mid-batch failure, which is exactly what the ErrOverloaded
+// contract rules out. Pending reservations pause ordinary blocking admits so
+// an oversize batch cannot be starved by a steady trickle of small ones.
+func (p *Pipeline) admit(ctx context.Context, n int) error {
+	oversize := n > p.opts.QueueEvents
 	done := ctx.Done()
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if oversize {
+		p.reserving++
+		defer func() {
+			p.reserving--
+			p.cond.Broadcast()
+		}()
+	}
 	stalled := false
 	var stopWatch func() bool
 	for {
@@ -259,9 +356,16 @@ func (p *Pipeline) admit(ctx context.Context, n int, oversize bool) error {
 		if p.failed != nil {
 			return p.failed
 		}
-		if p.free >= n {
+		ok := p.free >= n
+		if oversize {
+			ok = p.free >= p.opts.QueueEvents
+		} else if p.reserving > 0 {
+			ok = false
+		}
+		if ok {
 			p.free -= n
 			p.queued += int64(n)
+			p.buffered += int64(n)
 			p.stats.Accepted += int64(n)
 			if stalled {
 				p.stats.Stalls++
@@ -291,7 +395,7 @@ func (p *Pipeline) admit(ctx context.Context, n int, oversize bool) error {
 }
 
 // enqueue distributes admitted events onto their affinity shards and kicks
-// the flusher when the size trigger is reached.
+// the coordinator when the size trigger is reached.
 func (p *Pipeline) enqueue(events []model.Event) {
 	// Group by shard first so each shard lock is taken once per call.
 	byShard := make(map[int][]model.Event)
@@ -306,13 +410,13 @@ func (p *Pipeline) enqueue(events []model.Event) {
 		sh.mu.Unlock()
 	}
 	p.mu.Lock()
-	if p.queued >= int64(p.opts.FlushEvents) {
+	if p.buffered >= int64(p.opts.FlushEvents) {
 		p.kickFlusher()
 	}
 	p.mu.Unlock()
 }
 
-// kickFlusher nudges the flusher without blocking. Callers hold p.mu or
+// kickFlusher nudges the coordinator without blocking. Callers hold p.mu or
 // don't — the channel is the synchronization.
 func (p *Pipeline) kickFlusher() {
 	select {
@@ -321,18 +425,17 @@ func (p *Pipeline) kickFlusher() {
 	}
 }
 
-// Flush commits everything admitted before the call and blocks until done
-// (or until the pipeline fails). With concurrent appenders it waits for a
-// moment when the queue is empty, so it is a barrier primarily for
+// Flush commits everything admitted before the call and blocks until it is
+// durable (or until the pipeline fails). With concurrent appenders it waits
+// for a moment when the queue is empty, so it is a barrier primarily for
 // single-producer use — the HTTP handler's end-of-request ack.
 func (p *Pipeline) Flush() error {
 	return p.FlushCtx(context.Background())
 }
 
 // FlushCtx is Flush with a cancellable wait: when ctx is done the caller
-// unblocks with ctx.Err(). The flusher itself is unaffected — other
-// producers may be relying on the commit — only this caller stops waiting
-// for it.
+// unblocks with ctx.Err(). The flush itself is unaffected — other producers
+// may be relying on the commit — only this caller stops waiting for it.
 func (p *Pipeline) FlushCtx(ctx context.Context) error {
 	done := ctx.Done()
 	if done != nil {
@@ -345,7 +448,9 @@ func (p *Pipeline) FlushCtx(ctx context.Context) error {
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for (p.queued > 0 || p.flushing) && p.failed == nil {
+	// queued covers the full span admit → durable ack, so this also waits
+	// out cycles that are past extraction but still inside commit or fsync.
+	for p.queued > 0 && p.failed == nil {
 		if done != nil {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -357,7 +462,7 @@ func (p *Pipeline) FlushCtx(ctx context.Context) error {
 	return p.failed
 }
 
-// Close drains the queue with a final commit and stops the flusher. It is
+// Close drains the queue with a final commit and stops the pipeline. It is
 // idempotent; the first error the pipeline hit (if any) is returned.
 func (p *Pipeline) Close() error {
 	p.mu.Lock()
@@ -378,7 +483,7 @@ func (p *Pipeline) Close() error {
 
 // CloseCtx is Close with a bounded drain: when ctx is done before the drain
 // completes, the pipeline aborts — the in-flight flush stops at its next
-// cooperative poll, an open WAL batch group rolls back cleanly (no partial
+// cooperative poll, open WAL batch groups roll back cleanly (no partial
 // flush ever commits), and the pipeline poisons itself with the cause.
 // Events admitted but not yet committed are lost, which is the crash
 // contract re-ingestion already tolerates (watermark dedup makes replays
@@ -425,6 +530,16 @@ func (p *Pipeline) abortedErr() error {
 	return context.Canceled
 }
 
+// fail records the first pipeline error and wakes every waiter.
+func (p *Pipeline) fail(err error) {
+	p.mu.Lock()
+	if p.failed == nil {
+		p.failed = err
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
 // Stats returns a snapshot of the pipeline counters.
 func (p *Pipeline) Stats() Stats {
 	p.mu.Lock()
@@ -445,62 +560,94 @@ func (p *Pipeline) Forget(ids []model.TraceID) {
 	}
 }
 
-// run is the flusher loop: one goroutine, woken by size kicks and the age
-// timer, so commits are naturally serialized.
+// run is the coordinator: woken by size kicks and the age timer, it swaps
+// and extracts pending inboxes into flush jobs and hands them downstream.
+// Extraction is decoupled from durability — while a job's groups are inside
+// fsync, the next cycle is already being extracted (double buffering); the
+// handoff blocks only once MaxInflight cycles are past extraction, and that
+// blocked time is what seqlog_ingest_commit_wait_seconds measures.
 func (p *Pipeline) run() {
 	defer close(p.done)
 	timer := time.NewTimer(p.opts.FlushInterval)
 	defer timer.Stop()
+	armed := time.Now()
 	for {
 		select {
 		case <-p.kick:
 		case <-timer.C:
+			if time.Since(armed) < p.opts.FlushInterval {
+				// A drained timer can only deliver a tick a full interval
+				// after its re-arm; an early one is a stale expiry that
+				// leaked past a Reset (the premature-tiny-flush bug).
+				p.spuriousWakes.Add(1)
+			}
+		}
+
+		for {
+			p.mu.Lock()
+			runnable := p.buffered > 0 && p.failed == nil
+			p.mu.Unlock()
+			if !runnable {
+				break
+			}
+			job, err := p.extractCycle()
+			if err != nil {
+				p.fail(err)
+				break
+			}
+			if job == nil {
+				// Credits are taken but the events have not reached their
+				// shard inboxes yet (admit/enqueue race); the timer or the
+				// enqueuer's own kick retries in a moment.
+				break
+			}
+			wait := time.Now()
+			p.jobs <- job
+			p.commitWaitH.Observe(time.Since(wait))
+		}
+
+		// Re-arm the age timer. Stop and drain first: after a kick-driven
+		// wake the timer may have expired concurrently, and a bare Reset
+		// would leave that stale expiry in the channel — the next loop
+		// iteration would wake immediately and flush a premature tiny cycle.
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
 		}
 		timer.Reset(p.opts.FlushInterval)
+		armed = time.Now()
 
 		p.mu.Lock()
-		runnable := p.queued > 0 && p.failed == nil
-		if runnable {
-			p.flushing = true
-		}
+		closed := p.closed
+		draining := p.closed && p.buffered > 0 && p.failed == nil
 		p.mu.Unlock()
-
-		if runnable {
-			err := p.runCycle()
-			p.mu.Lock()
-			p.flushing = false
-			if err != nil && p.failed == nil {
-				p.failed = err
-			}
-			drain := p.closed && p.queued > 0 && p.failed == nil
-			closed := p.closed
-			p.cond.Broadcast()
-			p.mu.Unlock()
-			if drain {
-				// Keep draining to the final commit.
-				p.kickFlusher()
-				continue
-			}
-			if closed {
-				return
-			}
+		if !closed {
 			continue
 		}
-
+		if draining {
+			// Admitted events still racing onto the inboxes; spin until the
+			// final extraction sweeps them.
+			p.kickFlusher()
+			continue
+		}
+		close(p.jobs)
+		<-p.ackDone
 		p.mu.Lock()
 		p.cond.Broadcast()
-		closed := p.closed
 		p.mu.Unlock()
-		if closed {
-			return
-		}
+		return
 	}
 }
 
-// runCycle performs one flush: swap inboxes, extract deltas in parallel,
-// merge, commit as one group. Credits are released only after the commit
-// succeeded — an acknowledged Append is durable once Flush returns.
-func (p *Pipeline) runCycle() error {
+// extractCycle swaps every shard's inbox, extracts the deltas in parallel
+// and partitions them per store, returning the flush job (nil when the
+// inboxes were empty). It holds cycleMu only for the extraction itself, so
+// the previous cycle's commit and fsync overlap the next cycle's
+// extraction. The session recount happens here, outside the producers'
+// admission mutex.
+func (p *Pipeline) extractCycle() (*flushJob, error) {
 	p.cycleMu.Lock()
 	defer p.cycleMu.Unlock()
 
@@ -514,7 +661,7 @@ func (p *Pipeline) runCycle() error {
 		total += len(pend[i])
 	}
 	if total == 0 {
-		return nil
+		return nil, nil
 	}
 	start := time.Now()
 
@@ -527,24 +674,107 @@ func (p *Pipeline) runCycle() error {
 		deltas[i] = d
 		return err
 	})
-	if err == nil {
-		err = p.commit(mergeDeltas(deltas))
+	if err != nil {
+		return nil, err
 	}
 
+	job := &flushJob{
+		parts: p.partitionDeltas(deltas),
+		total: total,
+		start: start,
+	}
+	for i := range p.shards {
+		job.sessions += int64(len(p.shards[i].sessions))
+	}
 	p.mu.Lock()
-	if err == nil {
-		p.flushH.Observe(time.Since(start))
-		p.queued -= int64(total)
-		p.free += total
-		p.stats.Flushed += int64(total)
-		p.stats.Batches++
-		var sess int64
-		for i := range p.shards {
-			sess += int64(len(p.shards[i].sessions))
+	p.buffered -= int64(total)
+	p.mu.Unlock()
+	return job, nil
+}
+
+// committer is the middle stage: one job at a time, it writes every store's
+// partition in parallel and seals the groups. With MaxInflight 1 it also
+// waits out durability before accepting the next job, restoring strictly
+// serial commits.
+func (p *Pipeline) committer() {
+	defer close(p.acks)
+	for job := range p.jobs {
+		p.mu.Lock()
+		failed := p.failed
+		p.mu.Unlock()
+		if failed != nil {
+			job.err = failed
+		} else {
+			job.err = p.commitJob(job)
 		}
-		p.stats.Sessions = sess
+		if job.err == nil && p.opts.MaxInflight <= 1 {
+			job.err = p.waitJob(job)
+		}
+		p.acks <- job
+	}
+}
+
+// acker is the final stage: it waits for every store's fsync and releases
+// the job's credits. Keeping it off the committer goroutine is what lets
+// cycle N+1's table writes overlap cycle N's fsync.
+func (p *Pipeline) acker() {
+	defer close(p.ackDone)
+	for job := range p.acks {
+		if job.err == nil && !job.waited {
+			job.err = p.waitJob(job)
+		}
+		p.finishJob(job)
+	}
+}
+
+// waitJob blocks until every store the job touched reports its group
+// durable, timing each store's wait into its per-shard histogram. Waits on
+// different stores run concurrently — N stores, N overlapping fsyncs.
+func (p *Pipeline) waitJob(job *flushJob) error {
+	job.waited = true
+	active := 0
+	for _, w := range job.waits {
+		if w != nil {
+			active++
+		}
+	}
+	if active == 0 {
+		return nil
+	}
+	return parallel.ForEach(len(job.waits), active, func(i int) error {
+		w := job.waits[i]
+		if w == nil {
+			return nil
+		}
+		start := time.Now()
+		if err := w.Wait(); err != nil {
+			return err
+		}
+		p.stores[i].commitH.Observe(time.Since(start))
+		return nil
+	})
+}
+
+// finishJob is the ack point: it releases the job's credits and publishes
+// its counters. flushH is observed outside p.mu — the producers' admission
+// mutex is held only for the counter updates themselves.
+func (p *Pipeline) finishJob(job *flushJob) {
+	if job.err == nil {
+		p.flushH.Observe(time.Since(job.start))
+	}
+	p.mu.Lock()
+	if job.err != nil {
+		if p.failed == nil {
+			p.failed = job.err
+		}
+	} else {
+		p.queued -= int64(job.total)
+		p.free += job.total
+		p.stats.Flushed += int64(job.total)
+		p.stats.Batches++
+		p.stats.Syncs += job.syncs
+		p.stats.Sessions = job.sessions
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
-	return err
 }

@@ -23,8 +23,10 @@ import (
 // canonical string: Seq rows verbatim, Index entries sorted per pair (the
 // append order of a posting list is nondeterministic even between two
 // Builder runs), counts and watermarks for every indexed pair. Two stores
-// are equivalent iff their dumps match.
-func dumpTables(t *testing.T, tb *storage.Tables, period string) string {
+// are equivalent iff their dumps match. Accepting any Backend lets the
+// sharded oracle tests compare a scatter-gathered view against the serial
+// single-store build.
+func dumpTables(t *testing.T, tb storage.Backend, period string) string {
 	t.Helper()
 	var lines []string
 
@@ -124,8 +126,8 @@ func serialDump(t *testing.T, events []model.Event, policy model.Policy, period 
 func TestStreamEqualsSerialBuilder(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for _, policy := range []model.Policy{model.SC, model.STNM} {
-		for _, workers := range []int{1, 4} {
-			for iter := 0; iter < 6; iter++ {
+		for _, workers := range []int{1, 2, 4} {
+			for iter := 0; iter < 4; iter++ {
 				events := randomLog(rng, 1+rng.Intn(6), 150, 4)
 				want := serialDump(t, events, policy, "")
 
@@ -279,7 +281,11 @@ func TestBackpressureOverloaded(t *testing.T) {
 }
 
 // TestBlockingAppendWaits: in blocking mode a full queue parks the producer
-// until the flusher frees credits, instead of erroring.
+// until the flusher frees credits, instead of erroring. An oversize batch
+// (larger than the whole queue) is admitted in one piece by overdrawing a
+// fully-free pool — all-or-nothing admission — so the backpressure lands on
+// the NEXT append, which must park until the stalled commit releases the
+// overdrawn credits.
 func TestBlockingAppendWaits(t *testing.T) {
 	tb := storage.NewTables(kvstore.NewMemStore())
 	var gate sync.Mutex
@@ -296,13 +302,16 @@ func TestBlockingAppendWaits(t *testing.T) {
 		t.Fatal(err)
 	}
 	gate.Lock()
+	evs := make([]model.Event, 40) // 5× the queue: oversize, overdraws whole
+	for i := range evs {
+		evs[i] = model.Event{Trace: 1, Activity: 0, TS: model.Timestamp(i + 1)}
+	}
+	if err := p.Append(evs); err != nil {
+		t.Fatalf("oversize append onto a free pool: %v", err)
+	}
 	done := make(chan error, 1)
 	go func() {
-		evs := make([]model.Event, 40) // 5× the queue
-		for i := range evs {
-			evs[i] = model.Event{Trace: 1, Activity: 0, TS: model.Timestamp(i + 1)}
-		}
-		done <- p.Append(evs)
+		done <- p.Append([]model.Event{{Trace: 2, Activity: 0, TS: 1}})
 	}()
 	select {
 	case err := <-done:
@@ -316,8 +325,8 @@ func TestBlockingAppendWaits(t *testing.T) {
 	if err := p.Close(); err != nil {
 		t.Fatal(err)
 	}
-	if st := p.Stats(); st.Flushed != 40 || st.Stalls == 0 {
-		t.Fatalf("stats %+v, want 40 flushed and >0 stalls", st)
+	if st := p.Stats(); st.Flushed != 41 || st.Stalls == 0 {
+		t.Fatalf("stats %+v, want 41 flushed and >0 stalls", st)
 	}
 }
 

@@ -60,6 +60,20 @@ type DiskStore struct {
 	bw   *bufio.Writer
 	size int64 // bytes in the WAL (header included)
 
+	// Group-commit fsync coalescing (syncTo): syncing marks a leader's fsync
+	// in flight with the store unlocked; followers (and Close/Compact, which
+	// must not pull the file out from under it) wait on syncCond. WAL writes
+	// never wait — appending to the buffered writer while an fsync runs is
+	// safe, it just isn't covered by that fsync. writtenTotal/durableTotal
+	// are the monotonic counterparts of size/durable: they never reset, so a
+	// sealed group's durability target stays meaningful across a compaction
+	// (which folds every applied record — sealed groups included — into the
+	// snapshot and therefore advances durableTotal to writtenTotal).
+	syncing      bool
+	syncCond     *sync.Cond
+	writtenTotal int64
+	durableTotal int64
+
 	epoch   uint64 // current snapshot/WAL epoch
 	legacy  bool   // WAL has no header (pre-epoch format); healed by Compact
 	inBatch bool   // an atomic record group is open (BeginBatch without CommitBatch)
@@ -182,6 +196,7 @@ func OpenDiskWith(dir string, opts DiskOptions) (*DiskStore, error) {
 		return nil, fmt.Errorf("kvstore: create dir: %w", err)
 	}
 	s := &DiskStore{mem: NewMemStore(), fs: fs, dir: dir, salvage: opts.Salvage, CompactAt: 64 << 20}
+	s.syncCond = sync.NewCond(&s.mu)
 	s.fsyncH = opts.Metrics.Histogram("seqlog_wal_fsync_seconds")
 	s.compactH = opts.Metrics.Histogram("seqlog_wal_compaction_seconds")
 	opts.Metrics.GaugeFunc("seqlog_wal_size_bytes", s.walSize)
@@ -618,6 +633,7 @@ func (s *DiskStore) logAndApply(op byte, table, key string, value []byte) error 
 		return s.poison(fmt.Errorf("kvstore: wal write: %w", err))
 	}
 	s.size += int64(len(rec))
+	s.writtenTotal += int64(len(rec))
 	return s.apply(op, table, key, value)
 }
 
@@ -664,30 +680,77 @@ func (s *DiskStore) Len(table string) (int, error) { return s.mem.Len(table) }
 // top of a half-flushed WAL would break the committed-prefix guarantee.
 func (s *DiskStore) Sync() error {
 	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return ErrClosed
-	}
-	if s.failed != nil {
-		s.mu.Unlock()
-		return s.poisonedErr()
-	}
-	start := time.Now()
-	if err := s.bw.Flush(); err != nil {
-		err = s.poison(fmt.Errorf("kvstore: wal flush: %w", err))
-		s.mu.Unlock()
+	need := s.writtenTotal
+	s.mu.Unlock()
+	if err := s.syncTo(need); err != nil {
 		return err
 	}
-	if err := s.wal.Sync(); err != nil {
-		err = s.poison(fmt.Errorf("kvstore: wal fsync: %w", err))
+	return s.maybeCompact()
+}
+
+// syncTo makes the WAL durable through at least byte offset need. Concurrent
+// callers share fsyncs: one becomes the leader, flushes everything buffered
+// so far and fsyncs with the store unlocked, while followers wait on the
+// condition and re-check the durable watermark — consecutive sealed groups
+// coalesce into one fsync whenever their Waits overlap a running one.
+// Writers never wait on an in-flight fsync (appending to the buffered writer
+// is independent of it), so WAL appends of flush cycle N+1 proceed while
+// cycle N is inside the disk; only Close, Compact and later sync leaders
+// serialize behind it.
+func (s *DiskStore) syncTo(need int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return ErrClosed
+		}
+		if s.failed != nil {
+			return s.poisonedErr()
+		}
+		if s.durableTotal >= need {
+			return nil
+		}
+		if s.syncing {
+			// A leader's fsync is in flight; it covers every byte flushed
+			// before it started. If that falls short of our target we loop
+			// and lead the next round ourselves.
+			s.syncCond.Wait()
+			continue
+		}
+		start := time.Now()
+		if err := s.bw.Flush(); err != nil {
+			err = s.poison(fmt.Errorf("kvstore: wal flush: %w", err))
+			s.syncCond.Broadcast()
+			return err
+		}
+		target := s.writtenTotal // everything flushed above is at the OS now
+		fileTarget := s.size
+		s.syncing = true
 		s.mu.Unlock()
-		return err
+		err := s.wal.Sync()
+		s.mu.Lock()
+		s.syncing = false
+		s.syncCond.Broadcast()
+		if err != nil {
+			return s.poison(fmt.Errorf("kvstore: wal fsync: %w", err))
+		}
+		s.fsyncH.Observe(time.Since(start))
+		if target > s.durableTotal {
+			s.durableTotal = target
+		}
+		if fileTarget > s.durable {
+			s.durable = fileTarget
+		}
 	}
-	s.fsyncH.Observe(time.Since(start))
-	s.durable = s.size
-	// Never auto-compact inside an open batch: the snapshot would bake in
-	// records whose commit marker does not exist yet. hookActive means this
-	// Sync was issued by the before-compact hook itself — let it finish.
+}
+
+// maybeCompact runs the auto-compaction check every durability point makes:
+// fold the WAL into a snapshot once it outgrows CompactAt — never inside an
+// open batch (the snapshot would bake in records whose commit marker does
+// not exist yet), and never re-entrantly from the before-compact hook's own
+// writes.
+func (s *DiskStore) maybeCompact() error {
+	s.mu.Lock()
 	need := s.CompactAt > 0 && s.size > s.CompactAt && !s.inBatch && !s.hookActive
 	hook := s.beforeCompact
 	s.mu.Unlock()
@@ -741,6 +804,7 @@ func (s *DiskStore) BeginBatch() error {
 		return s.poison(fmt.Errorf("kvstore: wal write: %w", err))
 	}
 	s.size += int64(len(rec))
+	s.writtenTotal += int64(len(rec))
 	s.inBatch = true
 	return nil
 }
@@ -750,29 +814,66 @@ func (s *DiskStore) BeginBatch() error {
 // durability over every record since BeginBatch. When it returns nil the
 // batch is crash-safe.
 func (s *DiskStore) CommitBatch() error {
+	if _, err := s.SealBatch(); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
+// batchToken is the Durability handle of a sealed group: the WAL byte offset
+// just past its commit marker. Wait returns once the durable watermark
+// covers it.
+type batchToken struct {
+	s   *DiskStore
+	off int64
+}
+
+func (t batchToken) Wait() error { return t.s.syncTo(t.off) }
+
+// SealBatch writes the group's commit marker and closes the group without
+// waiting for the fsync (GroupCommitter): the caller may immediately open
+// the next group and make both durable later through the returned handle,
+// letting commits pipeline behind a shared fsync. Recovery semantics are
+// those of CommitBatch — until Wait returns, the group may or may not
+// survive a crash, so it must not be acknowledged.
+func (s *DiskStore) SealBatch() (Durability, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return ErrClosed
+		return nil, ErrClosed
 	}
 	if s.failed != nil {
+		err := s.poisonedErr()
 		s.mu.Unlock()
-		return s.poisonedErr()
+		return nil, err
 	}
 	if !s.inBatch {
 		s.mu.Unlock()
-		return errors.New("kvstore: no batch open")
+		return nil, errors.New("kvstore: no batch open")
 	}
 	rec := encodeRecord(nil, opBatchCommit, "", "", nil)
 	if _, err := s.bw.Write(rec); err != nil {
 		err = s.poison(fmt.Errorf("kvstore: wal write: %w", err))
 		s.mu.Unlock()
-		return err
+		return nil, err
 	}
 	s.size += int64(len(rec))
+	s.writtenTotal += int64(len(rec))
 	s.inBatch = false
+	tok := batchToken{s: s, off: s.writtenTotal}
+	over := s.CompactAt > 0 && s.size > s.CompactAt && !s.hookActive
 	s.mu.Unlock()
-	return s.Sync()
+	if over {
+		// The WAL outgrew its budget and this is the only moment the
+		// pipelined path is reliably between groups on this store — the next
+		// group may open before the token's Wait runs, and auto-compaction
+		// would starve forever. Sync makes the sealed group durable first,
+		// then folds the log into a snapshot.
+		if err := s.Sync(); err != nil {
+			return nil, err
+		}
+	}
+	return tok, nil
 }
 
 // AbortBatch abandons an open group after a mid-batch failure. The group's
@@ -800,6 +901,11 @@ func (s *DiskStore) Compact() error {
 	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.syncing {
+		// Never truncate the WAL while a group-commit leader is inside an
+		// unlocked fsync of it.
+		s.syncCond.Wait()
+	}
 	if s.closed {
 		return ErrClosed
 	}
@@ -844,6 +950,9 @@ func (s *DiskStore) Compact() error {
 	s.bw.Reset(s.wal)
 	s.size = int64(walHeaderLen)
 	s.durable = s.size
+	// The snapshot folded in every applied record — sealed-but-unwaited
+	// groups included — so all outstanding durability targets are met.
+	s.durableTotal = s.writtenTotal
 	s.walStart = int64(walHeaderLen)
 	s.legacy = false
 	s.compactH.Observe(time.Since(start))
@@ -905,6 +1014,10 @@ func (s *DiskStore) writeSnapshot(path string, epoch uint64) error {
 func (s *DiskStore) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for s.syncing {
+		// Let an in-flight group fsync finish before the file goes away.
+		s.syncCond.Wait()
+	}
 	if s.closed {
 		return nil
 	}
@@ -928,6 +1041,7 @@ func (s *DiskStore) Close() error {
 }
 
 var (
-	_ Store       = (*DiskStore)(nil)
-	_ BatchWriter = (*DiskStore)(nil)
+	_ Store          = (*DiskStore)(nil)
+	_ BatchWriter    = (*DiskStore)(nil)
+	_ GroupCommitter = (*DiskStore)(nil)
 )

@@ -1,0 +1,237 @@
+package kvstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+)
+
+// Tests of the pipelined group-commit surface: SealBatch hands out a
+// durability handle without waiting for the fsync, back-to-back sealed
+// groups share one fsync (leader/follower coalescing), and a crash while
+// groups are sealed-but-unwaited never loses a group whose Wait returned.
+
+// syncCountFS counts File.Sync calls so the coalescing test can assert how
+// many fsyncs a run of waits actually issued.
+type syncCountFS struct {
+	FS
+	syncs atomic.Int64
+}
+
+func (f *syncCountFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &syncCountFile{File: file, n: &f.syncs}, nil
+}
+
+type syncCountFile struct {
+	File
+	n *atomic.Int64
+}
+
+func (f *syncCountFile) Sync() error {
+	f.n.Add(1)
+	return f.File.Sync()
+}
+
+// TestSealBatchCoalescesFsyncs: sealing N groups without waiting and then
+// waiting them all must cost exactly ONE fsync — the first Wait's leader
+// fsync covers every group sealed before it, and the remaining Waits see
+// their durability target already met.
+func TestSealBatchCoalescesFsyncs(t *testing.T) {
+	fs := &syncCountFS{FS: OSFS}
+	s, err := OpenDiskWith(t.TempDir(), DiskOptions{FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.CompactAt = 0
+
+	const groups = 5
+	tokens := make([]Durability, groups)
+	for i := 0; i < groups; i++ {
+		if err := s.BeginBatch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("idx", fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+		if tokens[i], err = s.SealBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := fs.syncs.Load()
+	// Wait newest-first: the single leader fsync of the last group's wait
+	// must satisfy every earlier group too.
+	for i := groups - 1; i >= 0; i-- {
+		if err := tokens[i].Wait(); err != nil {
+			t.Fatalf("wait group %d: %v", i, err)
+		}
+	}
+	if got := fs.syncs.Load() - before; got != 1 {
+		t.Fatalf("%d groups waited with %d fsyncs, want exactly 1 (coalesced)", groups, got)
+	}
+	// Waiting in seal order after new activity must not re-fsync either.
+	before = fs.syncs.Load()
+	for i := 0; i < groups; i++ {
+		if err := tokens[i].Wait(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := fs.syncs.Load() - before; got != 0 {
+		t.Fatalf("re-waiting durable groups issued %d fsyncs, want 0", got)
+	}
+}
+
+// TestSealBatchDurableAcrossReopen: sealed-and-waited groups survive a
+// reopen with all their records.
+func TestSealBatchDurableAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tok Durability
+	for i := 0; i < 3; i++ {
+		if err := s.BeginBatch(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Put("idx", fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d", i))); err != nil {
+			t.Fatal(err)
+		}
+		if tok, err = s.SealBatch(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tok.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	for i := 0; i < 3; i++ {
+		v, ok, err := s2.Get("idx", fmt.Sprintf("k%d", i))
+		if err != nil || !ok || string(v) != fmt.Sprintf("v%d", i) {
+			t.Fatalf("group %d lost across reopen: %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+// runPipelinedBatchTorture executes the batches with a pipelining depth of
+// two: batch i is sealed immediately, and batch i-1's durability is waited
+// only afterwards — the exact overlap the parallel ingest flushers drive.
+// durable counts batches whose Wait returned nil (the acked ones).
+func runPipelinedBatchTorture(ffs *FaultFS, dir string, batches [][]tortureOp) (started, durable int) {
+	s, err := OpenDiskWith(dir, DiskOptions{FS: ffs})
+	if err != nil {
+		return 0, 0
+	}
+	defer s.Close()
+	s.CompactAt = 0
+	var pending Durability
+	pendingIdx := -1
+	for i, b := range batches {
+		if err := s.BeginBatch(); err != nil {
+			return started, durable
+		}
+		started = i + 1
+		for _, op := range b {
+			switch op.kind {
+			case 'P':
+				err = s.Put(op.table, op.key, []byte(op.value))
+			case 'A':
+				err = s.Append(op.table, op.key, []byte(op.value))
+			case 'D':
+				err = s.Delete(op.table, op.key)
+			case 'T':
+				err = s.DropTable(op.table)
+			}
+			if err != nil {
+				s.AbortBatch(err)
+				return started, durable
+			}
+		}
+		tok, err := s.SealBatch()
+		if err != nil {
+			return started, durable
+		}
+		if pending != nil {
+			if err := pending.Wait(); err != nil {
+				return started, durable
+			}
+			durable = pendingIdx + 1
+		}
+		pending, pendingIdx = tok, i
+	}
+	if pending != nil {
+		if err := pending.Wait(); err != nil {
+			return started, durable
+		}
+		durable = pendingIdx + 1
+	}
+	return started, durable
+}
+
+// TestPipelinedBatchCrashAtEveryByte sweeps a power cut over every byte of
+// the pipelined (seal-then-wait-behind) write stream: a crash mid-coalesce
+// must never lose a batch whose Wait returned — recovery lands on a
+// whole-batch prefix of at least the acked batches.
+func TestPipelinedBatchCrashAtEveryByte(t *testing.T) {
+	batches := batchScript()
+	states := batchStates(batches)
+	root := t.TempDir()
+
+	probe := NewFaultFS(nil)
+	if n, d := runPipelinedBatchTorture(probe, filepath.Join(root, "probe"), batches); n != len(batches) || d != len(batches) {
+		t.Fatalf("clean run: started %d, durable %d of %d", n, d, len(batches))
+	}
+	total := probe.BytesWritten()
+	if total == 0 {
+		t.Fatal("probe run wrote nothing")
+	}
+
+	for b := int64(0); b < total; b++ {
+		ffs := NewFaultFS(nil)
+		ffs.CrashAfterBytes(b)
+		dir := filepath.Join(root, fmt.Sprintf("pb%05d", b))
+		started, durable := runPipelinedBatchTorture(ffs, dir, batches)
+		if !ffs.Crashed() {
+			t.Fatalf("byte budget %d never triggered (total %d)", b, total)
+		}
+		checkBatchRecovery(t, dir, states, durable, started, fmt.Sprintf("pipelined crash at byte %d", b))
+	}
+}
+
+// TestPipelinedBatchCrashAtEveryFSOp is the fs-op-granular variant, crossing
+// every fsync boundary of the coalesced stream.
+func TestPipelinedBatchCrashAtEveryFSOp(t *testing.T) {
+	batches := batchScript()
+	states := batchStates(batches)
+	root := t.TempDir()
+
+	probe := NewFaultFS(nil)
+	if n, _ := runPipelinedBatchTorture(probe, filepath.Join(root, "probe"), batches); n != len(batches) {
+		t.Fatalf("clean run stopped at batch %d", n)
+	}
+	total := probe.Ops()
+
+	for op := int64(0); op < total; op++ {
+		ffs := NewFaultFS(nil)
+		ffs.CrashAfterOps(op)
+		dir := filepath.Join(root, fmt.Sprintf("pop%05d", op))
+		started, durable := runPipelinedBatchTorture(ffs, dir, batches)
+		if !ffs.Crashed() {
+			t.Fatalf("op budget %d never triggered (total %d)", op, total)
+		}
+		checkBatchRecovery(t, dir, states, durable, started, fmt.Sprintf("pipelined crash at fs op %d", op))
+	}
+}

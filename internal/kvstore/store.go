@@ -73,3 +73,26 @@ type BatchWriter interface {
 	CommitBatch() error
 	AbortBatch(cause error)
 }
+
+// Durability is a sealed group's pending fsync. Wait blocks until the
+// group's commit marker is durable on disk (or the store failed) and may be
+// called from any goroutine, any number of times. Concurrent Waits share
+// fsyncs: one caller leads the fsync and every waiter whose group it covers
+// returns without issuing its own — the fsync-coalescing half of pipelined
+// group commits.
+type Durability interface {
+	Wait() error
+}
+
+// GroupCommitter extends BatchWriter with pipelined group commits: SealBatch
+// writes the group's commit marker and closes the group WITHOUT waiting for
+// the fsync, so the caller may open and write the next group while the disk
+// works, then make both durable with one shared fsync via the returned
+// handles. CommitBatch is exactly SealBatch followed by Wait. The
+// crash-recovery contract is unchanged — a group whose marker never reached
+// the disk rolls back whole — callers just must not acknowledge a group
+// before its Wait returns.
+type GroupCommitter interface {
+	BatchWriter
+	SealBatch() (Durability, error)
+}

@@ -50,3 +50,53 @@ func (g *groupWriter) AbortBatch(cause error) {
 		w.AbortBatch(cause)
 	}
 }
+
+// groupDurability aggregates the per-shard fsync handles of one sealed
+// fan-out group: Wait returns when every shard's commit marker is durable.
+type groupDurability struct {
+	ds []kvstore.Durability
+}
+
+func (g groupDurability) Wait() error {
+	var first error
+	for _, d := range g.ds {
+		if err := d.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// SealBatch implements kvstore.GroupCommitter across the fan-out: every
+// shard's group is sealed (commit marker written) without waiting for its
+// fsync, and the combined handle waits for all of them. A shard whose store
+// cannot seal falls back to a full CommitBatch, mirroring CommitBatch's
+// keep-going error policy: one shard's failure must not throw away the
+// durable work of the others, and the first error is returned.
+func (g *groupWriter) SealBatch() (kvstore.Durability, error) {
+	var first error
+	ds := make([]kvstore.Durability, 0, len(g.ws))
+	for _, w := range g.ws {
+		gc, ok := w.(kvstore.GroupCommitter)
+		if !ok {
+			if err := w.CommitBatch(); err != nil && first == nil {
+				first = err
+			}
+			continue
+		}
+		d, err := gc.SealBatch()
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		ds = append(ds, d)
+	}
+	if first != nil {
+		return nil, first
+	}
+	return groupDurability{ds: ds}, nil
+}
+
+var _ kvstore.GroupCommitter = (*groupWriter)(nil)

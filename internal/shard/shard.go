@@ -544,6 +544,22 @@ func (t *Tables) Batch() kvstore.BatchWriter {
 	return &groupWriter{ws: ws}
 }
 
+// ShardBatch implements storage.ShardedCommits: shard i's own group writer,
+// nil when that shard's store keeps no WAL. The per-shard writers are
+// independent — the ingest pipeline drives them concurrently, one flush
+// group per shard, where Batch()'s groupWriter would seal them one by one.
+func (t *Tables) ShardBatch(i int) kvstore.BatchWriter { return t.shards[i].Batch() }
+
+// ShardForTrace implements storage.ShardedCommits with the same routing the
+// write path uses for Seq rows.
+func (t *Tables) ShardForTrace(id model.TraceID) int { return TraceShard(id, len(t.shards)) }
+
+// ShardForPair implements storage.ShardedCommits with the same routing the
+// write path uses for Index, LastChecked and count-partial rows.
+func (t *Tables) ShardForPair(k model.PairKey) int { return PairShard(k, len(t.shards)) }
+
+var _ storage.ShardedCommits = (*Tables)(nil)
+
 // CacheStats sums the per-shard postings-cache counters.
 func (t *Tables) CacheStats() storage.CacheStats {
 	var out storage.CacheStats

@@ -108,6 +108,40 @@ func (t *Tables) Batch() kvstore.BatchWriter {
 // NumShards reports the single store backing this view.
 func (t *Tables) NumShards() int { return 1 }
 
+// ShardedCommits is the per-shard commit seam of the parallel flush path. A
+// backend that can expose its independent stores lets the ingest pipeline
+// partition one flush into per-store deltas and drive one WAL group per
+// store concurrently, instead of funneling every shard's group through a
+// single sequential commit. The routing functions must agree with where the
+// backend's write methods put each row — the pipeline partitions its deltas
+// with them and then writes each partition through the ordinary Backend
+// methods, relying on every row of partition i landing inside store i's
+// open group.
+type ShardedCommits interface {
+	// ShardBatch returns store i's crash-atomic group writer, or nil when
+	// that store keeps no WAL. Unlike Batch, the groups of different shards
+	// are begun, written and sealed independently (and possibly
+	// concurrently) by the caller.
+	ShardBatch(i int) kvstore.BatchWriter
+	// ShardForTrace is the shard a trace-keyed row (Seq) routes to.
+	ShardForTrace(id model.TraceID) int
+	// ShardForPair is the shard a pair-keyed row (Index, LastChecked, and
+	// the count partial registered under that pair's activity) routes to.
+	ShardForPair(k model.PairKey) int
+}
+
+// ShardBatch on the single-store backend is Batch: there is one store, and
+// every row routes to it.
+func (t *Tables) ShardBatch(i int) kvstore.BatchWriter { return t.Batch() }
+
+// ShardForTrace implements ShardedCommits (single store: everything is 0).
+func (t *Tables) ShardForTrace(id model.TraceID) int { return 0 }
+
+// ShardForPair implements ShardedCommits (single store: everything is 0).
+func (t *Tables) ShardForPair(k model.PairKey) int { return 0 }
+
+var _ ShardedCommits = (*Tables)(nil)
+
 // MergeSortedIndexEntries k-way merges per-partition rows already sorted by
 // (Trace, TsA, TsB) into one sorted slice. Exported for the sharded backend,
 // which merges per-shard rows with the exact comparator GetIndexSorted uses,

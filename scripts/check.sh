@@ -17,11 +17,17 @@ go test -race ./internal/query/... ./internal/storage/... ./internal/kvstore/...
 go test -race -run 'Crash|Corrupt' ./internal/kvstore/
 
 # Ingest tier: the streaming pipeline under the race detector, plus the
-# serial-equivalence oracle (streamed micro-batches must produce exactly
-# the tables of one serial Builder.Update) and the group-commit crash
-# sweep, run explicitly for the same reason as above.
+# serial-equivalence oracles (streamed micro-batches at 1, 2 and 4 ingest
+# workers — and 1 vs N sharded stores — must produce exactly the tables of
+# one serial Builder.Update), the group-commit crash sweeps (including the
+# sharded one: an acked flush is durable on EVERY store it touched, even
+# crashing mid-fsync-coalesce), and the parallel-flusher regression gates
+# (timer hygiene, all-or-nothing admission, producer/Flush/Forget hammer),
+# run explicitly for the same reason as above.
 go test -race ./internal/ingest/...
-go test -race -run 'StreamEqualsSerialBuilder|StreamCrash' ./internal/ingest/
+go test -race -run 'StreamEqualsSerialBuilder|StreamShardedEqualsSerial|StreamCrash|ShardedStreamCrash' ./internal/ingest/
+go test -race -run 'TimerHygiene|Admission|ParallelFlushersRaceHammer' ./internal/ingest/
+go test -race -run 'SealBatch|PipelinedBatch' ./internal/kvstore/
 
 # Metrics tier: the registry and the whole telemetry path under the race
 # detector (parallel queries + live ingest stream + concurrent /metrics

@@ -123,6 +123,12 @@ type Config struct {
 	FlushInterval time.Duration
 	// IngestQueue bounds the streaming input queue (backpressure).
 	IngestQueue int
+	// IngestInflight caps how many streaming flush cycles may be past
+	// extraction at once: 1 serializes commits (each cycle runs to
+	// durability before the next is handed off), 0 or 2 pipelines them
+	// (extraction and table writes of cycle N+1 overlap cycle N's fsync,
+	// and back-to-back cycles on one store coalesce their fsyncs).
+	IngestInflight int
 	// SlowQueryThreshold, when positive, logs every query taking at least
 	// this long as one structured line — family, pattern arity, rows
 	// scanned, duration — to SlowQueryLog.

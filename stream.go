@@ -27,6 +27,11 @@ type StreamOptions struct {
 	FlushInterval time.Duration
 	// QueueEvents bounds the input queue (backpressure threshold).
 	QueueEvents int
+	// Inflight caps how many flush cycles may be past extraction at once
+	// (the commit pipelining depth). 1 restores strictly serial commits;
+	// the default (2) lets extraction and table writes of one cycle overlap
+	// the previous cycle's fsync.
+	Inflight int
 	// Block makes Append wait for queue space instead of returning
 	// ErrOverloaded.
 	Block bool
@@ -86,6 +91,7 @@ func (e *Engine) OpenStream(opts StreamOptions) (*Appender, error) {
 			FlushEvents:   pick(opts.FlushEvents, e.cfg.FlushEvents),
 			FlushInterval: interval,
 			QueueEvents:   pick(opts.QueueEvents, e.cfg.IngestQueue),
+			MaxInflight:   pick(opts.Inflight, e.cfg.IngestInflight),
 			Block:         opts.Block,
 			CommitLock:    &e.mu,
 			BeforeCommit:  e.persistAlphabetIfGrown,
@@ -101,18 +107,21 @@ func (e *Engine) OpenStream(opts StreamOptions) (*Appender, error) {
 }
 
 // persistAlphabetIfGrown persists the interned alphabet when it grew since
-// the last persist. It runs under e.mu — as the pipeline's BeforeCommit
-// hook it executes inside the flush's atomic batch group, so new activity
-// names become durable in the same fsync as the events that introduced
-// them.
-func (e *Engine) persistAlphabetIfGrown() error {
+// the last persist, reporting whether it wrote. It runs under e.mu — as the
+// pipeline's BeforeCommit hook it executes inside the flush's atomic batch
+// group, so new activity names become durable in the same fsync as the
+// events that introduced them; on a sharded backend the pipeline uses the
+// grew report to force the meta store's group durable before the other
+// shards' groups seal.
+func (e *Engine) persistAlphabetIfGrown() (bool, error) {
 	if n := e.alphabet.Len(); n != e.persistedActs {
 		if err := e.persistAlphabet(); err != nil {
-			return err
+			return false, err
 		}
 		e.persistedActs = n
+		return true, nil
 	}
-	return nil
+	return false, nil
 }
 
 // intern converts public events to model events. Alphabet interning is
@@ -136,8 +145,8 @@ func (a *Appender) Append(events []Event) error {
 }
 
 // AppendCtx is Append with a cancellable admission wait: a caller blocked on
-// backpressure unblocks with ctx.Err() when ctx is done. Chunks admitted
-// before the cancellation stay admitted.
+// backpressure unblocks with ctx.Err() when ctx is done, and in that case
+// nothing of the batch was admitted — admission is all-or-nothing.
 func (a *Appender) AppendCtx(ctx context.Context, events []Event) error {
 	if a.closed {
 		return ingest.ErrClosed
