@@ -16,6 +16,16 @@
 // Every proxied response carries X-Seqrouter-Backend naming the backend that
 // answered. GET /metrics serves the router's own registry, including
 // seqrouter_backend_requests_total{backend,outcome}.
+//
+// With -shard-map FILE the router runs as a cross-shard query coordinator
+// instead: the file is a static placement map, one seqshard address per line
+// ('#' starts a comment), and the router opens a full query engine over
+// those remote stores (netshard, DESIGN.md §13) and serves the ordinary
+// seqserver HTTP API on -listen. Scatter-gather across shards, cancellation,
+// and sibling-abort follow the engine's usual contract; -primary/-replica
+// are not used in this mode.
+//
+//	seqrouter -listen :8090 -shard-map shards.txt -policy STNM
 package main
 
 import (
@@ -31,8 +41,10 @@ import (
 	"syscall"
 	"time"
 
+	"seqlog"
 	"seqlog/internal/metrics"
 	"seqlog/internal/replica"
+	"seqlog/internal/server"
 )
 
 // replicaList collects repeated -replica flags (comma-separated values work
@@ -54,21 +66,123 @@ func main() {
 	var replicas replicaList
 	var (
 		listen    = flag.String("listen", ":8090", "router listen address")
-		primary   = flag.String("primary", "", "primary seqserver base URL (required)")
+		primary   = flag.String("primary", "", "primary seqserver base URL (required unless -shard-map)")
 		probe     = flag.Duration("probe-interval", 2*time.Second, "backend readiness probe interval")
 		maxLagMB  = flag.Int64("max-lag-mb", 64, "drain replicas reporting more replication lag than this (negative disables)")
 		metricsOn = flag.Bool("metrics", true, "expose GET /metrics")
+
+		shardMap = flag.String("shard-map", "", "placement map file (one seqshard address per line); run as a cross-shard query coordinator instead of an HTTP balancer")
+		policy   = flag.String("policy", "STNM", "coordinator mode: pair policy, SC or STNM")
+		planner  = flag.Bool("planner", false, "coordinator mode: use the selectivity-based join planner")
+		workers  = flag.Int("query-workers", 0, "coordinator mode: continuation-query fan-out (0 = all cores)")
+
+		reqTimeout      = flag.Duration("request-timeout", 30*time.Second, "coordinator mode: per-request handling timeout (0 disables)")
+		queryTimeoutMS  = flag.Int("query-timeout-ms", 0, "coordinator mode: per-query deadline in milliseconds (0 disables)")
+		queryBudgetRows = flag.Int64("query-budget-rows", 0, "coordinator mode: per-query row budget (0 disables)")
 	)
 	flag.Var(&replicas, "replica", "read replica base URL (repeatable, or comma-separated)")
 	flag.Parse()
+	if *shardMap != "" {
+		err := runCoordinator(*listen, *shardMap, *policy, *planner, *workers,
+			*reqTimeout, *queryTimeoutMS, *queryBudgetRows, *metricsOn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "seqrouter:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *primary == "" {
-		fmt.Fprintln(os.Stderr, "seqrouter: -primary is required")
+		fmt.Fprintln(os.Stderr, "seqrouter: -primary is required (or -shard-map for coordinator mode)")
 		os.Exit(2)
 	}
 	if err := run(*listen, *primary, replicas, *probe, *maxLagMB, *metricsOn); err != nil {
 		fmt.Fprintln(os.Stderr, "seqrouter:", err)
 		os.Exit(1)
 	}
+}
+
+// parseShardMap reads a static placement map: one shard-server address per
+// line, in shard order; blank lines and '#' comments are skipped.
+func parseShardMap(path string) ([]string, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var addrs []string
+	for i, line := range strings.Split(string(raw), "\n") {
+		if idx := strings.IndexByte(line, '#'); idx >= 0 {
+			line = line[:idx]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.ContainsAny(line, " \t") {
+			return nil, fmt.Errorf("shard map %s:%d: one address per line, got %q", path, i+1, line)
+		}
+		addrs = append(addrs, line)
+	}
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("shard map %s: no shard addresses", path)
+	}
+	return addrs, nil
+}
+
+// runCoordinator serves the full seqserver HTTP API over an engine whose
+// stores are remote seqshard processes.
+func runCoordinator(listen, shardMap, policy string, planner bool, workers int,
+	reqTimeout time.Duration, queryTimeoutMS int, queryBudgetRows int64, metricsOn bool) error {
+	addrs, err := parseShardMap(shardMap)
+	if err != nil {
+		return err
+	}
+	eng, err := seqlog.Open(seqlog.Config{
+		ShardAddrs:   addrs,
+		Policy:       policy,
+		Planner:      planner,
+		QueryWorkers: workers,
+	})
+	if err != nil {
+		return err
+	}
+
+	handler := server.NewWith(eng, server.Options{
+		RequestTimeout:         reqTimeout,
+		QueryTimeout:           time.Duration(queryTimeoutMS) * time.Millisecond,
+		QueryBudgetRows:        queryBudgetRows,
+		DisableMetricsEndpoint: !metricsOn,
+	})
+	srv := &http.Server{Addr: listen, Handler: handler, ReadHeaderTimeout: 10 * time.Second}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() {
+		log.Printf("seqrouter coordinating %d shards from %s, listening on %s", len(addrs), shardMap, listen)
+		serveErr <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-serveErr:
+		eng.Close()
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("seqrouter: drain incomplete: %v", err)
+	}
+	if err := eng.Close(); err != nil {
+		return fmt.Errorf("close shard clients: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("seqrouter stopped cleanly")
+	return nil
 }
 
 func run(listen, primary string, replicas []string, probe time.Duration, maxLagMB int64, metricsOn bool) error {

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -46,9 +47,10 @@ func main() {
 		workers = flag.Int("query-workers", 0, "continuation-query fan-out (0 = all cores, 1 = serial)")
 		salvage = flag.Bool("salvage", false, "recover a corrupt store by quarantining unreadable regions instead of failing")
 
-		shards   = flag.Int("shards", 0, "split the index across N independent stores (0/1 = single store; pinned at creation)")
-		shardDir = flag.String("shard-dir", "", "base directory for shard-NNNN stores (default: -dir)")
-		segments = flag.Bool("segments", false, "compact postings into immutable block-compressed segment files (requires -dir)")
+		shards     = flag.Int("shards", 0, "split the index across N independent stores (0/1 = single store; pinned at creation)")
+		shardDir   = flag.String("shard-dir", "", "base directory for shard-NNNN stores (default: -dir)")
+		shardAddrs = flag.String("shard-addrs", "", "comma-separated seqshard server addresses; the engine runs over remote stores instead of -dir (excludes -dir/-shard-dir/-segments/-follow)")
+		segments   = flag.Bool("segments", false, "compact postings into immutable block-compressed segment files (requires -dir)")
 
 		ingestWorkers = flag.Int("ingest-workers", 0, "streaming-ingest shard workers (0 = all cores)")
 		flushEvents   = flag.Int("flush-events", 0, "streaming-ingest flush threshold in events (0 = default 1024)")
@@ -90,6 +92,17 @@ func main() {
 	}
 	if *slowQueryMS > 0 {
 		cfg.SlowQueryThreshold = time.Duration(*slowQueryMS) * time.Millisecond
+	}
+	if *shardAddrs != "" {
+		for _, a := range strings.Split(*shardAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.ShardAddrs = append(cfg.ShardAddrs, a)
+			}
+		}
+		if *follow != "" {
+			fmt.Fprintln(os.Stderr, "seqserver: -shard-addrs and -follow are mutually exclusive")
+			os.Exit(2)
+		}
 	}
 	if *follow != "" {
 		*readOnly = true

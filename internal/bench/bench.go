@@ -87,7 +87,7 @@ func Experiments() []string {
 		"figure4", "table8", "figure5", "figure6", "figure7",
 		"recall", "incremental", "partitions", "baseline19", "joinorder",
 		"ingest", "metrics-overhead", "shards", "postings", "cancel",
-		"replica",
+		"replica", "netshard",
 	}
 }
 
@@ -138,6 +138,8 @@ func (r *Runner) Run(name string) error {
 		return r.Cancel()
 	case "replica":
 		return r.Replica()
+	case "netshard":
+		return r.Netshard()
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", name, Experiments())
 	}

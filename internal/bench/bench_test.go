@@ -62,7 +62,7 @@ func TestExperimentsListMatchesDispatch(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if len(Experiments()) != 22 {
+	if len(Experiments()) != 23 {
 		t.Fatalf("experiment count = %d", len(Experiments()))
 	}
 }

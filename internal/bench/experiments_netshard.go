@@ -1,0 +1,253 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"time"
+
+	"seqlog/internal/index"
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/netshard"
+	"seqlog/internal/pairs"
+	"seqlog/internal/query"
+	"seqlog/internal/shard"
+	"seqlog/internal/storage"
+)
+
+// netshardResult is one row of BENCH_netshard.json.
+type netshardResult struct {
+	Backend      string  `json:"backend"`
+	Shards       int     `json:"shards"`
+	BuildSeconds float64 `json:"buildSeconds"`
+	BuildEvtSec  float64 `json:"buildEventsPerSec"`
+	QuerySeconds float64 `json:"querySeconds"`
+	QueriesSec   float64 `json:"queriesPerSec"`
+	QueryVsLocal float64 `json:"queryVsLocal"` // same-shard-count local / net
+}
+
+// Netshard measures the wire tax: the same build and concurrent-detection
+// workload on (a) the local single store, (b) a local 2-shard backend, and
+// (c) a 2-server netshard fleet over loopback TCP — the deployment shape of
+// DESIGN.md §13 minus the process boundary. Loopback servers run inside this
+// process, so the experiment shows protocol + framing + scheduling overhead,
+// not a second machine's cores: on one box the net backend CANNOT beat the
+// in-process backend — the honest headline is how small the tax is, and that
+// the scatter-gather shape is preserved. Results are byte-identical across
+// all three (the netshard differential oracle asserts that).
+func (r *Runner) Netshard() error {
+	spec := r.datasets()[0]
+	log := r.log(spec)
+	events := log.Events()
+	if len(events) == 0 {
+		return fmt.Errorf("netshard: dataset %s is empty", spec.Name)
+	}
+	patterns := samplePatterns(log, 3, 32, 42)
+	clients := r.cfg.Workers
+	if clients <= 0 {
+		clients = runtime.GOMAXPROCS(0)
+	}
+
+	r.section("Netshard — remote shard servers vs in-process",
+		fmt.Sprintf("dataset=%s events=%d patterns=%d clients=%d policy=STNM/indexing; loopback TCP, single machine (no extra cores: measures wire tax, not scale-out)",
+			spec.Name, len(events), len(patterns), clients))
+
+	type point struct {
+		name   string
+		shards int
+		make   func() (storage.Backend, func(), error)
+	}
+	points := []point{
+		{"local-1", 1, func() (storage.Backend, func(), error) {
+			b, err := shardBackend(1)
+			return b, func() {}, err
+		}},
+		{"local-2", 2, func() (storage.Backend, func(), error) {
+			b, err := shardBackend(2)
+			return b, func() {}, err
+		}},
+		{"net-2", 2, func() (storage.Backend, func(), error) { return netshardBackend(2) }},
+	}
+
+	var results []netshardResult
+	localByShards := map[int]float64{}
+	for _, pt := range points {
+		buildSec, qSec, err := r.netshardRun(pt.make, events, patterns, clients)
+		if err != nil {
+			return fmt.Errorf("netshard %s: %w", pt.name, err)
+		}
+		res := netshardResult{
+			Backend:      pt.name,
+			Shards:       pt.shards,
+			BuildSeconds: buildSec,
+			BuildEvtSec:  float64(len(events)) / buildSec,
+			QuerySeconds: qSec,
+			QueriesSec:   float64(clients*len(patterns)*r.cfg.QueryRepeats) / qSec,
+		}
+		if local, ok := localByShards[pt.shards]; ok {
+			res.QueryVsLocal = qSec / local
+		} else {
+			localByShards[pt.shards] = qSec
+			res.QueryVsLocal = 1
+		}
+		results = append(results, res)
+	}
+
+	rows := make([][]string, 0, len(results))
+	for _, res := range results {
+		rows = append(rows, []string{
+			res.Backend,
+			fmt.Sprint(res.Shards),
+			fmt.Sprintf("%.3f", res.BuildSeconds),
+			fmt.Sprintf("%.0f", res.BuildEvtSec),
+			fmt.Sprintf("%.3f", res.QuerySeconds),
+			fmt.Sprintf("%.0f", res.QueriesSec),
+			fmt.Sprintf("%.2fx", res.QueryVsLocal),
+		})
+	}
+	r.table([]string{"backend", "shards", "build s", "build ev/s", "query s", "queries/s", "query cost vs local"}, rows)
+
+	if r.cfg.JSONDir == "" {
+		return nil
+	}
+	raw, err := json.MarshalIndent(map[string]any{
+		"experiment": "netshard",
+		"dataset":    spec.Name,
+		"patterns":   len(patterns),
+		"clients":    clients,
+		"note":       "loopback TCP on one machine: measures protocol overhead, not multi-machine scale-out",
+		"results":    results,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(r.cfg.JSONDir, "BENCH_netshard.json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(r.out(), "wrote %s\n", path)
+	return nil
+}
+
+// netshardBackend stands up n in-memory shard servers on loopback TCP and
+// returns a sharded backend of netshard clients plus a teardown.
+func netshardBackend(n int) (storage.Backend, func(), error) {
+	var (
+		srvs     []*netshard.Server
+		tabs     []*storage.Tables
+		stores   []kvstore.Store
+		clients  []storage.Backend
+		teardown = func() {}
+	)
+	cleanup := func() {
+		for _, c := range clients {
+			c.Close()
+		}
+		for _, s := range srvs {
+			s.Close()
+		}
+		for _, tb := range tabs {
+			tb.Close()
+		}
+		for _, st := range stores {
+			st.Close()
+		}
+	}
+	for i := 0; i < n; i++ {
+		store := kvstore.NewMemStore()
+		tab := storage.NewTables(store)
+		srv := netshard.NewServer(tab, store, netshard.ServerOptions{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		go srv.Serve(ln)
+		stores = append(stores, store)
+		tabs = append(tabs, tab)
+		srvs = append(srvs, srv)
+		cl, err := netshard.Dial(ln.Addr().String(), netshard.Options{Shard: i})
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		clients = append(clients, cl)
+	}
+	st, err := shard.NewFromBackends(clients, shard.Options{})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	teardown = cleanup
+	return st, teardown, nil
+}
+
+// netshardRun mirrors shardRun with a backend factory that may carry remote
+// resources needing teardown.
+func (r *Runner) netshardRun(mk func() (storage.Backend, func(), error), events []model.Event, patterns []model.Pattern, clients int) (buildSec, querySec float64, err error) {
+	var backend storage.Backend
+	teardown := func() {}
+	var buildTotal time.Duration
+	for rep := 0; rep < r.cfg.BuildRepeats; rep++ {
+		teardown()
+		backend, teardown, err = mk()
+		if err != nil {
+			return 0, 0, err
+		}
+		b, err := index.NewBuilder(backend, index.Options{Policy: model.STNM, Method: pairs.Indexing, Workers: r.cfg.Workers})
+		if err != nil {
+			teardown()
+			return 0, 0, err
+		}
+		start := time.Now()
+		if _, err := b.Update(events); err != nil {
+			teardown()
+			return 0, 0, err
+		}
+		buildTotal += time.Since(start)
+	}
+	defer teardown()
+	buildSec = (buildTotal / time.Duration(r.cfg.BuildRepeats)).Seconds()
+
+	proc := query.NewProcessor(backend)
+	// Warm caches (and conn pools for the net backend) so every point is
+	// measured hot.
+	for _, p := range patterns {
+		if _, err := proc.Detect(context.Background(), p); err != nil {
+			return 0, 0, err
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		firstErr error
+		errMu    sync.Mutex
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < r.cfg.QueryRepeats; rep++ {
+				for _, p := range patterns {
+					if _, err := proc.Detect(context.Background(), p); err != nil {
+						errMu.Lock()
+						if firstErr == nil {
+							firstErr = err
+						}
+						errMu.Unlock()
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	querySec = time.Since(start).Seconds()
+	return buildSec, querySec, firstErr
+}

@@ -1,0 +1,391 @@
+package netshard
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/storage"
+)
+
+// chaosProxy is a TCP proxy in front of a shard server — the network a
+// remote store actually lives on. Modes are switched at runtime:
+//
+//	pass   — relay both directions
+//	cut    — kill the connection after relaying cutAfter server bytes
+//	stall  — accept and relay the request, then sit on the response
+//	refuse — accept and immediately close
+type chaosProxy struct {
+	ln      net.Listener
+	backend string
+	mode    atomic.Int32
+	cutAt   atomic.Int64
+	wg      sync.WaitGroup
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+}
+
+const (
+	modePass int32 = iota
+	modeCut
+	modeStall
+	modeRefuse
+)
+
+func newChaosProxy(t *testing.T, backend string) *chaosProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &chaosProxy{ln: ln, backend: backend, conns: make(map[net.Conn]struct{})}
+	p.wg.Add(1)
+	go p.accept()
+	t.Cleanup(p.Close)
+	return p
+}
+
+func (p *chaosProxy) Addr() string { return p.ln.Addr().String() }
+
+func (p *chaosProxy) Close() {
+	p.ln.Close()
+	p.mu.Lock()
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *chaosProxy) track(c net.Conn) {
+	p.mu.Lock()
+	p.conns[c] = struct{}{}
+	p.mu.Unlock()
+}
+
+func (p *chaosProxy) untrack(c net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, c)
+	p.mu.Unlock()
+	c.Close()
+}
+
+func (p *chaosProxy) accept() {
+	defer p.wg.Done()
+	for {
+		c, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		if p.mode.Load() == modeRefuse {
+			c.Close()
+			continue
+		}
+		up, err := net.Dial("tcp", p.backend)
+		if err != nil {
+			c.Close()
+			continue
+		}
+		p.track(c)
+		p.track(up)
+		p.wg.Add(2)
+		go p.relay(up, c, false) // client -> server: requests always flow
+		go p.relay(c, up, true)  // server -> client: the chaotic direction
+	}
+}
+
+// relay copies src into dst, applying the chaos modes on the server->client
+// leg. Closes both on exit so the peer relay unblocks.
+func (p *chaosProxy) relay(dst, src net.Conn, chaotic bool) {
+	defer p.wg.Done()
+	defer p.untrack(dst)
+	defer p.untrack(src)
+	var relayed int64
+	buf := make([]byte, 4096)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if chaotic {
+				switch p.mode.Load() {
+				case modeCut:
+					cut := p.cutAt.Load()
+					if relayed+int64(n) >= cut {
+						dst.Write(buf[:max64(cut-relayed, 0)])
+						return // drop both conns mid-frame
+					}
+				case modeStall:
+					// Swallow the response until the conn dies under us.
+					relayed += int64(n)
+					continue
+				}
+			}
+			relayed += int64(n)
+			if _, werr := dst.Write(buf[:n]); werr != nil {
+				return
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// startChaos stands up a real shard server with a chaos proxy in front and a
+// client dialed through the proxy.
+func startChaos(t *testing.T, rows int) (*Client, *chaosProxy) {
+	t.Helper()
+	store := kvstore.NewMemStore()
+	tab := storage.NewTables(store)
+	for i := 0; i < rows; i++ {
+		if err := tab.AppendSeq(model.TraceID(i), []model.TraceEvent{{Activity: 1, TS: model.Timestamp(i)}, {Activity: 2, TS: model.Timestamp(i + 1000)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(tab, store, ServerOptions{})
+	go srv.Serve(ln)
+	t.Cleanup(func() { srv.Close() })
+
+	proxy := newChaosProxy(t, ln.Addr().String())
+	cl, err := Dial(proxy.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cl.Close() })
+	return cl, proxy
+}
+
+// TestChaosCutMidResponse: a connection dropped mid-frame surfaces as a
+// typed *OpError (never a decoded half-answer), and the very next RPC
+// transparently reconnects and succeeds.
+func TestChaosCutMidResponse(t *testing.T) {
+	cl, proxy := startChaos(t, 500)
+	ctx := context.Background()
+
+	// Sanity through the passing proxy.
+	if n, err := cl.NumTraces(ctx); err != nil || n != 500 {
+		t.Fatalf("NumTraces through proxy = %d, %v", n, err)
+	}
+
+	// Cut after a few KB: a multi-frame scan dies mid-stream.
+	proxy.cutAt.Store(3000)
+	proxy.mode.Store(modeCut)
+	err := cl.ScanSeq(ctx, func(model.TraceID, []model.TraceEvent) error { return nil })
+	if err == nil {
+		t.Fatal("scan across a cut connection succeeded")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) {
+		t.Fatalf("cut error is %T (%v), want *OpError", err, err)
+	}
+	if oe.Op != "scan_seq" || oe.Addr == "" {
+		t.Fatalf("OpError lacks context: %+v", oe)
+	}
+
+	// Heal the network: the client must dial a fresh conn and recover.
+	proxy.mode.Store(modePass)
+	before := cl.Reconnects()
+	if n, err := cl.NumTraces(ctx); err != nil || n != 500 {
+		t.Fatalf("post-heal NumTraces = %d, %v", n, err)
+	}
+	if cl.Reconnects() <= before {
+		t.Fatalf("reconnect counter did not move: %d", cl.Reconnects())
+	}
+}
+
+// TestChaosRefusedConn: with the proxy refusing connections the client
+// reports a typed *OpError naming the dial, not a hang.
+func TestChaosRefusedConn(t *testing.T) {
+	cl, proxy := startChaos(t, 1)
+	// Poison the pooled conn first so the next RPC has to dial.
+	proxy.mode.Store(modeCut)
+	proxy.cutAt.Store(0)
+	cl.ScanSeq(context.Background(), func(model.TraceID, []model.TraceEvent) error { return nil })
+	proxy.mode.Store(modeRefuse)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, err := cl.NumTraces(ctx)
+	if err == nil {
+		t.Fatal("RPC through refusing proxy succeeded")
+	}
+	var oe *OpError
+	if !errors.As(err, &oe) && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("refused-conn error is %T (%v), want *OpError or deadline", err, err)
+	}
+}
+
+// TestChaosStallCancelBounded: a stalled network (request delivered, response
+// never comes) must not wedge the caller — cancellation trips the RPC within
+// a bounded wall clock and returns the context's own error.
+func TestChaosStallCancelBounded(t *testing.T) {
+	cl, proxy := startChaos(t, 100)
+	proxy.mode.Store(modeStall)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := cl.NumTraces(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stalled RPC err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancel over a stalled network took %v", d)
+	}
+}
+
+// TestChaosNoGoroutineLeak hammers the client through every chaos mode with
+// concurrent cancellations, then asserts the process converges back to its
+// goroutine baseline — no watcher, relay, or pool goroutine outlives its RPC.
+func TestChaosNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// Built by hand (not startChaos) so the server is closed before the
+	// leak check rather than by t.Cleanup after it.
+	store := kvstore.NewMemStore()
+	tab := storage.NewTables(store)
+	for i := 0; i < 200; i++ {
+		if err := tab.AppendSeq(model.TraceID(i), []model.TraceEvent{{Activity: 1, TS: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(tab, store, ServerOptions{})
+	go srv.Serve(ln)
+	proxy := newChaosProxy(t, ln.Addr().String())
+	cl, err := Dial(proxy.Addr(), Options{})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	modes := []int32{modePass, modeCut, modeStall, modePass, modeRefuse, modePass}
+	proxy.cutAt.Store(1500)
+	for round, m := range modes {
+		proxy.mode.Store(m)
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				defer cancel()
+				switch i % 3 {
+				case 0:
+					cl.NumTraces(ctx)
+				case 1:
+					cl.ScanSeq(ctx, func(model.TraceID, []model.TraceEvent) error { return nil })
+				default:
+					cl.GetSeq(ctx, model.TraceID(i))
+				}
+			}(round*8 + i)
+		}
+		wg.Wait()
+	}
+	proxy.mode.Store(modePass)
+	if _, err := cl.NumTraces(context.Background()); err != nil {
+		t.Fatalf("client did not recover after chaos: %v", err)
+	}
+
+	cl.Close()
+	proxy.Close()
+	srv.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > baseline {
+		buf := make([]byte, 1<<16)
+		t.Errorf("goroutines leaked after chaos: %d running, baseline %d\n%s",
+			g, baseline, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestChaosServerDeathMidStream kills the real server (not the proxy) while
+// a scan is in flight: the client must fail typed, and once a new server is
+// listening on the same address it must recover without a new Dial.
+func TestChaosServerDeathMidStream(t *testing.T) {
+	store := kvstore.NewMemStore()
+	tab := storage.NewTables(store)
+	// The scan response must span several stream frames (chunkTarget is
+	// 4 MiB) so the server's death lands mid-stream, not after the whole
+	// answer is already buffered client-side.
+	evs := make([]model.TraceEvent, 400)
+	for j := range evs {
+		evs[j] = model.TraceEvent{Activity: model.ActivityID(j % 7), TS: model.Timestamp(j)}
+	}
+	for i := 0; i < 6000; i++ {
+		if err := tab.AppendSeq(model.TraceID(i), evs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	srv := NewServer(tab, store, ServerOptions{})
+	go srv.Serve(ln)
+
+	cl, err := Dial(addr, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	killed := false
+	err = cl.ScanSeq(context.Background(), func(id model.TraceID, _ []model.TraceEvent) error {
+		if !killed {
+			killed = true
+			srv.Close() // rip the server out mid-scan
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("scan survived its server dying")
+	}
+	// Two legitimate typed outcomes, depending on who loses the race: the
+	// connection dies under the client (*OpError), or the closing server
+	// manages to flush its abort as a wire-level error first (remoteError).
+	var oe *OpError
+	var re *remoteError
+	if !errors.As(err, &oe) && !errors.As(err, &re) {
+		t.Fatalf("server-death error is %T (%v), want *OpError or remote error", err, err)
+	}
+
+	// Resurrect on the same address: the client's next RPC redials.
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebind %s: %v", addr, err)
+	}
+	srv2 := NewServer(tab, store, ServerOptions{})
+	go srv2.Serve(ln2)
+	defer srv2.Close()
+	if n, err := cl.NumTraces(context.Background()); err != nil || n != 6000 {
+		t.Fatalf("post-restart NumTraces = %d, %v", n, err)
+	}
+}

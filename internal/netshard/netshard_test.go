@@ -1,0 +1,408 @@
+package netshard
+
+import (
+	"context"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"seqlog/internal/kvstore"
+	"seqlog/internal/model"
+	"seqlog/internal/storage"
+)
+
+// startServer serves tab/store on a loopback listener and returns a dialed
+// client. Cleanup closes client then server.
+func startServer(t *testing.T, tab *storage.Tables, store kvstore.Store, so ServerOptions) (*Client, *Server) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(tab, store, so)
+	go srv.Serve(ln)
+	cl, err := Dial(ln.Addr().String(), Options{})
+	if err != nil {
+		srv.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		srv.Close()
+	})
+	return cl, srv
+}
+
+func memBackends(t *testing.T) (*Client, *storage.Tables) {
+	t.Helper()
+	store := kvstore.NewMemStore()
+	tab := storage.NewTables(store)
+	cl, _ := startServer(t, tab, store, ServerOptions{})
+	return cl, tab
+}
+
+// TestNetShardRoundTrip drives every table's read and write surface through
+// the wire and compares against direct local access — same rows in, same
+// rows out, byte-for-byte via reflect.DeepEqual on the decoded forms.
+func TestNetShardRoundTrip(t *testing.T) {
+	cl, tab := memBackends(t)
+	ctx := context.Background()
+
+	// Seq table.
+	events := []model.TraceEvent{{Activity: 1, TS: 100}, {Activity: 2, TS: 250}}
+	if err := cl.AppendSeq(7, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AppendSeq(9, events[:1]); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := cl.GetSeq(ctx, 7)
+	if err != nil || !ok || !reflect.DeepEqual(got, events) {
+		t.Fatalf("GetSeq = %v, %v, %v; want %v", got, ok, err, events)
+	}
+	if _, ok, _ := cl.GetSeq(ctx, 999); ok {
+		t.Fatal("GetSeq(999) found a row")
+	}
+	n, err := cl.NumTraces(ctx)
+	if err != nil || n != 2 {
+		t.Fatalf("NumTraces = %d, %v", n, err)
+	}
+	seen := map[model.TraceID]int{}
+	if err := cl.ScanSeq(ctx, func(id model.TraceID, evs []model.TraceEvent) error {
+		seen[id] = len(evs)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seen, map[model.TraceID]int{7: 2, 9: 1}) {
+		t.Fatalf("ScanSeq saw %v", seen)
+	}
+	if err := cl.DeleteSeq(9); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ = cl.NumTraces(ctx); n != 1 {
+		t.Fatalf("NumTraces after delete = %d", n)
+	}
+
+	// Index table.
+	pair := model.NewPairKey(1, 2)
+	entries := []storage.IndexEntry{{Trace: 7, TsA: 100, TsB: 250}, {Trace: 3, TsA: 50, TsB: 60}}
+	if err := cl.AppendIndex("p1", pair, entries); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AppendIndex("p2", pair, entries[:1]); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		via  func() ([]storage.IndexEntry, error)
+		ref  func() ([]storage.IndexEntry, error)
+	}{
+		{"GetIndex", func() ([]storage.IndexEntry, error) { return cl.GetIndex(ctx, "p1", pair) },
+			func() ([]storage.IndexEntry, error) { return tab.GetIndex(ctx, "p1", pair) }},
+		{"GetIndexAll", func() ([]storage.IndexEntry, error) { return cl.GetIndexAll(ctx, pair) },
+			func() ([]storage.IndexEntry, error) { return tab.GetIndexAll(ctx, pair) }},
+		{"GetIndexSorted", func() ([]storage.IndexEntry, error) { return cl.GetIndexSorted(ctx, "p1", pair) },
+			func() ([]storage.IndexEntry, error) { return tab.GetIndexSorted(ctx, "p1", pair) }},
+		{"GetIndexAllSorted", func() ([]storage.IndexEntry, error) { return cl.GetIndexAllSorted(ctx, pair) },
+			func() ([]storage.IndexEntry, error) { return tab.GetIndexAllSorted(ctx, pair) }},
+	} {
+		got, err := tc.via()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want, err := tc.ref()
+		if err != nil {
+			t.Fatalf("%s local: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s = %v, want %v", tc.name, got, want)
+		}
+	}
+	p, err := cl.GetPostings(ctx, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := tab.GetPostings(ctx, pair)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != lp.Total() {
+		t.Fatalf("GetPostings total %d, want %d", p.Total(), lp.Total())
+	}
+	pairsSeen := 0
+	if err := cl.ScanIndex(ctx, "p1", func(pk model.PairKey, es []storage.IndexEntry) error {
+		pairsSeen++
+		if pk != pair || len(es) != 2 {
+			t.Errorf("ScanIndex row %d/%v", pk, es)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if pairsSeen != 1 {
+		t.Fatalf("ScanIndex saw %d pairs", pairsSeen)
+	}
+	if n, err := cl.NumIndexedPairs(ctx, "p1"); err != nil || n != 1 {
+		t.Fatalf("NumIndexedPairs = %d, %v", n, err)
+	}
+	periods, err := cl.Periods(ctx)
+	if err != nil || !reflect.DeepEqual(periods, []string{"p1", "p2"}) {
+		t.Fatalf("Periods = %v, %v", periods, err)
+	}
+	if err := cl.DropPeriod("p2"); err != nil {
+		t.Fatal(err)
+	}
+	if periods, _ = cl.Periods(ctx); !reflect.DeepEqual(periods, []string{"p1"}) {
+		t.Fatalf("Periods after drop = %v", periods)
+	}
+
+	// Count tables.
+	if err := cl.MergeCounts(1, []storage.CountEntry{{Other: 2, SumDuration: 150, Completions: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MergeCounts(1, []storage.CountEntry{{Other: 2, SumDuration: 10, Completions: 1}, {Other: 3, SumDuration: 5, Completions: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.MergeReverseCounts(2, []storage.CountEntry{{Other: 1, SumDuration: 160, Completions: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	counts, err := cl.GetCounts(ctx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []storage.CountEntry{{Other: 2, SumDuration: 160, Completions: 2}, {Other: 3, SumDuration: 5, Completions: 1}}
+	if !reflect.DeepEqual(counts, want) {
+		t.Fatalf("GetCounts = %v, want %v", counts, want)
+	}
+	rcounts, err := cl.GetReverseCounts(ctx, 2)
+	if err != nil || len(rcounts) != 1 || rcounts[0].Completions != 2 {
+		t.Fatalf("GetReverseCounts = %v, %v", rcounts, err)
+	}
+	e, ok, err := cl.GetPairCount(ctx, 1, 2)
+	if err != nil || !ok || e.SumDuration != 160 || e.Completions != 2 {
+		t.Fatalf("GetPairCount = %v, %v, %v", e, ok, err)
+	}
+	if _, ok, _ := cl.GetPairCount(ctx, 5, 6); ok {
+		t.Fatal("GetPairCount(5,6) found")
+	}
+
+	// LastChecked table.
+	if err := cl.MergeLastChecked(pair, map[model.TraceID]model.Timestamp{7: 250, 3: 60}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cl.GetLastChecked(ctx, pair)
+	if err != nil || !reflect.DeepEqual(m, map[model.TraceID]model.Timestamp{7: 250, 3: 60}) {
+		t.Fatalf("GetLastChecked = %v, %v", m, err)
+	}
+	if err := cl.PruneLastChecked(map[model.TraceID]bool{3: true}); err != nil {
+		t.Fatal(err)
+	}
+	if m, _ = cl.GetLastChecked(ctx, pair); len(m) != 1 {
+		t.Fatalf("GetLastChecked after prune = %v", m)
+	}
+
+	// Meta table.
+	if err := cl.PutMeta("policy", []byte("STNM")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := cl.GetMeta("policy")
+	if err != nil || !ok || string(v) != "STNM" {
+		t.Fatalf("GetMeta = %q, %v, %v", v, ok, err)
+	}
+	if _, ok, _ = cl.GetMeta("absent"); ok {
+		t.Fatal("GetMeta(absent) found")
+	}
+
+	// Segments are not configured on this server: the typed sentinel must
+	// survive the wire.
+	if err := cl.FreezePostings(); !errors.Is(err, storage.ErrSegmentsDisabled) {
+		t.Fatalf("FreezePostings = %v, want ErrSegmentsDisabled", err)
+	}
+	// And the message must be the server's verbatim (the differential
+	// oracle compares error strings byte-for-byte).
+	if err := cl.FreezePostings(); err.Error() != storage.ErrSegmentsDisabled.Error() {
+		t.Fatalf("remote error string %q != local %q", err.Error(), storage.ErrSegmentsDisabled.Error())
+	}
+
+	if err := cl.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumShards() != 1 {
+		t.Fatal("NumShards != 1")
+	}
+	// MemStore-backed server: no WAL, no group writer — the local contract.
+	if cl.Batch() != nil {
+		t.Fatal("Batch() non-nil over a WAL-less store")
+	}
+}
+
+// TestNetShardBatchDurable ships a commit group to a disk-backed server and
+// proves the acked group survives reopening the store.
+func TestNetShardBatchDurable(t *testing.T) {
+	dir := t.TempDir()
+	store, err := kvstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := storage.NewTables(store)
+	cl, srv := startServer(t, tab, store, ServerOptions{})
+
+	bw := cl.Batch()
+	if bw == nil {
+		t.Fatal("Batch() nil over a WAL-backed store")
+	}
+	if err := bw.BeginBatch(); err != nil {
+		t.Fatal(err)
+	}
+	events := []model.TraceEvent{{Activity: 1, TS: 10}}
+	if err := cl.AppendSeq(1, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AppendIndex("p", model.NewPairKey(1, 2), []storage.IndexEntry{{Trace: 1, TsA: 10, TsB: 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.PutMeta("alphabet", []byte("a\x00b")); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing visible server-side until the group commits.
+	if n, _ := tab.NumTraces(context.Background()); n != 0 {
+		t.Fatalf("buffered write leaked to the server: %d traces", n)
+	}
+	if err := bw.CommitBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := tab.NumTraces(context.Background()); n != 1 {
+		t.Fatalf("committed group not applied: %d traces", n)
+	}
+
+	// An aborted group leaves no trace.
+	if err := bw.BeginBatch(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.AppendSeq(2, events); err != nil {
+		t.Fatal(err)
+	}
+	bw.AbortBatch(errors.New("test abort"))
+	if n, _ := tab.NumTraces(context.Background()); n != 1 {
+		t.Fatalf("aborted group applied: %d traces", n)
+	}
+
+	// Reopen: the acked group must be on disk.
+	cl.Close()
+	srv.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, err := kvstore.OpenDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	tab2 := storage.NewTables(store2)
+	got, ok, err := tab2.GetSeq(context.Background(), 1)
+	if err != nil || !ok || !reflect.DeepEqual(got, events) {
+		t.Fatalf("after reopen GetSeq = %v, %v, %v", got, ok, err)
+	}
+	if v, ok, _ := tab2.GetMeta("alphabet"); !ok || string(v) != "a\x00b" {
+		t.Fatalf("after reopen GetMeta = %q, %v", v, ok)
+	}
+}
+
+// TestNetShardScanEarlyStop verifies the scan early-stop contract: the
+// callback's error comes back verbatim and the client survives (fresh
+// connection) for the next RPC.
+func TestNetShardScanEarlyStop(t *testing.T) {
+	cl, _ := memBackends(t)
+	ctx := context.Background()
+	for i := 0; i < 100; i++ {
+		if err := cl.AppendSeq(model.TraceID(i), []model.TraceEvent{{Activity: 1, TS: 1}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop := errors.New("stop here")
+	n := 0
+	err := cl.ScanSeq(ctx, func(model.TraceID, []model.TraceEvent) error {
+		n++
+		if n == 3 {
+			return stop
+		}
+		return nil
+	})
+	if err != stop {
+		t.Fatalf("ScanSeq early-stop error = %v, want %v", err, stop)
+	}
+	if got, _ := cl.NumTraces(ctx); got != 100 {
+		t.Fatalf("client unusable after early stop: NumTraces = %d", got)
+	}
+}
+
+// TestNetShardCancelBounded proves cancellation trips an in-flight RPC
+// within a bounded wall-clock, not at the server's leisure: the server is
+// made unresponsive by simply never answering (a connection to a listener
+// that accepts and then sits silent).
+func TestNetShardCancelBounded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Answer the hello, then go silent.
+			go func(c net.Conn) {
+				defer c.Close()
+				var h [8]byte
+				c.Read(h[:])
+				writeHello(c, flagWAL)
+				<-done
+			}(c)
+		}
+	}()
+	cl, err := Dial(ln.Addr().String(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = cl.NumTraces(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("cancel took %v", d)
+	}
+}
+
+// TestNetShardTypedTransportError asserts transport failures surface as
+// *OpError with the op and address filled in.
+func TestNetShardTypedTransportError(t *testing.T) {
+	cl, _ := memBackends(t)
+	// Grab the server address, then close everything server-side.
+	if _, err := cl.NumTraces(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cl2, err := Dial(cl.Addr(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	cl.Close()
+	if _, err := cl.NumTraces(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed client err = %v", err)
+	}
+}

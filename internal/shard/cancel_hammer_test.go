@@ -33,12 +33,16 @@ func TestCancelHammer(t *testing.T) {
 		cancelers = 3
 		nShards   = 4
 	)
+	perProducer := 1000
+	if testing.Short() {
+		perProducer = 400 // same shape, bounded wall clock for check.sh tiers
+	}
 	logs := make([][]model.Event, producers)
 	var all []model.Event
 	for g := 0; g < producers; g++ {
 		rng := rand.New(rand.NewSource(int64(2000 + g)))
 		ts := int64(1)
-		for len(logs[g]) < 1000 {
+		for len(logs[g]) < perProducer {
 			ts += int64(rng.Intn(4))
 			logs[g] = append(logs[g], model.Event{
 				Trace:    model.TraceID(100*g + 1 + rng.Intn(12)),

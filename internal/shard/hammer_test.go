@@ -36,12 +36,16 @@ func TestShardedConcurrentHammer(t *testing.T) {
 	)
 	// Disjoint trace id spaces per producer: the pipeline orders events per
 	// trace, so one trace must not be split across concurrent appenders.
+	perProducer := 1200
+	if testing.Short() {
+		perProducer = 400 // same shape, bounded wall clock for check.sh tiers
+	}
 	logs := make([][]model.Event, producers)
 	var all []model.Event
 	for g := 0; g < producers; g++ {
 		rng := rand.New(rand.NewSource(int64(1000 + g)))
 		ts := int64(1)
-		for len(logs[g]) < 1200 {
+		for len(logs[g]) < perProducer {
 			ts += int64(rng.Intn(4))
 			logs[g] = append(logs[g], model.Event{
 				Trace:    model.TraceID(100*g + 1 + rng.Intn(12)),

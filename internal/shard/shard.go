@@ -83,12 +83,15 @@ type Options struct {
 	FS kvstore.FS
 }
 
-// Tables is the sharded implementation of storage.Backend: one
-// storage.Tables (and decoded-postings cache) per underlying store. Writes
-// route to exactly one shard; reads either route (pair- and trace-keyed
-// point lookups) or scatter-gather with a deterministic merge.
+// Tables is the sharded implementation of storage.Backend: one per-shard
+// backend — a local storage.Tables (and decoded-postings cache) per
+// underlying store, or any other storage.Backend such as a netshard client
+// talking to a remote shard server. Writes route to exactly one shard; reads
+// either route (pair- and trace-keyed point lookups) or scatter-gather with
+// a deterministic merge.
 type Tables struct {
-	shards  []*storage.Tables
+	shards  []storage.Backend
+	locals  []*storage.Tables // locals[i] non-nil iff shard i is an in-process storage.Tables
 	stores  []kvstore.Store
 	workers int
 }
@@ -106,7 +109,8 @@ func New(stores []kvstore.Store, opts Options) (*Tables, error) {
 		return nil, fmt.Errorf("shard: %d segment dirs for %d stores", len(opts.SegmentDirs), len(stores))
 	}
 	t := &Tables{
-		shards:  make([]*storage.Tables, len(stores)),
+		shards:  make([]storage.Backend, len(stores)),
+		locals:  make([]*storage.Tables, len(stores)),
 		stores:  append([]kvstore.Store(nil), stores...),
 		workers: opts.Workers,
 	}
@@ -120,6 +124,38 @@ func New(stores []kvstore.Store, opts Options) (*Tables, error) {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		t.shards[i] = tab
+		t.locals[i] = tab
+	}
+	return t, nil
+}
+
+// NewFromBackends wraps n already-opened per-shard backends — typically
+// netshard clients, one per remote shard server — into one sharded view. The
+// slice order is the shard numbering and must match the placement map on
+// every coordinator, or routing silently diverges; the engine pins the count
+// (not the order) in the meta table, and each per-shard backend must present
+// exactly one store (NumShards() == 1). Routing, deterministic merges and
+// the ShardedCommits partitioning all behave exactly as with local stores —
+// which is what makes the remote engine byte-identical to the in-process one.
+func NewFromBackends(backends []storage.Backend, opts Options) (*Tables, error) {
+	if len(backends) == 0 {
+		return nil, fmt.Errorf("shard: need at least one backend")
+	}
+	t := &Tables{
+		shards:  append([]storage.Backend(nil), backends...),
+		locals:  make([]*storage.Tables, len(backends)),
+		workers: opts.Workers,
+	}
+	for i, b := range t.shards {
+		if b == nil {
+			return nil, fmt.Errorf("shard %d: nil backend", i)
+		}
+		if n := b.NumShards(); n != 1 {
+			return nil, fmt.Errorf("shard %d: backend presents %d stores, want 1", i, n)
+		}
+		if tab, ok := b.(*storage.Tables); ok {
+			t.locals[i] = tab
+		}
 	}
 	return t, nil
 }
@@ -127,24 +163,30 @@ func New(stores []kvstore.Store, opts Options) (*Tables, error) {
 // NumShards reports the shard count.
 func (t *Tables) NumShards() int { return len(t.shards) }
 
-// Shard exposes one shard's single-store view (tests and tools).
-func (t *Tables) Shard(i int) *storage.Tables { return t.shards[i] }
+// Shard exposes one shard's single-store view (tests and tools). It is nil
+// for shards backed by a remote client rather than an in-process
+// storage.Tables; use Backend for those.
+func (t *Tables) Shard(i int) *storage.Tables { return t.locals[i] }
 
-// Stores exposes the underlying stores in shard order.
+// Backend exposes shard i's backend, local or remote.
+func (t *Tables) Backend(i int) storage.Backend { return t.shards[i] }
+
+// Stores exposes the underlying stores in shard order (empty when the
+// backend was built from remote clients via NewFromBackends).
 func (t *Tables) Stores() []kvstore.Store { return t.stores }
 
-func (t *Tables) pairTab(k model.PairKey) *storage.Tables {
+func (t *Tables) pairTab(k model.PairKey) storage.Backend {
 	return t.shards[PairShard(k, len(t.shards))]
 }
 
-func (t *Tables) traceTab(id model.TraceID) *storage.Tables {
+func (t *Tables) traceTab(id model.TraceID) storage.Backend {
 	return t.shards[TraceShard(id, len(t.shards))]
 }
 
 // each runs fn once per shard on the scatter-gather worker pool. The first
 // shard error or a done ctx stops dispatch to sibling shards; in-flight
 // shard calls are drained before each returns.
-func (t *Tables) each(ctx context.Context, fn func(i int, s *storage.Tables) error) error {
+func (t *Tables) each(ctx context.Context, fn func(i int, s storage.Backend) error) error {
 	return parallel.ForEachCtx(ctx, len(t.shards), t.workers, func(i int) error {
 		return fn(i, t.shards[i])
 	})
@@ -183,7 +225,7 @@ func (t *Tables) ScanSeq(ctx context.Context, fn func(model.TraceID, []model.Tra
 // a trace across shards).
 func (t *Tables) NumTraces(ctx context.Context) (int, error) {
 	counts := make([]int, len(t.shards))
-	err := t.each(ctx, func(i int, s *storage.Tables) error {
+	err := t.each(ctx, func(i int, s storage.Backend) error {
 		n, err := s.NumTraces(ctx)
 		counts[i] = n
 		return err
@@ -240,7 +282,7 @@ func (t *Tables) GetPostings(ctx context.Context, pair model.PairKey) (storage.P
 // Shards freeze independently; a failure on one leaves the others frozen,
 // which is safe (freezing is idempotent and each shard is self-contained).
 func (t *Tables) FreezePostings() error {
-	return t.each(context.Background(), func(_ int, s *storage.Tables) error {
+	return t.each(context.Background(), func(_ int, s storage.Backend) error {
 		return s.FreezePostings()
 	})
 }
@@ -259,11 +301,30 @@ func (t *Tables) SegmentStats() storage.SegmentStats {
 	return out
 }
 
-// Close releases every shard's segment mappings (stores stay open).
+// Close releases every shard's segment mappings (stores stay open; remote
+// clients close their connections).
 func (t *Tables) Close() error {
 	var first error
 	for _, s := range t.shards {
 		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Sync asks every shard backend that can make its store durable to do so
+// (remote clients forward this to the shard server's store). Shards without
+// a Sync method — in-process storage.Tables, whose store the engine syncs
+// directly — are skipped.
+func (t *Tables) Sync() error {
+	var first error
+	for _, s := range t.shards {
+		sy, ok := s.(interface{ Sync() error })
+		if !ok {
+			continue
+		}
+		if err := sy.Sync(); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -284,7 +345,7 @@ func (t *Tables) ScanIndex(ctx context.Context, period string, fn func(model.Pai
 // (pair routing never duplicates a pair across shards).
 func (t *Tables) NumIndexedPairs(ctx context.Context, period string) (int, error) {
 	counts := make([]int, len(t.shards))
-	err := t.each(ctx, func(i int, s *storage.Tables) error {
+	err := t.each(ctx, func(i int, s storage.Backend) error {
 		n, err := s.NumIndexedPairs(ctx, period)
 		counts[i] = n
 		return err
@@ -298,7 +359,7 @@ func (t *Tables) NumIndexedPairs(ctx context.Context, period string) (int, error
 
 // DropPeriod retires the partition on every shard.
 func (t *Tables) DropPeriod(period string) error {
-	return t.each(context.Background(), func(_ int, s *storage.Tables) error {
+	return t.each(context.Background(), func(_ int, s storage.Backend) error {
 		return s.DropPeriod(period)
 	})
 }
@@ -306,7 +367,7 @@ func (t *Tables) DropPeriod(period string) error {
 // Periods returns the sorted union of every shard's registered periods.
 func (t *Tables) Periods(ctx context.Context) ([]string, error) {
 	per := make([][]string, len(t.shards))
-	err := t.each(ctx, func(i int, s *storage.Tables) error {
+	err := t.each(ctx, func(i int, s storage.Backend) error {
 		ps, err := s.Periods(ctx)
 		per[i] = ps
 		return err
@@ -374,21 +435,21 @@ func (t *Tables) splitCounts(delta []storage.CountEntry, key func(storage.CountE
 // shard and merges them — summing per successor, ordered by successor id —
 // into the exact row a single store would hold.
 func (t *Tables) GetCounts(ctx context.Context, first model.ActivityID) ([]storage.CountEntry, error) {
-	return t.gatherCounts(ctx, func(s *storage.Tables) ([]storage.CountEntry, error) {
+	return t.gatherCounts(ctx, func(s storage.Backend) ([]storage.CountEntry, error) {
 		return s.GetCounts(ctx, first)
 	})
 }
 
 // GetReverseCounts is GetCounts over the Reverse Count table.
 func (t *Tables) GetReverseCounts(ctx context.Context, second model.ActivityID) ([]storage.CountEntry, error) {
-	return t.gatherCounts(ctx, func(s *storage.Tables) ([]storage.CountEntry, error) {
+	return t.gatherCounts(ctx, func(s storage.Backend) ([]storage.CountEntry, error) {
 		return s.GetReverseCounts(ctx, second)
 	})
 }
 
-func (t *Tables) gatherCounts(ctx context.Context, get func(*storage.Tables) ([]storage.CountEntry, error)) ([]storage.CountEntry, error) {
+func (t *Tables) gatherCounts(ctx context.Context, get func(storage.Backend) ([]storage.CountEntry, error)) ([]storage.CountEntry, error) {
 	rows := make([][]storage.CountEntry, len(t.shards))
-	err := t.each(ctx, func(i int, s *storage.Tables) error {
+	err := t.each(ctx, func(i int, s storage.Backend) error {
 		es, err := get(s)
 		rows[i] = es
 		return err
@@ -406,7 +467,7 @@ func (t *Tables) gatherCounts(ctx context.Context, get func(*storage.Tables) ([]
 func (t *Tables) GetPairCount(ctx context.Context, a, b model.ActivityID) (storage.CountEntry, bool, error) {
 	found := make([]bool, len(t.shards))
 	parts := make([]storage.CountEntry, len(t.shards))
-	err := t.each(ctx, func(i int, s *storage.Tables) error {
+	err := t.each(ctx, func(i int, s storage.Backend) error {
 		e, ok, err := s.GetPairCount(ctx, a, b)
 		parts[i], found[i] = e, ok
 		return err
@@ -477,7 +538,7 @@ func (t *Tables) MergeLastChecked(pair model.PairKey, delta map[model.TraceID]mo
 // if rows ever split).
 func (t *Tables) GetLastChecked(ctx context.Context, pair model.PairKey) (map[model.TraceID]model.Timestamp, error) {
 	maps := make([]map[model.TraceID]model.Timestamp, len(t.shards))
-	err := t.each(ctx, func(i int, s *storage.Tables) error {
+	err := t.each(ctx, func(i int, s storage.Backend) error {
 		m, err := s.GetLastChecked(ctx, pair)
 		maps[i] = m
 		return err
@@ -499,7 +560,7 @@ func (t *Tables) GetLastChecked(ctx context.Context, pair model.PairKey) (map[mo
 // PruneLastChecked removes the traces' watermarks on every shard (a pair
 // row can reference any trace, so every shard participates).
 func (t *Tables) PruneLastChecked(traces map[model.TraceID]bool) error {
-	return t.each(context.Background(), func(_ int, s *storage.Tables) error {
+	return t.each(context.Background(), func(_ int, s storage.Backend) error {
 		return s.PruneLastChecked(traces)
 	})
 }
@@ -623,6 +684,12 @@ func (t *Tables) SetMetrics(reg *metrics.Registry) {
 		l := metrics.Label{Key: "shard", Value: fmt.Sprintf("%d", i)}
 		reg.CounterFunc("seqlog_shard_rows_read_total", s.ReadRows, l)
 		reg.GaugeFunc("seqlog_shard_cache_bytes", func() int64 { return s.CacheStats().Bytes }, l)
+		if t.locals[i] == nil {
+			// Remote backends register their own series (RPC latency,
+			// inflight, reconnects) — local Tables would register the
+			// aggregate cache series again, so only forward to remotes.
+			s.SetMetrics(reg)
+		}
 	}
 }
 

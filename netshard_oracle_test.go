@@ -1,0 +1,257 @@
+package seqlog
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"testing"
+
+	"seqlog/internal/kvstore"
+	"seqlog/internal/netshard"
+	"seqlog/internal/storage"
+)
+
+// The netshard differential oracle: an engine whose shards live in OTHER
+// processes behind the wire protocol must be observably identical to the
+// single-process engines — local single-store and local multi-shard — over
+// the same log, byte for byte, for every query family. It reuses the exact
+// battery the shard-count oracle runs (runOracleBattery), so the remote
+// backend is held to the same surface, including error strings.
+
+// netFleet is a set of in-process netshard servers over real loopback TCP —
+// each server owns its own store and listener, exactly the topology a
+// seqshard process fleet has, minus the process boundary.
+type netFleet struct {
+	addrs  []string
+	srvs   []*netshard.Server
+	tabs   []*storage.Tables
+	stores []kvstore.Store
+}
+
+// startNetFleet starts one shard server per entry of dirs; an empty dir
+// means an in-memory store (no WAL: remote engines fall back to plain
+// writes), a path means a durable disk store with group commits.
+func startNetFleet(t *testing.T, dirs []string) *netFleet {
+	t.Helper()
+	f := &netFleet{}
+	for i, dir := range dirs {
+		var store kvstore.Store
+		if dir == "" {
+			store = kvstore.NewMemStore()
+		} else {
+			ds, err := kvstore.OpenDisk(dir)
+			if err != nil {
+				t.Fatalf("shard server %d: %v", i, err)
+			}
+			store = ds
+		}
+		tab := storage.NewTables(store)
+		srv := netshard.NewServer(tab, store, netshard.ServerOptions{})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("shard server %d: %v", i, err)
+		}
+		go srv.Serve(ln)
+		f.addrs = append(f.addrs, ln.Addr().String())
+		f.srvs = append(f.srvs, srv)
+		f.tabs = append(f.tabs, tab)
+		f.stores = append(f.stores, store)
+	}
+	return f
+}
+
+// Stop tears the fleet down: servers, then tables, then stores.
+func (f *netFleet) Stop() {
+	for _, s := range f.srvs {
+		s.Close()
+	}
+	for _, tab := range f.tabs {
+		tab.Close()
+	}
+	for _, st := range f.stores {
+		st.Close()
+	}
+}
+
+// openNetEngine opens an engine over the fleet's addresses.
+func openNetEngine(t *testing.T, f *netFleet) *Engine {
+	t.Helper()
+	eng, err := Open(Config{Policy: "STNM", ShardAddrs: f.addrs, Workers: 2, QueryWorkers: 2})
+	if err != nil {
+		t.Fatalf("open netshard engine over %v: %v", f.addrs, err)
+	}
+	return eng
+}
+
+// TestNetShardOracle: local 1-shard (baseline), local 4-shard, a 2-server
+// durable netshard fleet, and a 3-server in-memory fleet all answer the full
+// query battery identically.
+func TestNetShardOracle(t *testing.T) {
+	for _, seed := range []int64{7, 4242} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			w := oracleLog(seed)
+			engines := openOracleEngines(t, w)[:2] // 1-shard baseline + 4-shard
+
+			disk := startNetFleet(t, []string{t.TempDir(), t.TempDir()})
+			defer disk.Stop()
+			mem := startNetFleet(t, []string{"", "", ""})
+			defer mem.Stop()
+			for _, fl := range []struct {
+				name string
+				f    *netFleet
+			}{{"net-2-disk", disk}, {"net-3-mem", mem}} {
+				eng := openNetEngine(t, fl.f)
+				defer eng.Close()
+				oracleIngest(t, fl.name, eng, w)
+				engines = append(engines, oracleEngine{fl.name, eng})
+			}
+
+			runOracleBattery(t, engines, w)
+		})
+	}
+}
+
+// TestNetShardStreamMatchesBatch: the streaming pipeline writing through
+// remote stores (one WAL group per shard server per flush) builds the same
+// index as serial batch ingestion into a local single-store engine.
+func TestNetShardStreamMatchesBatch(t *testing.T) {
+	w := oracleLog(17)
+
+	serial, err := Open(Config{Policy: "STNM", Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer serial.Close()
+	for _, b := range w.batches {
+		if _, err := serial.Ingest(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f := startNetFleet(t, []string{t.TempDir(), t.TempDir()})
+	defer f.Stop()
+	remote := openNetEngine(t, f)
+	defer remote.Close()
+	app, err := remote.OpenStream(StreamOptions{Block: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range w.batches {
+		if err := app.Append(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := app.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := app.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for pi, p := range w.patterns {
+		want := jrun(t, func() (any, error) { return serial.Detect(p) })
+		got := jrun(t, func() (any, error) { return remote.Detect(p) })
+		if got != want {
+			t.Errorf("pattern %d: streamed netshard engine diverges from serial local\nwant %s\ngot  %s", pi, want, got)
+		}
+	}
+	stats := jrun(t, func() (any, error) { return serial.Stats(w.patterns[0]) })
+	if got := jrun(t, func() (any, error) { return remote.Stats(w.patterns[0]) }); got != stats {
+		t.Errorf("stats diverge:\nwant %s\ngot  %s", stats, got)
+	}
+}
+
+// TestNetShardDurableReopen: restart every shard server over its directory
+// and the engine answers exactly as before; a placement map with the wrong
+// shard count is refused via the replicated pinned meta, not silently
+// re-routed.
+func TestNetShardDurableReopen(t *testing.T) {
+	dirs := []string{t.TempDir(), t.TempDir()}
+	w := oracleLog(99)
+
+	f := startNetFleet(t, dirs)
+	eng := openNetEngine(t, f)
+	oracleIngest(t, "net", eng, w)
+	want := jrun(t, func() (any, error) { return eng.Detect(w.patterns[0]) })
+	wantStats := jrun(t, func() (any, error) { return eng.Stats(w.patterns[0]) })
+	if err := eng.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f.Stop()
+
+	// Cold restart of the whole fleet over the same directories.
+	f2 := startNetFleet(t, dirs)
+	defer f2.Stop()
+
+	// A 3-entry placement map over a 2-shard fleet must be refused: the
+	// shard count is pinned in the replicated meta row.
+	bogus := &netFleet{addrs: append(append([]string{}, f2.addrs...), f2.addrs[0])}
+	if eng, err := Open(Config{Policy: "STNM", ShardAddrs: bogus.addrs}); err == nil {
+		eng.Close()
+		t.Fatal("reopen with 3 shard addresses over a 2-shard fleet succeeded")
+	} else if !strings.Contains(err.Error(), "shard") {
+		t.Fatalf("mismatched placement map error does not mention shards: %v", err)
+	}
+
+	reopened := openNetEngine(t, f2)
+	defer reopened.Close()
+	if got := jrun(t, func() (any, error) { return reopened.Detect(w.patterns[0]) }); got != want {
+		t.Fatalf("reopened netshard engine diverges:\nbefore: %s\nafter:  %s", want, got)
+	}
+	if got := jrun(t, func() (any, error) { return reopened.Stats(w.patterns[0]) }); got != wantStats {
+		t.Fatalf("reopened stats diverge:\nbefore: %s\nafter:  %s", wantStats, got)
+	}
+}
+
+// TestNetShardReadReplica: the cluster quickstart's read-replica shape — a
+// read-only engine opened over the SAME fleet as a writer, before anything
+// was ingested. Shard servers hold all data and the decoded-postings caches,
+// so the replica reads live; the one piece of engine-local state, the
+// interned alphabet, is refreshed on lookup miss (Engine.pattern), so
+// activities first seen AFTER the replica opened still resolve without a
+// restart. Writes are rejected with ErrReadOnly.
+func TestNetShardReadReplica(t *testing.T) {
+	f := startNetFleet(t, []string{t.TempDir(), t.TempDir()})
+	defer f.Stop()
+
+	replica, err := Open(Config{Policy: "STNM", ShardAddrs: f.addrs, QueryWorkers: 2, ReadOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer replica.Close()
+
+	// Nothing ingested anywhere yet: unknown activities, empty answer.
+	if ms, err := replica.Detect([]string{"alpha", "beta"}); err != nil || len(ms) != 0 {
+		t.Fatalf("pre-ingest detect = %v, %v", ms, err)
+	}
+
+	writer := openNetEngine(t, f)
+	defer writer.Close()
+	if _, err := writer.Ingest([]Event{
+		{Trace: 1, Activity: "alpha", Time: 10},
+		{Trace: 1, Activity: "beta", Time: 20},
+		{Trace: 2, Activity: "alpha", Time: 30},
+		{Trace: 2, Activity: "beta", Time: 40},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	want, err := writer.Detect([]string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := replica.Detect([]string{"alpha", "beta"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 2 || !reflect.DeepEqual(got, want) {
+		t.Fatalf("replica detect = %+v, writer = %+v", got, want)
+	}
+
+	if _, err := replica.Ingest([]Event{{Trace: 9, Activity: "alpha", Time: 1}}); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("replica ingest err = %v, want ErrReadOnly", err)
+	}
+}

@@ -1,20 +1,51 @@
 #!/bin/sh
-# Fast correctness gate for the hot paths: vet everything, then run the
-# query/storage/kvstore suites under the race detector (these are the
-# packages with real concurrency: postings cache, parallel continuation,
-# WAL). Full suite: go test ./...
-set -eux
+# Fast correctness gate for the hot paths, organized as named tiers.
+#
+#   scripts/check.sh            # run every tier
+#   scripts/check.sh all        # same
+#   scripts/check.sh shards     # run one tier
+#   scripts/check.sh vet cancel # run several
+#
+# Wall-clock budget: `check.sh all` is sized to finish in ~5 minutes on a
+# 4-core developer machine. Hammer, torture and crash-sweep tests honour
+# -short (smaller logs, sparser sweeps, same shapes and race windows), and
+# the tiers below pass it to the heavyweight ones so no single tier exceeds
+# ~1 minute. When adding a test to a tier, keep the budget: gate anything
+# slower than a few seconds behind testing.Short().
+#
+# Full unabridged suite: go test ./...
+set -eu
 
 cd "$(dirname "$0")/.."
 
-go vet ./...
-go test -race ./internal/query/... ./internal/storage/... ./internal/kvstore/...
+want() {
+	# want TIER: true when TIER was requested (or everything was).
+	case " $TIERS " in
+	*" all "*) return 0 ;;
+	*" $1 "*) return 0 ;;
+	*) return 1 ;;
+	esac
+}
+
+TIERS="${*:-all}"
+
+set -x
+
+# Vet tier: static checks, then the query/storage/kvstore suites under the
+# race detector (these are the packages with real concurrency: postings
+# cache, parallel continuation, WAL).
+if want vet; then
+	go vet ./...
+	go test -race ./internal/query/... ./internal/storage/... ./internal/kvstore/...
+fi
 
 # Crash-torture tier: replay every write-path crash point and every
 # single-byte corruption through recovery (see DESIGN.md "Durability &
-# failure model"). Redundant with the line above but kept as an explicit
+# failure model"). Redundant with the vet tier but kept as an explicit
 # gate so a -run filter during debugging can't silently skip it.
-go test -race -run 'Crash|Corrupt' ./internal/kvstore/
+if want crash; then
+	go test -race -run 'Crash|Corrupt' ./internal/kvstore/
+fi
 
 # Ingest tier: the streaming pipeline under the race detector, plus the
 # serial-equivalence oracles (streamed micro-batches at 1, 2 and 4 ingest
@@ -24,29 +55,35 @@ go test -race -run 'Crash|Corrupt' ./internal/kvstore/
 # crashing mid-fsync-coalesce), and the parallel-flusher regression gates
 # (timer hygiene, all-or-nothing admission, producer/Flush/Forget hammer),
 # run explicitly for the same reason as above.
-go test -race ./internal/ingest/...
-go test -race -run 'StreamEqualsSerialBuilder|StreamShardedEqualsSerial|StreamCrash|ShardedStreamCrash' ./internal/ingest/
-go test -race -run 'TimerHygiene|Admission|ParallelFlushersRaceHammer' ./internal/ingest/
-go test -race -run 'SealBatch|PipelinedBatch' ./internal/kvstore/
+if want ingest; then
+	go test -race -short ./internal/ingest/...
+	go test -race -short -run 'StreamEqualsSerialBuilder|StreamShardedEqualsSerial|StreamCrash|ShardedStreamCrash' ./internal/ingest/
+	go test -race -short -run 'TimerHygiene|Admission|ParallelFlushersRaceHammer' ./internal/ingest/
+	go test -race -run 'SealBatch|PipelinedBatch' ./internal/kvstore/
+fi
 
 # Metrics tier: the registry and the whole telemetry path under the race
 # detector (parallel queries + live ingest stream + concurrent /metrics
 # scrapes), then a real-binary scrape assertion (seqserver -pprof
 # -slow-query-ms, curl-style GET /metrics, seqquery metrics verb).
-go test -race ./internal/metrics/
-go test -race -run 'Metrics|Disconnect' ./internal/server/
-go test -run 'Metrics' ./internal/clitest/
+if want metrics; then
+	go test -race ./internal/metrics/
+	go test -race -run 'Metrics|Disconnect' ./internal/server/
+	go test -run 'Metrics' ./internal/clitest/
+fi
 
 # Shards tier: the differential oracle (1 vs 4 vs 7 shards must be
 # byte-identical for every query family), the routing/codec fuzz targets on
 # their seed corpora plus a short live fuzz, and the concurrency gates — the
 # ingest+query+compaction hammer and the one-shard crash-isolation sweep —
 # under the race detector.
-go test -run 'TestShard' .
-go test ./internal/shard/ ./internal/storage/ -run Fuzz
-go test ./internal/shard/ -fuzz FuzzShardRouting -fuzztime 5s
-go test ./internal/storage/ -fuzz FuzzSeqCodec -fuzztime 5s
-go test -race -short -run 'ShardedConcurrentHammer|ShardCrashIsolation' ./internal/shard/
+if want shards; then
+	go test -run 'TestShard' .
+	go test ./internal/shard/ ./internal/storage/ -run Fuzz
+	go test ./internal/shard/ -fuzz FuzzShardRouting -fuzztime 5s
+	go test ./internal/storage/ -fuzz FuzzSeqCodec -fuzztime 5s
+	go test -race -short -run 'ShardedConcurrentHammer|ShardCrashIsolation' ./internal/shard/
+fi
 
 # Segments tier: the block codec and segment-file fuzz targets (seed corpora
 # plus a short live fuzz each), the segment differential oracle (row-backed,
@@ -55,10 +92,12 @@ go test -race -short -run 'ShardedConcurrentHammer|ShardCrashIsolation' ./intern
 # and the freeze crash sweeps — a fault-injected filesystem cut at every
 # byte/op of two freezes, recovery must never lose committed data (torn
 # segment falls back to WAL replay).
-go test ./internal/storage/ -fuzz FuzzPostingsBlocks -fuzztime 5s
-go test ./internal/storage/ -fuzz FuzzSegmentFile -fuzztime 5s
-go test -run 'TestSegment' .
-go test -race -short -run 'FreezeCrash' ./internal/storage/
+if want segments; then
+	go test ./internal/storage/ -fuzz FuzzPostingsBlocks -fuzztime 5s
+	go test ./internal/storage/ -fuzz FuzzSegmentFile -fuzztime 5s
+	go test -run 'TestSegment' .
+	go test -race -short -run 'FreezeCrash' ./internal/storage/
+fi
 
 # Cancellation tier: the cooperative-cancellation paths under the race
 # detector — partial-results subset property, the slow-disk chaos harness
@@ -66,11 +105,13 @@ go test -race -short -run 'FreezeCrash' ./internal/storage/
 # hammer racing flushes/freezes/compactions, and the server zombie-work
 # regression (timed-out and disconnected requests stop their workers).
 # ctxguard rejects new exported query-path functions without a leading ctx.
-go test -race -run 'Partial|Budget|Cancel' ./internal/query/
-go test -race -run 'CancellationBoundedUnderSlowDisk' ./internal/ingest/
-go test -race -run 'CancelHammer' ./internal/shard/
-go test -race -run 'TimedOutDetectAborted|DisconnectedDetectStopsWorkers' ./internal/server/
-sh scripts/ctxguard.sh
+if want cancel; then
+	go test -race -run 'Partial|Budget|Cancel' ./internal/query/
+	go test -race -run 'CancellationBoundedUnderSlowDisk' ./internal/ingest/
+	go test -race -short -run 'CancelHammer' ./internal/shard/
+	go test -race -run 'TimedOutDetectAborted|DisconnectedDetectStopsWorkers' ./internal/server/
+	sh scripts/ctxguard.sh
+fi
 
 # Replica tier: the replication subsystem end-to-end under the race
 # detector — follower-side atomic apply + crash idempotence (FaultFS sweep),
@@ -79,6 +120,27 @@ sh scripts/ctxguard.sh
 # resync, the disconnect/reconnect chaos harness with the goroutine-leak
 # gate, router read balancing / write pinning / mid-request failover, and
 # the read-only guard (engine ErrReadOnly, HTTP 403, /health/ready 503).
-go test -race -run 'Replica|Resync' ./internal/storage/
-go test -race ./internal/replica/
-go test -race -run 'GetStream' ./internal/httpclient/
+if want replica; then
+	go test -race -run 'Replica|Resync' ./internal/storage/
+	go test -race ./internal/replica/
+	go test -race -run 'GetStream' ./internal/httpclient/
+fi
+
+# Netshard tier: the wire protocol and multi-process shard fleet under the
+# race detector — the differential oracle (an engine over remote shard
+# servers is byte-identical to the local single- and multi-shard engines for
+# every query family, including stream-vs-batch ingest and cold reopen), the
+# network chaos harness (partitions, stalls, mid-scatter server death; typed
+# errors, bounded cancel latency, zero leaked goroutines), the remote
+# acked-flush durability sweep, and the frame/request fuzz targets on their
+# seed corpora plus a short live fuzz. ctxguard's Rule 3 holds the netshard
+# client to the same ctx-first contract as the local backends.
+if want netshard; then
+	go test -race -count=1 ./internal/netshard/
+	go test -race -run 'TestNetShard' .
+	go test -race -short -run 'NetshardStreamCrash' ./internal/ingest/
+	go test ./internal/netshard/ -run Fuzz
+	go test ./internal/netshard/ -fuzz FuzzNetFrame -fuzztime 5s
+	go test ./internal/netshard/ -fuzz FuzzNetRequest -fuzztime 5s
+	sh scripts/ctxguard.sh
+fi

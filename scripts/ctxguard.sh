@@ -40,4 +40,19 @@ if [ -n "$bad" ]; then
 	status=1
 fi
 
+# Rule 3: the netshard client implements the same Backend read surface over
+# the wire; its reads must carry ctx down to the RPC so a canceled query
+# stops burning the remote shard server too. NumShards reports topology and
+# GetMeta is a context-free point read, per the Backend contract.
+bad=$(grep -nE 'func \([a-zA-Z]+ \*Client\) (Get|Scan|Num|Periods)[A-Za-z0-9]*\(' \
+	internal/netshard/*.go \
+	| grep -v '_test' \
+	| grep -vE '\) (NumShards|GetMeta)\(' \
+	| grep -vE '\((ctx|_) context\.Context' || true)
+if [ -n "$bad" ]; then
+	echo "ctxguard: netshard client reads without a leading ctx context.Context:" >&2
+	echo "$bad" >&2
+	status=1
+fi
+
 exit $status

@@ -44,6 +44,7 @@ import (
 	"seqlog/internal/kvstore"
 	"seqlog/internal/metrics"
 	"seqlog/internal/model"
+	"seqlog/internal/netshard"
 	"seqlog/internal/pairs"
 	"seqlog/internal/query"
 	"seqlog/internal/replica"
@@ -76,6 +77,16 @@ type Config struct {
 	// ShardDir, when non-empty, overrides where a sharded engine keeps its
 	// shard-NNNN directories (default: Dir). Ignored when Shards <= 1.
 	ShardDir string
+	// ShardAddrs, when non-empty, opens the engine over remote shard
+	// servers (cmd/seqshard) instead of local stores: one netshard client
+	// per address, in shard order — the slice IS the placement map and must
+	// be identical on every coordinator, since routing is a pure function
+	// of (key, count, position). Storage-affecting options (Dir, ShardDir,
+	// Segments, Salvage) then belong to the shard servers and must be left
+	// unset. The shard count is still pinned in the (replicated) meta
+	// table, so pointing a coordinator at a subset of an existing cluster
+	// fails instead of silently re-routing keys.
+	ShardAddrs []string
 	// Period names the index partition new batches are written to; see
 	// RotatePeriod.
 	Period string
@@ -427,6 +438,39 @@ func openStores(cfg Config, reg *metrics.Registry) ([]kvstore.Store, []*kvstore.
 	if n < 1 {
 		n = 1
 	}
+	if len(cfg.ShardAddrs) > 0 {
+		if cfg.Dir != "" || cfg.ShardDir != "" {
+			return nil, nil, nil, fmt.Errorf("seqlog: Config.ShardAddrs and Config.Dir are exclusive (remote shard servers own their directories)")
+		}
+		if cfg.Segments {
+			return nil, nil, nil, fmt.Errorf("seqlog: Config.Segments is managed by the shard servers; unset it with Config.ShardAddrs")
+		}
+		if cfg.Shards > 1 && cfg.Shards != len(cfg.ShardAddrs) {
+			return nil, nil, nil, fmt.Errorf("seqlog: Config.Shards (%d) disagrees with len(Config.ShardAddrs) (%d)", cfg.Shards, len(cfg.ShardAddrs))
+		}
+		backends := make([]storage.Backend, len(cfg.ShardAddrs))
+		closeBackends := func() {
+			for _, b := range backends {
+				if b != nil {
+					b.Close()
+				}
+			}
+		}
+		for i, addr := range cfg.ShardAddrs {
+			cl, err := netshard.Dial(addr, netshard.Options{Shard: i})
+			if err != nil {
+				closeBackends()
+				return nil, nil, nil, fmt.Errorf("seqlog: shard %d: %w", i, err)
+			}
+			backends[i] = cl
+		}
+		st, err := shard.NewFromBackends(backends, shard.Options{Workers: cfg.QueryWorkers})
+		if err != nil {
+			closeBackends()
+			return nil, nil, nil, err
+		}
+		return nil, nil, st, nil
+	}
 	if cfg.Segments && cfg.Dir == "" && cfg.ShardDir == "" {
 		return nil, nil, nil, fmt.Errorf("seqlog: Config.Segments requires a durable directory (Config.Dir)")
 	}
@@ -765,10 +809,17 @@ func (e *Engine) IngestCtx(ctx context.Context, events []Event) (UpdateStats, er
 }
 
 // syncDisks flushes and fsyncs every durable shard's WAL (no-op in memory).
+// Engines over remote shard servers have no local disks; the sync request
+// forwards through the backend to each shard server's store instead.
 func (e *Engine) syncDisks() error {
 	for _, d := range e.disks {
 		if err := d.Sync(); err != nil {
 			return err
+		}
+	}
+	if len(e.disks) == 0 {
+		if sy, ok := e.tables.(interface{ Sync() error }); ok {
+			return sy.Sync()
 		}
 	}
 	return nil
@@ -805,13 +856,40 @@ func (e *Engine) ingestModelLog(log *model.Log) (UpdateStats, error) {
 }
 
 // pattern resolves names without interning; ok=false means some activity has
-// never been ingested, so the pattern cannot occur.
+// never been ingested, so the pattern cannot occur. A lookup miss first
+// re-reads the persisted alphabet: over a shared backend (a netshard fleet,
+// DESIGN.md §13) another engine may have interned the activity after this
+// one opened — without the reload a read-only query front-end would answer
+// "never ingested" forever. The reload is one point meta read on the miss
+// path only, and a no-op for exclusively-owned local stores, whose in-memory
+// alphabet never trails the persisted one.
 func (e *Engine) pattern(names []string) (model.Pattern, bool, error) {
 	if len(names) == 0 {
 		return nil, false, errors.New("seqlog: empty pattern")
 	}
+	if p, ok := model.LookupPattern(e.alphabet, names); ok {
+		return p, true, nil
+	}
+	if err := e.reloadAlphabet(); err != nil {
+		return nil, false, err
+	}
 	p, ok := model.LookupPattern(e.alphabet, names)
 	return p, ok, nil
+}
+
+// reloadAlphabet re-interns the persisted alphabet. Writers persist names in
+// ID order and only ever append, so every persisted list extends the one
+// this engine last saw — replaying the full list keeps local IDs aligned
+// with the store and with every other engine over the same backend.
+func (e *Engine) reloadAlphabet() error {
+	raw, ok, err := e.tables.GetMeta(metaAlphabet)
+	if err != nil || !ok || len(raw) == 0 {
+		return err
+	}
+	for _, name := range strings.Split(string(raw), "\x00") {
+		e.alphabet.ID(name)
+	}
+	return nil
 }
 
 // Detect returns every completion of the pattern in the indexed log

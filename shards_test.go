@@ -82,29 +82,44 @@ func oracleLog(seed int64) oracleWorkload {
 	return w
 }
 
-// openOracleEngines opens one in-memory engine per shard count and ingests
-// the workload identically into each: two batches, a period rotation, then
-// the remaining batches into the new partition.
-func openOracleEngines(t *testing.T, w oracleWorkload) map[int]*Engine {
+// oracleEngine is one labeled participant in a differential comparison. The
+// first entry of a slice is the baseline the rest must match byte-for-byte.
+type oracleEngine struct {
+	name string
+	eng  *Engine
+}
+
+// oracleIngest loads the workload into an engine the canonical way: two
+// batches, a period rotation, then the remaining batches into the new
+// partition.
+func oracleIngest(t *testing.T, name string, eng *Engine, w oracleWorkload) {
 	t.Helper()
-	engines := make(map[int]*Engine, len(oracleShardCounts))
+	for bi, batch := range w.batches {
+		if bi == 2 {
+			if err := eng.RotatePeriod("p2"); err != nil {
+				t.Fatalf("%s: rotate: %v", name, err)
+			}
+		}
+		if _, err := eng.Ingest(batch); err != nil {
+			t.Fatalf("%s: ingest batch %d: %v", name, bi, err)
+		}
+	}
+}
+
+// openOracleEngines opens one in-memory engine per shard count and ingests
+// the workload identically into each.
+func openOracleEngines(t *testing.T, w oracleWorkload) []oracleEngine {
+	t.Helper()
+	engines := make([]oracleEngine, 0, len(oracleShardCounts))
 	for _, n := range oracleShardCounts {
 		eng, err := Open(Config{Policy: "STNM", Shards: n, Workers: 2, QueryWorkers: 2})
 		if err != nil {
 			t.Fatalf("open %d-shard engine: %v", n, err)
 		}
 		t.Cleanup(func() { eng.Close() })
-		for bi, batch := range w.batches {
-			if bi == 2 {
-				if err := eng.RotatePeriod("p2"); err != nil {
-					t.Fatalf("%d shards: rotate: %v", n, err)
-				}
-			}
-			if _, err := eng.Ingest(batch); err != nil {
-				t.Fatalf("%d shards: ingest batch %d: %v", n, bi, err)
-			}
-		}
-		engines[n] = eng
+		name := fmt.Sprintf("%d-shard", n)
+		oracleIngest(t, name, eng, w)
+		engines = append(engines, oracleEngine{name, eng})
 	}
 	return engines
 }
@@ -130,22 +145,107 @@ func jdump(t *testing.T, v any, err error) string {
 }
 
 // assertAgree runs fn against every engine and asserts the rendered results
-// are byte-identical to the 1-shard baseline.
-func assertAgree(t *testing.T, engines map[int]*Engine, label string, fn func(*Engine) (any, error)) {
+// are byte-identical to the first (baseline) engine.
+func assertAgree(t *testing.T, engines []oracleEngine, label string, fn func(*Engine) (any, error)) {
 	t.Helper()
 	want := ""
-	for _, n := range oracleShardCounts {
-		v, err := fn(engines[n])
+	for i, oe := range engines {
+		v, err := fn(oe.eng)
 		got := jdump(t, v, err)
-		if n == oracleShardCounts[0] {
+		if i == 0 {
 			want = got
 			continue
 		}
 		if got != want {
-			t.Errorf("%s: %d shards diverge from %d\n 1-shard: %s\n %d-shard: %s",
-				label, n, oracleShardCounts[0], want, n, got)
+			t.Errorf("%s: %s diverges from %s\n %s: %s\n %s: %s",
+				label, oe.name, engines[0].name, engines[0].name, want, oe.name, got)
 		}
 	}
+}
+
+// runOracleBattery interrogates every engine with the workload's full query
+// matrix — detection (plain, traced, planned, windowed), statistics,
+// continuation exploration in every mode — then exercises the mutating prune
+// path and re-compares. Engines must already hold the workload. This is THE
+// shared differential battery: the shard-count oracle and the netshard
+// (remote store) oracle both run it, so a backend implementation is proven
+// against the same surface the local engine answers.
+func runOracleBattery(t *testing.T, engines []oracleEngine, w oracleWorkload) {
+	t.Helper()
+
+	// Index shape: same traces, same partitions, same pair counts.
+	assertAgree(t, engines, "numtraces", func(e *Engine) (any, error) {
+		n, err := e.NumTraces()
+		return n, err
+	})
+	assertAgree(t, engines, "periods", func(e *Engine) (any, error) {
+		return e.Periods()
+	})
+	assertAgree(t, engines, "partitions", func(e *Engine) (any, error) {
+		info, err := e.Info()
+		if err != nil {
+			return nil, err
+		}
+		return info.Partitions, nil
+	})
+
+	for pi, p := range w.patterns {
+		p := p
+		assertAgree(t, engines, fmt.Sprintf("detect[%d]", pi), func(e *Engine) (any, error) {
+			return e.Detect(p)
+		})
+		assertAgree(t, engines, fmt.Sprintf("detectTraces[%d]", pi), func(e *Engine) (any, error) {
+			return e.DetectTraces(p)
+		})
+		assertAgree(t, engines, fmt.Sprintf("detectPlanned[%d]", pi), func(e *Engine) (any, error) {
+			mp, ok, err := e.pattern(p)
+			if err != nil || !ok {
+				return nil, err
+			}
+			return e.proc.DetectPlanned(context.Background(), mp)
+		})
+		assertAgree(t, engines, fmt.Sprintf("detectWithin[%d]", pi), func(e *Engine) (any, error) {
+			return e.DetectWithin(p, 40)
+		})
+		assertAgree(t, engines, fmt.Sprintf("stats[%d]", pi), func(e *Engine) (any, error) {
+			return e.Stats(p)
+		})
+		assertAgree(t, engines, fmt.Sprintf("statsAll[%d]", pi), func(e *Engine) (any, error) {
+			return e.StatsAllPairs(p)
+		})
+	}
+
+	for pi, p := range w.prefixes {
+		p := p
+		for _, mode := range []ExploreMode{Accurate, Fast, Hybrid} {
+			mode := mode
+			assertAgree(t, engines, fmt.Sprintf("explore-%s[%d]", mode, pi), func(e *Engine) (any, error) {
+				return e.Explore(p, mode, ExploreOptions{TopK: 3})
+			})
+		}
+		assertAgree(t, engines, fmt.Sprintf("exploreGap[%d]", pi), func(e *Engine) (any, error) {
+			return e.Explore(p, Hybrid, ExploreOptions{TopK: 2, MaxAvgGap: 25})
+		})
+		assertAgree(t, engines, fmt.Sprintf("exploreInsert[%d]", pi), func(e *Engine) (any, error) {
+			return e.ExploreInsert(p, 0, Hybrid, ExploreOptions{TopK: 2})
+		})
+	}
+
+	// Mutating paths must stay in lockstep too: prune a known trace
+	// everywhere, then re-compare a detection.
+	tr := w.batches[0][0].Trace
+	for _, oe := range engines {
+		if err := oe.eng.PruneTraces([]int64{tr}); err != nil {
+			t.Fatalf("%s: prune: %v", oe.name, err)
+		}
+	}
+	assertAgree(t, engines, "numtraces-after-prune", func(e *Engine) (any, error) {
+		n, err := e.NumTraces()
+		return n, err
+	})
+	assertAgree(t, engines, "detect-after-prune", func(e *Engine) (any, error) {
+		return e.Detect(w.patterns[0])
+	})
 }
 
 func TestShardCountInvariance(t *testing.T) {
@@ -154,80 +254,7 @@ func TestShardCountInvariance(t *testing.T) {
 		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
 			w := oracleLog(seed)
 			engines := openOracleEngines(t, w)
-
-			// Index shape: same traces, same partitions, same pair counts.
-			assertAgree(t, engines, "numtraces", func(e *Engine) (any, error) {
-				n, err := e.NumTraces()
-				return n, err
-			})
-			assertAgree(t, engines, "periods", func(e *Engine) (any, error) {
-				return e.Periods()
-			})
-			assertAgree(t, engines, "partitions", func(e *Engine) (any, error) {
-				info, err := e.Info()
-				if err != nil {
-					return nil, err
-				}
-				return info.Partitions, nil
-			})
-
-			for pi, p := range w.patterns {
-				p := p
-				assertAgree(t, engines, fmt.Sprintf("detect[%d]", pi), func(e *Engine) (any, error) {
-					return e.Detect(p)
-				})
-				assertAgree(t, engines, fmt.Sprintf("detectTraces[%d]", pi), func(e *Engine) (any, error) {
-					return e.DetectTraces(p)
-				})
-				assertAgree(t, engines, fmt.Sprintf("detectPlanned[%d]", pi), func(e *Engine) (any, error) {
-					mp, ok, err := e.pattern(p)
-					if err != nil || !ok {
-						return nil, err
-					}
-					return e.proc.DetectPlanned(context.Background(), mp)
-				})
-				assertAgree(t, engines, fmt.Sprintf("detectWithin[%d]", pi), func(e *Engine) (any, error) {
-					return e.DetectWithin(p, 40)
-				})
-				assertAgree(t, engines, fmt.Sprintf("stats[%d]", pi), func(e *Engine) (any, error) {
-					return e.Stats(p)
-				})
-				assertAgree(t, engines, fmt.Sprintf("statsAll[%d]", pi), func(e *Engine) (any, error) {
-					return e.StatsAllPairs(p)
-				})
-			}
-
-			for pi, p := range w.prefixes {
-				p := p
-				for _, mode := range []ExploreMode{Accurate, Fast, Hybrid} {
-					mode := mode
-					assertAgree(t, engines, fmt.Sprintf("explore-%s[%d]", mode, pi), func(e *Engine) (any, error) {
-						return e.Explore(p, mode, ExploreOptions{TopK: 3})
-					})
-				}
-				assertAgree(t, engines, fmt.Sprintf("exploreGap[%d]", pi), func(e *Engine) (any, error) {
-					return e.Explore(p, Hybrid, ExploreOptions{TopK: 2, MaxAvgGap: 25})
-				})
-				assertAgree(t, engines, fmt.Sprintf("exploreInsert[%d]", pi), func(e *Engine) (any, error) {
-					return e.ExploreInsert(p, 0, Hybrid, ExploreOptions{TopK: 2})
-				})
-			}
-
-			// Mutating paths must stay in lockstep too: prune a known trace
-			// everywhere, then re-compare a detection.
-			tr := w.batches[0][0].Trace
-			for _, n := range oracleShardCounts {
-				if err := engines[n].PruneTraces([]int64{tr}); err != nil {
-					t.Fatalf("%d shards: prune: %v", n, err)
-				}
-			}
-			assertAgree(t, engines, "numtraces-after-prune", func(e *Engine) (any, error) {
-				n, err := e.NumTraces()
-				return n, err
-			})
-			assertAgree(t, engines, "detect-after-prune", func(e *Engine) (any, error) {
-				return e.Detect(w.patterns[0])
-			})
+			runOracleBattery(t, engines, w)
 		})
 	}
 }
